@@ -1,0 +1,26 @@
+# gnuplot script regenerating the paper-style figures from the CSVs
+# usage: gnuplot plots.gp   (from inside _artifacts/)
+set datafile separator ','
+set key off
+set terminal pngcairo size 800,600
+
+set output 'figure1_degree_distribution.png'
+set logscale xy
+set xlabel 'Number of complexes a protein belongs to'
+set ylabel 'Frequency'
+plot 'figure1_degree_distribution.csv' every ::1 using 1:2 with points pt 7 ps 1.5
+
+set output 'core_profile.png'
+unset logscale
+set xlabel 'k'
+set ylabel 'size of the k-core'
+set key on
+plot 'core_profile.csv' every ::1 using 1:2 with linespoints title 'proteins', \
+     'core_profile.csv' every ::1 using 1:3 with linespoints title 'complexes'
+
+set output 'scaling.png'
+set logscale xy
+set xlabel 'proteins'
+set ylabel 'decomposition time (s)'
+set key off
+plot 'scaling.csv' every ::1 using 2:6 with linespoints pt 7

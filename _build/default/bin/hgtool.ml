@@ -1,0 +1,318 @@
+(* hgtool: command-line access to the hypergraph toolkit.
+
+   Subcommands:
+     generate     write the synthetic Cellzome dataset as a .hg file
+     stats        Section-2 statistics of a .hg file
+     kcore        k-core / core decomposition of a .hg or .mtx file
+     cover        greedy (multi)cover bait selection
+     export-pajek Figure-3 style .net/.clu export
+*)
+
+module H = Hp_hypergraph.Hypergraph
+module HIO = Hp_hypergraph.Hypergraph_io
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_core
+open Cmdliner
+
+let load path =
+  if Filename.check_suffix path ".mtx" then
+    Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.read path)
+  else HIO.read path
+
+let input_arg =
+  let doc = "Input hypergraph: .hg (membership lists) or .mtx (MatrixMarket)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the generator." in
+  Arg.(value & opt int 2004 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* generate *)
+let generate_cmd =
+  let run seed output =
+    let ds = Hp_data.Cellzome.generate ~seed () in
+    HIO.write output ds.hypergraph;
+    Printf.printf "wrote %s: %d proteins, %d complexes, |E| = %d\n" output
+      (H.n_vertices ds.hypergraph) (H.n_edges ds.hypergraph)
+      (H.total_incidence ds.hypergraph)
+  in
+  let output =
+    Arg.(value & opt string "cellzome.hg" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write the synthetic Cellzome dataset as a .hg file.")
+    Term.(const run $ seed_arg $ output)
+
+(* stats *)
+let stats_cmd =
+  let run path =
+    let h = load path in
+    Printf.printf "vertices: %d\nhyperedges: %d\ntotal incidence |E|: %d\n"
+      (H.n_vertices h) (H.n_edges h) (H.total_incidence h);
+    Printf.printf "max vertex degree: %d\nmax hyperedge size: %d\n"
+      (H.max_vertex_degree h) (H.max_edge_size h);
+    let summary = HP.component_summary h in
+    Printf.printf "components: %d" (Array.length summary);
+    if Array.length summary > 0 then begin
+      let nv, ne = summary.(0) in
+      Printf.printf " (largest: %d vertices, %d hyperedges)" nv ne
+    end;
+    print_newline ();
+    let diam, apl = HP.diameter_and_average_path h in
+    Printf.printf "diameter: %d\naverage path length: %.3f\n" diam apl;
+    let hist = Hp_stats.Degree_dist.vertex_histogram h in
+    (match Hp_stats.Powerlaw.fit_loglog hist with
+    | fit ->
+      Printf.printf "power-law fit: log10(c) = %.3f, gamma = %.3f, R^2 = %.3f\n"
+        fit.log10_c fit.gamma fit.r2
+    | exception Invalid_argument _ ->
+      print_endline "power-law fit: not enough distinct degrees")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Network statistics (paper Section 2).")
+    Term.(const run $ input_arg)
+
+(* kcore *)
+let kcore_cmd =
+  let run path k naive list_members =
+    let h = load path in
+    let strategy = if naive then HC.Naive else HC.Overlap in
+    let result, k =
+      match k with
+      | Some k -> (HC.k_core ~strategy h k, k)
+      | None ->
+        let k, r = HC.max_core ~strategy h in
+        (r, k)
+    in
+    Printf.printf "%d-core: %d vertices, %d hyperedges\n" k
+      (H.n_vertices result.core) (H.n_edges result.core);
+    if list_members then
+      Array.iter
+        (fun v -> print_endline (H.vertex_name h v))
+        result.vertex_ids
+  in
+  let k =
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K"
+           ~doc:"Core index; the maximum core when omitted.")
+  in
+  let naive =
+    Arg.(value & flag & info [ "naive" ]
+           ~doc:"Use subset-scan maximality tests instead of overlap counts.")
+  in
+  let list_members =
+    Arg.(value & flag & info [ "members" ] ~doc:"List the core vertices by name.")
+  in
+  Cmd.v
+    (Cmd.info "kcore" ~doc:"Compute a k-core or the maximum core (paper Section 3).")
+    Term.(const run $ input_arg $ k $ naive $ list_members)
+
+(* cover *)
+let cover_cmd =
+  let run path weighting r =
+    let h = load path in
+    let weights =
+      match weighting with
+      | "uniform" -> Hp_cover.Weighting.uniform h
+      | "degree" -> Hp_cover.Weighting.degree h
+      | "degree2" -> Hp_cover.Weighting.degree_squared h
+      | other -> failwith ("unknown weighting: " ^ other)
+    in
+    let trace =
+      if r <= 1 then Hp_cover.Greedy.vertex_cover_trace ~weights h
+      else
+        Hp_cover.Greedy.solve ~weights
+          ~requirements:(Hp_cover.Multicover.uniform_requirements h ~r)
+          h
+    in
+    Printf.printf "cover: %d vertices, total weight %.1f, average degree %.3f\n"
+      (Array.length trace.cover) trace.total_weight
+      (Hp_cover.Cover.average_degree h trace.cover);
+    Array.iter (fun v -> print_endline (H.vertex_name h v)) trace.cover
+  in
+  let weighting =
+    Arg.(value & opt string "uniform" & info [ "w"; "weighting" ] ~docv:"SCHEME"
+           ~doc:"Vertex weights: uniform, degree, or degree2.")
+  in
+  let r =
+    Arg.(value & opt int 1 & info [ "r" ] ~docv:"R"
+           ~doc:"Cover each hyperedge R times (multicover when R > 1).")
+  in
+  Cmd.v
+    (Cmd.info "cover" ~doc:"Greedy bait selection by vertex (multi)cover (Section 4).")
+    Term.(const run $ input_arg $ weighting $ r)
+
+(* export-pajek *)
+let export_cmd =
+  let run path dir prefix =
+    let h = load path in
+    let _, r = HC.max_core h in
+    let net, clu =
+      Hp_data.Pajek.write_figure3 ~dir ~prefix h ~core_vertices:r.vertex_ids
+        ~core_edges:r.edge_ids
+    in
+    Printf.printf "wrote %s and %s\n" net clu
+  in
+  let dir =
+    Arg.(value & opt string "." & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let prefix =
+    Arg.(value & opt string "hypergraph" & info [ "p"; "prefix" ] ~docv:"NAME"
+           ~doc:"Output file prefix.")
+  in
+  Cmd.v
+    (Cmd.info "export-pajek"
+       ~doc:"Export the bipartite drawing with the maximum core highlighted (Figure 3).")
+    Term.(const run $ input_arg $ dir $ prefix)
+
+(* components *)
+let components_cmd =
+  let run path =
+    let h = load path in
+    let summary = HP.component_summary h in
+    Printf.printf "%d components\n" (Array.length summary);
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun i (nv, ne) -> [ string_of_int (i + 1); string_of_int nv; string_of_int ne ])
+           summary)
+    in
+    print_endline
+      (Hp_util.Table.render ~header:[ "component"; "vertices"; "hyperedges" ] rows)
+  in
+  Cmd.v
+    (Cmd.info "components" ~doc:"Connected components, largest first.")
+    Term.(const run $ input_arg)
+
+(* powerlaw *)
+let powerlaw_cmd =
+  let run path =
+    let h = load path in
+    let hist = Hp_stats.Degree_dist.vertex_histogram h in
+    Array.iter
+      (fun (d, c) -> Printf.printf "%d %d\n" d c)
+      (Hp_stats.Degree_dist.frequency_series hist);
+    (match Hp_stats.Powerlaw.fit_loglog hist with
+    | fit ->
+      Printf.printf
+        "# least squares: log10(c) = %.3f, gamma = %.3f, R^2 = %.3f\n"
+        fit.log10_c fit.gamma fit.r2;
+      let mle = Hp_stats.Powerlaw.fit_mle hist in
+      Printf.printf "# discrete MLE: gamma = %.3f over %d observations\n"
+        mle.gamma_mle mle.n_tail;
+      Printf.printf "# KS distance at LS exponent: %.4f\n"
+        (Hp_stats.Powerlaw.ks_distance hist ~gamma:fit.gamma ~dmin:1)
+    | exception Invalid_argument _ ->
+      print_endline "# not enough distinct degrees to fit")
+  in
+  Cmd.v
+    (Cmd.info "powerlaw"
+       ~doc:"Degree frequency series (gnuplot-ready) with power-law fits.")
+    Term.(const run $ input_arg)
+
+(* mm-generate *)
+let mm_generate_cmd =
+  let run kind n nnz seed output =
+    let rng = Hp_util.Prng.create seed in
+    let m =
+      match kind with
+      | "banded" -> Hp_data.Matrix_market.banded rng ~n ~bandwidth:12 ~fill:0.75
+      | "block" ->
+        Hp_data.Matrix_market.block_structured rng ~n ~block:24 ~fill:0.8
+          ~noise:(max 0 (nnz - (n * 20)))
+      | "random" ->
+        Hp_data.Matrix_market.random_rect rng ~rows:n ~cols:n ~nnz
+      | other -> failwith ("unknown matrix kind: " ^ other)
+    in
+    Hp_data.Matrix_market.write output m;
+    Printf.printf "wrote %s: %dx%d, %d stored entries\n" output m.rows m.cols
+      (Hp_data.Matrix_market.nnz m)
+  in
+  let kind =
+    Arg.(value & opt string "banded" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Matrix structure: banded, block, or random.")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Matrix order.") in
+  let nnz =
+    Arg.(value & opt int 20000 & info [ "nnz" ] ~docv:"NNZ"
+           ~doc:"Target nonzeros (random/block kinds).")
+  in
+  let output =
+    Arg.(value & opt string "matrix.mtx" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "mm-generate" ~doc:"Write a synthetic MatrixMarket matrix.")
+    Term.(const run $ kind $ n $ nnz $ seed_arg $ output)
+
+(* reliability *)
+let reliability_cmd =
+  let run path r p trials seed =
+    let h = load path in
+    let weights = Hp_cover.Weighting.degree_squared h in
+    let baits =
+      if r <= 1 then Hp_cover.Greedy.vertex_cover ~weights h
+      else
+        (Hp_cover.Greedy.solve ~weights
+           ~requirements:(Hp_cover.Multicover.uniform_requirements h ~r)
+           h)
+          .cover
+    in
+    let rng = Hp_util.Prng.create seed in
+    let rel =
+      Hp_data.Tap_experiment.assess rng h ~baits ~reproducibility:p ~trials
+    in
+    Printf.printf
+      "baits: %d (degree^2 %s)\n\
+       coverable complexes: %d\n\
+       mean identified per run: %.1f%%\n\
+       mean identified twice per run: %.1f%%\n\
+       always identified: %d, never identified: %d\n"
+      (Array.length baits)
+      (if r <= 1 then "cover" else Printf.sprintf "%d-multicover" r)
+      rel.coverable
+      (100.0 *. rel.mean_identified_fraction)
+      (100.0 *. rel.mean_twice_identified_fraction)
+      rel.always_identified rel.never_identified
+  in
+  let r =
+    Arg.(value & opt int 1 & info [ "r" ] ~docv:"R" ~doc:"Multicover requirement.")
+  in
+  let p =
+    Arg.(value & opt float 0.7 & info [ "p"; "reproducibility" ] ~docv:"P"
+           ~doc:"Per-pull success probability.")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials.")
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Simulate TAP identification reliability for a computed bait set.")
+    Term.(const run $ input_arg $ r $ p $ trials $ seed_arg)
+
+(* dual *)
+let dual_cmd =
+  let run path output =
+    let h = load path in
+    let d = Hp_hypergraph.Hypergraph_dual.dual h in
+    HIO.write output d;
+    Printf.printf "wrote %s: %d vertices (complexes), %d hyperedges (proteins)\n"
+      output (H.n_vertices d) (H.n_edges d)
+  in
+  let output =
+    Arg.(value & opt string "dual.hg" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "dual" ~doc:"Write the dual hypergraph (complexes become vertices).")
+    Term.(const run $ input_arg $ output)
+
+let () =
+  let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
+            components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bait_selection.ml: Array Hp_cover Hp_data Hp_hypergraph List Printf

@@ -1,0 +1,1 @@
+examples/bait_selection.mli:

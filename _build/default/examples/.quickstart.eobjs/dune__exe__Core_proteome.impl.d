@@ -1,0 +1,1 @@
+examples/core_proteome.ml: Array Hp_data Hp_graph Hp_hypergraph Hp_util Printf

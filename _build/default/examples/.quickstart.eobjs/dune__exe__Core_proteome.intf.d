@@ -1,0 +1,1 @@
+examples/core_proteome.mli:

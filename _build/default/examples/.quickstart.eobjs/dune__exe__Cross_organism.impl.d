@@ -1,0 +1,1 @@
+examples/cross_organism.ml: Hp_cover Hp_data Hp_hypergraph Hp_util List Printf

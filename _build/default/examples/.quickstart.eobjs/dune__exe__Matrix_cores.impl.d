@@ -1,0 +1,1 @@
+examples/matrix_cores.ml: Array Hp_data Hp_hypergraph Hp_util List Sys

@@ -1,0 +1,1 @@
+examples/network_properties.ml: Array Hp_data Hp_hypergraph Hp_stats Hp_util Printf

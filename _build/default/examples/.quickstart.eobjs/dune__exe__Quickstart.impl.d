@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hp_cover Hp_hypergraph Printf

@@ -1,0 +1,1 @@
+examples/reliability.ml: Array Hp_cover Hp_data Hp_hypergraph Hp_util List Printf

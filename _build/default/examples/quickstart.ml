@@ -1,0 +1,51 @@
+(* Quickstart: build a small protein complex hypergraph by hand, query
+   it, compute its cores and a bait cover.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module H = Hp_hypergraph.Hypergraph
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_core
+
+let () =
+  (* Eight proteins, five complexes.  Proteins are vertices, complexes
+     are hyperedges of arbitrary size. *)
+  let proteins = [| "CDC28"; "CLN1"; "CLN2"; "CKS1"; "SIC1"; "CLB5"; "CLB6"; "FAR1" |] in
+  let complexes = [| "CDK-CLN1"; "CDK-CLN2"; "CDK-CLB"; "CDK-INHIB"; "CKS-MODULE" |] in
+  let h =
+    H.create ~vertex_names:proteins ~edge_names:complexes ~n_vertices:8
+      [
+        [ 0; 1; 3 ];       (* CDC28 CLN1 CKS1 *)
+        [ 0; 2; 3 ];       (* CDC28 CLN2 CKS1 *)
+        [ 0; 5; 6; 3 ];    (* CDC28 CLB5 CLB6 CKS1 *)
+        [ 0; 4; 7 ];       (* CDC28 SIC1 FAR1 *)
+        [ 3; 0 ];          (* CKS1 CDC28 *)
+      ]
+  in
+  Printf.printf "hypergraph: %d proteins, %d complexes, |E| = %d\n"
+    (H.n_vertices h) (H.n_edges h) (H.total_incidence h);
+
+  (* Degrees: how many complexes each protein belongs to. *)
+  Array.iteri
+    (fun v name -> Printf.printf "  %-6s degree %d\n" name (H.vertex_degree h v))
+    proteins;
+
+  (* Distances count hyperedges along the path (paper Section 1.3). *)
+  (match HP.distance h 1 4 with
+  | Some d -> Printf.printf "distance CLN1 -> SIC1: %d complexes\n" d
+  | None -> print_endline "CLN1 and SIC1 are not connected");
+
+  (* The maximum core.  Note that CKS-MODULE = {CDC28, CKS1} is
+     contained in the first complex, so reduction removes it. *)
+  let k, r = HC.max_core h in
+  Printf.printf "maximum core: %d-core with %d proteins, %d complexes\n" k
+    (H.n_vertices r.core) (H.n_edges r.core);
+  Array.iter
+    (fun v -> Printf.printf "  core protein %s\n" (H.vertex_name h v))
+    r.vertex_ids;
+
+  (* A minimum-cardinality bait set. *)
+  let cover = Hp_cover.Greedy.vertex_cover h in
+  Printf.printf "greedy bait cover (%d proteins):" (Array.length cover);
+  Array.iter (fun v -> Printf.printf " %s" (H.vertex_name h v)) cover;
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/cover/cover.ml: Array Hp_hypergraph Hp_util

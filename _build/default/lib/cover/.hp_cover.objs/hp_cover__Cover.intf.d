@@ -1,0 +1,1 @@
+lib/cover/cover.mli: Hp_hypergraph

@@ -1,0 +1,1 @@
+lib/cover/exact.ml: Array Hp_hypergraph List Option

@@ -1,0 +1,1 @@
+lib/cover/exact.mli: Hp_hypergraph

@@ -1,0 +1,1 @@
+lib/cover/greedy.ml: Array Hp_hypergraph Hp_util List

@@ -1,0 +1,1 @@
+lib/cover/greedy.mli: Hp_hypergraph

@@ -1,0 +1,1 @@
+lib/cover/multicover.ml: Array Greedy Hp_hypergraph

@@ -1,0 +1,1 @@
+lib/cover/multicover.mli: Greedy Hp_hypergraph

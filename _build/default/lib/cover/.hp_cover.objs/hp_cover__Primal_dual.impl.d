@@ -1,0 +1,1 @@
+lib/cover/primal_dual.ml: Array Fun Hp_hypergraph Hp_util

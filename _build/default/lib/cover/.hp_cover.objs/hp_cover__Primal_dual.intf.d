@@ -1,0 +1,1 @@
+lib/cover/primal_dual.mli: Hp_hypergraph

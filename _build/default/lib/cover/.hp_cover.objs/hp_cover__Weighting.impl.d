@@ -1,0 +1,1 @@
+lib/cover/weighting.ml: Array Hp_hypergraph List

@@ -1,0 +1,1 @@
+lib/cover/weighting.mli: Hp_hypergraph

@@ -1,0 +1,42 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+let coverage h set =
+  let chosen = Array.make (H.n_vertices h) false in
+  Array.iter (fun v -> chosen.(v) <- true) set;
+  Array.init (H.n_edges h) (fun e ->
+      Array.fold_left
+        (fun acc v -> if chosen.(v) then acc + 1 else acc)
+        0 (H.edge_members h e))
+
+let is_cover h set =
+  let cov = coverage h set in
+  let ok = ref true in
+  Array.iteri (fun e c -> if c = 0 && H.edge_size h e > 0 then ok := false) cov;
+  !ok
+
+let is_multicover h ~requirements set =
+  if Array.length requirements <> H.n_edges h then
+    invalid_arg "Cover.is_multicover: requirements length mismatch";
+  let cov = coverage h set in
+  let ok = ref true in
+  Array.iteri (fun e c -> if c < requirements.(e) then ok := false) cov;
+  !ok
+
+let total_weight ~weights set =
+  Array.fold_left (fun acc v -> acc +. weights.(v)) 0.0 set
+
+let average_degree h set =
+  if Array.length set = 0 then 0.0
+  else begin
+    let sum = Array.fold_left (fun acc v -> acc + H.vertex_degree h v) 0 set in
+    float_of_int sum /. float_of_int (Array.length set)
+  end
+
+let uncovered h set =
+  let cov = coverage h set in
+  let buf = U.Dynarray.create ~dummy:0 () in
+  Array.iteri
+    (fun e c -> if c = 0 && H.edge_size h e > 0 then U.Dynarray.push buf e)
+    cov;
+  U.Dynarray.to_array buf

@@ -1,0 +1,29 @@
+(** Vertex covers of a hypergraph and their validation (paper
+    Section 4).
+
+    A vertex cover is a vertex subset meeting every non-empty
+    hyperedge; a multicover meets hyperedge f at least r_f times.  In
+    the bait-selection application the cover is the candidate bait set
+    and the quality measures below are the ones the paper reports:
+    cover size, total weight, and the average degree of the chosen
+    proteins. *)
+
+val is_cover : Hp_hypergraph.Hypergraph.t -> int array -> bool
+(** Does the vertex set meet every non-empty hyperedge?  (Empty
+    hyperedges are ignored: no vertex set can cover them.) *)
+
+val coverage : Hp_hypergraph.Hypergraph.t -> int array -> int array
+(** Per hyperedge, how many of its members are in the given set. *)
+
+val is_multicover :
+  Hp_hypergraph.Hypergraph.t -> requirements:int array -> int array -> bool
+(** Does the set meet hyperedge f at least [requirements.(f)] times? *)
+
+val total_weight : weights:float array -> int array -> float
+
+val average_degree : Hp_hypergraph.Hypergraph.t -> int array -> float
+(** Mean hypergraph degree of the chosen vertices (0 for an empty
+    set) — the statistic the paper uses to compare bait sets. *)
+
+val uncovered : Hp_hypergraph.Hypergraph.t -> int array -> int array
+(** Non-empty hyperedges not met by the set. *)

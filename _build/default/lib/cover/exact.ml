@@ -1,0 +1,61 @@
+module H = Hp_hypergraph.Hypergraph
+
+exception Limit
+
+let min_weight_cover ?weights ?(node_limit = 1_000_000) h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let weights = match weights with Some w -> w | None -> Array.make nv 1.0 in
+  if Array.length weights <> nv then
+    invalid_arg "Exact.min_weight_cover: weights length mismatch";
+  let in_cover = Array.make nv false in
+  let best = ref None in
+  let best_weight = ref infinity in
+  let nodes = ref 0 in
+  (* First uncovered non-empty hyperedge of minimum size: small
+     branching factor first. *)
+  let pick_edge () =
+    let best_e = ref (-1) and best_s = ref max_int in
+    for e = 0 to ne - 1 do
+      let ms = H.edge_members h e in
+      let s = Array.length ms in
+      if s > 0 && s < !best_s then begin
+        let covered = Array.exists (fun v -> in_cover.(v)) ms in
+        if not covered then begin
+          best_e := e;
+          best_s := s
+        end
+      end
+    done;
+    !best_e
+  in
+  let rec branch current_weight chosen =
+    incr nodes;
+    if !nodes > node_limit then raise Limit;
+    if current_weight < !best_weight then begin
+      let e = pick_edge () in
+      if e < 0 then begin
+        best_weight := current_weight;
+        best := Some (List.rev chosen)
+      end
+      else
+        Array.iter
+          (fun v ->
+            let w = current_weight +. weights.(v) in
+            if w < !best_weight then begin
+              in_cover.(v) <- true;
+              branch w (v :: chosen);
+              in_cover.(v) <- false
+            end)
+          (H.edge_members h e)
+    end
+  in
+  match branch 0.0 [] with
+  | () -> Option.map Array.of_list !best
+  | exception Limit -> None
+
+let optimal_weight ?weights ?node_limit h =
+  let nv = H.n_vertices h in
+  let w = match weights with Some w -> w | None -> Array.make nv 1.0 in
+  Option.map
+    (Array.fold_left (fun acc v -> acc +. w.(v)) 0.0)
+    (min_weight_cover ~weights:w ?node_limit h)

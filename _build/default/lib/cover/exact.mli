@@ -1,0 +1,20 @@
+(** Exact minimum-weight vertex cover by branch and bound, feasible for
+    small hypergraphs only.  Serves as the ground truth the tests use
+    to measure the empirical approximation ratio of the greedy and
+    primal-dual algorithms. *)
+
+val min_weight_cover :
+  ?weights:float array ->
+  ?node_limit:int ->
+  Hp_hypergraph.Hypergraph.t ->
+  int array option
+(** An optimal cover of all non-empty hyperedges, or [None] when the
+    search exceeds [node_limit] branch nodes (default 1_000_000).
+    Branches on the members of an uncovered hyperedge of minimum size,
+    pruning with the incumbent weight. *)
+
+val optimal_weight :
+  ?weights:float array ->
+  ?node_limit:int ->
+  Hp_hypergraph.Hypergraph.t ->
+  float option

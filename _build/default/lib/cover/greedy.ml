@@ -1,0 +1,96 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type step = {
+  vertex : int;
+  cost : float;
+  completed : int;
+}
+
+type trace = {
+  cover : int array;
+  steps : step list;
+  total_weight : float;
+}
+
+let harmonic m =
+  let h = ref 0.0 in
+  for i = 1 to m do
+    h := !h +. (1.0 /. float_of_int i)
+  done;
+  !h
+
+let solve ?weights ~requirements h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let weights = match weights with Some w -> w | None -> Array.make nv 1.0 in
+  if Array.length weights <> nv then invalid_arg "Greedy.solve: weights length mismatch";
+  if Array.length requirements <> ne then
+    invalid_arg "Greedy.solve: requirements length mismatch";
+  let residual = Array.copy requirements in
+  Array.iteri
+    (fun e r ->
+      if r < 0 then invalid_arg "Greedy.solve: negative requirement";
+      if r > H.edge_size h e then
+        invalid_arg "Greedy.solve: requirement exceeds hyperedge size (infeasible)")
+    residual;
+  (* gain.(v): number of hyperedges containing v whose requirement is
+     still unmet — the denominator of alpha(v). *)
+  let gain = Array.make nv 0 in
+  let unmet = ref 0 in
+  for e = 0 to ne - 1 do
+    if residual.(e) > 0 then begin
+      incr unmet;
+      Array.iter (fun v -> gain.(v) <- gain.(v) + 1) (H.edge_members h e)
+    end
+  done;
+  let in_cover = Array.make nv false in
+  let heap = U.Heap.create () in
+  let cost v = weights.(v) /. float_of_int gain.(v) in
+  for v = 0 to nv - 1 do
+    if gain.(v) > 0 then U.Heap.push heap ~priority:(cost v) v
+  done;
+  let cover = U.Dynarray.create ~dummy:0 () in
+  let steps = ref [] in
+  let total = ref 0.0 in
+  while !unmet > 0 do
+    match U.Heap.pop heap with
+    | None ->
+      (* Unreachable given the feasibility check; defensive. *)
+      failwith "Greedy.solve: heap exhausted with unmet requirements"
+    | Some (popped_cost, v) ->
+      if (not in_cover.(v)) && gain.(v) > 0 then begin
+        let current = cost v in
+        if current > popped_cost +. 1e-12 then
+          (* Stale entry: the vertex lost covered hyperedges since this
+             entry was pushed; re-queue at its true cost. *)
+          U.Heap.push heap ~priority:current v
+        else begin
+          in_cover.(v) <- true;
+          U.Dynarray.push cover v;
+          total := !total +. weights.(v);
+          let completed = ref 0 in
+          Array.iter
+            (fun e ->
+              if residual.(e) > 0 then begin
+                residual.(e) <- residual.(e) - 1;
+                if residual.(e) = 0 then begin
+                  incr completed;
+                  decr unmet;
+                  Array.iter
+                    (fun w -> gain.(w) <- gain.(w) - 1)
+                    (H.edge_members h e)
+                end
+              end)
+            (H.vertex_edges h v);
+          steps := { vertex = v; cost = current; completed = !completed } :: !steps
+        end
+      end
+  done;
+  { cover = U.Dynarray.to_array cover; steps = List.rev !steps; total_weight = !total }
+
+let cover_requirements h =
+  Array.init (H.n_edges h) (fun e -> if H.edge_size h e > 0 then 1 else 0)
+
+let vertex_cover_trace ?weights h = solve ?weights ~requirements:(cover_requirements h) h
+
+let vertex_cover ?weights h = (vertex_cover_trace ?weights h).cover

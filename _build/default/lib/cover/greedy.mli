@@ -1,0 +1,44 @@
+(** The greedy approximation algorithm for minimum-weight vertex covers
+    of a hypergraph (paper Section 4.1, Figure 5).
+
+    At each step the current cost of a vertex is its weight spread over
+    the hyperedges it belongs to that are not yet (fully) covered:
+    alpha(v) = w(v) / |adj(v) ∩ F_i|.  The algorithm repeatedly picks a
+    minimum-cost vertex and removes the hyperedges it covers.  By the
+    set-cover analysis of Johnson, Chvatal and Lovasz this is an
+    H_m-approximation, m the number of hyperedges.
+
+    The engine below implements the multicover generalization directly
+    (requirement r_f per hyperedge; a hyperedge is removed once its
+    requirement is met); the plain cover is the r_f = 1 instance. *)
+
+type step = {
+  vertex : int;
+  cost : float;        (** alpha(v) at selection time *)
+  completed : int;     (** hyperedges whose requirement this pick met *)
+}
+
+type trace = {
+  cover : int array;   (** chosen vertices, in selection order *)
+  steps : step list;
+  total_weight : float;
+}
+
+val vertex_cover : ?weights:float array -> Hp_hypergraph.Hypergraph.t -> int array
+(** Greedy cover of all non-empty hyperedges.  [weights] defaults to
+    uniform.  The result is in selection order. *)
+
+val vertex_cover_trace :
+  ?weights:float array -> Hp_hypergraph.Hypergraph.t -> trace
+
+val solve :
+  ?weights:float array ->
+  requirements:int array ->
+  Hp_hypergraph.Hypergraph.t ->
+  trace
+(** General engine.  [requirements.(f)] in [0, edge_size f]; a larger
+    requirement is infeasible (a vertex is picked at most once) and
+    raises [Invalid_argument]. *)
+
+val harmonic : int -> float
+(** H_m = 1 + 1/2 + ... + 1/m, the approximation guarantee. *)

@@ -1,0 +1,13 @@
+module H = Hp_hypergraph.Hypergraph
+
+let uniform_requirements h ~r =
+  if r < 0 then invalid_arg "Multicover.uniform_requirements: negative r";
+  Array.init (H.n_edges h) (fun e -> if H.edge_size h e >= r then r else 0)
+
+let solve = Greedy.solve
+
+let double_cover ?weights h =
+  Greedy.solve ?weights ~requirements:(uniform_requirements h ~r:2) h
+
+let covered_edges ~requirements =
+  Array.fold_left (fun acc r -> if r > 0 then acc + 1 else acc) 0 requirements

@@ -1,0 +1,26 @@
+(** Minimum-weight multicovers: cover hyperedge f at least r_f times
+    (paper Section 4.1).  The greedy modification keeps a hyperedge
+    active until its multicover requirement is met; the approximation
+    ratio H_m carries over.
+
+    Used to propose redundant bait sets: since the reproducibility of
+    the TAP experiment is ~70%, covering each complex twice makes the
+    identification more reliable. *)
+
+val uniform_requirements : Hp_hypergraph.Hypergraph.t -> r:int -> int array
+(** Requirement [r] for every hyperedge that has at least [r] members;
+    hyperedges with fewer members (e.g. the singleton complexes the
+    paper excludes from its 2-cover) get requirement 0 and are left
+    uncovered. *)
+
+val solve :
+  ?weights:float array ->
+  requirements:int array ->
+  Hp_hypergraph.Hypergraph.t ->
+  Greedy.trace
+
+val double_cover : ?weights:float array -> Hp_hypergraph.Hypergraph.t -> Greedy.trace
+(** [solve] with [uniform_requirements ~r:2] — the paper's experiment. *)
+
+val covered_edges : requirements:int array -> int
+(** Number of hyperedges with a positive requirement. *)

@@ -1,0 +1,72 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+let vertex_cover_with_duals ?weights h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let weights = match weights with Some w -> w | None -> Array.make nv 1.0 in
+  if Array.length weights <> nv then
+    invalid_arg "Primal_dual.vertex_cover: weights length mismatch";
+  let slack = Array.copy weights in
+  let y = Array.make ne 0.0 in
+  let tight = Array.make nv false in
+  let covered = Array.make ne false in
+  let chosen = U.Dynarray.create ~dummy:0 () in
+  let mark_covered v =
+    Array.iter (fun e -> covered.(e) <- true) (H.vertex_edges h v)
+  in
+  (* Hyperedges processed largest-first: raising duals on big
+     hyperedges first tends to tighten cheap shared vertices early. *)
+  let order = Array.init ne Fun.id in
+  Array.sort (fun a b -> compare (H.edge_size h b) (H.edge_size h a)) order;
+  Array.iter
+    (fun e ->
+      let ms = H.edge_members h e in
+      if (not covered.(e)) && Array.length ms > 0 then begin
+        let delta =
+          Array.fold_left (fun acc v -> min acc slack.(v)) infinity ms
+        in
+        y.(e) <- y.(e) +. delta;
+        Array.iter
+          (fun v ->
+            slack.(v) <- slack.(v) -. delta;
+            if slack.(v) <= 1e-12 && not tight.(v) then begin
+              tight.(v) <- true;
+              U.Dynarray.push chosen v;
+              mark_covered v
+            end)
+          ms
+      end)
+    order;
+  (* Reverse delete: drop vertices that later picks made redundant. *)
+  let picks = U.Dynarray.to_array chosen in
+  let keep = Array.make (Array.length picks) true in
+  let still_chosen = Array.make nv false in
+  Array.iter (fun v -> still_chosen.(v) <- true) picks;
+  let needed v =
+    (* Is v the only chosen member of some non-empty hyperedge? *)
+    Array.exists
+      (fun e ->
+        let others =
+          Array.fold_left
+            (fun acc w -> if w <> v && still_chosen.(w) then acc + 1 else acc)
+            0 (H.edge_members h e)
+        in
+        others = 0)
+      (H.vertex_edges h v)
+  in
+  for i = Array.length picks - 1 downto 0 do
+    let v = picks.(i) in
+    if not (needed v) then begin
+      keep.(i) <- false;
+      still_chosen.(v) <- false
+    end
+  done;
+  let final = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun i v -> if keep.(i) then U.Dynarray.push final v) picks;
+  (U.Dynarray.to_array final, y)
+
+let vertex_cover ?weights h = fst (vertex_cover_with_duals ?weights h)
+
+let dual_lower_bound ?weights h =
+  let _, y = vertex_cover_with_duals ?weights h in
+  Array.fold_left ( +. ) 0.0 y

@@ -1,0 +1,23 @@
+(** Primal-dual approximation for minimum-weight vertex cover in
+    hypergraphs — the family of algorithms the paper names as "the
+    subject of current work" (Section 4.1), implemented here as an
+    extension so it can be compared against the greedy algorithm
+    (bench E12).
+
+    Dual variables y_f are raised on uncovered hyperedges until a
+    member vertex becomes tight (its weight is fully paid for); tight
+    vertices enter the cover.  The approximation ratio is Delta_F, the
+    maximum hyperedge size — worse than H_m for the yeast hypergraph,
+    as the paper observes, but incomparable in general. *)
+
+val vertex_cover : ?weights:float array -> Hp_hypergraph.Hypergraph.t -> int array
+(** Cover of all non-empty hyperedges, with a reverse-delete pruning
+    pass that drops redundant vertices. *)
+
+val vertex_cover_with_duals :
+  ?weights:float array -> Hp_hypergraph.Hypergraph.t -> int array * float array
+(** Also returns the dual solution y; sum of y is a lower bound on the
+    optimal cover weight (weak LP duality), which the tests use to
+    sandwich both algorithms. *)
+
+val dual_lower_bound : ?weights:float array -> Hp_hypergraph.Hypergraph.t -> float

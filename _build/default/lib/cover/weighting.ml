@@ -1,0 +1,20 @@
+module H = Hp_hypergraph.Hypergraph
+
+let uniform h = Array.make (H.n_vertices h) 1.0
+
+let degree h = Array.init (H.n_vertices h) (fun v -> float_of_int (H.vertex_degree h v))
+
+let degree_squared h =
+  Array.init (H.n_vertices h) (fun v ->
+      let d = float_of_int (H.vertex_degree h v) in
+      d *. d)
+
+let of_preferences h prefs ~default =
+  let w = Array.make (H.n_vertices h) default in
+  List.iter
+    (fun (name, value) ->
+      match H.vertex_of_name h name with
+      | Some v -> w.(v) <- value
+      | None -> invalid_arg ("Weighting.of_preferences: unknown vertex " ^ name))
+    prefs;
+  w

@@ -1,0 +1,19 @@
+(** Vertex weight schemes for bait selection (paper Section 4.2).
+
+    The unweighted cover minimizes bait count but picks promiscuous
+    high-degree proteins; weighting each protein by the square of its
+    degree steers the cover toward degree-1 proteins that pull down
+    their complex unambiguously.  A proteomics expert can instead
+    supply explicit per-protein preferences. *)
+
+val uniform : Hp_hypergraph.Hypergraph.t -> float array
+(** Weight 1 for every vertex (minimum-cardinality cover). *)
+
+val degree : Hp_hypergraph.Hypergraph.t -> float array
+
+val degree_squared : Hp_hypergraph.Hypergraph.t -> float array
+
+val of_preferences :
+  Hp_hypergraph.Hypergraph.t -> (string * float) list -> default:float -> float array
+(** Expert preference table keyed by vertex name; unknown names raise
+    [Invalid_argument]. *)

@@ -1,0 +1,1 @@
+lib/data/annotations.ml: Array Cellzome Hp_hypergraph Hp_stats Hp_util

@@ -1,0 +1,1 @@
+lib/data/annotations.mli: Cellzome Hp_stats Hp_util

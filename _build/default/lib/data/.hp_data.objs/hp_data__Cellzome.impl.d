@@ -1,0 +1,1 @@
+lib/data/cellzome.ml: Float Hashtbl Hp_hypergraph Hp_util Proteome_gen

@@ -1,0 +1,1 @@
+lib/data/cellzome.mli: Hp_hypergraph

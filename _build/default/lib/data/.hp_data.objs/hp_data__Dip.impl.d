@@ -1,0 +1,1 @@
+lib/data/dip.ml: Array Fun Hp_graph Hp_util

@@ -1,0 +1,1 @@
+lib/data/dip.mli: Hp_graph

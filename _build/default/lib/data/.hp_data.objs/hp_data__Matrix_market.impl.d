@@ -1,0 +1,1 @@
+lib/data/matrix_market.ml: Array Buffer Fun Hp_hypergraph Hp_util List Printf String

@@ -1,0 +1,1 @@
+lib/data/matrix_market.mli: Hp_hypergraph Hp_util

@@ -1,0 +1,1 @@
+lib/data/names.ml: Array Hashtbl Hp_util Printf

@@ -1,0 +1,1 @@
+lib/data/ortholog.ml: Array Hashtbl Hp_cover Hp_hypergraph Hp_util

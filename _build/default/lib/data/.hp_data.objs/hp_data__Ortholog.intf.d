@@ -1,0 +1,1 @@
+lib/data/ortholog.mli: Hp_hypergraph Hp_util

@@ -1,0 +1,1 @@
+lib/data/pajek.ml: Array Buffer Filename Fun Hp_hypergraph Printf Sys

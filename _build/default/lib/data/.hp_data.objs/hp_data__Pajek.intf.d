@@ -1,0 +1,1 @@
+lib/data/pajek.mli: Hp_hypergraph

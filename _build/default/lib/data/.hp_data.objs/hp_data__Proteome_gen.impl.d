@@ -1,0 +1,1 @@
+lib/data/proteome_gen.ml: Array Float Fun Hp_hypergraph Hp_util List Names Option

@@ -1,0 +1,1 @@
+lib/data/proteome_gen.mli: Hp_hypergraph Hp_util

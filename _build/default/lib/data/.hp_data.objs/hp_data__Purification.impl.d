@@ -1,0 +1,1 @@
+lib/data/purification.ml: Array Hp_hypergraph Hp_util List

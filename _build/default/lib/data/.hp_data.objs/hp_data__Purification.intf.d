@@ -1,0 +1,1 @@
+lib/data/purification.mli: Hp_hypergraph Hp_util

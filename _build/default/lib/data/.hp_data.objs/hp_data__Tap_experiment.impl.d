@@ -1,0 +1,1 @@
+lib/data/tap_experiment.ml: Array Hp_hypergraph Hp_util

@@ -1,0 +1,1 @@
+lib/data/tap_experiment.mli: Hp_hypergraph Hp_util

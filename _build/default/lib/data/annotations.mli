@@ -1,0 +1,39 @@
+(** Synthetic protein annotations (essentiality, homology, functional
+    characterization) standing in for the Saccharomyces Genome Database
+    and the Comprehensive Yeast Genome Database lookups of paper
+    Section 3.
+
+    Calibration (see DESIGN.md): the genome-wide base rates follow the
+    paper (878 essential vs. 3158 non-essential genes); planted-core
+    proteins are annotated so that about 9/41 are of unknown function,
+    about 22/32 of the known ones are essential, and about 24/41 have
+    reported homologs.  Non-core proteins follow the base rates. *)
+
+type annotation = {
+  known : bool;          (** protein function is characterized *)
+  essential : bool;      (** gene deletion is lethal (only meaningful
+                             when [known]) *)
+  has_homolog : bool;    (** homolog reported in another organism *)
+}
+
+type t = {
+  by_protein : annotation array;
+  genome_essential : int;      (** 878 *)
+  genome_nonessential : int;   (** 3158 *)
+}
+
+val generate : Hp_util.Prng.t -> Cellzome.dataset -> t
+
+type core_report = {
+  core_size : int;
+  unknown : int;               (** proteins of unknown function *)
+  known_essential : int;       (** essential among the known ones *)
+  known_total : int;
+  homologs : int;
+  essential_enrichment : Hp_stats.Hypergeom.enrichment;
+  (** essential-in-core vs. the genome base rate, over known proteins *)
+}
+
+val core_report : t -> protein_ids:int array -> core_report
+(** The paper's Section 3 readout for an arbitrary protein set (the
+    maximum core in the experiments). *)

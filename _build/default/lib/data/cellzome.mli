@@ -1,0 +1,63 @@
+(** Synthetic stand-in for the Cellzome (Gavin et al. 2002) yeast
+    protein complex dataset, calibrated to the structure the paper
+    reports (see the substitution table in DESIGN.md):
+
+    - 1361 proteins and 232 complexes;
+    - a giant component holding the bulk of the proteins and 99
+      complexes, plus 29 small satellite components and 3 singleton
+      complexes (33 components in total);
+    - a power-law protein degree distribution with most proteins in a
+      single complex and a maximum degree of 21, carried by the protein
+      named ADH1;
+    - a planted maximum core: 41 proteins, each in exactly six
+      dedicated core complexes (54 of them) whose core-restricted
+      member sets form an antichain, so the 6-core survives peeling
+      and no 7-core exists (the argument is spelled out in DESIGN.md).
+
+    Generation is deterministic in the seed. *)
+
+type dataset = {
+  hypergraph : Hp_hypergraph.Hypergraph.t;
+  core_proteins : int array;    (** the 41 planted core proteins *)
+  core_complexes : int array;   (** the 54 planted core complexes *)
+  adh1 : int;                   (** vertex id of the max-degree protein *)
+  historical_baits : int array;
+  (** 459 proteins standing in for the productive Cellzome baits, with
+      mean degree matched to the reported 1.85. *)
+}
+
+val generate : ?seed:int -> unit -> dataset
+
+val paper : unit -> dataset
+(** The canonical instance used by the experiments ([seed] 2004). *)
+
+(** Constants the paper reports for the real dataset, for
+    paper-vs-measured tables. *)
+module Reported : sig
+  val n_proteins : int          (* 1361 *)
+  val n_complexes : int         (* 232 *)
+  val n_components : int        (* 33 *)
+  val largest_component_proteins : int  (* 1263 *)
+  val largest_component_complexes : int (* 99 *)
+  val degree_one_proteins : int (* 846 *)
+  val max_degree : int          (* 21 *)
+  val diameter : int            (* 6 *)
+  val average_path : float      (* 2.568 *)
+  val powerlaw_log10_c : float  (* 3.161 *)
+  val powerlaw_gamma : float    (* 2.528 *)
+  val powerlaw_r2 : float       (* 0.963 *)
+  val max_core : int            (* 6 *)
+  val core_proteins : int       (* 41 *)
+  val core_complexes : int      (* 54 *)
+  val baits_used : int          (* 589 *)
+  val productive_baits : int    (* 459 *)
+  val bait_average_degree : float (* 1.85 *)
+  val greedy_cover_size : int   (* 109 *)
+  val greedy_cover_avg_degree : float (* 3.7 *)
+  val weighted_cover_size : int (* 233 *)
+  val weighted_cover_avg_degree : float (* 1.14 *)
+  val multicover_size : int     (* 558 *)
+  val multicover_avg_degree : float (* 1.74 *)
+  val multicover_complexes : int (* 229 *)
+  val singleton_complexes : int (* 3 *)
+end

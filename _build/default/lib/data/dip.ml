@@ -1,0 +1,34 @@
+module GG = Hp_graph.Graph_gen
+module U = Hp_util
+
+type network = {
+  graph : Hp_graph.Graph.t;
+  planted_core : int array;
+  expected_max_core : int;
+}
+
+let build ~seed ~n ~core_size ~core_degree ~dmax =
+  let rng = U.Prng.create seed in
+  let graph =
+    GG.planted_core_powerlaw rng ~n ~core_size ~core_degree ~gamma:2.2 ~dmax
+  in
+  {
+    graph;
+    planted_core = Array.init core_size Fun.id;
+    expected_max_core = core_degree;
+  }
+
+let yeast ?(seed = 1103) () =
+  build ~seed ~n:4746 ~core_size:33 ~core_degree:10 ~dmax:9
+
+let drosophila ?(seed = 1104) () =
+  build ~seed ~n:7048 ~core_size:577 ~core_degree:8 ~dmax:7
+
+module Reported = struct
+  let yeast_proteins = 4746
+  let yeast_max_core = 10
+  let yeast_core_size = 33
+  let drosophila_proteins = 7048
+  let drosophila_max_core = 8
+  let drosophila_core_size = 577
+end

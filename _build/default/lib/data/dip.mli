@@ -1,0 +1,31 @@
+(** Synthetic protein-protein interaction networks standing in for the
+    DIP (Database of Interacting Proteins, Nov 2003) graphs of paper
+    Section 3: power-law graphs with a planted dense subgraph sized to
+    reproduce the published maximum cores.
+
+    - Yeast: 4746 proteins; max core k = 10 with 33 proteins.
+    - Drosophila: 7048 proteins; max core k = 8 with 577 proteins
+      (the paper's protein total for the fruit fly is garbled in the
+      source scan; 7048 follows Giot et al. 2003, its reference [4]).
+
+    Periphery degrees are capped below the planted core degree so the
+    planted core is the maximum one (see DESIGN.md). *)
+
+type network = {
+  graph : Hp_graph.Graph.t;
+  planted_core : int array;     (** vertices of the planted dense set *)
+  expected_max_core : int;
+}
+
+val yeast : ?seed:int -> unit -> network
+
+val drosophila : ?seed:int -> unit -> network
+
+module Reported : sig
+  val yeast_proteins : int      (* 4746 *)
+  val yeast_max_core : int      (* 10 *)
+  val yeast_core_size : int     (* 33 *)
+  val drosophila_proteins : int (* 7048 *)
+  val drosophila_max_core : int (* 8 *)
+  val drosophila_core_size : int (* 577 *)
+end

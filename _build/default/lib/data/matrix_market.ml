@@ -1,0 +1,169 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type symmetry = General | Symmetric
+
+type t = {
+  rows : int;
+  cols : int;
+  entries : (int * int) array;
+  symmetry : symmetry;
+}
+
+let nnz t = Array.length t.entries
+
+let create ~rows ~cols ?(symmetry = General) entries =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix_market.create: negative dimension";
+  if symmetry = Symmetric && rows <> cols then
+    invalid_arg "Matrix_market.create: symmetric matrix must be square";
+  let canon (r, c) =
+    if r < 0 || r >= rows || c < 0 || c >= cols then
+      invalid_arg "Matrix_market.create: entry out of range";
+    match symmetry with
+    | General -> (r, c)
+    | Symmetric -> if r >= c then (r, c) else (c, r)
+  in
+  let entries =
+    List.map canon entries |> List.sort_uniq compare |> Array.of_list
+  in
+  { rows; cols; entries; symmetry }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let fail lineno msg =
+    failwith (Printf.sprintf "Matrix_market.parse: line %d: %s" lineno msg)
+  in
+  match lines with
+  | [] -> failwith "Matrix_market.parse: empty input"
+  | header :: rest ->
+    let lower = String.lowercase_ascii header in
+    if not (String.length lower >= 14 && String.sub lower 0 14 = "%%matrixmarket") then
+      failwith "Matrix_market.parse: missing %%MatrixMarket header";
+    let tokens =
+      String.split_on_char ' ' lower |> List.filter (fun s -> s <> "")
+    in
+    (match tokens with
+    | _ :: "matrix" :: "coordinate" :: field :: sym :: _ ->
+      if field <> "pattern" && field <> "real" && field <> "integer" then
+        failwith ("Matrix_market.parse: unsupported field type " ^ field);
+      let symmetry =
+        match sym with
+        | "general" -> General
+        | "symmetric" -> Symmetric
+        | s -> failwith ("Matrix_market.parse: unsupported symmetry " ^ s)
+      in
+      let is_data line = line <> "" && line.[0] <> '%' in
+      let data =
+        List.mapi (fun i l -> (i + 2, String.trim l)) rest
+        |> List.filter (fun (_, l) -> is_data l)
+      in
+      (match data with
+      | [] -> failwith "Matrix_market.parse: missing size line"
+      | (szline, sizes) :: body ->
+        let ints s =
+          String.split_on_char ' ' s
+          |> List.filter (fun x -> x <> "")
+        in
+        (match ints sizes with
+        | [ r; c; n ] ->
+          let rows = int_of_string r and cols = int_of_string c in
+          let expected = int_of_string n in
+          let entries =
+            List.map
+              (fun (lineno, line) ->
+                match ints line with
+                | r :: c :: _ ->
+                  (try (int_of_string r - 1, int_of_string c - 1)
+                   with Failure _ -> fail lineno "bad entry")
+                | _ -> fail lineno "bad entry")
+              body
+          in
+          if List.length entries <> expected then
+            failwith
+              (Printf.sprintf
+                 "Matrix_market.parse: declared %d entries, found %d" expected
+                 (List.length entries));
+          create ~rows ~cols ~symmetry entries
+        | _ -> fail szline "bad size line"))
+    | _ -> failwith "Matrix_market.parse: unsupported header")
+
+let read path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let n = in_channel_length ic in
+      parse (really_input_string ic n))
+
+let to_string t =
+  let buf = Buffer.create (32 * (nnz t + 2)) in
+  let sym = match t.symmetry with General -> "general" | Symmetric -> "symmetric" in
+  Buffer.add_string buf (Printf.sprintf "%%%%MatrixMarket matrix coordinate pattern %s\n" sym);
+  Buffer.add_string buf (Printf.sprintf "%d %d %d\n" t.rows t.cols (nnz t));
+  Array.iter
+    (fun (r, c) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" (r + 1) (c + 1)))
+    t.entries;
+  Buffer.contents buf
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string t))
+
+let to_hypergraph t =
+  let members = Array.make t.rows [] in
+  let add r c = members.(r) <- c :: members.(r) in
+  Array.iter
+    (fun (r, c) ->
+      add r c;
+      match t.symmetry with
+      | Symmetric when r <> c -> add c r
+      | Symmetric | General -> ())
+    t.entries;
+  H.of_arrays ~n_vertices:t.cols (Array.map Array.of_list members)
+
+let banded rng ~n ~bandwidth ~fill =
+  let entries = ref [] in
+  for r = 0 to n - 1 do
+    entries := (r, r) :: !entries;
+    for c = max 0 (r - bandwidth) to r - 1 do
+      if U.Prng.bool rng fill then entries := (r, c) :: !entries
+    done
+  done;
+  create ~rows:n ~cols:n ~symmetry:Symmetric !entries
+
+let random_rect rng ~rows ~cols ~nnz =
+  let entries = ref [] in
+  for r = 0 to rows - 1 do
+    entries := (r, U.Prng.int rng cols) :: !entries
+  done;
+  let extra = max 0 (nnz - rows) in
+  for _ = 1 to extra do
+    entries := (U.Prng.int rng rows, U.Prng.int rng cols) :: !entries
+  done;
+  create ~rows ~cols !entries
+
+let block_structured rng ~n ~block ~fill ~noise =
+  if block <= 0 then invalid_arg "Matrix_market.block_structured: block <= 0";
+  let entries = ref [] in
+  for r = 0 to n - 1 do
+    let b0 = r / block * block in
+    entries := (r, r) :: !entries;
+    for c = b0 to min (n - 1) (b0 + block - 1) do
+      if c < r && U.Prng.bool rng fill then entries := (r, c) :: !entries
+    done
+  done;
+  for _ = 1 to noise do
+    let r = U.Prng.int rng n and c = U.Prng.int rng n in
+    if r > c then entries := (r, c) :: !entries
+    else if c > r then entries := (c, r) :: !entries
+  done;
+  create ~rows:n ~cols:n ~symmetry:Symmetric !entries
+
+let synthetic_suite ?(seed = 77) () =
+  let rng = U.Prng.create seed in
+  [
+    ("bfw398-like", banded rng ~n:398 ~bandwidth:12 ~fill:0.75);
+    ("fidap035-like", block_structured rng ~n:1000 ~block:24 ~fill:0.8 ~noise:4000);
+    ("stk21-like", banded rng ~n:2200 ~bandwidth:24 ~fill:0.7);
+    ("utm5940-like", block_structured rng ~n:5940 ~block:12 ~fill:0.85 ~noise:30000);
+    ("fidapm11-like", block_structured rng ~n:3200 ~block:56 ~fill:0.8 ~noise:40000);
+  ]

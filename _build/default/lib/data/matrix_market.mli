@@ -1,0 +1,68 @@
+(** MatrixMarket coordinate-format sparse matrices and their hypergraph
+    view (paper Section 3, Table 1: the authors ran their hypergraph
+    core algorithm on matrices from math.nist.gov/MatrixMarket).
+
+    The hypergraph view is the row-net model used in sparse-matrix
+    partitioning: each column is a vertex and each row is a hyperedge
+    containing the columns where the row has a nonzero.
+
+    Because the container is sealed, [synthetic_suite] generates
+    structured matrices of the same orders of magnitude as the paper's
+    bfw / fidap / stk / utm instances; real [.mtx] files can be fed
+    through [read] unchanged. *)
+
+type symmetry = General | Symmetric
+
+type t = {
+  rows : int;
+  cols : int;
+  entries : (int * int) array;
+  (** 0-based (row, col), deduplicated, sorted; for [Symmetric] only
+      the lower triangle (row >= col) is stored. *)
+  symmetry : symmetry;
+}
+
+val nnz : t -> int
+(** Stored entries (symmetric matrices count the triangle). *)
+
+val create : rows:int -> cols:int -> ?symmetry:symmetry -> (int * int) list -> t
+(** Validates ranges; deduplicates; for [Symmetric] requires square and
+    canonicalizes entries to the lower triangle. *)
+
+(** {1 I/O} *)
+
+val parse : string -> t
+(** Parses the coordinate format ([pattern], [real] or [integer]
+    fields; [general] or [symmetric]).  Values are discarded — the
+    hypergraph view only needs the pattern.  Raises [Failure] with a
+    message on malformed input. *)
+
+val read : string -> t
+
+val to_string : t -> string
+(** Pattern coordinate format, 1-based indices. *)
+
+val write : string -> t -> unit
+
+(** {1 Hypergraph view} *)
+
+val to_hypergraph : t -> Hp_hypergraph.Hypergraph.t
+(** Rows become hyperedges over column vertices; a symmetric matrix is
+    expanded to its full pattern first. *)
+
+(** {1 Synthetic instances} *)
+
+val banded : Hp_util.Prng.t -> n:int -> bandwidth:int -> fill:float -> t
+(** Square matrix with nonzeros only within the band, each band slot
+    kept with probability [fill]; diagonal always present. *)
+
+val random_rect : Hp_util.Prng.t -> rows:int -> cols:int -> nnz:int -> t
+(** Uniform random pattern with one guaranteed nonzero per row. *)
+
+val block_structured : Hp_util.Prng.t -> n:int -> block:int -> fill:float -> noise:int -> t
+(** Dense-ish diagonal blocks plus [noise] random off-block entries —
+    the shape of assembled finite-element matrices. *)
+
+val synthetic_suite : ?seed:int -> unit -> (string * t) list
+(** The Table-1 stand-ins, smallest first: bfw398-like, fidap035-like,
+    stk21-like, utm5940-like, fidapm11-like. *)

@@ -1,0 +1,34 @@
+module U = Hp_util
+
+(* Common yeast gene-family prefixes; combined with a numeric suffix
+   they read like real systematic names. *)
+let prefixes =
+  [|
+    "ACT"; "ADE"; "ALD"; "ARO"; "ATP"; "BEM"; "CDC"; "CLN"; "COX"; "CPA";
+    "DBP"; "DED"; "EFT"; "ENO"; "ERG"; "FAS"; "GCN"; "GLN"; "GPD"; "HIS";
+    "HSP"; "ILV"; "KAP"; "LEU"; "LYS"; "MET"; "MYO"; "NOP"; "PAB"; "PDC";
+    "PGK"; "PHO"; "PMA"; "POL"; "PRE"; "PRT"; "RAD"; "RPB"; "RPL"; "RPS";
+    "RRP"; "SEC"; "SNF"; "SPT"; "SSA"; "STE"; "TEF"; "TIF"; "TUB"; "URA";
+  |]
+
+let gene_names rng n =
+  (* Numeric suffixes sized so the name space stays several times
+     larger than the request (rejection sampling would stall once the
+     space fills up). *)
+  let suffix_bound = max 99 (n / 10) in
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n "" in
+  let made = ref 0 in
+  while !made < n do
+    let prefix = U.Prng.choose rng prefixes in
+    let num = 1 + U.Prng.int rng suffix_bound in
+    let name = Printf.sprintf "%s%d" prefix num in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out.(!made) <- name;
+      incr made
+    end
+  done;
+  out
+
+let complex_names n = Array.init n (fun i -> Printf.sprintf "CPX%03d" (i + 1))

@@ -1,0 +1,11 @@
+(** Synthetic yeast-style nomenclature: gene names of the form
+    three letters + number ("ADH1", "CDC28"), unique within a dataset,
+    plus systematic complex names ("CPX001").  Purely cosmetic, but it
+    keeps the examples and exports readable and lets the max-degree
+    protein carry the name the paper highlights. *)
+
+val gene_names : Hp_util.Prng.t -> int -> string array
+(** [gene_names rng n] draws [n] distinct gene names. *)
+
+val complex_names : int -> string array
+(** ["CPX001"; "CPX002"; ...]. *)

@@ -1,0 +1,96 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type t = {
+  hypergraph : H.t;
+  lost_memberships : int;
+  gained_memberships : int;
+  dropped_complexes : int;
+}
+
+let perturb rng ?(membership_loss = 0.10) ?(membership_gain = 0.05)
+    ?(complex_loss = 0.05) h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let members =
+    Array.init ne (fun e ->
+        let tbl = Hashtbl.create (1 + H.edge_size h e) in
+        Array.iter (fun v -> Hashtbl.replace tbl v ()) (H.edge_members h e);
+        tbl)
+  in
+  let dropped = ref 0 and lost = ref 0 and gained = ref 0 in
+  for e = 0 to ne - 1 do
+    if U.Prng.bool rng complex_loss then begin
+      incr dropped;
+      Hashtbl.reset members.(e)
+    end
+    else begin
+      (* Lose memberships independently, but keep at least one member
+         so a surviving complex stays observable. *)
+      let ms = H.edge_members h e in
+      Array.iter
+        (fun v ->
+          if Hashtbl.length members.(e) > 1 && U.Prng.bool rng membership_loss
+          then begin
+            Hashtbl.remove members.(e) v;
+            incr lost
+          end)
+        ms
+    end
+  done;
+  let gains = int_of_float (membership_gain *. float_of_int (H.total_incidence h)) in
+  if nv > 0 && ne > 0 then
+    for _ = 1 to gains do
+      let e = U.Prng.int rng ne in
+      (* Dropped complexes stay dropped. *)
+      if Hashtbl.length members.(e) > 0 then begin
+        let v = U.Prng.int rng nv in
+        if not (Hashtbl.mem members.(e) v) then begin
+          Hashtbl.replace members.(e) v ();
+          incr gained
+        end
+      end
+    done;
+  let arrays =
+    Array.map
+      (fun tbl -> Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []))
+      members
+  in
+  let vertex_names = Some (Array.init nv (fun v -> H.vertex_name h v)) in
+  let edge_names = Some (Array.init ne (fun e -> H.edge_name h e)) in
+  {
+    hypergraph =
+      H.of_arrays ?vertex_names ?edge_names ~n_vertices:nv arrays;
+    lost_memberships = !lost;
+    gained_memberships = !gained;
+    dropped_complexes = !dropped;
+  }
+
+type transfer_report = {
+  baits : int;
+  coverable_complexes : int;
+  covered : int;
+  covered_twice : int;
+  coverage_fraction : float;
+}
+
+let transfer_report t ~baits =
+  let h = t.hypergraph in
+  let cov = Hp_cover.Cover.coverage h baits in
+  let coverable = ref 0 and covered = ref 0 and twice = ref 0 in
+  Array.iteri
+    (fun e c ->
+      if H.edge_size h e > 0 then begin
+        incr coverable;
+        if c >= 1 then incr covered;
+        if c >= 2 then incr twice
+      end)
+    cov;
+  {
+    baits = Array.length baits;
+    coverable_complexes = !coverable;
+    covered = !covered;
+    covered_twice = !twice;
+    coverage_fraction =
+      (if !coverable = 0 then 0.0
+       else float_of_int !covered /. float_of_int !coverable);
+  }

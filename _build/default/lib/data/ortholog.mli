@@ -1,0 +1,43 @@
+(** Cross-organism transfer (paper Section 4: "when we wish to use one
+    organism as a model to identify the protein complexes in a related
+    organism").
+
+    An ortholog network is modelled as a stochastic perturbation of the
+    source hypergraph: memberships are lost (proteins that diverged out
+    of a complex), gained (lineage-specific subunits), and whole
+    complexes can be missing.  Vertex ids are shared between source and
+    ortholog, standing for the ortholog mapping.
+
+    [transfer_report] then measures how well a bait set chosen on the
+    source covers the ortholog — the experiment behind the paper's
+    suggestion. *)
+
+type t = {
+  hypergraph : Hp_hypergraph.Hypergraph.t;
+  lost_memberships : int;
+  gained_memberships : int;
+  dropped_complexes : int;
+}
+
+val perturb :
+  Hp_util.Prng.t ->
+  ?membership_loss:float ->
+  ?membership_gain:float ->
+  ?complex_loss:float ->
+  Hp_hypergraph.Hypergraph.t ->
+  t
+(** Defaults: 10% of memberships lost, gains equal to 5% of |E| (added
+    to random complexes from random vertices), 5% of complexes dropped
+    (replaced by empty hyperedges so ids keep their meaning). *)
+
+type transfer_report = {
+  baits : int;
+  coverable_complexes : int;  (** non-empty ortholog complexes *)
+  covered : int;              (** met by at least one transferred bait *)
+  covered_twice : int;
+  coverage_fraction : float;
+}
+
+val transfer_report :
+  t -> baits:int array -> transfer_report
+(** How the source-chosen bait set performs on the ortholog. *)

@@ -1,0 +1,47 @@
+module H = Hp_hypergraph.Hypergraph
+
+let network h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let buf = Buffer.create (64 * (nv + ne)) in
+  Buffer.add_string buf (Printf.sprintf "*Vertices %d\n" (nv + ne));
+  for v = 0 to nv - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d \"%s\"\n" (v + 1) (H.vertex_name h v))
+  done;
+  for e = 0 to ne - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d \"%s\"\n" (nv + e + 1) (H.edge_name h e))
+  done;
+  Buffer.add_string buf "*Edges\n";
+  for e = 0 to ne - 1 do
+    Array.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" (v + 1) (nv + e + 1)))
+      (H.edge_members h e)
+  done;
+  Buffer.contents buf
+
+(* Classes follow Figure 3's colouring: 0 periphery protein (yellow),
+   1 core protein (red), 2 periphery complex (pink), 3 core complex
+   (green). *)
+let core_partition h ~core_vertices ~core_edges =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let klass = Array.make (nv + ne) 0 in
+  for e = 0 to ne - 1 do
+    klass.(nv + e) <- 2
+  done;
+  Array.iter (fun v -> klass.(v) <- 1) core_vertices;
+  Array.iter (fun e -> klass.(nv + e) <- 3) core_edges;
+  let buf = Buffer.create (8 * (nv + ne)) in
+  Buffer.add_string buf (Printf.sprintf "*Vertices %d\n" (nv + ne));
+  Array.iter (fun k -> Buffer.add_string buf (Printf.sprintf "%d\n" k)) klass;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_figure3 ~dir ~prefix h ~core_vertices ~core_edges =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let net = Filename.concat dir (prefix ^ ".net") in
+  let clu = Filename.concat dir (prefix ^ ".clu") in
+  write_file net (network h);
+  write_file clu (core_partition h ~core_vertices ~core_edges);
+  (net, clu)

@@ -1,0 +1,26 @@
+(** Pajek export of the bipartite hypergraph drawing (paper Figure 3,
+    which the authors produced with Pajek).
+
+    [network] renders B(H) as a `.net` file: protein nodes first, then
+    complex nodes, one arc per membership.  [core_partition] renders a
+    `.clu` class file distinguishing the four node classes of the
+    figure: periphery protein, core protein, periphery complex, core
+    complex. *)
+
+val network : Hp_hypergraph.Hypergraph.t -> string
+
+val core_partition :
+  Hp_hypergraph.Hypergraph.t ->
+  core_vertices:int array ->
+  core_edges:int array ->
+  string
+
+val write_figure3 :
+  dir:string ->
+  prefix:string ->
+  Hp_hypergraph.Hypergraph.t ->
+  core_vertices:int array ->
+  core_edges:int array ->
+  string * string
+(** Writes [<prefix>.net] and [<prefix>.clu] under [dir] (created if
+    missing) and returns both paths. *)

@@ -1,0 +1,257 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type params = {
+  core_proteins : int;
+  core_complexes : int;
+  core_membership : int;
+  free_periphery : int;
+  periphery_complexes : int;
+  hub_degree : int;
+  satellites : int;
+  satellite_pool : int;
+  satellite_complexes : int;
+  singletons : int;
+  gamma : float;
+  max_free_degree : int;
+  attachment_window : int;
+}
+
+let cellzome_params = {
+  core_proteins = 41;
+  core_complexes = 54;
+  core_membership = 6;
+  free_periphery = 1176;
+  periphery_complexes = 45;
+  hub_degree = 21;
+  satellites = 29;
+  satellite_pool = 95;
+  satellite_complexes = 130;
+  singletons = 3;
+  gamma = 2.5;
+  max_free_degree = 20;
+  attachment_window = 5;
+}
+
+let scaled p factor =
+  if factor <= 0.0 then invalid_arg "Proteome_gen.scaled: factor must be positive";
+  let s x = max 1 (int_of_float (Float.round (float_of_int x *. factor))) in
+  {
+    p with
+    core_proteins = max p.core_membership (s p.core_proteins);
+    core_complexes = max (p.core_membership + 1) (s p.core_complexes);
+    free_periphery = s p.free_periphery;
+    periphery_complexes = max p.hub_degree (s p.periphery_complexes);
+    satellites = s p.satellites;
+    satellite_pool = max (2 * s p.satellites) (s p.satellite_pool);
+    satellite_complexes = max (s p.satellites) (s p.satellite_complexes);
+    singletons = s p.singletons;
+  }
+
+type proteome = {
+  hypergraph : H.t;
+  core_proteins : int array;
+  core_complexes : int array;
+  hub : int;
+}
+
+let validate p =
+  if p.core_membership < 1 || p.core_membership > p.core_complexes then
+    invalid_arg "Proteome_gen: core_membership out of range";
+  if p.hub_degree < 0 || p.hub_degree > p.periphery_complexes then
+    invalid_arg "Proteome_gen: hub_degree exceeds periphery complexes";
+  if p.satellites > 0 && p.satellite_pool < 2 * p.satellites then
+    invalid_arg "Proteome_gen: satellite pools need at least two proteins each";
+  if p.satellites > 0 && p.satellite_complexes < p.satellites then
+    invalid_arg "Proteome_gen: need at least one complex per satellite";
+  if p.attachment_window < 1 then invalid_arg "Proteome_gen: attachment window < 1";
+  if p.gamma <= 0.0 || p.max_free_degree < 1 then
+    invalid_arg "Proteome_gen: bad degree distribution parameters"
+
+(* Core membership: each core protein joins exactly [core_membership]
+   core complexes; member sets are repaired to hold at least two
+   proteins each (rejection alone has success probability that decays
+   exponentially in the complex count, so it cannot scale), then the
+   assignment is retried until the core-restricted sets form an
+   antichain (no containment; see DESIGN.md for why that guarantees the
+   planted core survives peeling) and the core is connected. *)
+let plant_core rng (p : params) =
+  let ok_antichain sets =
+    let ok = ref true in
+    for f = 0 to p.core_complexes - 1 do
+      for g = 0 to p.core_complexes - 1 do
+        if f <> g && U.Sorted.subset sets.(f) sets.(g) then ok := false
+      done
+    done;
+    !ok
+  in
+  let connected sets =
+    let ds = U.Disjoint_set.create p.core_proteins in
+    Array.iter
+      (fun ms ->
+        for i = 1 to Array.length ms - 1 do
+          ignore (U.Disjoint_set.union ds ms.(0) ms.(i))
+        done)
+      sets;
+    U.Disjoint_set.count ds = 1
+  in
+  (* Move memberships from the currently largest complex into any
+     complex below two members.  Degrees are untouched: one protein
+     simply trades complexes.  Terminates because the donor always has
+     more members than the recipient. *)
+  let repair_sizes members =
+    let size c = List.length members.(c) in
+    let rec fix () =
+      let small = ref (-1) in
+      for c = 0 to p.core_complexes - 1 do
+        if !small < 0 && size c < 2 then small := c
+      done;
+      if !small >= 0 then begin
+        let donor = ref 0 in
+        for c = 1 to p.core_complexes - 1 do
+          if size c > size !donor then donor := c
+        done;
+        let movable =
+          List.filter (fun v -> not (List.mem v members.(!small))) members.(!donor)
+        in
+        match movable with
+        | [] -> invalid_arg "Proteome_gen: cannot repair core complex sizes"
+        | v :: _ ->
+          members.(!donor) <- List.filter (fun w -> w <> v) members.(!donor);
+          members.(!small) <- v :: members.(!small);
+          fix ()
+      end
+    in
+    fix ()
+  in
+  let rec attempt () =
+    let members = Array.make p.core_complexes [] in
+    for v = 0 to p.core_proteins - 1 do
+      let cs = U.Prng.sample_without_replacement rng p.core_membership p.core_complexes in
+      Array.iter (fun c -> members.(c) <- v :: members.(c)) cs
+    done;
+    repair_sizes members;
+    let sets = Array.map U.Sorted.of_list members in
+    if ok_antichain sets && connected sets then sets else attempt ()
+  in
+  attempt ()
+
+let generate ?hub_name rng (p : params) =
+  validate p;
+  (* Derived layout: core proteins, then the hub, then one linker per
+     periphery complex, then the free periphery, satellites and
+     singleton proteins; complexes are core, periphery, satellite,
+     singleton — in id order. *)
+  let id_hub = p.core_proteins in
+  let first_linker = id_hub + 1 in
+  let n_linkers = p.periphery_complexes in
+  let first_free = first_linker + n_linkers in
+  let n_giant_p = first_free + p.free_periphery in
+  let first_satellite_p = n_giant_p in
+  let first_singleton_p = first_satellite_p + p.satellite_pool in
+  let n_proteins = first_singleton_p + p.singletons in
+  let first_periph_c = p.core_complexes in
+  let first_satellite_c = first_periph_c + p.periphery_complexes in
+  let first_singleton_c = first_satellite_c + p.satellite_complexes in
+  let n_complexes = first_singleton_c + p.singletons in
+  let members = Array.make n_complexes [] in
+  let add_member c v = members.(c) <- v :: members.(c) in
+  (* 1. Planted core. *)
+  let core_sets = plant_core rng p in
+  Array.iteri (fun c ms -> members.(c) <- Array.to_list ms) core_sets;
+  let attach v c = add_member c v in
+  (* 2. Linkers: seed each periphery complex and tie it to an earlier
+     complex (every third anchors into the core) so the giant component
+     is connected while path lengths stay realistic. *)
+  for i = 0 to n_linkers - 1 do
+    let v = first_linker + i in
+    let own = first_periph_c + i in
+    let anchor =
+      if i = 0 || i mod 3 = 0 then U.Prng.int rng p.core_complexes else own - 1
+    in
+    attach v own;
+    attach v anchor
+  done;
+  (* 3. The hub and other high-degree proteins take a PREFIX of the
+     periphery complexes.  Restricted to hubs those complexes form a
+     nested chain, so k-core peeling provably collapses them: the
+     high-degree tail exists without contaminating the planted core
+     (DESIGN.md, design notes). *)
+  let attach_hub v d =
+    for i = 0 to d - 1 do
+      attach v (first_periph_c + i)
+    done
+  in
+  attach_hub id_hub p.hub_degree;
+  (* 3b. Decoy memberships: hub-free periphery complexes each hosting
+     one core protein; their restriction during peeling is a singleton
+     contained in that protein's core complexes, so they collapse.
+     Spreads core-protein degrees above the planted minimum. *)
+  let first_decoy_c = first_periph_c + p.hub_degree in
+  let n_decoys = p.periphery_complexes - p.hub_degree in
+  for i = 0 to n_decoys - 1 do
+    attach (U.Prng.int rng p.core_proteins) (first_decoy_c + i)
+  done;
+  (* 4. Free periphery: power-law degrees; degrees above the planted
+     core membership become nested hubs, the rest bind complexes from a
+     local window of the cyclically ordered giant complexes. *)
+  let n_giant_c = p.core_complexes + p.periphery_complexes in
+  let hub_threshold = p.core_membership in
+  for v = first_free to n_giant_p - 1 do
+    let d = U.Prng.powerlaw_int rng ~gamma:p.gamma ~dmin:1 ~dmax:p.max_free_degree in
+    if d >= hub_threshold then attach_hub v (min d p.periphery_complexes)
+    else begin
+      let center = U.Prng.int rng n_giant_c in
+      let window = p.attachment_window in
+      let cs = ref [ center ] in
+      while List.length !cs < d do
+        let offset = 1 + U.Prng.int rng window in
+        let sign = if U.Prng.bool rng 0.5 then 1 else -1 in
+        let c = ((center + (sign * offset)) mod n_giant_c + n_giant_c) mod n_giant_c in
+        if not (List.mem c !cs) then cs := c :: !cs
+      done;
+      List.iter (fun c -> attach v c) !cs
+    end
+  done;
+  (* 5. Satellites: tiny separate components; the first complex of each
+     holds the whole protein pool so the component is connected.
+     Pool/complex totals distribute as evenly as possible, earlier
+     satellites absorbing the remainders. *)
+  if p.satellites > 0 then begin
+    let base_pool = p.satellite_pool / p.satellites in
+    let extra_pool = p.satellite_pool - (base_pool * p.satellites) in
+    let base_cpx = p.satellite_complexes / p.satellites in
+    let extra_cpx = p.satellite_complexes - (base_cpx * p.satellites) in
+    let sat_p = ref first_satellite_p and sat_c = ref first_satellite_c in
+    for i = 0 to p.satellites - 1 do
+      let pool_size = if i < extra_pool then base_pool + 1 else base_pool in
+      let n_comp_c = if i < extra_cpx then base_cpx + 1 else base_cpx in
+      let pool = Array.init pool_size (fun j -> !sat_p + j) in
+      sat_p := !sat_p + pool_size;
+      members.(!sat_c) <- Array.to_list pool;
+      for j = 1 to n_comp_c - 1 do
+        let size = 2 + U.Prng.int rng (pool_size - 1) in
+        let picks = U.Prng.sample_without_replacement rng size pool_size in
+        members.(!sat_c + j) <- Array.to_list (Array.map (fun ix -> pool.(ix)) picks)
+      done;
+      sat_c := !sat_c + n_comp_c
+    done;
+    assert (!sat_p = first_singleton_p && !sat_c = first_singleton_c)
+  end;
+  (* 6. Singleton complexes. *)
+  for i = 0 to p.singletons - 1 do
+    add_member (first_singleton_c + i) (first_singleton_p + i)
+  done;
+  let vertex_names = Names.gene_names rng n_proteins in
+  Option.iter (fun name -> vertex_names.(id_hub) <- name) hub_name;
+  let edge_names = Names.complex_names n_complexes in
+  let hypergraph =
+    H.create ~vertex_names ~edge_names ~n_vertices:n_proteins
+      (Array.to_list members)
+  in
+  {
+    hypergraph;
+    core_proteins = Array.init p.core_proteins Fun.id;
+    core_complexes = Array.init p.core_complexes Fun.id;
+    hub = id_hub;
+  }

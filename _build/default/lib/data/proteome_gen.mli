@@ -1,0 +1,51 @@
+(** Parameterized synthetic proteome generator.
+
+    Generalizes the construction behind [Cellzome] (see DESIGN.md for
+    the planting arguments) so protein complex hypergraphs can be
+    synthesized at any scale — the paper closes by noting that studies
+    "that scale to the human proteome ... will require high performance
+    algorithms and software", and the E19 scaling bench measures
+    exactly that on instances produced here.
+
+    Construction, in brief: a planted core of [core_proteins], each in
+    exactly [core_membership] core complexes whose core-restricted
+    member sets form an antichain (so the planted core is precisely the
+    maximum core); a giant periphery with power-law degrees, local
+    window attachment, degree-2 linker chains and nested hub prefixes;
+    small satellite components; and singleton complexes. *)
+
+type params = {
+  core_proteins : int;
+  core_complexes : int;
+  core_membership : int;   (** exact core-complex count per core protein = max core *)
+  free_periphery : int;    (** giant-component proteins beyond core/hub/linkers *)
+  periphery_complexes : int; (** giant complexes beyond the core ones *)
+  hub_degree : int;        (** degree of the single named hub (<= periphery_complexes) *)
+  satellites : int;        (** number of small components *)
+  satellite_pool : int;    (** proteins per satellite *)
+  satellite_complexes : int; (** complexes per satellite *)
+  singletons : int;        (** singleton complexes (their own components) *)
+  gamma : float;           (** periphery degree exponent *)
+  max_free_degree : int;   (** cap on sampled periphery degrees *)
+  attachment_window : int; (** locality of multi-complex membership *)
+}
+
+val cellzome_params : params
+(** The calibration behind [Cellzome.paper]. *)
+
+val scaled : params -> float -> params
+(** Multiply all the size fields (not exponents, memberships or
+    windows) by the factor, rounding, with sane minima. *)
+
+type proteome = {
+  hypergraph : Hp_hypergraph.Hypergraph.t;
+  core_proteins : int array;
+  core_complexes : int array;
+  hub : int;  (** vertex id of the max-degree hub *)
+}
+
+val generate : ?hub_name:string -> Hp_util.Prng.t -> params -> proteome
+(** Deterministic in the PRNG state.  [hub_name] overrides the drawn
+    gene name of the hub (the Cellzome instance names it ADH1).  Raises
+    [Invalid_argument] on inconsistent parameters (e.g. hub degree
+    above the available periphery complexes). *)

@@ -1,0 +1,120 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type purification = {
+  bait : int;
+  preys : int array;
+}
+
+let jaccard a b =
+  let inter = U.Sorted.inter_count a b in
+  let union = Array.length a + Array.length b - inter in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+let run_experiment rng h ~baits ~reproducibility ~dropout ~contamination =
+  if reproducibility < 0.0 || reproducibility > 1.0 then
+    invalid_arg "Purification.run_experiment: reproducibility out of [0,1]";
+  if dropout < 0.0 || dropout > 1.0 then
+    invalid_arg "Purification.run_experiment: dropout out of [0,1]";
+  if contamination < 0.0 then
+    invalid_arg "Purification.run_experiment: negative contamination";
+  let nv = H.n_vertices h in
+  let out = ref [] in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (fun e ->
+          if U.Prng.bool rng reproducibility then begin
+            let preys = U.Dynarray.create ~dummy:0 () in
+            Array.iter
+              (fun v ->
+                if v <> b && not (U.Prng.bool rng dropout) then
+                  U.Dynarray.push preys v)
+              (H.edge_members h e);
+            (* Contaminants: geometric-ish tail at the given rate. *)
+            let rec contaminate () =
+              if nv > 0 && U.Prng.bool rng contamination then begin
+                U.Dynarray.push preys (U.Prng.int rng nv);
+                contaminate ()
+              end
+            in
+            contaminate ();
+            out :=
+              { bait = b; preys = U.Sorted.of_array (U.Dynarray.to_array preys) }
+              :: !out
+          end)
+        (H.vertex_edges h b))
+    baits;
+  List.rev !out
+
+let reconstruct ?(merge_threshold = 0.5) ~n_vertices purifications =
+  let candidates =
+    Array.of_list
+      (List.map
+         (fun p -> U.Sorted.union [| p.bait |] p.preys)
+         purifications)
+  in
+  let n = Array.length candidates in
+  let ds = U.Disjoint_set.create (max n 1) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if jaccard candidates.(i) candidates.(j) >= merge_threshold then
+        ignore (U.Disjoint_set.union ds i j)
+    done
+  done;
+  let members =
+    if n = 0 then [||]
+    else
+      U.Disjoint_set.groups ds
+      |> Array.map (fun group ->
+             List.fold_left
+               (fun acc i -> U.Sorted.union acc candidates.(i))
+               [||] group)
+  in
+  (* Drop singleton groups from the empty-candidate corner case. *)
+  let members = Array.of_list (List.filter (fun m -> Array.length m > 0) (Array.to_list members)) in
+  H.of_arrays ~n_vertices members
+
+type accuracy = {
+  true_complexes : int;
+  reconstructed : int;
+  matched : int;
+  spurious : int;
+  mean_best_jaccard : float;
+}
+
+let compare_to_truth ~truth reconstructed =
+  let recon_sets =
+    Array.init (H.n_edges reconstructed) (H.edge_members reconstructed)
+  in
+  let truth_sets =
+    Array.to_list (Array.init (H.n_edges truth) (H.edge_members truth))
+    |> List.filter (fun s -> Array.length s > 0)
+    |> Array.of_list
+  in
+  let best_for s =
+    Array.fold_left (fun acc r -> max acc (jaccard s r)) 0.0 recon_sets
+  in
+  let matched = ref 0 and jsum = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let j = best_for s in
+      jsum := !jsum +. j;
+      if j >= 0.5 then incr matched)
+    truth_sets;
+  let spurious = ref 0 in
+  Array.iter
+    (fun r ->
+      let best =
+        Array.fold_left (fun acc s -> max acc (jaccard r s)) 0.0 truth_sets
+      in
+      if best < 0.5 then incr spurious)
+    recon_sets;
+  let nt = Array.length truth_sets in
+  {
+    true_complexes = nt;
+    reconstructed = Array.length recon_sets;
+    matched = !matched;
+    spurious = !spurious;
+    mean_best_jaccard = (if nt = 0 then 0.0 else !jsum /. float_of_int nt);
+  }

@@ -1,0 +1,55 @@
+(** The upstream TAP pipeline (paper Section 1.1): each tagged bait
+    protein yields purifications — the bait plus the proteins
+    co-purified with it — and the protein complex data is assembled
+    from those records.  This module simulates the pipeline against a
+    ground-truth hypergraph and reconstructs a complex hypergraph from
+    the noisy purifications, so the effect of bait selection on the
+    fidelity of the final network can be measured (bench E18).
+
+    Noise model per (bait, complex) pair: the pull-down succeeds with
+    probability [reproducibility]; within a successful pull-down each
+    non-bait member is detected with probability [1 - dropout]; and
+    each purification picks up a Poisson-ish number of contaminant
+    proteins at rate [contamination]. *)
+
+type purification = {
+  bait : int;
+  preys : int array;   (** sorted, without the bait *)
+}
+
+val run_experiment :
+  Hp_util.Prng.t ->
+  Hp_hypergraph.Hypergraph.t ->
+  baits:int array ->
+  reproducibility:float ->
+  dropout:float ->
+  contamination:float ->
+  purification list
+(** One purification per successful (bait, complex) pull-down. *)
+
+val reconstruct :
+  ?merge_threshold:float ->
+  n_vertices:int ->
+  purification list ->
+  Hp_hypergraph.Hypergraph.t
+(** Assemble complexes: each purification is the candidate member set
+    [{bait} ∪ preys]; candidates whose Jaccard similarity reaches
+    [merge_threshold] (default 0.5) are merged transitively and each
+    merged group becomes one hyperedge (the union of its candidates). *)
+
+type accuracy = {
+  true_complexes : int;     (** non-empty ground-truth complexes *)
+  reconstructed : int;
+  matched : int;            (** true complexes with a Jaccard >= 0.5 match *)
+  spurious : int;           (** reconstructed complexes matching nothing *)
+  mean_best_jaccard : float; (** over true complexes *)
+}
+
+val compare_to_truth :
+  truth:Hp_hypergraph.Hypergraph.t ->
+  Hp_hypergraph.Hypergraph.t ->
+  accuracy
+
+val jaccard : int array -> int array -> float
+(** Jaccard similarity of two sorted vertex sets (1 for two empty
+    sets). *)

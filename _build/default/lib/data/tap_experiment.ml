@@ -1,0 +1,85 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+type outcome = {
+  identified : bool array;
+  pulls : int array;
+  successful_baits : int;
+}
+
+let simulate rng h ~baits ~reproducibility =
+  if reproducibility < 0.0 || reproducibility > 1.0 then
+    invalid_arg "Tap_experiment.simulate: reproducibility out of [0,1]";
+  let ne = H.n_edges h in
+  let pulls = Array.make ne 0 in
+  let successful_baits = ref 0 in
+  Array.iter
+    (fun b ->
+      let pulled_any = ref false in
+      Array.iter
+        (fun e ->
+          if U.Prng.bool rng reproducibility then begin
+            pulls.(e) <- pulls.(e) + 1;
+            pulled_any := true
+          end)
+        (H.vertex_edges h b);
+      if !pulled_any then incr successful_baits)
+    baits;
+  {
+    identified = Array.map (fun c -> c > 0) pulls;
+    pulls;
+    successful_baits = !successful_baits;
+  }
+
+type reliability = {
+  trials : int;
+  mean_identified_fraction : float;
+  mean_twice_identified_fraction : float;
+  always_identified : int;
+  never_identified : int;
+  coverable : int;
+}
+
+let assess rng h ~baits ~reproducibility ~trials =
+  if trials <= 0 then invalid_arg "Tap_experiment.assess: trials must be positive";
+  let ne = H.n_edges h in
+  (* Coverable complexes: those containing at least one bait. *)
+  let coverable_mask = Array.make ne false in
+  Array.iter
+    (fun b -> Array.iter (fun e -> coverable_mask.(e) <- true) (H.vertex_edges h b))
+    baits;
+  let coverable = Array.fold_left (fun a c -> if c then a + 1 else a) 0 coverable_mask in
+  let hit_count = Array.make ne 0 in
+  let sum_frac = ref 0.0 and sum_frac2 = ref 0.0 in
+  for _ = 1 to trials do
+    let o = simulate rng h ~baits ~reproducibility in
+    let once = ref 0 and twice = ref 0 in
+    Array.iteri
+      (fun e p ->
+        if p >= 1 then begin
+          incr once;
+          hit_count.(e) <- hit_count.(e) + 1
+        end;
+        if p >= 2 then incr twice)
+      o.pulls;
+    if coverable > 0 then begin
+      sum_frac := !sum_frac +. (float_of_int !once /. float_of_int coverable);
+      sum_frac2 := !sum_frac2 +. (float_of_int !twice /. float_of_int coverable)
+    end
+  done;
+  let always = ref 0 and never = ref 0 in
+  Array.iteri
+    (fun e hits ->
+      if coverable_mask.(e) then begin
+        if hits = trials then incr always;
+        if hits = 0 then incr never
+      end)
+    hit_count;
+  {
+    trials;
+    mean_identified_fraction = !sum_frac /. float_of_int trials;
+    mean_twice_identified_fraction = !sum_frac2 /. float_of_int trials;
+    always_identified = !always;
+    never_identified = !never;
+    coverable;
+  }

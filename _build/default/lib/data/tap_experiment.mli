@@ -1,0 +1,51 @@
+(** Simulation of the TAP (tandem affinity purification) experiment's
+    reliability (paper Sections 1.1 and 4).
+
+    The Cellzome experiments report a reproducibility of about 70%: a
+    tagged bait pulls down each complex it belongs to only with that
+    probability.  The paper's argument for the 2-multicover is that
+    covering every complex twice makes identification robust to these
+    failures.  This module makes the argument quantitative: it runs the
+    stochastic experiment for a candidate bait set and measures how
+    much of the complex network is actually recovered. *)
+
+type outcome = {
+  identified : bool array;
+  (** Per hyperedge: pulled down by at least one bait this run. *)
+  pulls : int array;
+  (** Per hyperedge: number of baits that successfully pulled it. *)
+  successful_baits : int;
+  (** Baits that pulled down at least one complex. *)
+}
+
+val simulate :
+  Hp_util.Prng.t ->
+  Hp_hypergraph.Hypergraph.t ->
+  baits:int array ->
+  reproducibility:float ->
+  outcome
+(** One run: every (bait, complex it belongs to) pair succeeds
+    independently with probability [reproducibility]. *)
+
+type reliability = {
+  trials : int;
+  mean_identified_fraction : float;
+  (** Mean fraction of coverable complexes identified per run.  A
+      complex is coverable when some bait belongs to it. *)
+  mean_twice_identified_fraction : float;
+  (** Mean fraction pulled down at least twice (confident calls). *)
+  always_identified : int;
+  (** Complexes identified in every trial. *)
+  never_identified : int;
+  (** Coverable complexes missed in every trial. *)
+  coverable : int;
+}
+
+val assess :
+  Hp_util.Prng.t ->
+  Hp_hypergraph.Hypergraph.t ->
+  baits:int array ->
+  reproducibility:float ->
+  trials:int ->
+  reliability
+(** Monte-Carlo estimate over [trials] independent runs. *)

@@ -1,0 +1,1 @@
+lib/graph/graph_algo.ml: Array Graph Hp_util Queue

@@ -1,0 +1,1 @@
+lib/graph/graph_algo.mli: Graph Hp_util

@@ -1,0 +1,1 @@
+lib/graph/graph_core.ml: Array Graph Hp_util

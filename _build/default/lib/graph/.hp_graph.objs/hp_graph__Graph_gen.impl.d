@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Array Graph Hashtbl Hp_util List

@@ -1,0 +1,103 @@
+type t = {
+  n : int;
+  offsets : int array;   (* length n+1 *)
+  adj : int array;       (* concatenated sorted neighbor lists *)
+  m : int;               (* number of undirected edges *)
+}
+
+let n_vertices g = g.n
+
+let n_edges g = g.m
+
+let degree g v = g.offsets.(v + 1) - g.offsets.(v)
+
+let neighbors g v = Array.sub g.adj g.offsets.(v) (degree g v)
+
+let iter_neighbors g v f =
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let mem_edge g u v =
+  let lo = g.offsets.(u) and hi = g.offsets.(u + 1) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if g.adj.(mid) = v then true
+      else if g.adj.(mid) < v then search (mid + 1) hi
+      else search lo mid
+    end
+  in
+  search lo hi
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_neighbors g u (fun v -> if u < v then f u v)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let degrees g = Array.init g.n (degree g)
+
+let max_degree g = Array.fold_left max 0 (degrees g)
+
+let of_edge_array ~n pairs =
+  if n < 0 then invalid_arg "Graph.of_edge_array: negative n";
+  (* Canonicalize: drop loops, order endpoints, sort, dedupe. *)
+  let canon =
+    Array.to_list pairs
+    |> List.filter_map (fun (u, v) ->
+           if u < 0 || u >= n || v < 0 || v >= n then
+             invalid_arg "Graph.of_edge_array: endpoint out of range"
+           else if u = v then None
+           else Some (min u v, max u v))
+    |> List.sort_uniq compare
+  in
+  let m = List.length canon in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    canon;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    canon;
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and len = deg.(v) in
+    let slice = Array.sub adj lo len in
+    Array.sort compare slice;
+    Array.blit slice 0 adj lo len
+  done;
+  { n; offsets; adj; m }
+
+let of_edges ~n pairs = of_edge_array ~n (Array.of_list pairs)
+
+let induced g vs =
+  let vs = Hp_util.Sorted.of_array vs in
+  let n' = Array.length vs in
+  let index = Hashtbl.create (2 * n') in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let acc = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors g v (fun w ->
+          match Hashtbl.find_opt index w with
+          | Some j when i < j -> acc := (i, j) :: !acc
+          | Some _ | None -> ()))
+    vs;
+  (of_edges ~n:n' !acc, vs)

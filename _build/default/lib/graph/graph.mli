@@ -1,0 +1,41 @@
+(** Simple undirected graphs in compressed sparse row form.
+
+    Vertices are integers [0 .. n-1].  Self-loops and parallel edges
+    supplied to the builder are dropped, so the adjacency structure is
+    that of a simple graph — the representation used for the
+    protein-protein interaction baselines the paper discusses. *)
+
+type t
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array; shared with the internal representation, do
+    not mutate. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val mem_edge : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge visited once, with [u < v]. *)
+
+val edges : t -> (int * int) list
+
+val degrees : t -> int array
+
+val max_degree : t -> int
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build from an edge list; duplicates and self-loops are ignored. *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced by the distinct vertices
+    [vs], together with the map from new vertex ids to original ids. *)

@@ -1,0 +1,155 @@
+module U = Hp_util
+
+let bfs_distances g src =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let distance g u v =
+  let d = (bfs_distances g u).(v) in
+  if d < 0 then None else Some d
+
+let components g =
+  let n = Graph.n_vertices g in
+  let ds = U.Disjoint_set.create n in
+  Graph.iter_edges g (fun u v -> ignore (U.Disjoint_set.union ds u v));
+  let labels = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let r = U.Disjoint_set.find ds v in
+    if labels.(r) < 0 then begin
+      labels.(r) <- !next;
+      incr next
+    end;
+    labels.(v) <- labels.(r)
+  done;
+  (labels, !next)
+
+let component_sizes g =
+  let labels, count = components g in
+  let sizes = Array.make count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) labels;
+  Array.sort (fun a b -> compare b a) sizes;
+  sizes
+
+let largest_component g =
+  let labels, count = components g in
+  if count = 0 then [||]
+  else begin
+    let sizes = Array.make count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) labels;
+    let best = ref 0 in
+    Array.iteri (fun c s -> if s > sizes.(!best) then best := c) sizes;
+    let buf = U.Dynarray.create ~dummy:0 () in
+    Array.iteri (fun v c -> if c = !best then U.Dynarray.push buf v) labels;
+    U.Dynarray.to_array buf
+  end
+
+let eccentricity g v =
+  Array.fold_left max 0 (bfs_distances g v)
+
+(* Shared all-sources sweep accumulating (sum of finite distances,
+   number of finite ordered pairs, max finite distance). *)
+let all_pairs_stats g =
+  let n = Graph.n_vertices g in
+  let sum = ref 0 and pairs = ref 0 and dmax = ref 0 in
+  for src = 0 to n - 1 do
+    let dist = bfs_distances g src in
+    Array.iteri
+      (fun v d ->
+        if v <> src && d > 0 then begin
+          sum := !sum + d;
+          incr pairs;
+          if d > !dmax then dmax := d
+        end)
+      dist
+  done;
+  (!sum, !pairs, !dmax)
+
+let diameter g =
+  let _, _, dmax = all_pairs_stats g in
+  dmax
+
+let average_path_length g =
+  let sum, pairs, _ = all_pairs_stats g in
+  if pairs = 0 then 0.0 else float_of_int sum /. float_of_int pairs
+
+let sampled_path_stats rng g ~samples =
+  let n = Graph.n_vertices g in
+  if n = 0 then (0.0, 0)
+  else begin
+    let sum = ref 0 and pairs = ref 0 and dmax = ref 0 in
+    for _ = 1 to samples do
+      let src = U.Prng.int rng n in
+      let dist = bfs_distances g src in
+      Array.iteri
+        (fun v d ->
+          if v <> src && d > 0 then begin
+            sum := !sum + d;
+            incr pairs;
+            if d > !dmax then dmax := d
+          end)
+        dist
+    done;
+    let avg = if !pairs = 0 then 0.0 else float_of_int !sum /. float_of_int !pairs in
+    (avg, !dmax)
+  end
+
+let clustering_coefficient g v =
+  let nbrs = Graph.neighbors g v in
+  let d = Array.length nbrs in
+  if d < 2 then 0.0
+  else begin
+    let links = ref 0 in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if Graph.mem_edge g nbrs.(i) nbrs.(j) then incr links
+      done
+    done;
+    2.0 *. float_of_int !links /. float_of_int (d * (d - 1))
+  end
+
+let average_clustering g =
+  let n = Graph.n_vertices g in
+  if n = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for v = 0 to n - 1 do
+      sum := !sum +. clustering_coefficient g v
+    done;
+    !sum /. float_of_int n
+  end
+
+let degree_histogram g = U.Int_histogram.of_array (Graph.degrees g)
+
+let degree_assortativity g =
+  (* Newman's r over edge-endpoint degree pairs, both orientations. *)
+  let m2 = 2 * Graph.n_edges g in
+  if m2 < 4 then nan
+  else begin
+    let sx = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+    Graph.iter_edges g (fun u v ->
+        let du = float_of_int (Graph.degree g u) in
+        let dv = float_of_int (Graph.degree g v) in
+        (* Counting each edge in both directions keeps the statistic
+           symmetric, so the x and y marginals coincide. *)
+        sx := !sx +. du +. dv;
+        sxx := !sxx +. (du *. du) +. (dv *. dv);
+        sxy := !sxy +. (2.0 *. du *. dv));
+    let n = float_of_int m2 in
+    let mean = !sx /. n in
+    let var = (!sxx /. n) -. (mean *. mean) in
+    if var <= 1e-12 then nan
+    else ((!sxy /. n) -. (mean *. mean)) /. var
+  end

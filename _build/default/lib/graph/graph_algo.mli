@@ -1,0 +1,52 @@
+(** Traversal and network statistics over graphs: breadth-first
+    distances, connected components, diameter / characteristic path
+    length (the small-world measurements of the paper, applied to the
+    baseline graph models), and clustering coefficients (the statistic
+    that is inflated by the clique-expansion model, Section 1.2). *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** Hop distances from the source; [-1] marks unreachable vertices. *)
+
+val distance : Graph.t -> int -> int -> int option
+
+val components : Graph.t -> int array * int
+(** [(labels, count)]: component label per vertex in [0..count-1]. *)
+
+val component_sizes : Graph.t -> int array
+(** Sizes of the components, largest first. *)
+
+val largest_component : Graph.t -> int array
+(** Vertices of a largest component. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite distance from the vertex. *)
+
+val diameter : Graph.t -> int
+(** Maximum eccentricity over all vertices, ignoring unreachable pairs
+    (so for a disconnected graph this is the largest component-local
+    diameter).  0 for an empty or edgeless graph. *)
+
+val average_path_length : Graph.t -> float
+(** Mean distance over all reachable ordered pairs of distinct
+    vertices; 0 when no such pair exists. *)
+
+val sampled_path_stats : Hp_util.Prng.t -> Graph.t -> samples:int -> float * int
+(** [(average, max)] distance estimated from BFS at sampled sources —
+    for graphs too large for the exact all-pairs sweep. *)
+
+val clustering_coefficient : Graph.t -> int -> float
+(** Fraction of pairs of neighbors that are themselves adjacent; 0 for
+    degree < 2. *)
+
+val average_clustering : Graph.t -> float
+(** Mean vertex clustering coefficient (vertices of degree < 2
+    contribute 0, the convention of Watts-Strogatz). *)
+
+val degree_histogram : Graph.t -> Hp_util.Int_histogram.t
+
+val degree_assortativity : Graph.t -> float
+(** Pearson correlation of the degrees at the two endpoints of an edge
+    (Newman's r): negative for hub-periphery networks like PPI graphs,
+    [nan] when fewer than two edges or the degrees are constant.  Used
+    with the Maslov-Sneppen null model (the paper's reference [8]) to
+    read correlation profiles of the graph baselines. *)

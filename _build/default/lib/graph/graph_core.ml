@@ -1,0 +1,59 @@
+module U = Hp_util
+
+type decomposition = {
+  core_number : int array;
+  max_core : int;
+  peel_order : int array;
+}
+
+let decompose g =
+  let n = Graph.n_vertices g in
+  let core_number = Array.make n 0 in
+  let peel_order = Array.make n 0 in
+  if n = 0 then { core_number; max_core = 0; peel_order }
+  else begin
+    let maxd = Graph.max_degree g in
+    let q = U.Bucket_queue.create ~n ~max_key:maxd in
+    for v = 0 to n - 1 do
+      U.Bucket_queue.insert q v (Graph.degree g v)
+    done;
+    let level = ref 0 in
+    let idx = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match U.Bucket_queue.pop_min q with
+      | None -> continue := false
+      | Some (v, k) ->
+        if k > !level then level := k;
+        core_number.(v) <- !level;
+        peel_order.(!idx) <- v;
+        incr idx;
+        Graph.iter_neighbors g v (fun w ->
+            if U.Bucket_queue.mem q w then begin
+              let kw = U.Bucket_queue.key q w in
+              (* Never lower a neighbor below the current level: its
+                 core number is already at least [level]. *)
+              if kw > !level then U.Bucket_queue.change_key q w (kw - 1)
+            end)
+    done;
+    let max_core = Array.fold_left max 0 core_number in
+    { core_number; max_core; peel_order }
+  end
+
+let k_core_vertices g k =
+  let d = decompose g in
+  let buf = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun v c -> if c >= k then U.Dynarray.push buf v) d.core_number;
+  U.Dynarray.to_array buf
+
+let k_core g k = Graph.induced g (k_core_vertices g k)
+
+let max_core_vertices g =
+  let d = decompose g in
+  let buf = U.Dynarray.create ~dummy:0 () in
+  Array.iteri
+    (fun v c -> if c = d.max_core && d.max_core > 0 then U.Dynarray.push buf v)
+    d.core_number;
+  U.Dynarray.to_array buf
+
+let degeneracy g = (decompose g).max_core

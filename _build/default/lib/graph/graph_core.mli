@@ -1,0 +1,31 @@
+(** k-cores of a graph.
+
+    The k-core is the maximal subgraph in which every vertex has degree
+    at least k.  The decomposition runs the linear-time peeling
+    algorithm the paper sketches in Section 3 (repeatedly remove a
+    minimum-degree vertex; the highest minimum degree observed is the
+    maximum core number), implemented with the bucket structure of
+    Batagelj and Zaversnik. *)
+
+type decomposition = {
+  core_number : int array;
+  (** [core_number.(v)] is the largest k such that v is in the k-core. *)
+  max_core : int;
+  (** Highest non-empty core index (0 for an edgeless graph). *)
+  peel_order : int array;
+  (** Vertices in the order the peeling removed them. *)
+}
+
+val decompose : Graph.t -> decomposition
+
+val k_core_vertices : Graph.t -> int -> int array
+(** Vertices of the k-core (possibly empty), in increasing order. *)
+
+val k_core : Graph.t -> int -> Graph.t * int array
+(** The k-core as an induced subgraph plus the new-to-old vertex map. *)
+
+val max_core_vertices : Graph.t -> int array
+(** Vertices of the maximum core. *)
+
+val degeneracy : Graph.t -> int
+(** Synonym for the maximum core number. *)

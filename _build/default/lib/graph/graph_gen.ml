@@ -1,0 +1,189 @@
+module U = Hp_util
+
+let erdos_renyi_gnm rng ~n ~m =
+  let limit = n * (n - 1) / 2 in
+  if m < 0 || m > limit then invalid_arg "Graph_gen.erdos_renyi_gnm: bad m";
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let added = ref 0 in
+  while !added < m do
+    let u = U.Prng.int rng n and v = U.Prng.int rng n in
+    if u <> v then begin
+      let e = (min u v, max u v) in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.add seen e ();
+        edges := e :: !edges;
+        incr added
+      end
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+let barabasi_albert rng ~n ~m =
+  if m < 1 || n <= m then invalid_arg "Graph_gen.barabasi_albert: need n > m >= 1";
+  (* Repeated-endpoint list: each edge pushes both endpoints, so
+     sampling a uniform element of [targets] is degree-proportional. *)
+  let targets = U.Dynarray.create ~dummy:0 () in
+  let edges = ref [] in
+  let seed = m + 1 in
+  for u = 0 to seed - 1 do
+    for v = u + 1 to seed - 1 do
+      edges := (u, v) :: !edges;
+      U.Dynarray.push targets u;
+      U.Dynarray.push targets v
+    done
+  done;
+  for v = seed to n - 1 do
+    let chosen = Hashtbl.create (2 * m) in
+    let tries = ref 0 in
+    while Hashtbl.length chosen < m && !tries < 50 * m do
+      incr tries;
+      let t = U.Dynarray.get targets (U.Prng.int rng (U.Dynarray.length targets)) in
+      if t <> v && not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        edges := (v, t) :: !edges;
+        U.Dynarray.push targets v;
+        U.Dynarray.push targets t)
+      chosen
+  done;
+  Graph.of_edges ~n !edges
+
+let configuration_model rng degseq =
+  let n = Array.length degseq in
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Graph_gen.configuration_model: negative degree")
+    degseq;
+  let total = Array.fold_left ( + ) 0 degseq in
+  let stubs = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!pos) <- v;
+        incr pos
+      done)
+    degseq;
+  U.Prng.shuffle rng stubs;
+  (* Pair consecutive stubs; drop loops and duplicates (erased model).
+     An odd leftover stub is simply discarded. *)
+  let edges = ref [] in
+  let npairs = total / 2 in
+  for i = 0 to npairs - 1 do
+    let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let maslov_sneppen rng g ~rounds =
+  let n = Graph.n_vertices g in
+  let edges = Array.of_list (Graph.edges g) in
+  let m = Array.length edges in
+  if m >= 2 then begin
+    let present = Hashtbl.create (2 * m) in
+    Array.iter (fun e -> Hashtbl.replace present e ()) edges;
+    let canon u v = (min u v, max u v) in
+    let attempts = rounds * m in
+    for _ = 1 to attempts do
+      let i = U.Prng.int rng m and j = U.Prng.int rng m in
+      if i <> j then begin
+        let a, b = edges.(i) and c, d = edges.(j) in
+        (* Orient the second edge both ways at random so all pairings
+           are reachable. *)
+        let c, d = if U.Prng.bool rng 0.5 then (c, d) else (d, c) in
+        let e1 = canon a d and e2 = canon c b in
+        if a <> d && c <> b
+           && (not (Hashtbl.mem present e1))
+           && (not (Hashtbl.mem present e2))
+           && e1 <> e2
+        then begin
+          Hashtbl.remove present (canon a b);
+          Hashtbl.remove present (canon c d);
+          Hashtbl.replace present e1 ();
+          Hashtbl.replace present e2 ();
+          edges.(i) <- e1;
+          edges.(j) <- e2
+        end
+      end
+    done
+  end;
+  Graph.of_edge_array ~n edges
+
+let random_regular_ish rng ~n ~degree =
+  if n < 3 then invalid_arg "Graph_gen.random_regular_ish: need n >= 3";
+  if degree < 0 || degree >= n then invalid_arg "Graph_gen.random_regular_ish: bad degree";
+  let cycles = (degree + 1) / 2 in
+  let edge_set = Hashtbl.create (2 * n * cycles) in
+  let add u v =
+    if u <> v then begin
+      let e = (min u v, max u v) in
+      if not (Hashtbl.mem edge_set e) then Hashtbl.add edge_set e ()
+    end
+  in
+  for _ = 1 to cycles do
+    let perm = Array.init n (fun i -> i) in
+    U.Prng.shuffle rng perm;
+    for i = 0 to n - 1 do
+      add perm.(i) perm.((i + 1) mod n)
+    done
+  done;
+  (* Patch vertices left short of the requested degree (cycle overlaps
+     can eat edges): connect them to random partners. *)
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) () ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_set;
+  for v = 0 to n - 1 do
+    let guard = ref 0 in
+    while deg.(v) < degree && !guard < 20 * n do
+      incr guard;
+      let w = U.Prng.int rng n in
+      let e = (min v w, max v w) in
+      if v <> w && not (Hashtbl.mem edge_set e) then begin
+        Hashtbl.add edge_set e ();
+        deg.(v) <- deg.(v) + 1;
+        deg.(w) <- deg.(w) + 1
+      end
+    done
+  done;
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] in
+  Graph.of_edges ~n edges
+
+let planted_core_powerlaw rng ~n ~core_size ~core_degree ~gamma ~dmax =
+  if core_size > n then invalid_arg "Graph_gen.planted_core_powerlaw: core larger than n";
+  let core = random_regular_ish rng ~n:core_size ~degree:core_degree in
+  let edges = ref (Graph.edges core) in
+  (* Degree-proportional endpoint pool, seeded with the core so the
+     periphery preferentially attaches to it (hub structure). *)
+  let targets = U.Dynarray.create ~dummy:0 () in
+  List.iter
+    (fun (u, v) ->
+      U.Dynarray.push targets u;
+      U.Dynarray.push targets v)
+    !edges;
+  for v = core_size to n - 1 do
+    let d = U.Prng.powerlaw_int rng ~gamma ~dmin:1 ~dmax in
+    let chosen = Hashtbl.create 8 in
+    let tries = ref 0 in
+    while Hashtbl.length chosen < d && !tries < 50 * (d + 1) do
+      incr tries;
+      let t = U.Dynarray.get targets (U.Prng.int rng (U.Dynarray.length targets)) in
+      if t <> v && not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
+    done;
+    if Hashtbl.length chosen = 0 then begin
+      (* Always connect at least once so the graph has no isolated
+         periphery vertices. *)
+      let t = U.Prng.int rng (max 1 v) in
+      Hashtbl.add chosen t ()
+    end;
+    Hashtbl.iter
+      (fun t () ->
+        edges := (v, t) :: !edges;
+        U.Dynarray.push targets v;
+        U.Dynarray.push targets t)
+      chosen
+  done;
+  Graph.of_edges ~n !edges

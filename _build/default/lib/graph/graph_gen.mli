@@ -1,0 +1,47 @@
+(** Random graph generators used for null models and for the synthetic
+    protein-protein interaction networks that stand in for the DIP
+    data. *)
+
+val erdos_renyi_gnm : Hp_util.Prng.t -> n:int -> m:int -> Graph.t
+(** Uniform simple graph with [n] vertices and [m] distinct edges.
+    Requires [m <= n*(n-1)/2]. *)
+
+val barabasi_albert : Hp_util.Prng.t -> n:int -> m:int -> Graph.t
+(** Preferential attachment: start from a small clique and attach each
+    new vertex with [m] edges, targets drawn proportionally to current
+    degree.  Yields a power-law degree distribution with exponent
+    close to 3. *)
+
+val configuration_model : Hp_util.Prng.t -> int array -> Graph.t
+(** Simple graph approximating the given degree sequence: stubs are
+    matched uniformly at random, then self-loops and parallel edges
+    are discarded, so realized degrees can fall slightly short of the
+    request (standard erased configuration model). *)
+
+val random_regular_ish : Hp_util.Prng.t -> n:int -> degree:int -> Graph.t
+(** Near-regular graph in which every vertex has degree at least
+    [degree] with high probability: union of [ceil(degree/2)] random
+    Hamiltonian cycles plus patch edges for any vertex left short.
+    Used to plant dense cores of prescribed minimum degree. *)
+
+val maslov_sneppen : Hp_util.Prng.t -> Graph.t -> rounds:int -> Graph.t
+(** Degree-preserving randomization by repeated double-edge swaps
+    (a,b),(c,d) -> (a,d),(c,b), rejecting swaps that would create
+    self-loops or parallel edges — the null model of Maslov and
+    Sneppen, the paper's reference [8] for correlation profiles.
+    [rounds] is a multiplier on the number of edges; every vertex
+    degree is preserved exactly. *)
+
+val planted_core_powerlaw :
+  Hp_util.Prng.t ->
+  n:int ->
+  core_size:int ->
+  core_degree:int ->
+  gamma:float ->
+  dmax:int ->
+  Graph.t
+(** Power-law periphery attached by preferential attachment to a
+    planted near-regular dense subgraph on vertices
+    [0 .. core_size-1] whose internal minimum degree is
+    [core_degree] — the synthetic stand-in for the DIP networks, whose
+    maximum core the experiment measures. *)

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_builder.ml: Array Hashtbl Hp_util Hypergraph List

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_convert.ml: Array Hp_graph Hypergraph Hypergraph_reduce List

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_convert.mli: Hp_graph Hypergraph

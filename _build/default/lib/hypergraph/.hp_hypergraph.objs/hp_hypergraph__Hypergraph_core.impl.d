@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_core.ml: Array Fun Hashtbl Hp_util Hypergraph Hypergraph_reduce List Option Queue

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_dual.ml: Array Hypergraph Hypergraph_core

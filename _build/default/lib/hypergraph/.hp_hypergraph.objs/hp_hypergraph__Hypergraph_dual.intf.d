@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_dual.mli: Hypergraph Hypergraph_core

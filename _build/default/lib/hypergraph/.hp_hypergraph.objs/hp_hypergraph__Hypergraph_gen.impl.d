@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_gen.ml: Array Hashtbl Hp_util Hypergraph

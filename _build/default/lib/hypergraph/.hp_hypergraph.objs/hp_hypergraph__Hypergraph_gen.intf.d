@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_gen.mli: Hp_util Hypergraph

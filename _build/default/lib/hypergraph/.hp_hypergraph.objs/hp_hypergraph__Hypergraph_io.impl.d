@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_io.ml: Array Buffer Fun Hashtbl Hp_util Hypergraph List Printf String

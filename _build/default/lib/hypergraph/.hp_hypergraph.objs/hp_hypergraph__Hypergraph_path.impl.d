@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_path.ml: Array Fun Hashtbl Hp_util Hypergraph Queue

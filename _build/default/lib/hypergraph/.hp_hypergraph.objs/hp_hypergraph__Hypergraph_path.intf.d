@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_path.mli: Hp_util Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_reduce.ml: Array Fun Hashtbl Hp_util Hypergraph List Option

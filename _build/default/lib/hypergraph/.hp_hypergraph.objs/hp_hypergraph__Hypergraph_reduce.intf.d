@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph_reduce.mli: Hypergraph

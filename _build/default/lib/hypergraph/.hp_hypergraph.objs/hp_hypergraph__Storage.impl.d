@@ -1,0 +1,1 @@
+lib/hypergraph/storage.ml: Format Hp_graph Hypergraph Hypergraph_convert

@@ -1,0 +1,1 @@
+lib/hypergraph/storage.mli: Format Hypergraph

@@ -1,0 +1,197 @@
+module U = Hp_util
+
+type t = {
+  nv : int;
+  edges : int array array;      (* edge id -> sorted member vertices *)
+  vadj : int array array;       (* vertex id -> sorted incident edge ids *)
+  vertex_names : string array option;
+  edge_names : string array option;
+  vertex_index : (string, int) Hashtbl.t option;
+  edge_index : (string, int) Hashtbl.t option;
+}
+
+let build_index = function
+  | None -> None
+  | Some names ->
+    let idx = Hashtbl.create (2 * Array.length names) in
+    Array.iteri (fun i name -> if not (Hashtbl.mem idx name) then Hashtbl.add idx name i) names;
+    Some idx
+
+let of_arrays ?vertex_names ?edge_names ~n_vertices members =
+  if n_vertices < 0 then invalid_arg "Hypergraph: negative vertex count";
+  (match vertex_names with
+  | Some names when Array.length names <> n_vertices ->
+    invalid_arg "Hypergraph: vertex_names length mismatch"
+  | Some _ | None -> ());
+  (match edge_names with
+  | Some names when Array.length names <> Array.length members ->
+    invalid_arg "Hypergraph: edge_names length mismatch"
+  | Some _ | None -> ());
+  let edges =
+    Array.map
+      (fun ms ->
+        let ms = U.Sorted.of_array ms in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= n_vertices then
+              invalid_arg "Hypergraph: member vertex out of range")
+          ms;
+        ms)
+      members
+  in
+  let deg = Array.make n_vertices 0 in
+  Array.iter (Array.iter (fun v -> deg.(v) <- deg.(v) + 1)) edges;
+  let vadj = Array.init n_vertices (fun v -> Array.make deg.(v) 0) in
+  let cursor = Array.make n_vertices 0 in
+  Array.iteri
+    (fun e ms ->
+      Array.iter
+        (fun v ->
+          vadj.(v).(cursor.(v)) <- e;
+          cursor.(v) <- cursor.(v) + 1)
+        ms)
+    edges;
+  (* Edge ids were appended in increasing order, so vadj rows are
+     already sorted. *)
+  {
+    nv = n_vertices;
+    edges;
+    vadj;
+    vertex_names;
+    edge_names;
+    vertex_index = build_index vertex_names;
+    edge_index = build_index edge_names;
+  }
+
+let create ?vertex_names ?edge_names ~n_vertices members =
+  of_arrays ?vertex_names ?edge_names ~n_vertices
+    (Array.of_list (List.map Array.of_list members))
+
+let n_vertices h = h.nv
+
+let n_edges h = Array.length h.edges
+
+let vertex_degree h v = Array.length h.vadj.(v)
+
+let edge_size h e = Array.length h.edges.(e)
+
+let total_incidence h = Array.fold_left (fun acc ms -> acc + Array.length ms) 0 h.edges
+
+let max_vertex_degree h = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 h.vadj
+
+let max_edge_size h = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 h.edges
+
+let edge_members h e = h.edges.(e)
+
+let vertex_edges h v = h.vadj.(v)
+
+let mem h ~vertex ~edge = U.Sorted.mem h.edges.(edge) vertex
+
+let vertex_degrees h = Array.map Array.length h.vadj
+
+let edge_sizes h = Array.map Array.length h.edges
+
+let edge_degree2 h e =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun f -> if f <> e && not (Hashtbl.mem seen f) then Hashtbl.add seen f ())
+        h.vadj.(v))
+    h.edges.(e);
+  Hashtbl.length seen
+
+let max_edge_degree2 h =
+  let best = ref 0 in
+  for e = 0 to n_edges h - 1 do
+    let d2 = edge_degree2 h e in
+    if d2 > !best then best := d2
+  done;
+  !best
+
+let vertex_degree2 h v =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      Array.iter
+        (fun w -> if w <> v && not (Hashtbl.mem seen w) then Hashtbl.add seen w ())
+        h.edges.(e))
+    h.vadj.(v);
+  Hashtbl.length seen
+
+let vertex_name h v =
+  match h.vertex_names with
+  | Some names -> names.(v)
+  | None -> "v" ^ string_of_int v
+
+let edge_name h e =
+  match h.edge_names with
+  | Some names -> names.(e)
+  | None -> "e" ^ string_of_int e
+
+let vertex_of_name h name =
+  match h.vertex_index with
+  | Some idx -> Hashtbl.find_opt idx name
+  | None -> None
+
+let edge_of_name h name =
+  match h.edge_index with
+  | Some idx -> Hashtbl.find_opt idx name
+  | None -> None
+
+let sub h ~vertices ~edges =
+  let vertices = U.Sorted.of_array vertices in
+  let edges = U.Sorted.of_array edges in
+  let nv' = Array.length vertices in
+  let vmap = Hashtbl.create (2 * nv') in
+  Array.iteri (fun i v -> Hashtbl.replace vmap v i) vertices;
+  let members =
+    Array.map
+      (fun e ->
+        let kept =
+          Array.to_list h.edges.(e)
+          |> List.filter_map (fun v -> Hashtbl.find_opt vmap v)
+        in
+        Array.of_list kept)
+      edges
+  in
+  let vertex_names =
+    Option.map (fun names -> Array.map (fun v -> names.(v)) vertices) h.vertex_names
+  in
+  let edge_names =
+    Option.map (fun names -> Array.map (fun e -> names.(e)) edges) h.edge_names
+  in
+  (of_arrays ?vertex_names ?edge_names ~n_vertices:nv' members, vertices, edges)
+
+let is_reduced h =
+  let m = n_edges h in
+  let contained_somewhere e =
+    (* f is contained in g iff g is a superset; scan candidate supersets
+       through a member's adjacency (any member of f works, since a
+       superset shares all members). *)
+    let ms = h.edges.(e) in
+    if Array.length ms = 0 then m > 1 (* empty edge is contained in any other *)
+    else begin
+      let candidates = h.vadj.(ms.(0)) in
+      Array.exists
+        (fun g -> g <> e && U.Sorted.subset ms h.edges.(g))
+        candidates
+    end
+  in
+  let rec loop e = e >= m || ((not (contained_somewhere e)) && loop (e + 1)) in
+  loop 0
+
+let equal_structure a b =
+  a.nv = b.nv && Array.length a.edges = Array.length b.edges
+  && Array.for_all2 U.Sorted.equal a.edges b.edges
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hypergraph: %d vertices, %d hyperedges, |E| = %d@,"
+    (n_vertices h) (n_edges h) (total_incidence h);
+  Array.iteri
+    (fun e ms ->
+      Format.fprintf ppf "%s:" (edge_name h e);
+      Array.iter (fun v -> Format.fprintf ppf " %s" (vertex_name h v)) ms;
+      Format.fprintf ppf "@,")
+    h.edges;
+  Format.fprintf ppf "@]"

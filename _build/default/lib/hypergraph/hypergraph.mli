@@ -1,0 +1,111 @@
+(** The protein complex hypergraph model (paper Section 1.3).
+
+    A hypergraph H = (V, F) has vertices [0 .. n_vertices-1] (proteins)
+    and hyperedges [0 .. n_edges-1] (complexes); each hyperedge is a
+    set of vertices of arbitrary cardinality, stored as a strictly
+    increasing integer array.  Incidence is kept in both directions:
+    members of a hyperedge, and hyperedges of a vertex.
+
+    The degree of a vertex is the number of hyperedges containing it;
+    the degree of a hyperedge is the number of vertices it contains.
+    |E| denotes the total incidence (sum of either degree family) — the
+    space needed to represent the hypergraph, the quantity the paper's
+    complexity bounds are expressed in. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create :
+  ?vertex_names:string array ->
+  ?edge_names:string array ->
+  n_vertices:int ->
+  int list list ->
+  t
+(** [create ~n_vertices members] builds a hypergraph whose i-th
+    hyperedge contains the vertices in the i-th list (duplicates within
+    a list collapse).  Name arrays, when given, must match the vertex
+    and edge counts.  Raises [Invalid_argument] on out-of-range
+    members. *)
+
+val of_arrays :
+  ?vertex_names:string array ->
+  ?edge_names:string array ->
+  n_vertices:int ->
+  int array array ->
+  t
+
+(** {1 Sizes and degrees} *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val total_incidence : t -> int
+(** |E| = sum over vertices of degree = sum over hyperedges of size. *)
+
+val vertex_degree : t -> int -> int
+
+val edge_size : t -> int -> int
+(** The paper calls this the degree of the hyperedge. *)
+
+val max_vertex_degree : t -> int
+(** Delta_V. *)
+
+val max_edge_size : t -> int
+(** Delta_F. *)
+
+val edge_members : t -> int -> int array
+(** Sorted member vertices (shared array; do not mutate). *)
+
+val vertex_edges : t -> int -> int array
+(** Sorted incident hyperedge ids (shared array; do not mutate). *)
+
+val mem : t -> vertex:int -> edge:int -> bool
+
+val vertex_degrees : t -> int array
+
+val edge_sizes : t -> int array
+
+(** {1 Two-step adjacency (paper Section 3)} *)
+
+val edge_degree2 : t -> int -> int
+(** d_2(f): number of other hyperedges sharing at least one vertex
+    with f. *)
+
+val max_edge_degree2 : t -> int
+(** Delta_2F, the parameter in the k-core complexity bound. *)
+
+val vertex_degree2 : t -> int -> int
+(** d_2(v): number of distinct vertices other than v co-occurring with
+    v in some hyperedge (reachable by a length-2 path in B(H)). *)
+
+(** {1 Names} *)
+
+val vertex_name : t -> int -> string
+(** The stored name, or ["v<i>"] when names were not provided. *)
+
+val edge_name : t -> int -> string
+(** The stored name, or ["e<i>"] when names were not provided. *)
+
+val vertex_of_name : t -> string -> int option
+
+val edge_of_name : t -> string -> int option
+
+(** {1 Derived hypergraphs} *)
+
+val sub : t -> vertices:int array -> edges:int array -> t * int array * int array
+(** [sub h ~vertices ~edges] keeps the given vertices and hyperedges,
+    restricting each kept hyperedge to kept members (hyperedges that
+    become empty are kept as empty edges only if explicitly listed).
+    Returns the subhypergraph and the new-to-old id maps for vertices
+    and edges.  Names are carried over. *)
+
+val is_reduced : t -> bool
+(** True when no hyperedge is contained in (or equal to) another. *)
+
+val equal_structure : t -> t -> bool
+(** Same vertex count and identical member arrays (names ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per hyperedge, using names. *)

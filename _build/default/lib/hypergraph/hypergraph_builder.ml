@@ -1,0 +1,49 @@
+module U = Hp_util
+
+type t = {
+  vertex_ids : (string, int) Hashtbl.t;
+  vertex_names : string U.Dynarray.t;
+  edge_names : string U.Dynarray.t;
+  edge_members : int list U.Dynarray.t;   (* reverse-ordered member ids *)
+}
+
+let create () =
+  {
+    vertex_ids = Hashtbl.create 64;
+    vertex_names = U.Dynarray.create ~dummy:"" ();
+    edge_names = U.Dynarray.create ~dummy:"" ();
+    edge_members = U.Dynarray.create ~dummy:[] ();
+  }
+
+let add_vertex t name =
+  match Hashtbl.find_opt t.vertex_ids name with
+  | Some id -> id
+  | None ->
+    let id = U.Dynarray.length t.vertex_names in
+    Hashtbl.add t.vertex_ids name id;
+    U.Dynarray.push t.vertex_names name;
+    id
+
+let n_vertices t = U.Dynarray.length t.vertex_names
+
+let n_edges t = U.Dynarray.length t.edge_names
+
+let add_edge t ?name members =
+  let id = n_edges t in
+  let name = match name with Some n -> n | None -> "e" ^ string_of_int id in
+  U.Dynarray.push t.edge_names name;
+  U.Dynarray.push t.edge_members (List.map (add_vertex t) members);
+  id
+
+let add_to_edge t edge name =
+  if edge < 0 || edge >= n_edges t then
+    invalid_arg "Hypergraph_builder.add_to_edge: unknown hyperedge";
+  let v = add_vertex t name in
+  U.Dynarray.set t.edge_members edge (v :: U.Dynarray.get t.edge_members edge)
+
+let build t =
+  Hypergraph.of_arrays
+    ~vertex_names:(U.Dynarray.to_array t.vertex_names)
+    ~edge_names:(U.Dynarray.to_array t.edge_names)
+    ~n_vertices:(n_vertices t)
+    (Array.map Array.of_list (U.Dynarray.to_array t.edge_members))

@@ -1,0 +1,30 @@
+(** Incremental construction of named hypergraphs.
+
+    The immutable [Hypergraph.t] wants all members up front; this
+    builder accumulates proteins and complexes by name (ids assigned on
+    first sight), which is the natural shape when ingesting records —
+    e.g. streaming TAP purifications or rows of a curated table. *)
+
+type t
+
+val create : unit -> t
+
+val add_vertex : t -> string -> int
+(** Id of the named vertex, registering it if new. *)
+
+val add_edge : t -> ?name:string -> string list -> int
+(** Register a hyperedge over the named member vertices (created as
+    needed; duplicates within the list collapse).  [name] defaults to
+    ["e<i>"].  Returns the hyperedge id. *)
+
+val add_to_edge : t -> int -> string -> unit
+(** Add one member to an existing hyperedge.  Raises
+    [Invalid_argument] on an unknown hyperedge id. *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val build : t -> Hypergraph.t
+(** Freeze into an immutable hypergraph.  The builder stays usable;
+    later [build]s see later additions. *)

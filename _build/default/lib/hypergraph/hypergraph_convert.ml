@@ -1,0 +1,57 @@
+module H = Hypergraph
+module G = Hp_graph.Graph
+
+let clique_expansion h =
+  let edges = ref [] in
+  for e = 0 to H.n_edges h - 1 do
+    let ms = H.edge_members h e in
+    let s = Array.length ms in
+    for i = 0 to s - 1 do
+      for j = i + 1 to s - 1 do
+        edges := (ms.(i), ms.(j)) :: !edges
+      done
+    done
+  done;
+  G.of_edges ~n:(H.n_vertices h) !edges
+
+let default_centers h =
+  Array.init (H.n_edges h) (fun e ->
+      let ms = H.edge_members h e in
+      if Array.length ms = 0 then -1 else ms.(0))
+
+let star_expansion h ~centers =
+  if Array.length centers <> H.n_edges h then
+    invalid_arg "Hypergraph_convert.star_expansion: centers length mismatch";
+  let edges = ref [] in
+  Array.iteri
+    (fun e c ->
+      let ms = H.edge_members h e in
+      if Array.length ms > 0 then begin
+        if not (H.mem h ~vertex:c ~edge:e) then
+          invalid_arg "Hypergraph_convert.star_expansion: center not a member";
+        Array.iter (fun v -> if v <> c then edges := (c, v) :: !edges) ms
+      end)
+    centers;
+  G.of_edges ~n:(H.n_vertices h) !edges
+
+let intersection_weights h =
+  Hypergraph_reduce.overlaps h
+
+let intersection_graph_min_overlap h ~s =
+  if s < 1 then invalid_arg "Hypergraph_convert.intersection_graph_min_overlap: s < 1";
+  let edges =
+    List.filter_map
+      (fun (f, g, w) -> if w >= s then Some (f, g) else None)
+      (intersection_weights h)
+  in
+  G.of_edges ~n:(H.n_edges h) edges
+
+let intersection_graph h = intersection_graph_min_overlap h ~s:1
+
+let bipartite_graph h =
+  let nv = H.n_vertices h in
+  let edges = ref [] in
+  for e = 0 to H.n_edges h - 1 do
+    Array.iter (fun v -> edges := (v, nv + e) :: !edges) (H.edge_members h e)
+  done;
+  G.of_edges ~n:(nv + H.n_edges h) !edges

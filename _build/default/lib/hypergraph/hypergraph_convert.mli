@@ -1,0 +1,43 @@
+(** The graph representations the paper compares the hypergraph model
+    against (Sections 1.1-1.2): the two protein-protein interaction
+    projections (clique and star expansion) and the complex
+    intersection graph.  Both lose information the hypergraph keeps;
+    the conversions exist to reproduce the paper's storage and
+    clustering arguments and for interoperability with graph
+    algorithms. *)
+
+val clique_expansion : Hypergraph.t -> Hp_graph.Graph.t
+(** Protein interaction graph under the "every complex is a clique"
+    assumption: vertices are the hypergraph vertices, and two vertices
+    are adjacent when they co-occur in some hyperedge. *)
+
+val star_expansion : Hypergraph.t -> centers:int array -> Hp_graph.Graph.t
+(** Protein interaction graph under the "bait binds everything it
+    pulls down" assumption: [centers.(e)] is the bait vertex of
+    hyperedge [e] and is connected to every other member.  Requires
+    [centers.(e)] to be a member of edge [e] (or the edge to be
+    empty, in which case it contributes nothing). *)
+
+val default_centers : Hypergraph.t -> int array
+(** A center per hyperedge: its minimum-id member ([-1] for an empty
+    hyperedge, which [star_expansion] then skips). *)
+
+val intersection_graph : Hypergraph.t -> Hp_graph.Graph.t
+(** Complex intersection graph: vertices are the hyperedges, adjacent
+    when they share at least one vertex. *)
+
+val intersection_weights : Hypergraph.t -> (int * int * int) list
+(** Edges of the intersection graph with their shared-vertex counts,
+    [(f, g, weight)] with [f < g] — the weighting the paper suggests
+    for the complex intersection graph. *)
+
+val intersection_graph_min_overlap : Hypergraph.t -> s:int -> Hp_graph.Graph.t
+(** Thresholded intersection graph: complexes adjacent only when they
+    share at least [s] vertices.  [s = 1] is [intersection_graph];
+    higher [s] keeps only strongly overlapping complexes (shared
+    sub-assemblies rather than incidental common members). *)
+
+val bipartite_graph : Hypergraph.t -> Hp_graph.Graph.t
+(** B(H): vertex [v] of the hypergraph is node [v]; hyperedge [e] is
+    node [n_vertices + e]; nodes joined by membership.  Distances in
+    B(H) are twice the hypergraph path length. *)

@@ -1,0 +1,390 @@
+module U = Hp_util
+module H = Hypergraph
+
+type strategy = Overlap | Naive
+
+type stats = {
+  vertices_deleted : int;
+  edges_deleted : int;
+  maximality_checks : int;
+}
+
+type result = {
+  core : Hypergraph.t;
+  vertex_ids : int array;
+  edge_ids : int array;
+  stats : stats;
+}
+
+(* Mutable peeling state over a (reduced) hypergraph.  The two drivers
+   below share it: the per-k algorithm of Figure 4 seeds a worklist
+   with low-degree vertices, while the one-pass decomposition peels
+   minimum-degree vertices from a bucket queue.  They observe deletions
+   through the [on_vertex_degree] / [on_edge_delete] hooks. *)
+type state = {
+  m : int;                                (* edge count, for pair keys *)
+  strategy : strategy;
+  valive : bool array;
+  ealive : bool array;
+  vdeg : int array;
+  edeg : int array;
+  vadj : (int, unit) Hashtbl.t array;     (* vertex -> alive incident edges *)
+  members : (int, unit) Hashtbl.t array;  (* edge -> alive members *)
+  overlap : (int, int) Hashtbl.t;         (* key f*m+g (f<g) -> count *)
+  partners : (int, unit) Hashtbl.t array; (* edge -> overlapping alive edges *)
+  mutable on_vertex_degree : int -> unit; (* fires after a degree drop *)
+  mutable on_edge_delete : int -> unit;
+  mutable vdel : int;
+  mutable edel : int;
+  mutable checks : int;
+}
+
+let pair_key st f g = if f < g then (f * st.m) + g else (g * st.m) + f
+
+let get_overlap st f g =
+  Option.value (Hashtbl.find_opt st.overlap (pair_key st f g)) ~default:0
+
+let dec_overlap st f g =
+  let key = pair_key st f g in
+  match Hashtbl.find_opt st.overlap key with
+  | None -> ()
+  | Some 1 ->
+    Hashtbl.remove st.overlap key;
+    Hashtbl.remove st.partners.(f) g;
+    Hashtbl.remove st.partners.(g) f
+  | Some c -> Hashtbl.replace st.overlap key (c - 1)
+
+let init ~strategy ~domains h =
+  let nv = H.n_vertices h and m = H.n_edges h in
+  let st =
+    {
+      m;
+      strategy;
+      valive = Array.make nv true;
+      ealive = Array.make m true;
+      vdeg = H.vertex_degrees h;
+      edeg = H.edge_sizes h;
+      vadj = Array.init nv (fun v -> Hashtbl.create (1 + H.vertex_degree h v));
+      members = Array.init m (fun e -> Hashtbl.create (1 + H.edge_size h e));
+      overlap = Hashtbl.create (4 * (m + 1));
+      partners = Array.init m (fun _ -> Hashtbl.create 8);
+      on_vertex_degree = ignore;
+      on_edge_delete = ignore;
+      vdel = 0;
+      edel = 0;
+      checks = 0;
+    }
+  in
+  for v = 0 to nv - 1 do
+    Array.iter (fun e -> Hashtbl.replace st.vadj.(v) e ()) (H.vertex_edges h v)
+  done;
+  for e = 0 to m - 1 do
+    Array.iter (fun v -> Hashtbl.replace st.members.(e) v ()) (H.edge_members h e)
+  done;
+  (match strategy with
+  | Naive -> ()
+  | Overlap ->
+    (* Pairwise overlaps from vertex adjacency lists, the paper's
+       O(sum d(v)^2) preprocessing.  Vertices are independent, so the
+       counting fans out over domains into local tables that are merged
+       afterwards. *)
+    let local =
+      U.Parallel.fold_range ~domains ~n:nv
+        ~create:(fun () -> Hashtbl.create 256)
+        ~fold:(fun tbl v ->
+          let adj = H.vertex_edges h v in
+          let d = Array.length adj in
+          for i = 0 to d - 1 do
+            for j = i + 1 to d - 1 do
+              let key = pair_key st adj.(i) adj.(j) in
+              let c = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+              Hashtbl.replace tbl key (c + 1)
+            done
+          done;
+          tbl)
+        ~combine:(fun a b ->
+          let big, small =
+            if Hashtbl.length a >= Hashtbl.length b then (a, b) else (b, a)
+          in
+          Hashtbl.iter
+            (fun key c ->
+              let c0 = Option.value (Hashtbl.find_opt big key) ~default:0 in
+              Hashtbl.replace big key (c0 + c))
+            small;
+          big)
+    in
+    Hashtbl.iter
+      (fun key c ->
+        Hashtbl.replace st.overlap key c;
+        let f = key / m and g = key mod m in
+        Hashtbl.replace st.partners.(f) g ();
+        Hashtbl.replace st.partners.(g) f ())
+      local);
+  st
+
+let rec delete_edge st f =
+  st.ealive.(f) <- false;
+  st.edel <- st.edel + 1;
+  st.on_edge_delete f;
+  let ms = Hashtbl.fold (fun w () acc -> w :: acc) st.members.(f) [] in
+  List.iter
+    (fun w ->
+      Hashtbl.remove st.vadj.(w) f;
+      st.vdeg.(w) <- st.vdeg.(w) - 1;
+      if st.valive.(w) then st.on_vertex_degree w)
+    ms;
+  (match st.strategy with
+  | Naive -> ()
+  | Overlap ->
+    let ps = Hashtbl.fold (fun g () acc -> g :: acc) st.partners.(f) [] in
+    List.iter
+      (fun g ->
+        Hashtbl.remove st.partners.(g) f;
+        Hashtbl.remove st.overlap (pair_key st f g))
+      ps;
+    Hashtbl.reset st.partners.(f));
+  Hashtbl.reset st.members.(f)
+
+and check_maximality st f =
+  if st.ealive.(f) then begin
+    if st.edeg.(f) = 0 then delete_edge st f
+    else begin
+      let contained =
+        match st.strategy with
+        | Overlap ->
+          let found = ref false in
+          Hashtbl.iter
+            (fun g () ->
+              if (not !found) && st.ealive.(g) then begin
+                st.checks <- st.checks + 1;
+                let c = get_overlap st f g in
+                if c = st.edeg.(f)
+                   && (st.edeg.(g) > st.edeg.(f)
+                      || (st.edeg.(g) = st.edeg.(f) && g < f))
+                then found := true
+              end)
+            st.partners.(f);
+          !found
+        | Naive ->
+          (* Candidate containers share every member, so scanning the
+             alive edges incident to one member of f is complete. *)
+          let anchor =
+            Hashtbl.fold (fun w () acc -> if acc < 0 then w else acc) st.members.(f) (-1)
+          in
+          let subset_of g =
+            st.checks <- st.checks + 1;
+            Hashtbl.fold
+              (fun w () acc -> acc && Hashtbl.mem st.members.(g) w)
+              st.members.(f) true
+          in
+          Hashtbl.fold
+            (fun g () acc ->
+              acc
+              || (g <> f && st.ealive.(g)
+                 && (st.edeg.(g) > st.edeg.(f)
+                    || (st.edeg.(g) = st.edeg.(f) && g < f))
+                 && subset_of g))
+            st.vadj.(anchor) false
+      in
+      if contained then delete_edge st f
+    end
+  end
+
+let delete_vertex st v =
+  st.valive.(v) <- false;
+  st.vdel <- st.vdel + 1;
+  let affected = Hashtbl.fold (fun e () acc -> e :: acc) st.vadj.(v) [] in
+  (* Overlap bookkeeping: every pair of alive edges containing v loses
+     one common vertex. *)
+  (match st.strategy with
+  | Naive -> ()
+  | Overlap ->
+    let rec pairs = function
+      | [] -> ()
+      | f :: rest ->
+        List.iter (fun g -> dec_overlap st f g) rest;
+        pairs rest
+    in
+    pairs affected);
+  List.iter
+    (fun f ->
+      Hashtbl.remove st.members.(f) v;
+      st.edeg.(f) <- st.edeg.(f) - 1)
+    affected;
+  (* Only hyperedges whose degree was just decremented can have become
+     non-maximal (paper Section 3). *)
+  List.iter (fun f -> check_maximality st f) affected;
+  Hashtbl.reset st.vadj.(v)
+
+let alive_ids flags =
+  let buf = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun i alive -> if alive then U.Dynarray.push buf i) flags;
+  U.Dynarray.to_array buf
+
+let compose map ids = Array.map (fun i -> map.(i)) ids
+
+let k_core ?(strategy = Overlap) ?(domains = 1) h k =
+  if k < 0 then invalid_arg "Hypergraph_core.k_core: negative k";
+  let reduced, emap0 = Hypergraph_reduce.reduce h in
+  if k = 0 then begin
+    {
+      core = reduced;
+      vertex_ids = Array.init (H.n_vertices h) Fun.id;
+      edge_ids = emap0;
+      stats =
+        {
+          vertices_deleted = 0;
+          edges_deleted = H.n_edges h - H.n_edges reduced;
+          maximality_checks = 0;
+        };
+    }
+  end
+  else begin
+    let st = init ~strategy ~domains reduced in
+    let queue = Queue.create () in
+    st.on_vertex_degree <- (fun w -> if st.vdeg.(w) < k then Queue.add w queue);
+    (* An initially-empty hyperedge (possible only when it is the sole
+       hyperedge, otherwise reduction removed it) is deleted for any
+       k >= 1 — the paper's "special case of a hyperedge becoming
+       empty". *)
+    for e = 0 to H.n_edges reduced - 1 do
+      if st.edeg.(e) = 0 then delete_edge st e
+    done;
+    for v = 0 to H.n_vertices reduced - 1 do
+      if st.vdeg.(v) < k then Queue.add v queue
+    done;
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      if st.valive.(v) then delete_vertex st v
+    done;
+    let vkeep = alive_ids st.valive and ekeep = alive_ids st.ealive in
+    let core, _, esub = H.sub reduced ~vertices:vkeep ~edges:ekeep in
+    {
+      core;
+      vertex_ids = vkeep;
+      edge_ids = compose emap0 esub;
+      stats =
+        {
+          vertices_deleted = st.vdel;
+          edges_deleted = st.edel + (H.n_edges h - H.n_edges reduced);
+          maximality_checks = st.checks;
+        };
+    }
+  end
+
+type decomposition = {
+  vertex_core : int array;
+  edge_core : int array;
+  max_core : int;
+}
+
+let decompose_iterated ?(strategy = Overlap) ?(domains = 1) h =
+  let nv = H.n_vertices h and m = H.n_edges h in
+  let vertex_core = Array.make nv 0 in
+  let edge_core = Array.make m (-1) in
+  (* Edges surviving the initial reduction are at least in the 0-core. *)
+  let r0 = k_core ~strategy ~domains h 0 in
+  Array.iter (fun e -> edge_core.(e) <- 0) r0.edge_ids;
+  (* Iterate k upward, peeling the previous core (cores are nested; see
+     the property tests). *)
+  let rec loop k cur vids eids =
+    let r = k_core ~strategy ~domains cur k in
+    if H.n_vertices r.core = 0 then k - 1
+    else begin
+      let vids' = compose vids r.vertex_ids in
+      let eids' = compose eids r.edge_ids in
+      Array.iter (fun v -> vertex_core.(v) <- k) vids';
+      Array.iter (fun e -> edge_core.(e) <- k) eids';
+      loop (k + 1) r.core vids' eids'
+    end
+  in
+  let max_core = loop 1 r0.core (Array.init nv Fun.id) r0.edge_ids in
+  { vertex_core; edge_core; max_core = max max_core 0 }
+
+let decompose_onepass ?(strategy = Overlap) ?(domains = 1) h =
+  let nv = H.n_vertices h and m = H.n_edges h in
+  let vertex_core = Array.make nv 0 in
+  let edge_core = Array.make m (-1) in
+  let reduced, emap0 = Hypergraph_reduce.reduce h in
+  Array.iter (fun e -> edge_core.(e) <- 0) emap0;
+  let st = init ~strategy ~domains reduced in
+  (* Initially-empty hyperedges belong to the 0-core only. *)
+  for e = 0 to H.n_edges reduced - 1 do
+    if st.edeg.(e) = 0 then delete_edge st e
+  done;
+  let maxd = Array.fold_left max 0 st.vdeg in
+  let q = U.Bucket_queue.create ~n:nv ~max_key:maxd in
+  for v = 0 to nv - 1 do
+    U.Bucket_queue.insert q v st.vdeg.(v)
+  done;
+  let level = ref 0 in
+  st.on_vertex_degree <-
+    (fun w ->
+      if U.Bucket_queue.mem q w then
+        (* Degree below the current level cannot lower the core number
+           any further; clamp so the bucket scan stays monotone. *)
+        U.Bucket_queue.change_key q w (max st.vdeg.(w) !level));
+  st.on_edge_delete <- (fun f -> edge_core.(emap0.(f)) <- !level);
+  let continue = ref true in
+  while !continue do
+    match U.Bucket_queue.pop_min q with
+    | None -> continue := false
+    | Some (v, d) ->
+      if d > !level then level := d;
+      vertex_core.(v) <- !level;
+      delete_vertex st v
+  done;
+  { vertex_core; edge_core; max_core = !level }
+
+let decompose = decompose_onepass
+
+let max_core ?(strategy = Overlap) ?(domains = 1) h =
+  let d = decompose_onepass ~strategy ~domains h in
+  (d.max_core, k_core ~strategy ~domains h d.max_core)
+
+let core_profile d =
+  Array.init (d.max_core + 1) (fun k ->
+      let nv =
+        Array.fold_left (fun a c -> if c >= k then a + 1 else a) 0 d.vertex_core
+      in
+      let ne =
+        Array.fold_left (fun a c -> if c >= k then a + 1 else a) 0 d.edge_core
+      in
+      (k, nv, ne))
+
+type round_stats = {
+  rounds : int;
+  batch_sizes : int array;
+  core_vertices : int;
+  core_edges : int;
+}
+
+let peel_rounds ?(strategy = Overlap) ?(domains = 1) h k =
+  if k < 0 then invalid_arg "Hypergraph_core.peel_rounds: negative k";
+  let reduced, _ = Hypergraph_reduce.reduce h in
+  let nv = H.n_vertices reduced in
+  let st = init ~strategy ~domains reduced in
+  for e = 0 to H.n_edges reduced - 1 do
+    if st.edeg.(e) = 0 then delete_edge st e
+  done;
+  let batches = U.Dynarray.create ~dummy:0 () in
+  let continue = ref (k > 0) in
+  while !continue do
+    let batch = ref [] in
+    for v = 0 to nv - 1 do
+      if st.valive.(v) && st.vdeg.(v) < k then batch := v :: !batch
+    done;
+    match !batch with
+    | [] -> continue := false
+    | vs ->
+      U.Dynarray.push batches (List.length vs);
+      List.iter (fun v -> if st.valive.(v) then delete_vertex st v) vs
+  done;
+  let core_vertices = Array.fold_left (fun a b -> if b then a + 1 else a) 0 st.valive in
+  let core_edges = Array.fold_left (fun a b -> if b then a + 1 else a) 0 st.ealive in
+  {
+    rounds = U.Dynarray.length batches;
+    batch_sizes = U.Dynarray.to_array batches;
+    core_vertices;
+    core_edges;
+  }

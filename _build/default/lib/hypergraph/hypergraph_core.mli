@@ -1,0 +1,95 @@
+(** The k-core of a hypergraph (paper Section 3, Figure 4).
+
+    The k-core of H is the maximal subhypergraph that is reduced (every
+    hyperedge maximal) and in which every vertex belongs to at least k
+    hyperedges.  The algorithm deletes vertices of degree < k; removing
+    a vertex shrinks the hyperedges containing it, and a hyperedge that
+    stops being maximal — including the special case of becoming
+    empty — is deleted outright, which lowers the degrees of its
+    remaining members and can cascade.
+
+    Maximality is detected without comparing vertex lists, by
+    maintaining pairwise hyperedge overlaps: after a deletion, a
+    hyperedge f is contained in a partner g exactly when its current
+    degree equals its current overlap with g (the paper's key
+    observation).  A naive strategy that re-scans member lists is kept
+    for differential testing and for the E11 ablation bench.
+
+    Uniqueness caveat: the k-core is unique as a SET SYSTEM, but when
+    two hyperedges shrink to the same restriction during peeling,
+    either original may represent the surviving set — edge identity in
+    the result depends on deletion order (vertex core numbers and the
+    multiset of edge core levels do not). *)
+
+type strategy =
+  | Overlap  (** overlap-count maximality (the paper's algorithm) *)
+  | Naive    (** subset re-scan maximality (oracle / ablation) *)
+
+type stats = {
+  vertices_deleted : int;
+  edges_deleted : int;
+  maximality_checks : int;
+  (** Number of (hyperedge, candidate container) containment tests. *)
+}
+
+type result = {
+  core : Hypergraph.t;
+  vertex_ids : int array;  (** new-to-old vertex id map into the input *)
+  edge_ids : int array;    (** new-to-old hyperedge id map into the input *)
+  stats : stats;
+}
+
+val k_core : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int -> result
+(** [k_core h k] for k >= 0.  The 0-core is the reduced input with all
+    vertices.  Raises [Invalid_argument] for negative k. *)
+
+type decomposition = {
+  vertex_core : int array;
+  (** Largest k such that the vertex is in the k-core (>= 0). *)
+  edge_core : int array;
+  (** Largest k such that the hyperedge is in the k-core; [-1] for
+      hyperedges dropped when reducing the input. *)
+  max_core : int;
+  (** Largest k with a non-empty k-core; 0 when the 1-core is empty. *)
+}
+
+val decompose : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+(** Alias for [decompose_onepass]. *)
+
+val decompose_iterated : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+(** Runs [k_core] for k = 1, 2, ... on the shrinking core, exactly as
+    the paper describes the maximum-core search.  Cost grows with the
+    maximum core index; kept as the reference implementation. *)
+
+val decompose_onepass : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+(** Single minimum-degree peel over a bucket queue (the hypergraph
+    analogue of the Batagelj-Zaversnik sweep): the level only rises,
+    every vertex is deleted once, and the core numbers fall out of the
+    deletion levels.  Agrees with [decompose_iterated] (property-tested)
+    at a fraction of the cost for deep cores. *)
+
+val max_core : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int * result
+(** The maximum core and its index: the k-core for the largest k such
+    that the core still has vertices. *)
+
+val core_profile : decomposition -> (int * int * int) array
+(** Per level k = 0 .. max_core: [(k, vertices in the k-core, edges in
+    the k-core)] — the series behind a core-decomposition plot, and the
+    statistic compared against null models in the E17 bench. *)
+
+type round_stats = {
+  rounds : int;
+  (** Number of synchronous peeling rounds until the k-core fixpoint —
+      the parallel depth of the computation. *)
+  batch_sizes : int array;
+  (** Vertices deleted in each round. *)
+  core_vertices : int;
+  core_edges : int;
+}
+
+val peel_rounds : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int -> round_stats
+(** Batch-synchronous variant of the k-core peel: each round deletes
+    every vertex currently below degree k at once.  The round count is
+    the depth a parallel implementation would need — the groundwork for
+    the parallel algorithm the paper calls for on large hypergraphs
+    (Section 3).  The resulting core equals [k_core]'s. *)

@@ -1,0 +1,10 @@
+module H = Hypergraph
+
+let dual h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let members = Array.init nv (fun v -> Array.copy (H.vertex_edges h v)) in
+  let vertex_names = Array.init ne (fun e -> H.edge_name h e) in
+  let edge_names = Array.init nv (fun v -> H.vertex_name h v) in
+  H.of_arrays ~vertex_names ~edge_names ~n_vertices:ne members
+
+let complex_core h k = Hypergraph_core.k_core (dual h) k

@@ -1,0 +1,21 @@
+(** The dual hypergraph: vertices and hyperedges swap roles.
+
+    In the protein complex reading, the dual's vertices are the
+    complexes and its hyperedges are the proteins, each containing the
+    complexes that protein belongs to.  Two classical identities tie
+    the paper's representations together (both property-tested):
+
+    - the complex intersection graph of H (Section 1.1) is exactly the
+      clique expansion of dual(H);
+    - dual(dual(H)) = H.
+
+    The k-core of the dual is a "complex core": complexes that each
+    share proteins with many other retained complexes. *)
+
+val dual : Hypergraph.t -> Hypergraph.t
+(** Names carry over with roles swapped. *)
+
+val complex_core :
+  Hypergraph.t -> int -> Hypergraph_core.result
+(** [complex_core h k] = k-core of [dual h]: in the result, vertices
+    are complexes of [h] and hyperedges are proteins of [h]. *)

@@ -1,0 +1,81 @@
+module U = Hp_util
+module H = Hypergraph
+
+let uniform rng ~nv ~ne ~edge_size =
+  if edge_size > nv then invalid_arg "Hypergraph_gen.uniform: edge_size > nv";
+  let members =
+    Array.init ne (fun _ -> U.Prng.sample_without_replacement rng edge_size nv)
+  in
+  H.of_arrays ~n_vertices:nv members
+
+let bipartite_configuration rng ~vertex_degrees ~edge_sizes =
+  let nv = Array.length vertex_degrees and ne = Array.length edge_sizes in
+  let vstubs =
+    Array.concat
+      (Array.to_list (Array.mapi (fun v d -> Array.make (max d 0) v) vertex_degrees))
+  in
+  let estubs =
+    Array.concat
+      (Array.to_list (Array.mapi (fun e s -> Array.make (max s 0) e) edge_sizes))
+  in
+  U.Prng.shuffle rng vstubs;
+  U.Prng.shuffle rng estubs;
+  let n = min (Array.length vstubs) (Array.length estubs) in
+  let members = Array.make ne [] in
+  for i = 0 to n - 1 do
+    let v = vstubs.(i) and e = estubs.(i) in
+    members.(e) <- v :: members.(e)
+  done;
+  H.of_arrays ~n_vertices:nv (Array.map Array.of_list members)
+
+let powerlaw_membership rng ~nv ~ne ~gamma ~dmax =
+  let vertex_degrees =
+    Array.init nv (fun _ -> U.Prng.powerlaw_int rng ~gamma ~dmin:1 ~dmax)
+  in
+  let total = Array.fold_left ( + ) 0 vertex_degrees in
+  (* Spread the same stub total over the hyperedges, uniformly. *)
+  let edge_sizes = Array.make ne 0 in
+  for _ = 1 to total do
+    let e = U.Prng.int rng ne in
+    edge_sizes.(e) <- edge_sizes.(e) + 1
+  done;
+  bipartite_configuration rng ~vertex_degrees ~edge_sizes
+
+let degree_preserving_shuffle rng h ~rounds =
+  let ne = H.n_edges h in
+  (* Mutable membership sets. *)
+  let members =
+    Array.init ne (fun e ->
+        let tbl = Hashtbl.create (1 + H.edge_size h e) in
+        Array.iter (fun v -> Hashtbl.replace tbl v ()) (H.edge_members h e);
+        tbl)
+  in
+  (* Flat incidence list for uniform pair sampling. *)
+  let pairs = U.Dynarray.create ~dummy:(0, 0) () in
+  for e = 0 to ne - 1 do
+    Array.iter (fun v -> U.Dynarray.push pairs (v, e)) (H.edge_members h e)
+  done;
+  let np = U.Dynarray.length pairs in
+  if np >= 2 then begin
+    let attempts = rounds * np in
+    for _ = 1 to attempts do
+      let i = U.Prng.int rng np and j = U.Prng.int rng np in
+      let v1, e1 = U.Dynarray.get pairs i and v2, e2 = U.Dynarray.get pairs j in
+      (* Swap memberships when it keeps both hyperedges simple sets. *)
+      if i <> j && e1 <> e2 && v1 <> v2
+         && (not (Hashtbl.mem members.(e1) v2))
+         && not (Hashtbl.mem members.(e2) v1)
+      then begin
+        Hashtbl.remove members.(e1) v1;
+        Hashtbl.remove members.(e2) v2;
+        Hashtbl.replace members.(e1) v2 ();
+        Hashtbl.replace members.(e2) v1 ();
+        U.Dynarray.set pairs i (v2, e1);
+        U.Dynarray.set pairs j (v1, e2)
+      end
+    done
+  end;
+  let arrays =
+    Array.map (fun tbl -> Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])) members
+  in
+  H.of_arrays ~n_vertices:(H.n_vertices h) arrays

@@ -1,0 +1,36 @@
+(** Random hypergraph generators: null models for the statistical
+    analyses and fuzz inputs for the property-based tests. *)
+
+val uniform : Hp_util.Prng.t -> nv:int -> ne:int -> edge_size:int -> Hypergraph.t
+(** Each hyperedge is an independent uniform [edge_size]-subset of the
+    vertices.  Requires [edge_size <= nv]. *)
+
+val bipartite_configuration :
+  Hp_util.Prng.t ->
+  vertex_degrees:int array ->
+  edge_sizes:int array ->
+  Hypergraph.t
+(** Erased bipartite configuration model: vertex stubs (one per unit of
+    requested degree) are matched with hyperedge slots uniformly at
+    random; duplicate memberships collapse, so realized degrees can be
+    slightly below the request.  Stub totals need not agree — the
+    shorter side truncates the pairing. *)
+
+val powerlaw_membership :
+  Hp_util.Prng.t ->
+  nv:int ->
+  ne:int ->
+  gamma:float ->
+  dmax:int ->
+  Hypergraph.t
+(** Vertex degrees drawn from a truncated power law with exponent
+    [gamma] on [1, dmax]; memberships assigned by the configuration
+    pairing with hyperedges picked uniformly. *)
+
+val degree_preserving_shuffle :
+  Hp_util.Prng.t -> Hypergraph.t -> rounds:int -> Hypergraph.t
+(** Null model for the small-world comparison: rewires membership
+    pairs (v1 in f1, v2 in f2) -> (v1 in f2, v2 in f1) when valid,
+    preserving every vertex degree and hyperedge size while
+    randomizing the wiring.  [rounds] is a multiplier on |E| swap
+    attempts. *)

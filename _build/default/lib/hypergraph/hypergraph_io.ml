@@ -1,0 +1,72 @@
+module H = Hypergraph
+
+let to_string h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# hyperprot hypergraph\n";
+  let in_some_edge = Array.make (H.n_vertices h) false in
+  for e = 0 to H.n_edges h - 1 do
+    Buffer.add_string buf (H.edge_name h e);
+    Buffer.add_char buf ':';
+    Array.iter
+      (fun v ->
+        in_some_edge.(v) <- true;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (H.vertex_name h v))
+      (H.edge_members h e);
+    Buffer.add_char buf '\n'
+  done;
+  Array.iteri
+    (fun v covered ->
+      if not covered then begin
+        Buffer.add_string buf "vertex ";
+        Buffer.add_string buf (H.vertex_name h v);
+        Buffer.add_char buf '\n'
+      end)
+    in_some_edge;
+  Buffer.contents buf
+
+let write path h =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string h))
+
+let of_string text =
+  let vertex_ids = Hashtbl.create 256 in
+  let vertex_names = Hp_util.Dynarray.create ~dummy:"" () in
+  let vertex_id name =
+    match Hashtbl.find_opt vertex_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hp_util.Dynarray.length vertex_names in
+      Hashtbl.add vertex_ids name id;
+      Hp_util.Dynarray.push vertex_names name;
+      id
+  in
+  let edges = Hp_util.Dynarray.create ~dummy:("", [||]) () in
+  let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then begin
+           match tokens line with
+           | [ "vertex"; name ] -> ignore (vertex_id name)
+           | first :: rest when String.length first > 1 && first.[String.length first - 1] = ':' ->
+             let name = String.sub first 0 (String.length first - 1) in
+             let members = Array.of_list (List.map vertex_id rest) in
+             Hp_util.Dynarray.push edges (name, members)
+           | _ ->
+             failwith
+               (Printf.sprintf "Hypergraph_io: malformed line %d: %S" (lineno + 1) line)
+         end);
+  let edge_arr = Hp_util.Dynarray.to_array edges in
+  H.of_arrays
+    ~vertex_names:(Hp_util.Dynarray.to_array vertex_names)
+    ~edge_names:(Array.map fst edge_arr)
+    ~n_vertices:(Hp_util.Dynarray.length vertex_names)
+    (Array.map snd edge_arr)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

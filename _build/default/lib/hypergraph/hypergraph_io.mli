@@ -1,0 +1,18 @@
+(** Plain-text persistence for hypergraphs (`.hg` files).
+
+    Format: one hyperedge per line, [edge_name: member member ...],
+    names being whitespace-free tokens.  Lines starting with [#] and
+    blank lines are ignored.  Vertices are identified by name; ids are
+    assigned in order of first appearance.  An isolated vertex can be
+    declared with a [vertex <name>] line. *)
+
+val to_string : Hypergraph.t -> string
+
+val write : string -> Hypergraph.t -> unit
+(** [write path h] *)
+
+val of_string : string -> Hypergraph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val read : string -> Hypergraph.t
+(** [read path] *)

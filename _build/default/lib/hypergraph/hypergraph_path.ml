@@ -1,0 +1,128 @@
+module U = Hp_util
+module H = Hypergraph
+
+(* BFS on the bipartite view, alternating vertex and hyperedge layers.
+   Vertex distance d corresponds to d hyperedges along the path. *)
+let bfs h src =
+  let nv = H.n_vertices h in
+  let ne = H.n_edges h in
+  let vdist = Array.make nv (-1) in
+  let evisited = Array.make ne false in
+  let queue = Queue.create () in
+  vdist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun e ->
+        if not evisited.(e) then begin
+          evisited.(e) <- true;
+          Array.iter
+            (fun w ->
+              if vdist.(w) < 0 then begin
+                vdist.(w) <- vdist.(v) + 1;
+                Queue.add w queue
+              end)
+            (H.edge_members h e)
+        end)
+      (H.vertex_edges h v)
+  done;
+  vdist
+
+let distance h u v =
+  let d = (bfs h u).(v) in
+  if d < 0 then None else Some d
+
+let components h =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  let ds = U.Disjoint_set.create (nv + ne) in
+  for e = 0 to ne - 1 do
+    Array.iter (fun v -> ignore (U.Disjoint_set.union ds v (nv + e))) (H.edge_members h e)
+  done;
+  let vlabel = Array.make nv (-1) and elabel = Array.make ne (-1) in
+  let canon = Hashtbl.create 64 in
+  let next = ref 0 in
+  let label_of node =
+    let r = U.Disjoint_set.find ds node in
+    match Hashtbl.find_opt canon r with
+    | Some l -> l
+    | None ->
+      let l = !next in
+      incr next;
+      Hashtbl.add canon r l;
+      l
+  in
+  for v = 0 to nv - 1 do
+    vlabel.(v) <- label_of v
+  done;
+  for e = 0 to ne - 1 do
+    elabel.(e) <- label_of (nv + e)
+  done;
+  (vlabel, elabel, !next)
+
+let n_components h =
+  let _, _, c = components h in
+  c
+
+let component_summary h =
+  let vlabel, elabel, count = components h in
+  let nv = Array.make count 0 and ne = Array.make count 0 in
+  Array.iter (fun c -> nv.(c) <- nv.(c) + 1) vlabel;
+  Array.iter (fun c -> ne.(c) <- ne.(c) + 1) elabel;
+  let pairs = Array.init count (fun c -> (nv.(c), ne.(c))) in
+  Array.sort (fun a b -> compare b a) pairs;
+  pairs
+
+let largest_component h =
+  let vlabel, elabel, count = components h in
+  if count = 0 then (h, [||], [||])
+  else begin
+    let sizes = Array.make count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) vlabel;
+    let best = ref 0 in
+    Array.iteri (fun c s -> if s > sizes.(!best) then best := c) sizes;
+    let vkeep = U.Dynarray.create ~dummy:0 () in
+    Array.iteri (fun v c -> if c = !best then U.Dynarray.push vkeep v) vlabel;
+    let ekeep = U.Dynarray.create ~dummy:0 () in
+    Array.iteri (fun e c -> if c = !best then U.Dynarray.push ekeep e) elabel;
+    H.sub h ~vertices:(U.Dynarray.to_array vkeep) ~edges:(U.Dynarray.to_array ekeep)
+  end
+
+(* One BFS per source, accumulating (sum of finite distances, finite
+   ordered pairs, max distance).  Sources are independent, so the sweep
+   fans out across domains: the hypergraph is only read. *)
+let pair_stats_over ~domains h ~n_sources ~source_of =
+  let fold (sum, pairs, dmax) i =
+    let src = source_of i in
+    let dist = bfs h src in
+    let sum = ref sum and pairs = ref pairs and dmax = ref dmax in
+    Array.iteri
+      (fun v d ->
+        if v <> src && d > 0 then begin
+          sum := !sum + d;
+          incr pairs;
+          if d > !dmax then dmax := d
+        end)
+      dist;
+    (!sum, !pairs, !dmax)
+  in
+  let sum, pairs, dmax =
+    U.Parallel.fold_range ~domains ~n:n_sources
+      ~create:(fun () -> (0, 0, 0))
+      ~fold
+      ~combine:(fun (a, b, c) (d, e, f) -> (a + d, b + e, max c f))
+  in
+  let avg = if pairs = 0 then 0.0 else float_of_int sum /. float_of_int pairs in
+  (dmax, avg)
+
+let diameter_and_average_path ?(domains = 1) h =
+  pair_stats_over ~domains h ~n_sources:(H.n_vertices h) ~source_of:Fun.id
+
+let sampled_diameter_and_average_path rng h ~samples =
+  let nv = H.n_vertices h in
+  if nv = 0 then (0, 0.0)
+  else begin
+    let sources = Array.init samples (fun _ -> U.Prng.int rng nv) in
+    pair_stats_over ~domains:1 h ~n_sources:samples
+      ~source_of:(fun i -> sources.(i))
+  end

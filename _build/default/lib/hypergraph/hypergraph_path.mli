@@ -1,0 +1,38 @@
+(** Paths and connectivity in a hypergraph (paper Section 1.3).
+
+    A path is an alternating sequence of vertices and hyperedges; its
+    length is the number of hyperedges in it, i.e. half the hop count
+    of the corresponding walk in the bipartite graph B(H).  The
+    distance between two vertices is the length of a shortest path;
+    the diameter is the maximum distance over connected pairs. *)
+
+val bfs : Hypergraph.t -> int -> int array
+(** [bfs h v] gives the hyperedge-counting distance from [v] to every
+    vertex ([-1] when unreachable, [0] for [v] itself). *)
+
+val distance : Hypergraph.t -> int -> int -> int option
+
+val components : Hypergraph.t -> int array * int array * int
+(** [(vertex_label, edge_label, count)]: connected-component labels for
+    vertices and hyperedges.  An empty hyperedge forms its own
+    component; an isolated vertex likewise. *)
+
+val n_components : Hypergraph.t -> int
+
+val component_summary : Hypergraph.t -> (int * int) array
+(** Per component, [(n_vertices, n_edges)], sorted by decreasing vertex
+    count. *)
+
+val largest_component : Hypergraph.t -> Hypergraph.t * int array * int array
+(** The subhypergraph induced by a component with the most vertices,
+    plus new-to-old id maps. *)
+
+val diameter_and_average_path : ?domains:int -> Hypergraph.t -> int * float
+(** Exact all-pairs sweep over vertices: [(diameter, average path
+    length)] over reachable ordered pairs of distinct vertices.  The
+    per-source BFS runs fan out over [domains] (default 1) — see
+    [Hp_util.Parallel] and the E20 bench. *)
+
+val sampled_diameter_and_average_path :
+  Hp_util.Prng.t -> Hypergraph.t -> samples:int -> int * float
+(** Estimate from BFS at sampled source vertices, for large inputs. *)

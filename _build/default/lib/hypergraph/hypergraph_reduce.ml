@@ -1,0 +1,65 @@
+module U = Hp_util
+module H = Hypergraph
+
+let overlap_table h =
+  (* overlap(f, g) for f < g, keyed by f * n_edges + g. *)
+  let m = H.n_edges h in
+  let table = Hashtbl.create (4 * m) in
+  for v = 0 to H.n_vertices h - 1 do
+    let adj = H.vertex_edges h v in
+    let d = Array.length adj in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        let key = (adj.(i) * m) + adj.(j) in
+        let c = Option.value (Hashtbl.find_opt table key) ~default:0 in
+        Hashtbl.replace table key (c + 1)
+      done
+    done
+  done;
+  table
+
+let overlaps h =
+  let m = H.n_edges h in
+  Hashtbl.fold
+    (fun key c acc -> (key / m, key mod m, c) :: acc)
+    (overlap_table h) []
+  |> List.sort compare
+
+let non_maximal_edges h =
+  let m = H.n_edges h in
+  let doomed = Array.make m false in
+  (* An empty hyperedge is contained in any other hyperedge.  Among
+     multiple empty hyperedges the smallest id survives, and only if no
+     non-empty hyperedge exists at all. *)
+  let first_empty = ref (-1) and has_nonempty = ref false in
+  for e = 0 to m - 1 do
+    if H.edge_size h e = 0 then begin
+      if !first_empty < 0 then first_empty := e
+    end
+    else has_nonempty := true
+  done;
+  for e = 0 to m - 1 do
+    if H.edge_size h e = 0 && (!has_nonempty || e <> !first_empty) then
+      doomed.(e) <- true
+  done;
+  List.iter
+    (fun (f, g, c) ->
+      let df = H.edge_size h f and dg = H.edge_size h g in
+      if c = df && c = dg then
+        (* Identical member sets: keep the smaller id (f < g). *)
+        doomed.(g) <- true
+      else if c = df && df < dg then doomed.(f) <- true
+      else if c = dg && dg < df then doomed.(g) <- true)
+    (overlaps h);
+  let buf = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun e b -> if b then U.Dynarray.push buf e) doomed;
+  U.Dynarray.to_array buf
+
+let reduce h =
+  let bad = non_maximal_edges h in
+  let keep =
+    U.Sorted.diff (Array.init (H.n_edges h) Fun.id) bad
+  in
+  let vertices = Array.init (H.n_vertices h) Fun.id in
+  let h', _, emap = H.sub h ~vertices ~edges:keep in
+  (h', emap)

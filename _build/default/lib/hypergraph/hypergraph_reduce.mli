@@ -1,0 +1,26 @@
+(** Reduced hypergraphs and hyperedge overlaps (paper Section 3).
+
+    A reduced hypergraph is one in which every hyperedge is maximal:
+    no hyperedge is contained in another.  The k-core is defined over
+    reduced subhypergraphs, so inputs are reduced before peeling.
+
+    Containment is detected the way the paper proposes: by counting
+    pairwise overlaps rather than comparing vertex lists — f is
+    contained in g exactly when overlap(f, g) = degree(f). *)
+
+val overlaps : Hypergraph.t -> (int * int * int) list
+(** All pairs of distinct hyperedges with a non-zero overlap, as
+    [(f, g, count)] with [f < g], in lexicographic order.  Computed by
+    scanning vertex adjacency lists in time proportional to the sum of
+    squared vertex degrees. *)
+
+val non_maximal_edges : Hypergraph.t -> int array
+(** Hyperedges contained in (or equal to) another hyperedge, sorted.
+    Among hyperedges with identical member sets all but the one with
+    the smallest id are reported (the paper leaves the tie-break
+    unspecified; this choice is documented in DESIGN.md).  Empty
+    hyperedges are reported whenever any other hyperedge exists. *)
+
+val reduce : Hypergraph.t -> Hypergraph.t * int array
+(** Remove non-maximal hyperedges.  Returns the reduced hypergraph
+    (all vertices kept) and the new-to-old hyperedge id map. *)

@@ -1,0 +1,37 @@
+module H = Hypergraph
+module G = Hp_graph.Graph
+
+type report = {
+  hypergraph_entries : int;
+  clique_entries : int;
+  clique_entries_raw : int;
+  star_entries : int;
+  intersection_entries : int;
+}
+
+let raw_clique_entries h =
+  let total = ref 0 in
+  for e = 0 to H.n_edges h - 1 do
+    let s = H.edge_size h e in
+    total := !total + (s * (s - 1))
+  done;
+  !total
+
+let measure h =
+  let clique = Hypergraph_convert.clique_expansion h in
+  let star = Hypergraph_convert.star_expansion h ~centers:(Hypergraph_convert.default_centers h) in
+  let inter = Hypergraph_convert.intersection_graph h in
+  {
+    hypergraph_entries = H.total_incidence h;
+    clique_entries = 2 * G.n_edges clique;
+    clique_entries_raw = raw_clique_entries h;
+    star_entries = 2 * G.n_edges star;
+    intersection_entries = 2 * G.n_edges inter;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>hypergraph: %d entries@,clique expansion: %d entries (%d before dedup)@,\
+     star expansion: %d entries@,intersection graph: %d entries@]"
+    r.hypergraph_entries r.clique_entries r.clique_entries_raw r.star_entries
+    r.intersection_entries

@@ -1,0 +1,26 @@
+(** Storage accounting for the representation argument of Sections
+    1.2-1.3: a complex of n proteins costs O(n) in the hypergraph but
+    O(n^2) edge entries in the clique-expansion interaction graph, and
+    a protein in m complexes induces O(m^2) edges in the complex
+    intersection graph.
+
+    Costs are reported as incidence-entry counts (one integer per
+    membership, two per graph edge), a machine-independent proxy for
+    words of memory. *)
+
+type report = {
+  hypergraph_entries : int;   (** |E|: one entry per membership. *)
+  clique_entries : int;       (** 2 x edges of the clique expansion (deduplicated). *)
+  clique_entries_raw : int;   (** 2 x sum over complexes of (s choose 2), no dedup. *)
+  star_entries : int;         (** 2 x edges of the star expansion. *)
+  intersection_entries : int; (** 2 x edges of the intersection graph. *)
+}
+
+val measure : Hypergraph.t -> report
+(** Materializes the deduplicated representations; suitable up to
+    moderate sizes. *)
+
+val raw_clique_entries : Hypergraph.t -> int
+(** Analytic count without materializing, for large inputs. *)
+
+val pp_report : Format.formatter -> report -> unit

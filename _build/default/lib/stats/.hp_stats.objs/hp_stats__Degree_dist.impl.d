@@ -1,0 +1,1 @@
+lib/stats/degree_dist.ml: Array Hp_hypergraph Hp_util List

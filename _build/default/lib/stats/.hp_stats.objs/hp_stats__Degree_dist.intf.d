@@ -1,0 +1,1 @@
+lib/stats/degree_dist.mli: Hp_hypergraph Hp_util

@@ -1,0 +1,1 @@
+lib/stats/powerlaw.ml: Array Degree_dist Float Hashtbl Hp_util List Option

@@ -1,0 +1,1 @@
+lib/stats/smallworld.ml: Hp_graph Hp_hypergraph Hp_util

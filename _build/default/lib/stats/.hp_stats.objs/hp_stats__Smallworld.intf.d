@@ -1,0 +1,1 @@
+lib/stats/smallworld.mli: Hp_graph Hp_hypergraph Hp_util

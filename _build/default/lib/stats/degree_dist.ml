@@ -1,0 +1,16 @@
+module U = Hp_util
+module H = Hp_hypergraph.Hypergraph
+
+let vertex_histogram h = U.Int_histogram.of_array (H.vertex_degrees h)
+
+let edge_histogram h = U.Int_histogram.of_array (H.edge_sizes h)
+
+let frequency_series hist = Array.of_list (U.Int_histogram.support hist)
+
+let loglog_points hist =
+  U.Int_histogram.support hist
+  |> List.filter (fun (d, c) -> d >= 1 && c > 0)
+  |> List.map (fun (d, c) -> (log10 (float_of_int d), log10 (float_of_int c)))
+  |> Array.of_list
+
+let count_with_degree = U.Int_histogram.count

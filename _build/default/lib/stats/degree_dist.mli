@@ -1,0 +1,18 @@
+(** Degree distributions of the protein complex hypergraph (paper
+    Section 2 / Figure 1). *)
+
+val vertex_histogram : Hp_hypergraph.Hypergraph.t -> Hp_util.Int_histogram.t
+(** Frequencies of protein degrees (number of complexes a protein
+    belongs to). *)
+
+val edge_histogram : Hp_hypergraph.Hypergraph.t -> Hp_util.Int_histogram.t
+(** Frequencies of complex sizes. *)
+
+val frequency_series : Hp_util.Int_histogram.t -> (int * int) array
+(** [(degree, count)] pairs with positive count, increasing degree. *)
+
+val loglog_points : Hp_util.Int_histogram.t -> (float * float) array
+(** [(log10 degree, log10 count)] for degrees >= 1 with positive
+    count — the points Figure 1 plots and fits. *)
+
+val count_with_degree : Hp_util.Int_histogram.t -> int -> int

@@ -1,0 +1,73 @@
+(* log-factorials: exact summation with a memo table, adequate for the
+   population sizes here (thousands). *)
+let memo = ref (Array.make 1 0.0)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Hypergeom.log_factorial: negative";
+  let table = !memo in
+  if n < Array.length table then table.(n)
+  else begin
+    let size = max (n + 1) (2 * Array.length table) in
+    let bigger = Array.make size 0.0 in
+    Array.blit table 0 bigger 0 (Array.length table);
+    for i = max 1 (Array.length table) to size - 1 do
+      bigger.(i) <- bigger.(i - 1) +. log (float_of_int i)
+    done;
+    memo := bigger;
+    bigger.(n)
+  end
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let pmf ~capital_n ~capital_k ~n ~x =
+  if capital_k > capital_n || n > capital_n then invalid_arg "Hypergeom.pmf: bad parameters";
+  let l =
+    log_choose capital_k x
+    +. log_choose (capital_n - capital_k) (n - x)
+    -. log_choose capital_n n
+  in
+  if l = neg_infinity then 0.0 else exp l
+
+let p_value_ge ~capital_n ~capital_k ~n ~x =
+  let hi = min capital_k n in
+  let p = ref 0.0 in
+  for i = max x 0 to hi do
+    p := !p +. pmf ~capital_n ~capital_k ~n ~x:i
+  done;
+  min 1.0 !p
+
+type enrichment = {
+  population : int;
+  labelled : int;
+  sample : int;
+  hits : int;
+  sample_fraction : float;
+  population_fraction : float;
+  fold : float;
+  p_value : float;
+}
+
+let test ~population ~labelled ~sample ~hits =
+  if hits > sample || labelled > population || sample > population then
+    invalid_arg "Hypergeom.test: inconsistent counts";
+  let sample_fraction =
+    if sample = 0 then 0.0 else float_of_int hits /. float_of_int sample
+  in
+  let population_fraction =
+    if population = 0 then 0.0 else float_of_int labelled /. float_of_int population
+  in
+  let fold =
+    if population_fraction = 0.0 then infinity else sample_fraction /. population_fraction
+  in
+  {
+    population;
+    labelled;
+    sample;
+    hits;
+    sample_fraction;
+    population_fraction;
+    fold;
+    p_value = p_value_ge ~capital_n:population ~capital_k:labelled ~n:sample ~x:hits;
+  }

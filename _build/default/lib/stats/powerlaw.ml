@@ -1,0 +1,89 @@
+module U = Hp_util
+
+type loglog_fit = {
+  log10_c : float;
+  gamma : float;
+  r2 : float;
+  points : int;
+}
+
+let fit_loglog hist =
+  let pts = Degree_dist.loglog_points hist in
+  if Array.length pts < 2 then
+    invalid_arg "Powerlaw.fit_loglog: need at least two distinct degrees";
+  let f = U.Linreg.fit pts in
+  { log10_c = f.U.Linreg.intercept; gamma = -.f.U.Linreg.slope; r2 = f.U.Linreg.r2; points = f.U.Linreg.n }
+
+let predicted_count fit d =
+  (10.0 ** fit.log10_c) *. (float_of_int d ** -.fit.gamma)
+
+type mle_fit = {
+  gamma_mle : float;
+  dmin : int;
+  n_tail : int;
+}
+
+let fit_mle ?(dmin = 1) hist =
+  if dmin < 1 then invalid_arg "Powerlaw.fit_mle: dmin must be >= 1";
+  let tail =
+    List.filter (fun (d, _) -> d >= dmin) (U.Int_histogram.support hist)
+  in
+  let n = List.fold_left (fun acc (_, c) -> acc + c) 0 tail in
+  if n = 0 then invalid_arg "Powerlaw.fit_mle: no observations at or above dmin";
+  let dmax = List.fold_left (fun acc (d, _) -> max acc d) dmin tail in
+  let logsum =
+    List.fold_left
+      (fun acc (d, c) -> acc +. (float_of_int c *. log (float_of_int d)))
+      0.0 tail
+  in
+  if dmax = dmin then { gamma_mle = infinity; dmin; n_tail = n }
+  else begin
+    (* Exact discrete truncated MLE: maximize
+         log L(gamma) = -gamma * sum(c_d ln d) - n * ln Z(gamma),
+       Z the truncated zeta on [dmin, dmax], by ternary search (the
+       log-likelihood is strictly concave in gamma). *)
+    let log_z gamma =
+      let z = ref 0.0 in
+      for d = dmin to dmax do
+        z := !z +. (float_of_int d ** -.gamma)
+      done;
+      log !z
+    in
+    let log_likelihood gamma =
+      (-.gamma *. logsum) -. (float_of_int n *. log_z gamma)
+    in
+    let lo = ref 0.01 and hi = ref 12.0 in
+    for _ = 1 to 80 do
+      let m1 = !lo +. ((!hi -. !lo) /. 3.0) in
+      let m2 = !hi -. ((!hi -. !lo) /. 3.0) in
+      if log_likelihood m1 < log_likelihood m2 then lo := m1 else hi := m2
+    done;
+    { gamma_mle = (!lo +. !hi) /. 2.0; dmin; n_tail = n }
+  end
+
+let ks_distance hist ~gamma ~dmin =
+  let support =
+    List.filter (fun (d, _) -> d >= dmin) (U.Int_histogram.support hist)
+  in
+  match support with
+  | [] -> invalid_arg "Powerlaw.ks_distance: empty tail"
+  | _ ->
+    let dmax = List.fold_left (fun acc (d, _) -> max acc d) dmin support in
+    let n_tail = List.fold_left (fun acc (_, c) -> acc + c) 0 support in
+    (* Truncated model mass on [dmin, dmax]. *)
+    let mass = Array.init (dmax - dmin + 1) (fun i -> float_of_int (dmin + i) ** -.gamma) in
+    let z = Array.fold_left ( +. ) 0.0 mass in
+    let worst = ref 0.0 in
+    let emp = ref 0.0 and model = ref 0.0 in
+    let counts = Hashtbl.create 64 in
+    List.iter (fun (d, c) -> Hashtbl.replace counts d c) support;
+    for d = dmin to dmax do
+      emp :=
+        !emp
+        +. (float_of_int (Option.value (Hashtbl.find_opt counts d) ~default:0)
+           /. float_of_int n_tail);
+      model := !model +. (mass.(d - dmin) /. z);
+      let dev = Float.abs (!emp -. !model) in
+      if dev > !worst then worst := dev
+    done;
+    !worst

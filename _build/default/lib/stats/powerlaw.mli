@@ -1,0 +1,41 @@
+(** Power-law (scale-free) degree distribution fitting.
+
+    The paper fits P(d) = c * d^(-gamma) to the protein degree
+    frequencies by least squares on the log-log plot, reporting
+    log10(c) = 3.161, gamma = 2.528 and judging the fit by
+    R^2 = 0.963 (Figure 1).  [fit_loglog] is that method.
+
+    As an extension, [fit_mle] estimates gamma by the discrete
+    maximum-likelihood approximation of Clauset, Shalizi and Newman
+    (gamma = 1 + n / sum ln(d_i / (dmin - 1/2))), and [ks_distance]
+    gives the Kolmogorov-Smirnov distance between the empirical
+    distribution and the fitted model — a goodness measure that, unlike
+    R^2 on binned logs, does not overweight the sparse tail. *)
+
+type loglog_fit = {
+  log10_c : float;
+  gamma : float;
+  r2 : float;
+  points : int;  (** number of distinct degrees used *)
+}
+
+val fit_loglog : Hp_util.Int_histogram.t -> loglog_fit
+(** Requires at least two distinct positive degrees. *)
+
+val predicted_count : loglog_fit -> int -> float
+(** c * d^(-gamma). *)
+
+type mle_fit = {
+  gamma_mle : float;
+  dmin : int;
+  n_tail : int;  (** observations with degree >= dmin *)
+}
+
+val fit_mle : ?dmin:int -> Hp_util.Int_histogram.t -> mle_fit
+(** [dmin] defaults to 1.  Requires at least one observation at or
+    above [dmin], and [gamma] is only finite when some observation
+    exceeds [dmin]. *)
+
+val ks_distance : Hp_util.Int_histogram.t -> gamma:float -> dmin:int -> float
+(** Max deviation between the empirical CDF (restricted to degrees >=
+    dmin) and the truncated power-law CDF with the given exponent. *)

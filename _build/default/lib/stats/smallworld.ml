@@ -1,0 +1,57 @@
+module U = Hp_util
+module HP = Hp_hypergraph.Hypergraph_path
+module HG = Hp_hypergraph.Hypergraph_gen
+module G = Hp_graph.Graph
+module GA = Hp_graph.Graph_algo
+module GG = Hp_graph.Graph_gen
+
+type hypergraph_report = {
+  diameter : int;
+  average_path : float;
+  null_diameter_mean : float;
+  null_average_path_mean : float;
+  trials : int;
+}
+
+let assess_hypergraph rng ?(trials = 5) ?(shuffle_rounds = 10) h =
+  let diameter, average_path = HP.diameter_and_average_path h in
+  let dsum = ref 0.0 and lsum = ref 0.0 in
+  for _ = 1 to trials do
+    let null = HG.degree_preserving_shuffle rng h ~rounds:shuffle_rounds in
+    let d, l = HP.diameter_and_average_path null in
+    dsum := !dsum +. float_of_int d;
+    lsum := !lsum +. l
+  done;
+  let ft = float_of_int (max trials 1) in
+  {
+    diameter;
+    average_path;
+    null_diameter_mean = !dsum /. ft;
+    null_average_path_mean = !lsum /. ft;
+    trials;
+  }
+
+type graph_report = {
+  g_average_path : float;
+  g_clustering : float;
+  rand_average_path : float;
+  rand_clustering : float;
+  sigma : float;
+}
+
+let assess_graph rng ?(trials = 3) g =
+  let g_average_path = GA.average_path_length g in
+  let g_clustering = GA.average_clustering g in
+  let lsum = ref 0.0 and csum = ref 0.0 in
+  for _ = 1 to trials do
+    let null = GG.erdos_renyi_gnm rng ~n:(G.n_vertices g) ~m:(G.n_edges g) in
+    lsum := !lsum +. GA.average_path_length null;
+    csum := !csum +. GA.average_clustering null
+  done;
+  let ft = float_of_int (max trials 1) in
+  let rand_average_path = !lsum /. ft and rand_clustering = !csum /. ft in
+  let sigma =
+    if rand_clustering <= 0.0 || rand_average_path <= 0.0 || g_average_path <= 0.0 then nan
+    else g_clustering /. rand_clustering /. (g_average_path /. rand_average_path)
+  in
+  { g_average_path; g_clustering; rand_average_path; rand_clustering; sigma }

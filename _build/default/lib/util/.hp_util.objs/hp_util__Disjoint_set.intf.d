@@ -1,0 +1,1 @@
+lib/util/disjoint_set.mli:

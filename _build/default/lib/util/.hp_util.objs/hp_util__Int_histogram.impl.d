@@ -1,0 +1,1 @@
+lib/util/int_histogram.ml: Array Hashtbl List Option

@@ -1,0 +1,103 @@
+type t = {
+  max_key : int;
+  keys : int array;         (* key of element, or -1 when absent *)
+  head : int array;         (* first element of bucket k, or -1 *)
+  next : int array;
+  prev : int array;         (* prev.(v) = -1 when v is a bucket head *)
+  bucket_of_head : int array; (* for heads, which bucket they lead; -1 otherwise *)
+  mutable size : int;
+  mutable min_hint : int;   (* lower bound on the smallest occupied key *)
+}
+
+let create ~n ~max_key =
+  if n < 0 || max_key < 0 then invalid_arg "Bucket_queue.create";
+  {
+    max_key;
+    keys = Array.make n (-1);
+    head = Array.make (max_key + 1) (-1);
+    next = Array.make n (-1);
+    prev = Array.make n (-1);
+    bucket_of_head = Array.make n (-1);
+    size = 0;
+    min_hint = 0;
+  }
+
+let mem t v = t.keys.(v) >= 0
+
+let key t v =
+  let k = t.keys.(v) in
+  if k < 0 then invalid_arg "Bucket_queue.key: absent element";
+  k
+
+let size t = t.size
+
+(* Unlink v from its bucket's doubly linked list. *)
+let unlink t v =
+  let k = t.keys.(v) in
+  let nx = t.next.(v) and pv = t.prev.(v) in
+  if pv = -1 then begin
+    t.head.(k) <- nx;
+    t.bucket_of_head.(v) <- -1;
+    if nx <> -1 then begin
+      t.prev.(nx) <- -1;
+      t.bucket_of_head.(nx) <- k
+    end
+  end else begin
+    t.next.(pv) <- nx;
+    if nx <> -1 then t.prev.(nx) <- pv
+  end;
+  t.next.(v) <- -1;
+  t.prev.(v) <- -1
+
+let link t v k =
+  let h = t.head.(k) in
+  t.head.(k) <- v;
+  t.next.(v) <- h;
+  t.prev.(v) <- -1;
+  t.bucket_of_head.(v) <- k;
+  if h <> -1 then begin
+    t.prev.(h) <- v;
+    t.bucket_of_head.(h) <- -1
+  end;
+  t.keys.(v) <- k
+
+let insert t v k =
+  if k < 0 || k > t.max_key then invalid_arg "Bucket_queue.insert: key out of range";
+  if mem t v then invalid_arg "Bucket_queue.insert: element already present";
+  link t v k;
+  t.size <- t.size + 1;
+  if k < t.min_hint then t.min_hint <- k
+
+let remove t v =
+  if mem t v then begin
+    unlink t v;
+    t.keys.(v) <- -1;
+    t.size <- t.size - 1
+  end
+
+let change_key t v k =
+  if k < 0 || k > t.max_key then invalid_arg "Bucket_queue.change_key: key out of range";
+  let cur = key t v in
+  if cur <> k then begin
+    unlink t v;
+    link t v k;
+    if k < t.min_hint then t.min_hint <- k
+  end
+
+let decrease t v = change_key t v (key t v - 1)
+
+let rec advance t k =
+  if k > t.max_key then None
+  else if t.head.(k) <> -1 then begin
+    t.min_hint <- k;
+    Some (t.head.(k), k)
+  end else advance t (k + 1)
+
+let peek_min t = if t.size = 0 then None else advance t t.min_hint
+
+let pop_min t =
+  match peek_min t with
+  | None -> None
+  | Some (v, k) ->
+    remove t v;
+    Some (v, k)

@@ -1,0 +1,44 @@
+(** Monotone bucket priority structure.
+
+    Holds elements [0 .. n-1] keyed by small non-negative integers, with
+    O(1) insertion, removal and key change, and amortized O(max_key)
+    total scanning cost for minimum extraction when keys evolve
+    monotonically (the k-core peeling pattern: keys only decrease while
+    the current minimum is extracted).
+
+    This is the structure behind the linear-time graph core algorithm of
+    Batagelj and Zaversnik, generalized with explicit removal so the
+    hypergraph core algorithm can also use it. *)
+
+type t
+
+val create : n:int -> max_key:int -> t
+(** [create ~n ~max_key] supports elements [0..n-1] and keys
+    [0..max_key].  No element is initially present. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t v k] adds element [v] with key [k].  Raises
+    [Invalid_argument] if [v] is already present or [k] is out of
+    range. *)
+
+val remove : t -> int -> unit
+(** [remove t v] deletes [v]; no-op if absent. *)
+
+val mem : t -> int -> bool
+
+val key : t -> int -> int
+(** Current key of a present element.  Raises [Invalid_argument] if
+    absent. *)
+
+val change_key : t -> int -> int -> unit
+(** [change_key t v k] moves [v] to bucket [k] (either direction). *)
+
+val decrease : t -> int -> unit
+(** [decrease t v] is [change_key t v (key t v - 1)]. *)
+
+val size : t -> int
+
+val pop_min : t -> (int * int) option
+(** Remove and return an element with the smallest key, with its key. *)
+
+val peek_min : t -> (int * int) option

@@ -1,0 +1,59 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  size : int array;
+  mutable count : int;
+}
+
+let create n = {
+  parent = Array.init n (fun i -> i);
+  rank = Array.make n 0;
+  size = Array.make n 1;
+  count = n;
+}
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry = if t.rank.(rx) < t.rank.(ry) then ry, rx else rx, ry in
+    t.parent.(ry) <- rx;
+    t.size.(rx) <- t.size.(rx) + t.size.(ry);
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    t.count <- t.count - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let count t = t.count
+
+let size_of t x = t.size.(find t x)
+
+let groups t =
+  let n = Array.length t.parent in
+  let index = Hashtbl.create 16 in
+  let acc = ref [] in
+  let ngroups = ref 0 in
+  for x = 0 to n - 1 do
+    let r = find t x in
+    match Hashtbl.find_opt index r with
+    | Some cell -> cell := x :: !cell
+    | None ->
+      let cell = ref [ x ] in
+      Hashtbl.add index r cell;
+      acc := cell :: !acc;
+      incr ngroups
+  done;
+  let out = Array.make !ngroups [] in
+  List.iteri (fun i cell -> out.(i) <- List.rev !cell) !acc;
+  out

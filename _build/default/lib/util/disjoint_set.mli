@@ -1,0 +1,25 @@
+(** Union-find over elements [0 .. n-1], with union by rank and path
+    compression.  Used for connected-component computations. *)
+
+type t
+
+val create : int -> t
+(** [create n] has each of [0..n-1] in its own singleton set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [true] when they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val size_of : t -> int -> int
+(** Size of the set containing the element. *)
+
+val groups : t -> int list array
+(** All sets as lists, indexed arbitrarily, each element appearing
+    exactly once. *)

@@ -1,0 +1,51 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Stdlib.Dynarray] (added in 5.2), so this
+    module provides the subset the rest of the library needs.  Elements
+    are stored in a backing array that doubles on demand; a [dummy]
+    element supplied at creation fills unused slots so no [Obj] tricks
+    are needed. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty dynamic array.  [capacity] is the
+    initial size of the backing store (default 16, minimum 1). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get t i] raises [Invalid_argument] when [i] is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append an element, growing the backing store if needed. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.  Raises [Invalid_argument] on an
+    empty array. *)
+
+val clear : 'a t -> unit
+(** Reset the length to zero.  The backing store is kept but overwritten
+    with the dummy so no stale values are retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** A fresh array of exactly [length t] elements. *)
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val to_list : 'a t -> 'a list
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

@@ -1,0 +1,66 @@
+type t = {
+  mutable prio : float array;
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create () = { prio = Array.make 16 0.0; data = Array.make 16 0; len = 0 }
+
+let size t = t.len
+
+let is_empty t = t.len = 0
+
+let swap t i j =
+  let p = t.prio.(i) and d = t.data.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.data.(i) <- t.data.(j);
+  t.prio.(j) <- p;
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.len && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~priority x =
+  if t.len = Array.length t.prio then begin
+    let cap = 2 * t.len in
+    let prio = Array.make cap 0.0 and data = Array.make cap 0 in
+    Array.blit t.prio 0 prio 0 t.len;
+    Array.blit t.data 0 data 0 t.len;
+    t.prio <- prio;
+    t.data <- data
+  end;
+  t.prio.(t.len) <- priority;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some (t.prio.(0), t.data.(0))
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let out = (t.prio.(0), t.data.(0)) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.prio.(0) <- t.prio.(t.len);
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some out
+  end

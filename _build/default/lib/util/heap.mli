@@ -1,0 +1,20 @@
+(** Binary min-heap of integer payloads with float priorities.
+
+    Supports the lazy-deletion pattern used by the greedy cover
+    algorithms: stale entries are simply popped and discarded or
+    re-inserted with a fresh priority. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> priority:float -> int -> unit
+
+val pop : t -> (float * int) option
+(** Remove and return a minimum-priority entry. *)
+
+val peek : t -> (float * int) option

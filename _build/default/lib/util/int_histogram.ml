@@ -1,0 +1,54 @@
+type t = {
+  counts : (int, int) Hashtbl.t;
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let empty () = { counts = Hashtbl.create 64; total = 0; max_value = -1 }
+
+let add t v =
+  if v < 0 then invalid_arg "Int_histogram: negative value";
+  let c = Option.value (Hashtbl.find_opt t.counts v) ~default:0 in
+  Hashtbl.replace t.counts v (c + 1);
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
+
+let of_array a =
+  let t = empty () in
+  Array.iter (add t) a;
+  t
+
+let of_iter iter =
+  let t = empty () in
+  iter (add t);
+  t
+
+let count t v = Option.value (Hashtbl.find_opt t.counts v) ~default:0
+
+let total t = t.total
+
+let max_value t =
+  if t.total = 0 then invalid_arg "Int_histogram.max_value: empty";
+  t.max_value
+
+let support t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.counts []
+  |> List.sort compare
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let s = Hashtbl.fold (fun v c acc -> acc + (v * c)) t.counts 0 in
+    float_of_int s /. float_of_int t.total
+  end
+
+let mode t =
+  if t.total = 0 then invalid_arg "Int_histogram.mode: empty";
+  let best = ref (-1) and best_count = ref (-1) in
+  List.iter
+    (fun (v, c) -> if c > !best_count then begin best := v; best_count := c end)
+    (support t);
+  !best
+
+let cumulative_ge t v =
+  Hashtbl.fold (fun value c acc -> if value >= v then acc + c else acc) t.counts 0

@@ -1,0 +1,31 @@
+(** Frequency tables over non-negative integers (degree histograms). *)
+
+type t
+
+val of_array : int array -> t
+(** Tally an array of non-negative values.  Raises [Invalid_argument]
+    on a negative value. *)
+
+val of_iter : ((int -> unit) -> unit) -> t
+(** [of_iter iter] tallies every value produced by [iter]. *)
+
+val count : t -> int -> int
+(** Occurrences of a value (0 if never seen). *)
+
+val total : t -> int
+(** Number of tallied observations. *)
+
+val max_value : t -> int
+(** Largest observed value; raises [Invalid_argument] when empty. *)
+
+val support : t -> (int * int) list
+(** [(value, count)] pairs with positive count, in increasing value
+    order. *)
+
+val mean : t -> float
+
+val mode : t -> int
+(** A value with the highest count (smallest such value). *)
+
+val cumulative_ge : t -> int -> int
+(** [cumulative_ge t v] is the number of observations [>= v]. *)

@@ -1,0 +1,49 @@
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  n : int;
+}
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Linreg.fit: need at least two points";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx = 0.0 then invalid_arg "Linreg.fit: degenerate x values";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let r = y -. (intercept +. (slope *. x)) in
+      ss_res := !ss_res +. (r *. r))
+    points;
+  let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (!ss_res /. !syy) in
+  { slope; intercept; r2; n }
+
+let predict f x = f.intercept +. (f.slope *. x)
+
+let residuals f points = Array.map (fun (x, y) -> y -. predict f x) points

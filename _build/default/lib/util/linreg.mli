@@ -1,0 +1,26 @@
+(** Ordinary least squares for a single predictor, with the coefficient
+    of determination the paper uses to assess the power-law fit:
+    R^2 = 1 - (r^T r) / (y~^T y~) where r is the residual vector and y~
+    the dependent variable in deviations from its mean. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  n : int;
+}
+
+val fit : (float * float) array -> fit
+(** Least squares [y = intercept + slope * x].  Requires at least two
+    points with distinct x values. *)
+
+val residuals : fit -> (float * float) array -> float array
+
+val predict : fit -> float -> float
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance (divides by n). *)
+
+val stddev : float array -> float

@@ -1,0 +1,41 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let sequential ~n ~create ~fold =
+  let acc = ref (create ()) in
+  for i = 0 to n - 1 do
+    acc := fold !acc i
+  done;
+  !acc
+
+let fold_range ~domains ~n ~create ~fold ~combine =
+  if domains < 1 then invalid_arg "Parallel.fold_range: domains < 1";
+  if n < 0 then invalid_arg "Parallel.fold_range: negative range";
+  if domains = 1 || n < 2 * domains then sequential ~n ~create ~fold
+  else begin
+    let chunk lo hi () =
+      let acc = ref (create ()) in
+      for i = lo to hi - 1 do
+        acc := fold !acc i
+      done;
+      !acc
+    in
+    let bounds =
+      Array.init domains (fun d -> (d * n / domains, (d + 1) * n / domains))
+    in
+    (* Workers for every chunk but the first, which runs here. *)
+    let workers =
+      Array.init (domains - 1) (fun i ->
+          let lo, hi = bounds.(i + 1) in
+          Domain.spawn (chunk lo hi))
+    in
+    let first =
+      let lo, hi = bounds.(0) in
+      match chunk lo hi () with
+      | acc -> Ok acc
+      | exception e -> Error e
+    in
+    (* Join everything before surfacing any failure. *)
+    let results = Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) workers in
+    let value = function Ok v -> v | Error e -> raise e in
+    Array.fold_left (fun acc r -> combine acc (value r)) (value first) results
+  end

@@ -1,0 +1,28 @@
+(** Minimal fork-join parallelism over index ranges (OCaml 5 domains).
+
+    The paper closes Section 3 observing that hypergraphs much larger
+    than the Cellzome study "will require high performance algorithms
+    and software" and a parallel algorithm; the library's two
+    embarrassingly parallel phases — all-sources BFS sweeps and the
+    pairwise-overlap construction — run through this module.
+
+    Work on [0, n) is split into [domains] contiguous chunks, each
+    folded locally in its own domain with a fresh accumulator, and the
+    per-domain results are combined left-to-right (so a deterministic
+    [combine] gives deterministic results regardless of scheduling).
+    Caller contract: [fold] must only read shared state — the
+    accumulator is the only thing written. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val fold_range :
+  domains:int ->
+  n:int ->
+  create:(unit -> 'acc) ->
+  fold:('acc -> int -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Runs sequentially when [domains <= 1] or the range is tiny.
+    Raises [Invalid_argument] on [domains < 1] or [n < 0]; re-raises
+    the first worker exception after joining every domain. *)

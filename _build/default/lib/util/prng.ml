@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64, Steele et al.; full 64-bit avalanche per step. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* 62-bit non-negative value (OCaml ints are 63-bit signed); modulo
+     bias is negligible for the bounds used in this library (<< 2^32). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let float t =
+  (* 53 random bits mapped to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v /. 9007199254740992.0
+
+let bool t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  if 3 * k >= n then begin
+    let a = Array.init n (fun i -> i) in
+    shuffle t a;
+    Array.sub a 0 k
+  end else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let powerlaw_int t ~gamma ~dmin ~dmax =
+  if dmin < 1 || dmax < dmin then invalid_arg "Prng.powerlaw_int: bad range";
+  if gamma <= 0.0 then invalid_arg "Prng.powerlaw_int: gamma must be positive";
+  let n = dmax - dmin + 1 in
+  let mass = Array.init n (fun i -> float_of_int (dmin + i) ** (-.gamma)) in
+  let total = Array.fold_left ( +. ) 0.0 mass in
+  let u = float t *. total in
+  let rec pick i acc =
+    if i = n - 1 then dmax
+    else begin
+      let acc = acc +. mass.(i) in
+      if u < acc then dmin + i else pick (i + 1) acc
+    end
+  in
+  pick 0 0.0

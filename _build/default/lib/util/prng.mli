@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every generator in the library takes an explicit [Prng.t] so that
+    all synthetic datasets and experiments are reproducible
+    bit-for-bit, independent of [Stdlib.Random] global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] seeds the stream; equal seeds give equal streams. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound).  Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform on [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] is [k] distinct values from
+    [0, n), in random order.  Requires [0 <= k <= n]. *)
+
+val powerlaw_int : t -> gamma:float -> dmin:int -> dmax:int -> int
+(** Sample an integer degree from a truncated discrete power law
+    P(d) proportional to [d ** -gamma] on [dmin, dmax], by inverse
+    transform over the normalized mass table.  Requires
+    [1 <= dmin <= dmax] and [gamma > 0]. *)

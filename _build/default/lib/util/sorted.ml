@@ -1,0 +1,131 @@
+let dedup_sorted a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n a.(0) in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      if a.(i) <> out.(!j) then begin
+        incr j;
+        out.(!j) <- a.(i)
+      end
+    done;
+    Array.sub out 0 (!j + 1)
+  end
+
+let of_array a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  dedup_sorted b
+
+let of_list l = of_array (Array.of_list l)
+
+let is_sorted_strict a =
+  let rec loop i = i >= Array.length a || (a.(i - 1) < a.(i) && loop (i + 1)) in
+  loop 1
+
+let mem a x =
+  let rec loop lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true
+      else if a.(mid) < x then loop (mid + 1) hi
+      else loop lo mid
+    end
+  in
+  loop 0 (Array.length a)
+
+let subset a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j =
+    if i = na then true
+    else if j = nb then false
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1)
+    else if a.(i) > b.(j) then loop i (j + 1)
+    else false
+  in
+  loop 0 0
+
+let inter_count a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j acc =
+    if i = na || j = nb then acc
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1) (acc + 1)
+    else if a.(i) < b.(j) then loop (i + 1) j acc
+    else loop i (j + 1) acc
+  in
+  loop 0 0 0
+
+let inter a b =
+  let buf = Dynarray.create ~dummy:0 () in
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j =
+    if i < na && j < nb then
+      if a.(i) = b.(j) then begin
+        Dynarray.push buf a.(i);
+        loop (i + 1) (j + 1)
+      end
+      else if a.(i) < b.(j) then loop (i + 1) j
+      else loop i (j + 1)
+  in
+  loop 0 0;
+  Dynarray.to_array buf
+
+let union a b =
+  let buf = Dynarray.create ~dummy:0 () in
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j =
+    if i = na then
+      for k = j to nb - 1 do Dynarray.push buf b.(k) done
+    else if j = nb then
+      for k = i to na - 1 do Dynarray.push buf a.(k) done
+    else if a.(i) = b.(j) then begin
+      Dynarray.push buf a.(i);
+      loop (i + 1) (j + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      Dynarray.push buf a.(i);
+      loop (i + 1) j
+    end
+    else begin
+      Dynarray.push buf b.(j);
+      loop i (j + 1)
+    end
+  in
+  loop 0 0;
+  Dynarray.to_array buf
+
+let diff a b =
+  let buf = Dynarray.create ~dummy:0 () in
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j =
+    if i = na then ()
+    else if j = nb then
+      for k = i to na - 1 do Dynarray.push buf a.(k) done
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1)
+    else if a.(i) < b.(j) then begin
+      Dynarray.push buf a.(i);
+      loop (i + 1) j
+    end
+    else loop i (j + 1)
+  in
+  loop 0 0;
+  Dynarray.to_array buf
+
+let remove a x =
+  if not (mem a x) then a
+  else begin
+    let out = Array.make (Array.length a - 1) 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun v ->
+        if v <> x then begin
+          out.(!j) <- v;
+          incr j
+        end)
+      a;
+    out
+  end
+
+let equal a b = a = b

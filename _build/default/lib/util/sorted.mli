@@ -1,0 +1,33 @@
+(** Operations on strictly increasing integer arrays, used as the
+    canonical set representation for hyperedge member lists. *)
+
+val of_list : int list -> int array
+(** Sort and deduplicate. *)
+
+val of_array : int array -> int array
+(** Sort and deduplicate a copy; the input is not modified. *)
+
+val is_sorted_strict : int array -> bool
+
+val mem : int array -> int -> bool
+(** Binary search. *)
+
+val subset : int array -> int array -> bool
+(** [subset a b] is true iff every element of [a] occurs in [b]
+    (linear merge). *)
+
+val inter_count : int array -> int array -> int
+(** Size of the intersection (linear merge). *)
+
+val inter : int array -> int array -> int array
+
+val union : int array -> int array -> int array
+
+val diff : int array -> int array -> int array
+(** [diff a b] = elements of [a] not in [b]. *)
+
+val remove : int array -> int -> int array
+(** [remove a x] is [a] without [x]; returns a fresh array (or [a]
+    itself if [x] is absent). *)
+
+val equal : int array -> int array -> bool

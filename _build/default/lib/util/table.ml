@@ -1,0 +1,52 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with
+    | Left -> s ^ fill
+    | Right -> fill ^ s
+  end
+
+let render ?(align = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let cell row i = match List.nth_opt row i with Some s -> s | None -> "" in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (cell row i)))
+          (String.length (cell header i))
+          rows)
+  in
+  let align_of i =
+    match List.nth_opt align i with
+    | Some a -> a
+    | None -> if i = 0 then Left else Right
+  in
+  let render_row row =
+    String.concat "  "
+      (List.init ncols (fun i -> pad (align_of i) widths.(i) (cell row i)))
+  in
+  let rule =
+    String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let fmt_float ?(digits = 3) x =
+  let s = Printf.sprintf "%.*f" digits x in
+  if String.contains s '.' then begin
+    let n = ref (String.length s) in
+    while !n > 1 && s.[!n - 1] = '0' do decr n done;
+    if !n > 1 && s.[!n - 1] = '.' then decr n;
+    String.sub s 0 !n
+  end
+  else s
+
+let fmt_time seconds =
+  if seconds < 60.0 then Printf.sprintf "%s s" (fmt_float ~digits:3 seconds)
+  else if seconds < 3600.0 then Printf.sprintf "%s m" (fmt_float ~digits:2 (seconds /. 60.0))
+  else Printf.sprintf "%s h" (fmt_float ~digits:2 (seconds /. 3600.0))

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the experiment harness, so the bench
+    output mirrors the layout of the paper's Table 1. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out the rows under the header with
+    column widths fitted to content, a separator rule, and two-space
+    gutters.  [align] gives per-column alignment (default: first column
+    left, the rest right); missing entries default likewise. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point formatting with trailing-zero trimming, e.g.
+    [fmt_float ~digits:3 2.5280] = ["2.528"]. *)
+
+val fmt_time : float -> string
+(** Seconds rendered in the paper's legend style: ["0.47 s"],
+    ["2.1 m"], ["1.3 h"]. *)

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Array Fun Hp_graph Hp_hypergraph Hp_util List QCheck Th

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Hp_cover Hp_hypergraph Hp_util List QCheck Th

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Filename Float Hp_cover Hp_data Hp_graph Hp_hypergraph Hp_stats Hp_util Lazy List QCheck String Sys Th

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Hp_cover Hp_data Hp_hypergraph Hp_util List QCheck Th

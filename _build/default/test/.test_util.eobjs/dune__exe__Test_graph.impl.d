@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun Hp_graph Hp_util List QCheck Th

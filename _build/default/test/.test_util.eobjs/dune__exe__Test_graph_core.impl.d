@@ -1,0 +1,1 @@
+test/test_graph_core.ml: Alcotest Array Fun Hp_graph Hp_util QCheck Th

@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Format Hp_graph Hp_hypergraph Hp_util QCheck String Th

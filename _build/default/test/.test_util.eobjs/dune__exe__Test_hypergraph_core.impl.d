@@ -1,0 +1,1 @@
+test/test_hypergraph_core.ml: Alcotest Array Fun Hp_data Hp_graph Hp_hypergraph Hp_util List QCheck Th

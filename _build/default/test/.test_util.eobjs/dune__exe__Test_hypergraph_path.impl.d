@@ -1,0 +1,1 @@
+test/test_hypergraph_path.ml: Alcotest Array Hp_data Hp_graph Hp_hypergraph Hp_util QCheck Th

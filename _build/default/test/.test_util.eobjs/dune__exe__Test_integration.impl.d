@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Fun Hp_cover Hp_data Hp_hypergraph Hp_stats Hp_util List Sys

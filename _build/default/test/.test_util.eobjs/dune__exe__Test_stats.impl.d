@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Hp_data Hp_graph Hp_hypergraph Hp_stats Hp_util QCheck Th

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Hashtbl Hp_util List QCheck String Th

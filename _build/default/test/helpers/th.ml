@@ -1,0 +1,99 @@
+(* Shared test utilities: QCheck generators for random graphs and
+   hypergraphs, and the alcotest registration shim for property
+   tests. *)
+
+module H = Hp_hypergraph.Hypergraph
+module G = Hp_graph.Graph
+
+let prop = QCheck_alcotest.to_alcotest
+
+(* Small random hypergraph: up to [max_v] vertices and [max_e]
+   hyperedges, membership by coin flips (possibly empty edges,
+   duplicate edges, isolated vertices — the full messy input space). *)
+let hypergraph_gen ?(max_v = 10) ?(max_e = 10) () =
+  let open QCheck.Gen in
+  int_range 1 max_v >>= fun nv ->
+  int_range 0 max_e >>= fun ne ->
+  let edge = list_repeat nv (float_range 0.0 1.0) in
+  list_repeat ne edge >|= fun rows ->
+  let members =
+    List.map
+      (fun row ->
+        List.mapi (fun v p -> if p < 0.35 then Some v else None) row
+        |> List.filter_map Fun.id)
+      rows
+  in
+  H.create ~n_vertices:nv members
+
+let hypergraph_print h =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "n=%d;" (H.n_vertices h));
+  for e = 0 to H.n_edges h - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " e%d={%s}" e
+         (String.concat ","
+            (Array.to_list (Array.map string_of_int (H.edge_members h e)))))
+  done;
+  Buffer.contents buf
+
+let arbitrary_hypergraph ?max_v ?max_e () =
+  QCheck.make ~print:hypergraph_print (hypergraph_gen ?max_v ?max_e ())
+
+(* Small random simple graph. *)
+let graph_gen ?(max_v = 12) () =
+  let open QCheck.Gen in
+  int_range 1 max_v >>= fun n ->
+  let pairs =
+    List.concat_map (fun u -> List.init u (fun v -> (u, v))) (List.init n Fun.id)
+  in
+  list_repeat (List.length pairs) (float_range 0.0 1.0) >|= fun coins ->
+  let edges =
+    List.map2 (fun e p -> if p < 0.3 then Some e else None) pairs coins
+    |> List.filter_map Fun.id
+  in
+  G.of_edges ~n edges
+
+let graph_print g =
+  Printf.sprintf "n=%d edges=[%s]" (G.n_vertices g)
+    (String.concat ";"
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (G.edges g)))
+
+let arbitrary_graph ?max_v () = QCheck.make ~print:graph_print (graph_gen ?max_v ())
+
+(* Naive reference implementations used as oracles. *)
+
+let naive_graph_core_numbers g =
+  (* Repeatedly strip vertices of degree < k over a residual vertex
+     set, for each k; quadratic and obviously correct. *)
+  let n = G.n_vertices g in
+  let core = Array.make n 0 in
+  let rec fix k alive =
+    let deg v =
+      Array.fold_left
+        (fun acc w -> if alive.(w) then acc + 1 else acc)
+        0 (G.neighbors g v)
+    in
+    let changed = ref false in
+    for v = 0 to n - 1 do
+      if alive.(v) && deg v < k then begin
+        alive.(v) <- false;
+        changed := true
+      end
+    done;
+    if !changed then fix k alive
+  in
+  let rec levels k =
+    let alive = Array.make n true in
+    fix k alive;
+    if Array.exists Fun.id alive then begin
+      Array.iteri (fun v a -> if a then core.(v) <- k) alive;
+      levels (k + 1)
+    end
+  in
+  levels 1;
+  core
+
+let sorted_array a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b

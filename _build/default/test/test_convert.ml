@@ -1,0 +1,195 @@
+(* Tests for the baseline graph representations (paper Sections
+   1.1-1.2) and the storage accounting that motivates the hypergraph
+   model. *)
+
+module H = Hp_hypergraph.Hypergraph
+module HC = Hp_hypergraph.Hypergraph_convert
+module S = Hp_hypergraph.Storage
+module G = Hp_graph.Graph
+module GA = Hp_graph.Graph_algo
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let sample () = H.create ~n_vertices:5 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+
+let test_clique_expansion () =
+  let g = HC.clique_expansion (sample ()) in
+  check "vertices" 5 (G.n_vertices g);
+  (* {0,1,2} -> 3 edges, {2,3} -> 1, {3,4} -> 1. *)
+  check "edges" 5 (G.n_edges g);
+  checkb "clique edge" true (G.mem_edge g 0 2);
+  checkb "no cross-complex edge" false (G.mem_edge g 0 3)
+
+let test_clique_expansion_dedup () =
+  (* Overlapping complexes share pairs; the simple graph counts them
+     once. *)
+  let h = H.create ~n_vertices:3 [ [ 0; 1; 2 ]; [ 0; 1 ] ] in
+  check "dedup" 3 (G.n_edges (HC.clique_expansion h))
+
+let test_star_expansion () =
+  let h = sample () in
+  let centers = HC.default_centers h in
+  Alcotest.(check (array int)) "default centers" [| 0; 2; 3 |] centers;
+  let g = HC.star_expansion h ~centers in
+  (* Stars: 0-1, 0-2; 2-3; 3-4. *)
+  check "edges" 4 (G.n_edges g);
+  checkb "bait edge" true (G.mem_edge g 0 1);
+  checkb "non-bait pair absent" false (G.mem_edge g 1 2)
+
+let test_star_expansion_validation () =
+  let h = sample () in
+  Alcotest.check_raises "center must be a member"
+    (Invalid_argument "Hypergraph_convert.star_expansion: center not a member")
+    (fun () -> ignore (HC.star_expansion h ~centers:[| 4; 2; 3 |]));
+  Alcotest.check_raises "centers length"
+    (Invalid_argument "Hypergraph_convert.star_expansion: centers length mismatch")
+    (fun () -> ignore (HC.star_expansion h ~centers:[| 0 |]))
+
+let test_star_expansion_empty_edge () =
+  let h = H.create ~n_vertices:2 [ []; [ 0; 1 ] ] in
+  let centers = HC.default_centers h in
+  check "empty edge center" (-1) centers.(0);
+  let g = HC.star_expansion h ~centers in
+  check "edges" 1 (G.n_edges g)
+
+let test_intersection_graph () =
+  let g = HC.intersection_graph (sample ()) in
+  check "vertices are complexes" 3 (G.n_vertices g);
+  (* e0-e1 share 2; e1-e2 share 3. *)
+  check "edges" 2 (G.n_edges g);
+  checkb "sharing complexes adjacent" true (G.mem_edge g 0 1);
+  checkb "disjoint complexes not adjacent" false (G.mem_edge g 0 2);
+  Alcotest.(check (list (triple int int int)))
+    "weights"
+    [ (0, 1, 1); (1, 2, 1) ]
+    (HC.intersection_weights (sample ()))
+
+let test_intersection_threshold () =
+  (* e0 = {0,1,2} and e1 = {1,2,3} share two proteins; e2 = {3,4}
+     shares one with e1. *)
+  let h = H.create ~n_vertices:5 [ [ 0; 1; 2 ]; [ 1; 2; 3 ]; [ 3; 4 ] ] in
+  check "s=1 keeps both overlaps" 2 (G.n_edges (HC.intersection_graph_min_overlap h ~s:1));
+  check "s=2 keeps the strong pair" 1 (G.n_edges (HC.intersection_graph_min_overlap h ~s:2));
+  check "s=3 keeps nothing" 0 (G.n_edges (HC.intersection_graph_min_overlap h ~s:3));
+  Alcotest.check_raises "s must be positive"
+    (Invalid_argument "Hypergraph_convert.intersection_graph_min_overlap: s < 1")
+    (fun () -> ignore (HC.intersection_graph_min_overlap h ~s:0))
+
+let prop_intersection_threshold_monotone =
+  QCheck.Test.make ~name:"thresholded intersection: edges decrease in s" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let edges s = G.n_edges (HC.intersection_graph_min_overlap h ~s) in
+      edges 1 >= edges 2 && edges 2 >= edges 3)
+
+let test_bipartite_graph () =
+  let h = sample () in
+  let b = HC.bipartite_graph h in
+  check "bipartite nodes" 8 (G.n_vertices b);
+  check "bipartite edges = |E|" (H.total_incidence h) (G.n_edges b);
+  checkb "membership edge" true (G.mem_edge b 0 5);
+  (* No protein-protein or complex-complex edges. *)
+  let ok = ref true in
+  G.iter_edges b (fun u v -> if (u < 5) = (v < 5) then ok := false);
+  checkb "bipartite" true !ok
+
+let prop_clique_neighbors_are_comembers =
+  QCheck.Test.make ~name:"clique expansion: adjacency iff co-membership" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let g = HC.clique_expansion h in
+      let n = H.n_vertices h in
+      let comember u v =
+        Array.exists
+          (fun e -> H.mem h ~vertex:v ~edge:e)
+          (H.vertex_edges h u)
+      in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if G.mem_edge g u v <> comember u v then ok := false
+        done
+      done;
+      !ok)
+
+let prop_intersection_matches_overlaps =
+  QCheck.Test.make ~name:"intersection graph: edges iff non-zero overlap" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let g = HC.intersection_graph h in
+      let m = H.n_edges h in
+      let ok = ref true in
+      for f = 0 to m - 1 do
+        for g' = f + 1 to m - 1 do
+          let overlap =
+            Hp_util.Sorted.inter_count (H.edge_members h f) (H.edge_members h g')
+          in
+          if G.mem_edge g f g' <> (overlap > 0) then ok := false
+        done
+      done;
+      !ok)
+
+(* The paper's clustering claim: clique expansion inflates clustering
+   coefficients — every complex member sits in a clique. *)
+let test_clustering_inflation () =
+  let h = H.create ~n_vertices:6 [ [ 0; 1; 2; 3 ]; [ 3; 4; 5 ] ] in
+  let clique = HC.clique_expansion h in
+  let star = HC.star_expansion h ~centers:(HC.default_centers h) in
+  let cc = GA.average_clustering clique in
+  let cs = GA.average_clustering star in
+  checkb "clique expansion highly clustered" true (cc >= 0.9);
+  Alcotest.(check (float 1e-9)) "star expansion has no triangles" 0.0 cs
+
+(* Storage accounting (paper Sections 1.2-1.3, bench E10). *)
+
+let test_storage_report () =
+  let h = sample () in
+  let r = S.measure h in
+  check "hypergraph entries = |E|" 7 r.hypergraph_entries;
+  check "clique entries" 10 r.clique_entries;
+  check "clique raw" 10 r.clique_entries_raw;
+  check "star entries" 8 r.star_entries;
+  check "intersection entries" 4 r.intersection_entries
+
+let test_storage_quadratic_growth () =
+  (* One complex of n proteins: hypergraph O(n), clique O(n^2). *)
+  let big = H.create ~n_vertices:40 [ List.init 40 Fun.id ] in
+  let r = S.measure big in
+  check "hypergraph linear" 40 r.hypergraph_entries;
+  check "clique quadratic" (40 * 39) r.clique_entries;
+  check "raw equals analytic" r.clique_entries (S.raw_clique_entries big)
+
+let prop_raw_upper_bounds_dedup =
+  QCheck.Test.make ~name:"storage: raw clique count >= deduplicated" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let r = S.measure h in
+      r.clique_entries_raw >= r.clique_entries
+      && r.hypergraph_entries = H.total_incidence h)
+
+let () =
+  Alcotest.run "hp_convert"
+    [
+      ( "expansions",
+        [
+          Alcotest.test_case "clique expansion" `Quick test_clique_expansion;
+          Alcotest.test_case "clique dedup" `Quick test_clique_expansion_dedup;
+          Alcotest.test_case "star expansion" `Quick test_star_expansion;
+          Alcotest.test_case "star validation" `Quick test_star_expansion_validation;
+          Alcotest.test_case "star with empty edge" `Quick test_star_expansion_empty_edge;
+          Alcotest.test_case "intersection graph" `Quick test_intersection_graph;
+          Alcotest.test_case "intersection threshold" `Quick test_intersection_threshold;
+          Th.prop prop_intersection_threshold_monotone;
+          Alcotest.test_case "bipartite graph" `Quick test_bipartite_graph;
+          Th.prop prop_clique_neighbors_are_comembers;
+          Th.prop prop_intersection_matches_overlaps;
+        ] );
+      ( "model comparison",
+        [
+          Alcotest.test_case "clustering inflation" `Quick test_clustering_inflation;
+          Alcotest.test_case "storage report" `Quick test_storage_report;
+          Alcotest.test_case "quadratic growth" `Quick test_storage_quadratic_growth;
+          Th.prop prop_raw_upper_bounds_dedup;
+        ] );
+    ]

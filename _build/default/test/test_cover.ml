@@ -1,0 +1,264 @@
+(* Tests for the vertex cover suite (paper Section 4): validation,
+   the Figure-5 greedy algorithm and its multicover variant, the
+   primal-dual extension, and the exact branch-and-bound oracle. *)
+
+module H = Hp_hypergraph.Hypergraph
+module C = Hp_cover.Cover
+module W = Hp_cover.Weighting
+module Gr = Hp_cover.Greedy
+module M = Hp_cover.Multicover
+module PD = Hp_cover.Primal_dual
+module E = Hp_cover.Exact
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let sample () = H.create ~n_vertices:5 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+
+(* Cover validation *)
+
+let test_is_cover () =
+  let h = sample () in
+  checkb "valid cover" true (C.is_cover h [| 2; 3 |]);
+  checkb "missing edge" false (C.is_cover h [| 0; 4 |]);
+  checkb "everything" true (C.is_cover h [| 0; 1; 2; 3; 4 |]);
+  Alcotest.(check (array int)) "coverage" [| 1; 2; 1 |] (C.coverage h [| 2; 3 |]);
+  Alcotest.(check (array int)) "uncovered" [| 1; 2 |] (C.uncovered h [| 0 |])
+
+let test_empty_edges_ignored () =
+  let h = H.create ~n_vertices:2 [ []; [ 0 ] ] in
+  checkb "empty edge cannot block" true (C.is_cover h [| 0 |]);
+  Alcotest.(check (array int)) "uncovered skips empty" [||] (C.uncovered h [| 0 |])
+
+let test_multicover_validation () =
+  let h = sample () in
+  checkb "double cover" true
+    (C.is_multicover h ~requirements:[| 2; 2; 2 |] [| 0; 1; 2; 3; 4 |]);
+  checkb "insufficient" false (C.is_multicover h ~requirements:[| 2; 2; 2 |] [| 2; 3 |]);
+  Alcotest.check_raises "requirements length"
+    (Invalid_argument "Cover.is_multicover: requirements length mismatch") (fun () ->
+      ignore (C.is_multicover h ~requirements:[| 1 |] [| 0 |]))
+
+let test_quality_measures () =
+  let h = sample () in
+  checkf "total weight" 7.0 (C.total_weight ~weights:[| 1.; 2.; 3.; 4.; 5. |] [| 1; 4 |]);
+  (* degrees: v2 = 2, v3 = 2. *)
+  checkf "average degree" 2.0 (C.average_degree h [| 2; 3 |]);
+  checkf "empty set degree" 0.0 (C.average_degree h [||])
+
+(* Weighting *)
+
+let test_weightings () =
+  let h = sample () in
+  Alcotest.(check (array (float 1e-9))) "uniform" [| 1.; 1.; 1.; 1.; 1. |] (W.uniform h);
+  Alcotest.(check (array (float 1e-9))) "degree" [| 1.; 1.; 2.; 2.; 1. |] (W.degree h);
+  Alcotest.(check (array (float 1e-9))) "degree^2" [| 1.; 1.; 4.; 4.; 1. |]
+    (W.degree_squared h)
+
+let test_preferences () =
+  let h =
+    H.create ~vertex_names:[| "A"; "B" |] ~n_vertices:2 [ [ 0; 1 ] ]
+  in
+  let w = W.of_preferences h [ ("B", 9.0) ] ~default:1.0 in
+  Alcotest.(check (array (float 1e-9))) "preference table" [| 1.0; 9.0 |] w;
+  Alcotest.check_raises "unknown name"
+    (Invalid_argument "Weighting.of_preferences: unknown vertex C") (fun () ->
+      ignore (W.of_preferences h [ ("C", 1.0) ] ~default:1.0))
+
+(* Greedy *)
+
+let test_greedy_known () =
+  let h = sample () in
+  let cover = Gr.vertex_cover h in
+  checkb "is a cover" true (C.is_cover h cover);
+  (* {2,3} is optimal and the greedy finds a 2-cover here. *)
+  check "cover size" 2 (Array.length cover)
+
+let test_greedy_picks_hub () =
+  (* A star of complexes all containing vertex 0: one pick suffices. *)
+  let h = H.create ~n_vertices:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ] in
+  Alcotest.(check (array int)) "hub only" [| 0 |] (Gr.vertex_cover h)
+
+let test_greedy_weights_redirect () =
+  (* Same star, but the hub is prohibitively expensive. *)
+  let h = H.create ~n_vertices:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ] in
+  let weights = [| 100.0; 1.0; 1.0; 1.0 |] in
+  let cover = Gr.vertex_cover ~weights h in
+  checkb "avoids hub" true (not (Array.exists (fun v -> v = 0) cover));
+  check "covers with leaves" 3 (Array.length cover)
+
+let test_greedy_trace () =
+  let h = sample () in
+  let t = Gr.vertex_cover_trace h in
+  checkf "total weight is cardinality" (float_of_int (Array.length t.cover))
+    t.total_weight;
+  check "steps match cover" (Array.length t.cover) (List.length t.steps);
+  (* Each step covered at least one new hyperedge. *)
+  checkb "progress every step" true
+    (List.for_all (fun (s : Gr.step) -> s.completed >= 1) t.steps);
+  let total_completed =
+    List.fold_left (fun acc (s : Gr.step) -> acc + s.completed) 0 t.steps
+  in
+  check "all hyperedges completed" 3 total_completed
+
+let test_greedy_infeasible () =
+  let h = H.create ~n_vertices:2 [ [ 0; 1 ] ] in
+  Alcotest.check_raises "requirement too large"
+    (Invalid_argument "Greedy.solve: requirement exceeds hyperedge size (infeasible)")
+    (fun () -> ignore (Gr.solve ~requirements:[| 3 |] h))
+
+let test_harmonic () =
+  checkf "H_1" 1.0 (Gr.harmonic 1);
+  checkf "H_3" (1.0 +. 0.5 +. (1.0 /. 3.0)) (Gr.harmonic 3);
+  checkf "H_0" 0.0 (Gr.harmonic 0)
+
+(* Multicover *)
+
+let test_uniform_requirements () =
+  let h = H.create ~n_vertices:4 [ [ 0 ]; [ 0; 1 ]; [ 0; 1; 2; 3 ]; [] ] in
+  Alcotest.(check (array int)) "r=2 skips singletons" [| 0; 2; 2; 0 |]
+    (M.uniform_requirements h ~r:2);
+  check "covered edges" 2 (M.covered_edges ~requirements:(M.uniform_requirements h ~r:2))
+
+let test_double_cover () =
+  let h = sample () in
+  let t = M.double_cover h in
+  let reqs = M.uniform_requirements h ~r:2 in
+  checkb "meets requirements" true (C.is_multicover h ~requirements:reqs t.cover);
+  (* Doubling requirements cannot shrink the cover. *)
+  checkb "at least as large as single cover" true
+    (Array.length t.cover >= Array.length (Gr.vertex_cover h))
+
+let prop_greedy_is_cover =
+  QCheck.Test.make ~name:"greedy: always a valid cover" ~count:300
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let cover = Gr.vertex_cover h in
+      C.is_cover h cover
+      (* No duplicate picks. *)
+      && Array.length (Hp_util.Sorted.of_array cover) = Array.length cover)
+
+let prop_multicover_meets_requirements =
+  QCheck.Test.make ~name:"multicover: requirements met" ~count:300
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 3))
+    (fun (h, r) ->
+      let reqs = M.uniform_requirements h ~r in
+      let t = M.solve ~requirements:reqs h in
+      C.is_multicover h ~requirements:reqs t.cover)
+
+let prop_greedy_within_harmonic_of_exact =
+  QCheck.Test.make ~name:"greedy: within H_m of the optimum" ~count:150
+    (Th.arbitrary_hypergraph ~max_v:7 ~max_e:6 ())
+    (fun h ->
+      let greedy = float_of_int (Array.length (Gr.vertex_cover h)) in
+      match E.optimal_weight h with
+      | Some opt -> greedy <= (Gr.harmonic (H.n_edges h) *. opt) +. 1e-9
+      | None -> true)
+
+(* Primal-dual *)
+
+let test_primal_dual_known () =
+  let h = sample () in
+  let cover = PD.vertex_cover h in
+  checkb "is a cover" true (C.is_cover h cover)
+
+let prop_primal_dual_is_cover =
+  QCheck.Test.make ~name:"primal-dual: always a valid cover" ~count:300
+    (Th.arbitrary_hypergraph ())
+    (fun h -> C.is_cover h (PD.vertex_cover h))
+
+let prop_primal_dual_sandwich =
+  (* Weak duality: sum of duals <= optimum <= primal-dual cover weight
+     <= Delta_F * sum of duals. *)
+  QCheck.Test.make ~name:"primal-dual: dual bound sandwiches the cover" ~count:150
+    (Th.arbitrary_hypergraph ~max_v:7 ~max_e:6 ())
+    (fun h ->
+      let cover, duals = PD.vertex_cover_with_duals h in
+      let dual_sum = Array.fold_left ( +. ) 0.0 duals in
+      let weight = float_of_int (Array.length cover) in
+      match E.optimal_weight h with
+      | Some opt -> dual_sum <= opt +. 1e-6 && opt <= weight +. 1e-6
+      | None -> dual_sum <= weight +. 1e-6)
+
+(* Exact *)
+
+let test_exact_known () =
+  let h = sample () in
+  (match E.min_weight_cover h with
+  | Some cover ->
+    checkb "optimal is a cover" true (C.is_cover h cover);
+    check "optimal size" 2 (Array.length cover)
+  | None -> Alcotest.fail "exact solver gave up on a tiny instance");
+  Alcotest.(check (option (float 1e-9))) "optimal weight" (Some 2.0)
+    (E.optimal_weight h)
+
+let test_exact_weighted () =
+  (* Hub vs leaves: with an expensive hub the optimum uses the leaves. *)
+  let h = H.create ~n_vertices:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ] in
+  Alcotest.(check (option (float 1e-9))) "cheap hub" (Some 1.0) (E.optimal_weight h);
+  Alcotest.(check (option (float 1e-9))) "expensive hub" (Some 3.0)
+    (E.optimal_weight ~weights:[| 10.0; 1.0; 1.0; 1.0 |] h)
+
+let test_exact_node_limit () =
+  let rng = Hp_util.Prng.create 3 in
+  let h = Hp_hypergraph.Hypergraph_gen.uniform rng ~nv:30 ~ne:25 ~edge_size:5 in
+  Alcotest.(check (option (array int))) "limit respected" None
+    (E.min_weight_cover ~node_limit:3 h)
+
+let prop_exact_beats_heuristics =
+  QCheck.Test.make ~name:"exact: never worse than greedy or primal-dual" ~count:100
+    (Th.arbitrary_hypergraph ~max_v:6 ~max_e:5 ())
+    (fun h ->
+      match E.optimal_weight h with
+      | None -> true
+      | Some opt ->
+        opt <= float_of_int (Array.length (Gr.vertex_cover h)) +. 1e-9
+        && opt <= float_of_int (Array.length (PD.vertex_cover h)) +. 1e-9)
+
+let () =
+  Alcotest.run "hp_cover"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "is_cover" `Quick test_is_cover;
+          Alcotest.test_case "empty edges" `Quick test_empty_edges_ignored;
+          Alcotest.test_case "multicover" `Quick test_multicover_validation;
+          Alcotest.test_case "quality measures" `Quick test_quality_measures;
+        ] );
+      ( "weighting",
+        [
+          Alcotest.test_case "schemes" `Quick test_weightings;
+          Alcotest.test_case "preferences" `Quick test_preferences;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "known cover" `Quick test_greedy_known;
+          Alcotest.test_case "hub pick" `Quick test_greedy_picks_hub;
+          Alcotest.test_case "weights redirect" `Quick test_greedy_weights_redirect;
+          Alcotest.test_case "trace" `Quick test_greedy_trace;
+          Alcotest.test_case "infeasible" `Quick test_greedy_infeasible;
+          Alcotest.test_case "harmonic numbers" `Quick test_harmonic;
+          Th.prop prop_greedy_is_cover;
+          Th.prop prop_greedy_within_harmonic_of_exact;
+        ] );
+      ( "multicover",
+        [
+          Alcotest.test_case "uniform requirements" `Quick test_uniform_requirements;
+          Alcotest.test_case "double cover" `Quick test_double_cover;
+          Th.prop prop_multicover_meets_requirements;
+        ] );
+      ( "primal-dual",
+        [
+          Alcotest.test_case "known cover" `Quick test_primal_dual_known;
+          Th.prop prop_primal_dual_is_cover;
+          Th.prop prop_primal_dual_sandwich;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "known optimum" `Quick test_exact_known;
+          Alcotest.test_case "weighted optimum" `Quick test_exact_weighted;
+          Alcotest.test_case "node limit" `Quick test_exact_node_limit;
+          Th.prop prop_exact_beats_heuristics;
+        ] );
+    ]

@@ -1,0 +1,379 @@
+(* Tests for the data substrates: the calibrated Cellzome generator,
+   annotations, DIP networks, MatrixMarket I/O, and the Pajek export.
+   These pin the structural facts the experiments rely on. *)
+
+module H = Hp_hypergraph.Hypergraph
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_core
+module GC = Hp_graph.Graph_core
+module G = Hp_graph.Graph
+module MM = Hp_data.Matrix_market
+module CZ = Hp_data.Cellzome
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let dataset = lazy (CZ.paper ())
+
+(* Names *)
+
+let test_gene_names () =
+  let rng = U.Prng.create 1 in
+  let names = Hp_data.Names.gene_names rng 500 in
+  check "count" 500 (Array.length names);
+  let distinct = List.sort_uniq compare (Array.to_list names) in
+  check "unique" 500 (List.length distinct);
+  checkb "shapes" true
+    (Array.for_all (fun n -> String.length n >= 4 && String.length n <= 5) names)
+
+let test_complex_names () =
+  Alcotest.(check (array string)) "systematic" [| "CPX001"; "CPX002" |]
+    (Hp_data.Names.complex_names 2)
+
+(* Cellzome *)
+
+let test_cellzome_shape () =
+  let ds = Lazy.force dataset in
+  let h = ds.hypergraph in
+  check "proteins" CZ.Reported.n_proteins (H.n_vertices h);
+  check "complexes" CZ.Reported.n_complexes (H.n_edges h);
+  check "max degree" CZ.Reported.max_degree (H.max_vertex_degree h);
+  check "ADH1 has it" CZ.Reported.max_degree (H.vertex_degree h ds.adh1);
+  Alcotest.(check string) "ADH1 name" "ADH1" (H.vertex_name h ds.adh1);
+  (* Exactly 3 singleton complexes. *)
+  let singles =
+    Array.fold_left (fun a s -> if s = 1 then a + 1 else a) 0 (H.edge_sizes h)
+  in
+  check "singleton complexes" CZ.Reported.singleton_complexes singles
+
+let test_cellzome_components () =
+  let ds = Lazy.force dataset in
+  let summary = HP.component_summary ds.hypergraph in
+  check "components" CZ.Reported.n_components (Array.length summary);
+  let nv, ne = summary.(0) in
+  check "largest proteins" CZ.Reported.largest_component_proteins nv;
+  check "largest complexes" CZ.Reported.largest_component_complexes ne
+
+let test_cellzome_core () =
+  let ds = Lazy.force dataset in
+  let k, r = HC.max_core ds.hypergraph in
+  check "max core index" CZ.Reported.max_core k;
+  check "core proteins" CZ.Reported.core_proteins (H.n_vertices r.core);
+  check "core complexes" CZ.Reported.core_complexes (H.n_edges r.core);
+  (* The planted proteins are exactly the max core. *)
+  Alcotest.(check (array int)) "planted = computed" ds.core_proteins
+    (Th.sorted_array r.vertex_ids);
+  Alcotest.(check (array int)) "planted complexes = computed" ds.core_complexes
+    (Th.sorted_array r.edge_ids)
+
+let test_cellzome_degree_distribution () =
+  let ds = Lazy.force dataset in
+  let hist = Hp_stats.Degree_dist.vertex_histogram ds.hypergraph in
+  let fit = Hp_stats.Powerlaw.fit_loglog hist in
+  (* Shape targets: exponent near the reported 2.528, strong fit,
+     majority of proteins in a single complex. *)
+  checkb "gamma in band" true (fit.gamma > 2.0 && fit.gamma < 3.0);
+  checkb "r2 strong" true (fit.r2 > 0.85);
+  checkb "degree-1 majority" true
+    (U.Int_histogram.count hist 1 > H.n_vertices ds.hypergraph / 2)
+
+let test_cellzome_small_world () =
+  let ds = Lazy.force dataset in
+  let diam, apl = HP.diameter_and_average_path ds.hypergraph in
+  checkb "diameter band" true (diam >= 4 && diam <= 8);
+  checkb "avg path band" true (apl > 2.0 && apl < 3.5)
+
+let test_cellzome_deterministic () =
+  let a = CZ.generate ~seed:123 () and b = CZ.generate ~seed:123 () in
+  checkb "same seed same structure" true
+    (H.equal_structure a.hypergraph b.hypergraph);
+  let c = CZ.generate ~seed:124 () in
+  checkb "different seed differs" false
+    (H.equal_structure a.hypergraph c.hypergraph)
+
+let test_cellzome_baits () =
+  let ds = Lazy.force dataset in
+  check "productive baits" CZ.Reported.productive_baits
+    (Array.length ds.historical_baits);
+  let avg = Hp_cover.Cover.average_degree ds.hypergraph ds.historical_baits in
+  checkb "bait degree near reported" true
+    (Float.abs (avg -. CZ.Reported.bait_average_degree) < 0.05);
+  (* Baits are distinct proteins. *)
+  check "distinct" (Array.length ds.historical_baits)
+    (Array.length (U.Sorted.of_array ds.historical_baits))
+
+(* Proteome generator *)
+
+let test_proteome_cellzome_params_match () =
+  (* Cellzome is the canonical instance of the generic generator. *)
+  let rng = U.Prng.create 2004 in
+  let p =
+    Hp_data.Proteome_gen.generate ~hub_name:"ADH1" rng
+      Hp_data.Proteome_gen.cellzome_params
+  in
+  let ds = Lazy.force dataset in
+  checkb "same structure" true (H.equal_structure p.hypergraph ds.hypergraph);
+  check "same hub" ds.adh1 p.hub
+
+let test_proteome_scaled_shape () =
+  let params = Hp_data.Proteome_gen.scaled Hp_data.Proteome_gen.cellzome_params 2.0 in
+  check "core proteins doubled" 82 params.core_proteins;
+  check "membership unchanged" 6 params.core_membership;
+  let rng = U.Prng.create 7 in
+  let p = Hp_data.Proteome_gen.generate rng params in
+  let h = p.hypergraph in
+  checkb "roughly doubled proteins" true
+    (H.n_vertices h > 2500 && H.n_vertices h < 2900);
+  (* The planted core is still exactly the maximum core. *)
+  let k, r = HC.max_core h in
+  check "max core still the planted index" 6 k;
+  check "core proteins" params.core_proteins (H.n_vertices r.core);
+  check "core complexes" params.core_complexes (H.n_edges r.core);
+  Alcotest.(check (array int)) "planted = computed" p.core_proteins
+    (Th.sorted_array r.vertex_ids)
+
+let test_proteome_validation () =
+  let bad = { Hp_data.Proteome_gen.cellzome_params with hub_degree = 99 } in
+  Alcotest.check_raises "hub degree too large"
+    (Invalid_argument "Proteome_gen: hub_degree exceeds periphery complexes")
+    (fun () -> ignore (Hp_data.Proteome_gen.generate (U.Prng.create 1) bad));
+  Alcotest.check_raises "bad scale"
+    (Invalid_argument "Proteome_gen.scaled: factor must be positive") (fun () ->
+      ignore (Hp_data.Proteome_gen.scaled Hp_data.Proteome_gen.cellzome_params 0.0))
+
+(* Annotations *)
+
+let test_annotations () =
+  let ds = Lazy.force dataset in
+  let rng = U.Prng.create 11 in
+  let ann = Hp_data.Annotations.generate rng ds in
+  check "genome essential" 878 ann.genome_essential;
+  check "one annotation per protein" (H.n_vertices ds.hypergraph)
+    (Array.length ann.by_protein);
+  let report = Hp_data.Annotations.core_report ann ~protein_ids:ds.core_proteins in
+  check "covers the core" 41 report.core_size;
+  check "unknown + known = size" report.core_size (report.unknown + report.known_total);
+  checkb "essential within known" true (report.known_essential <= report.known_total);
+  (* Calibrated enrichment: clearly above the ~22% base rate. *)
+  checkb "core enriched" true (report.essential_enrichment.fold > 2.0);
+  checkb "significant" true (report.essential_enrichment.p_value < 1e-4)
+
+let test_annotations_background_rate () =
+  let ds = Lazy.force dataset in
+  let rng = U.Prng.create 11 in
+  let ann = Hp_data.Annotations.generate rng ds in
+  (* Non-core proteins follow the genome base rate, within tolerance. *)
+  let in_core = Array.make (H.n_vertices ds.hypergraph) false in
+  Array.iter (fun v -> in_core.(v) <- true) ds.core_proteins;
+  let known = ref 0 and essential = ref 0 in
+  Array.iteri
+    (fun v (a : Hp_data.Annotations.annotation) ->
+      if (not in_core.(v)) && a.known then begin
+        incr known;
+        if a.essential then incr essential
+      end)
+    ann.by_protein;
+  let rate = float_of_int !essential /. float_of_int !known in
+  checkb "background near 21.8%" true (Float.abs (rate -. 0.2175) < 0.05)
+
+(* DIP *)
+
+let test_dip_yeast () =
+  let net = Hp_data.Dip.yeast () in
+  check "proteins" Hp_data.Dip.Reported.yeast_proteins (G.n_vertices net.graph);
+  let d = GC.decompose net.graph in
+  check "max core" Hp_data.Dip.Reported.yeast_max_core d.max_core;
+  let size =
+    Array.fold_left (fun a c -> if c = d.max_core then a + 1 else a) 0 d.core_number
+  in
+  check "core size" Hp_data.Dip.Reported.yeast_core_size size
+
+let test_dip_drosophila () =
+  let net = Hp_data.Dip.drosophila () in
+  check "proteins" Hp_data.Dip.Reported.drosophila_proteins (G.n_vertices net.graph);
+  let d = GC.decompose net.graph in
+  check "max core" Hp_data.Dip.Reported.drosophila_max_core d.max_core;
+  let size =
+    Array.fold_left (fun a c -> if c = d.max_core then a + 1 else a) 0 d.core_number
+  in
+  check "core size" Hp_data.Dip.Reported.drosophila_core_size size
+
+(* MatrixMarket *)
+
+let test_mm_parse () =
+  let text =
+    "%%MatrixMarket matrix coordinate real general\n\
+     % a comment\n\
+     3 4 3\n\
+     1 1 0.5\n\
+     2 3 1.0\n\
+     3 4 -2.0\n"
+  in
+  let m = MM.parse text in
+  check "rows" 3 m.rows;
+  check "cols" 4 m.cols;
+  check "nnz" 3 (MM.nnz m);
+  Alcotest.(check (array (pair int int))) "entries 0-based"
+    [| (0, 0); (1, 2); (2, 3) |]
+    m.entries
+
+let test_mm_parse_symmetric_pattern () =
+  let text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n" in
+  let m = MM.parse text in
+  checkb "symmetric" true (m.symmetry = MM.Symmetric);
+  check "nnz" 2 (MM.nnz m)
+
+let test_mm_parse_errors () =
+  let bad_header = "%%NotMatrixMarket\n1 1 0\n" in
+  (match MM.parse bad_header with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  let wrong_count = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n" in
+  (match MM.parse wrong_count with
+  | _ -> Alcotest.fail "expected count mismatch failure"
+  | exception Failure _ -> ())
+
+let prop_mm_parse_never_crashes =
+  QCheck.Test.make ~name:"mm: parse total on arbitrary text" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 80) QCheck.Gen.printable)
+    (fun text ->
+      match MM.parse text with
+      | _ -> true
+      | exception Failure _ -> true)
+
+let test_mm_roundtrip () =
+  let m = MM.create ~rows:3 ~cols:3 ~symmetry:MM.Symmetric [ (2, 0); (1, 1); (0, 2) ] in
+  (* (0,2) canonicalizes to (2,0): duplicates collapse. *)
+  check "canonical nnz" 2 (MM.nnz m);
+  let m' = MM.parse (MM.to_string m) in
+  checkb "roundtrip" true (m = m')
+
+let test_mm_to_hypergraph () =
+  let m = MM.create ~rows:2 ~cols:3 [ (0, 0); (0, 2); (1, 1) ] in
+  let h = MM.to_hypergraph m in
+  check "vertices are columns" 3 (H.n_vertices h);
+  check "edges are rows" 2 (H.n_edges h);
+  Alcotest.(check (array int)) "row 0" [| 0; 2 |] (H.edge_members h 0)
+
+let test_mm_symmetric_expansion () =
+  let m = MM.create ~rows:2 ~cols:2 ~symmetry:MM.Symmetric [ (1, 0); (0, 0) ] in
+  let h = MM.to_hypergraph m in
+  (* Row 0 sees (0,0) and mirrored (0,1); row 1 sees (1,0). *)
+  Alcotest.(check (array int)) "row 0 expanded" [| 0; 1 |] (H.edge_members h 0);
+  Alcotest.(check (array int)) "row 1" [| 0 |] (H.edge_members h 1)
+
+let test_mm_generators () =
+  let rng = U.Prng.create 2 in
+  let banded = MM.banded rng ~n:50 ~bandwidth:3 ~fill:1.0 in
+  checkb "diagonal present" true
+    (Array.exists (fun e -> e = (0, 0)) banded.entries);
+  check "full band nnz" (50 + (3 * 50) - (1 + 2 + 3)) (MM.nnz banded);
+  let rect = MM.random_rect rng ~rows:20 ~cols:10 ~nnz:50 in
+  checkb "requested density approximate" true (MM.nnz rect >= 20 && MM.nnz rect <= 50);
+  let block = MM.block_structured rng ~n:30 ~block:5 ~fill:1.0 ~noise:0 in
+  checkb "block has dense diagonal blocks" true (MM.nnz block >= 30)
+
+let test_mm_suite () =
+  let suite = MM.synthetic_suite () in
+  check "five instances" 5 (List.length suite);
+  List.iter
+    (fun (name, m) ->
+      checkb (name ^ " nonempty") true (MM.nnz m > 0);
+      let h = MM.to_hypergraph m in
+      checkb (name ^ " rows become edges") true (H.n_edges h = m.rows))
+    suite
+
+(* Pajek *)
+
+let test_pajek_network () =
+  let h =
+    H.create ~vertex_names:[| "A"; "B" |] ~edge_names:[| "X" |] ~n_vertices:2
+      [ [ 0; 1 ] ]
+  in
+  let s = Hp_data.Pajek.network h in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check string) "header" "*Vertices 3" (List.nth lines 0);
+  Alcotest.(check string) "protein node" "1 \"A\"" (List.nth lines 1);
+  Alcotest.(check string) "complex node" "3 \"X\"" (List.nth lines 3);
+  Alcotest.(check string) "edges marker" "*Edges" (List.nth lines 4);
+  Alcotest.(check string) "membership arc" "1 3" (List.nth lines 5)
+
+let test_pajek_partition () =
+  let h = H.create ~n_vertices:2 [ [ 0; 1 ] ] in
+  let s =
+    Hp_data.Pajek.core_partition h ~core_vertices:[| 1 |] ~core_edges:[| 0 |]
+  in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check (list string)) "classes"
+    [ "*Vertices 3"; "0"; "1"; "3" ]
+    lines
+
+let test_pajek_write () =
+  let ds = Lazy.force dataset in
+  let _, r = HC.max_core ds.hypergraph in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hp_pajek_test" in
+  let net, clu =
+    Hp_data.Pajek.write_figure3 ~dir ~prefix:"fig3" ds.hypergraph
+      ~core_vertices:r.vertex_ids ~core_edges:r.edge_ids
+  in
+  checkb "net exists" true (Sys.file_exists net);
+  checkb "clu exists" true (Sys.file_exists clu);
+  Sys.remove net;
+  Sys.remove clu
+
+let () =
+  Alcotest.run "hp_data"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "gene names" `Quick test_gene_names;
+          Alcotest.test_case "complex names" `Quick test_complex_names;
+        ] );
+      ( "cellzome",
+        [
+          Alcotest.test_case "shape" `Quick test_cellzome_shape;
+          Alcotest.test_case "components" `Quick test_cellzome_components;
+          Alcotest.test_case "planted max core" `Quick test_cellzome_core;
+          Alcotest.test_case "degree distribution" `Quick test_cellzome_degree_distribution;
+          Alcotest.test_case "small world" `Quick test_cellzome_small_world;
+          Alcotest.test_case "deterministic" `Quick test_cellzome_deterministic;
+          Alcotest.test_case "historical baits" `Quick test_cellzome_baits;
+        ] );
+      ( "proteome generator",
+        [
+          Alcotest.test_case "cellzome equivalence" `Quick
+            test_proteome_cellzome_params_match;
+          Alcotest.test_case "scaled instance keeps the planted core" `Quick
+            test_proteome_scaled_shape;
+          Alcotest.test_case "validation" `Quick test_proteome_validation;
+        ] );
+      ( "annotations",
+        [
+          Alcotest.test_case "core report" `Quick test_annotations;
+          Alcotest.test_case "background rate" `Quick test_annotations_background_rate;
+        ] );
+      ( "dip",
+        [
+          Alcotest.test_case "yeast" `Quick test_dip_yeast;
+          Alcotest.test_case "drosophila" `Quick test_dip_drosophila;
+        ] );
+      ( "matrix market",
+        [
+          Alcotest.test_case "parse" `Quick test_mm_parse;
+          Alcotest.test_case "parse symmetric pattern" `Quick test_mm_parse_symmetric_pattern;
+          Alcotest.test_case "parse errors" `Quick test_mm_parse_errors;
+          Th.prop prop_mm_parse_never_crashes;
+          Alcotest.test_case "roundtrip" `Quick test_mm_roundtrip;
+          Alcotest.test_case "to hypergraph" `Quick test_mm_to_hypergraph;
+          Alcotest.test_case "symmetric expansion" `Quick test_mm_symmetric_expansion;
+          Alcotest.test_case "generators" `Quick test_mm_generators;
+          Alcotest.test_case "synthetic suite" `Quick test_mm_suite;
+        ] );
+      ( "pajek",
+        [
+          Alcotest.test_case "network format" `Quick test_pajek_network;
+          Alcotest.test_case "partition format" `Quick test_pajek_partition;
+          Alcotest.test_case "figure 3 files" `Quick test_pajek_write;
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for the extension features: the TAP reliability simulator,
+   the ortholog-transfer model, and the batch peeling rounds. *)
+
+module H = Hp_hypergraph.Hypergraph
+module HC = Hp_hypergraph.Hypergraph_core
+module TAP = Hp_data.Tap_experiment
+module O = Hp_data.Ortholog
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let sample () = H.create ~n_vertices:5 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+
+(* TAP simulation *)
+
+let test_tap_certain () =
+  let h = sample () in
+  let rng = U.Prng.create 1 in
+  let o = TAP.simulate rng h ~baits:[| 2; 3 |] ~reproducibility:1.0 in
+  Alcotest.(check (array bool)) "all identified" [| true; true; true |] o.identified;
+  (* e1 = {2,3} contains both baits. *)
+  Alcotest.(check (array int)) "pull counts" [| 1; 2; 1 |] o.pulls;
+  check "productive baits" 2 o.successful_baits
+
+let test_tap_impossible () =
+  let h = sample () in
+  let rng = U.Prng.create 1 in
+  let o = TAP.simulate rng h ~baits:[| 2; 3 |] ~reproducibility:0.0 in
+  checkb "nothing identified" true (Array.for_all not o.identified);
+  check "no productive baits" 0 o.successful_baits
+
+let test_tap_validation () =
+  let h = sample () in
+  let rng = U.Prng.create 1 in
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Tap_experiment.simulate: reproducibility out of [0,1]")
+    (fun () -> ignore (TAP.simulate rng h ~baits:[| 0 |] ~reproducibility:1.5));
+  Alcotest.check_raises "bad trials"
+    (Invalid_argument "Tap_experiment.assess: trials must be positive") (fun () ->
+      ignore (TAP.assess rng h ~baits:[| 0 |] ~reproducibility:0.5 ~trials:0))
+
+let test_tap_assess () =
+  let h = sample () in
+  let rng = U.Prng.create 2 in
+  let r = TAP.assess rng h ~baits:[| 2; 3 |] ~reproducibility:0.7 ~trials:300 in
+  check "coverable" 3 r.coverable;
+  checkb "identified fraction near analytic" true
+    (* e0 and e2 found w.p. 0.7, e1 w.p. 1 - 0.09 = 0.91: mean
+       (0.7 + 0.91 + 0.7) / 3 = 0.77. *)
+    (Float.abs (r.mean_identified_fraction -. 0.77) < 0.05);
+  checkb "twice fraction near analytic" true
+    (* Only e1 can be seen twice: 0.49 / 3. *)
+    (Float.abs (r.mean_twice_identified_fraction -. (0.49 /. 3.0)) < 0.04);
+  checkb "bounds" true
+    (r.always_identified <= r.coverable && r.never_identified <= r.coverable)
+
+let test_tap_uncoverable () =
+  (* A bait-free complex never counts as coverable. *)
+  let h = sample () in
+  let rng = U.Prng.create 3 in
+  let r = TAP.assess rng h ~baits:[| 0 |] ~reproducibility:1.0 ~trials:10 in
+  check "only e0 coverable" 1 r.coverable;
+  Alcotest.(check (float 1e-9)) "certain identification" 1.0
+    r.mean_identified_fraction
+
+let prop_tap_multicover_dominates =
+  QCheck.Test.make ~name:"tap: more redundancy never hurts identification" ~count:50
+    (Th.arbitrary_hypergraph ~max_v:8 ~max_e:8 ())
+    (fun h ->
+      let nonempty = Array.exists (fun s -> s > 0) (H.edge_sizes h) in
+      QCheck.assume nonempty;
+      let single = Hp_cover.Greedy.vertex_cover h in
+      let reqs =
+        Array.init (H.n_edges h) (fun e -> min 2 (H.edge_size h e))
+      in
+      let double = (Hp_cover.Greedy.solve ~requirements:reqs h).cover in
+      let assess baits =
+        let rng = U.Prng.create 99 in
+        (TAP.assess rng h ~baits ~reproducibility:0.7 ~trials:100)
+          .mean_identified_fraction
+      in
+      assess double >= assess single -. 0.05)
+
+(* Ortholog *)
+
+let test_perturb_identity () =
+  let h = sample () in
+  let rng = U.Prng.create 4 in
+  let o = O.perturb rng ~membership_loss:0.0 ~membership_gain:0.0 ~complex_loss:0.0 h in
+  checkb "no perturbation is identity" true (H.equal_structure h o.hypergraph);
+  check "no losses" 0 o.lost_memberships;
+  check "no gains" 0 o.gained_memberships;
+  check "no drops" 0 o.dropped_complexes
+
+let test_perturb_total_loss () =
+  let h = sample () in
+  let rng = U.Prng.create 4 in
+  let o = O.perturb rng ~membership_loss:0.0 ~membership_gain:0.0 ~complex_loss:1.0 h in
+  check "all complexes dropped" 3 o.dropped_complexes;
+  checkb "all empty" true (Array.for_all (fun s -> s = 0) (H.edge_sizes o.hypergraph))
+
+let test_perturb_keeps_one_member () =
+  let h = sample () in
+  let rng = U.Prng.create 4 in
+  let o = O.perturb rng ~membership_loss:1.0 ~membership_gain:0.0 ~complex_loss:0.0 h in
+  (* Membership loss keeps a witness member per surviving complex. *)
+  checkb "never empties a surviving complex" true
+    (Array.for_all (fun s -> s >= 1) (H.edge_sizes o.hypergraph))
+
+let test_perturb_names_preserved () =
+  let ds = Hp_data.Cellzome.generate ~seed:8 () in
+  let rng = U.Prng.create 4 in
+  let o = O.perturb rng ds.hypergraph in
+  Alcotest.(check string) "vertex names preserved"
+    (H.vertex_name ds.hypergraph ds.adh1)
+    (H.vertex_name o.hypergraph ds.adh1)
+
+let test_transfer_report () =
+  let h = sample () in
+  let rng = U.Prng.create 4 in
+  let o = O.perturb rng ~membership_loss:0.0 ~membership_gain:0.0 ~complex_loss:0.0 h in
+  let r = O.transfer_report o ~baits:[| 2; 3 |] in
+  check "coverable" 3 r.coverable_complexes;
+  check "covered" 3 r.covered;
+  check "covered twice" 1 r.covered_twice;
+  Alcotest.(check (float 1e-9)) "fraction" 1.0 r.coverage_fraction
+
+let prop_perturb_counts_consistent =
+  QCheck.Test.make ~name:"ortholog: reported deltas match the structures" ~count:100
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let rng = U.Prng.create 17 in
+      let o = O.perturb rng ~membership_loss:0.3 ~membership_gain:0.2 ~complex_loss:0.2 h in
+      H.n_vertices o.hypergraph = H.n_vertices h
+      && H.n_edges o.hypergraph = H.n_edges h
+      && H.total_incidence o.hypergraph
+         <= H.total_incidence h + o.gained_memberships
+      && o.lost_memberships >= 0 && o.gained_memberships >= 0)
+
+(* Purification pipeline *)
+
+module P = Hp_data.Purification
+
+let test_jaccard () =
+  Alcotest.(check (float 1e-9)) "identical" 1.0 (P.jaccard [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0 (P.jaccard [| 1 |] [| 2 |]);
+  Alcotest.(check (float 1e-9)) "half" (1.0 /. 3.0) (P.jaccard [| 1; 2 |] [| 2; 3 |]);
+  Alcotest.(check (float 1e-9)) "both empty" 1.0 (P.jaccard [||] [||])
+
+let test_perfect_experiment () =
+  let h = sample () in
+  let rng = U.Prng.create 5 in
+  let ps =
+    P.run_experiment rng h ~baits:[| 2; 3 |] ~reproducibility:1.0 ~dropout:0.0
+      ~contamination:0.0
+  in
+  (* Bait 2 is in e0, e1; bait 3 in e1, e2: four purifications. *)
+  check "purification count" 4 (List.length ps);
+  List.iter
+    (fun (p : P.purification) ->
+      checkb "bait not a prey" true (not (Array.exists (fun v -> v = p.bait) p.preys)))
+    ps;
+  let recon = P.reconstruct ~n_vertices:5 ps in
+  let a = P.compare_to_truth ~truth:h recon in
+  check "all true complexes" 3 a.true_complexes;
+  check "all matched" 3 a.matched;
+  check "no spurious" 0 a.spurious;
+  Alcotest.(check (float 1e-9)) "perfect jaccard" 1.0 a.mean_best_jaccard
+
+let test_zero_reproducibility_experiment () =
+  let h = sample () in
+  let rng = U.Prng.create 5 in
+  let ps =
+    P.run_experiment rng h ~baits:[| 2; 3 |] ~reproducibility:0.0 ~dropout:0.0
+      ~contamination:0.0
+  in
+  check "no purifications" 0 (List.length ps);
+  let recon = P.reconstruct ~n_vertices:5 ps in
+  check "nothing reconstructed" 0 (H.n_edges recon);
+  let a = P.compare_to_truth ~truth:h recon in
+  check "nothing matched" 0 a.matched
+
+let test_experiment_validation () =
+  let h = sample () in
+  let rng = U.Prng.create 5 in
+  Alcotest.check_raises "bad reproducibility"
+    (Invalid_argument "Purification.run_experiment: reproducibility out of [0,1]")
+    (fun () ->
+      ignore
+        (P.run_experiment rng h ~baits:[| 0 |] ~reproducibility:2.0 ~dropout:0.0
+           ~contamination:0.0));
+  Alcotest.check_raises "bad dropout"
+    (Invalid_argument "Purification.run_experiment: dropout out of [0,1]") (fun () ->
+      ignore
+        (P.run_experiment rng h ~baits:[| 0 |] ~reproducibility:1.0 ~dropout:(-0.1)
+           ~contamination:0.0))
+
+let test_duplicate_purifications_merge () =
+  (* Two baits in the same complex give identical candidates that must
+     merge into one reconstructed complex. *)
+  let h = H.create ~n_vertices:3 [ [ 0; 1; 2 ] ] in
+  let rng = U.Prng.create 6 in
+  let ps =
+    P.run_experiment rng h ~baits:[| 0; 1 |] ~reproducibility:1.0 ~dropout:0.0
+      ~contamination:0.0
+  in
+  check "two purifications" 2 (List.length ps);
+  let recon = P.reconstruct ~n_vertices:3 ps in
+  check "merged to one complex" 1 (H.n_edges recon);
+  Alcotest.(check (array int)) "full membership" [| 0; 1; 2 |]
+    (H.edge_members recon 0)
+
+let prop_reconstruction_members_in_range =
+  QCheck.Test.make ~name:"purification: reconstruction is a valid hypergraph"
+    ~count:100
+    (Th.arbitrary_hypergraph ~max_v:8 ~max_e:6 ())
+    (fun h ->
+      let rng = U.Prng.create 31 in
+      let baits = Hp_cover.Greedy.vertex_cover h in
+      let ps =
+        P.run_experiment rng h ~baits ~reproducibility:0.8 ~dropout:0.2
+          ~contamination:0.1
+      in
+      let recon = P.reconstruct ~n_vertices:(H.n_vertices h) ps in
+      let a = P.compare_to_truth ~truth:h recon in
+      H.n_vertices recon = H.n_vertices h
+      && a.matched <= a.true_complexes
+      && a.spurious <= a.reconstructed
+      && a.mean_best_jaccard >= 0.0
+      && a.mean_best_jaccard <= 1.0)
+
+(* Peel rounds *)
+
+let test_peel_rounds_known () =
+  (* Chain {0,1} {1,2} {2,3}: k=2 peels everything: round 1 removes the
+     ends 0 and 3 (degree 1); the cascade-shrunken edges expose 1 and 2
+     next. *)
+  let h = H.create ~n_vertices:4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ] in
+  let r = HC.peel_rounds h 2 in
+  check "empties the core" 0 r.core_vertices;
+  check "no surviving edges" 0 r.core_edges;
+  checkb "multiple rounds" true (r.rounds >= 2);
+  check "all vertices deleted" 4 (Array.fold_left ( + ) 0 r.batch_sizes)
+
+let test_peel_rounds_zero_k () =
+  let h = sample () in
+  let r = HC.peel_rounds h 0 in
+  check "0 rounds at k=0" 0 r.rounds;
+  check "all vertices stay" 5 r.core_vertices
+
+let test_peel_rounds_negative () =
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Hypergraph_core.peel_rounds: negative k") (fun () ->
+      ignore (HC.peel_rounds (sample ()) (-2)))
+
+let prop_peel_rounds_matches_kcore =
+  QCheck.Test.make ~name:"peel_rounds: same core sizes as k_core" ~count:200
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 4))
+    (fun (h, k) ->
+      let k = max 1 k in
+      let r = HC.peel_rounds h k in
+      let kc = HC.k_core h k in
+      r.core_vertices = H.n_vertices kc.core
+      && r.core_edges = H.n_edges kc.core
+      && Array.for_all (fun b -> b > 0) r.batch_sizes)
+
+let prop_peel_rounds_bounded =
+  QCheck.Test.make ~name:"peel_rounds: rounds bounded by deletions" ~count:200
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 3))
+    (fun (h, k) ->
+      let k = max 1 k in
+      let r = HC.peel_rounds h k in
+      let deleted = Array.fold_left ( + ) 0 r.batch_sizes in
+      r.rounds = Array.length r.batch_sizes
+      && r.rounds <= deleted + 1
+      && deleted = H.n_vertices h - r.core_vertices)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "tap simulation",
+        [
+          Alcotest.test_case "certain detection" `Quick test_tap_certain;
+          Alcotest.test_case "zero reproducibility" `Quick test_tap_impossible;
+          Alcotest.test_case "validation" `Quick test_tap_validation;
+          Alcotest.test_case "monte-carlo vs analytic" `Quick test_tap_assess;
+          Alcotest.test_case "uncoverable complexes" `Quick test_tap_uncoverable;
+          Th.prop prop_tap_multicover_dominates;
+        ] );
+      ( "ortholog",
+        [
+          Alcotest.test_case "identity perturbation" `Quick test_perturb_identity;
+          Alcotest.test_case "total complex loss" `Quick test_perturb_total_loss;
+          Alcotest.test_case "keeps one member" `Quick test_perturb_keeps_one_member;
+          Alcotest.test_case "names preserved" `Quick test_perturb_names_preserved;
+          Alcotest.test_case "transfer report" `Quick test_transfer_report;
+          Th.prop prop_perturb_counts_consistent;
+        ] );
+      ( "purification",
+        [
+          Alcotest.test_case "jaccard" `Quick test_jaccard;
+          Alcotest.test_case "perfect conditions" `Quick test_perfect_experiment;
+          Alcotest.test_case "zero reproducibility" `Quick
+            test_zero_reproducibility_experiment;
+          Alcotest.test_case "validation" `Quick test_experiment_validation;
+          Alcotest.test_case "duplicates merge" `Quick test_duplicate_purifications_merge;
+          Th.prop prop_reconstruction_members_in_range;
+        ] );
+      ( "peel rounds",
+        [
+          Alcotest.test_case "chain example" `Quick test_peel_rounds_known;
+          Alcotest.test_case "k = 0" `Quick test_peel_rounds_zero_k;
+          Alcotest.test_case "negative k" `Quick test_peel_rounds_negative;
+          Th.prop prop_peel_rounds_matches_kcore;
+          Th.prop prop_peel_rounds_bounded;
+        ] );
+    ]

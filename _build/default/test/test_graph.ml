@@ -1,0 +1,248 @@
+(* Tests for the graph substrate: construction, traversal, network
+   statistics, generators. *)
+
+module G = Hp_graph.Graph
+module GA = Hp_graph.Graph_algo
+module GG = Hp_graph.Graph_gen
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A 4-cycle plus an isolated vertex. *)
+let cycle4 () = G.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let test_construction () =
+  let g = cycle4 () in
+  check "vertices" 5 (G.n_vertices g);
+  check "edges" 4 (G.n_edges g);
+  check "degree" 2 (G.degree g 0);
+  check "isolated degree" 0 (G.degree g 4);
+  Alcotest.(check (array int)) "neighbors sorted" [| 1; 3 |] (G.neighbors g 0);
+  checkb "mem_edge" true (G.mem_edge g 2 3);
+  checkb "mem_edge symmetric" true (G.mem_edge g 3 2);
+  checkb "no edge" false (G.mem_edge g 0 2);
+  check "max degree" 2 (G.max_degree g)
+
+let test_dedup_and_loops () =
+  let g = G.of_edges ~n:3 [ (0, 1); (1, 0); (0, 1); (2, 2) ] in
+  check "parallel edges collapse" 1 (G.n_edges g);
+  check "self loop dropped" 0 (G.degree g 2)
+
+let test_out_of_range () =
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Graph.of_edge_array: endpoint out of range") (fun () ->
+      ignore (G.of_edges ~n:2 [ (0, 5) ]))
+
+let test_iter_edges () =
+  let g = cycle4 () in
+  let seen = ref [] in
+  G.iter_edges g (fun u v -> seen := (u, v) :: !seen);
+  check "each edge once" 4 (List.length !seen);
+  checkb "u < v" true (List.for_all (fun (u, v) -> u < v) !seen)
+
+let test_induced () =
+  let g = cycle4 () in
+  let sub, ids = G.induced g [| 0; 1; 2 |] in
+  check "induced vertices" 3 (G.n_vertices sub);
+  check "induced edges" 2 (G.n_edges sub);
+  Alcotest.(check (array int)) "id map" [| 0; 1; 2 |] ids
+
+let test_bfs () =
+  let g = cycle4 () in
+  let d = GA.bfs_distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 1; -1 |] d;
+  Alcotest.(check (option int)) "distance" (Some 2) (GA.distance g 0 2);
+  Alcotest.(check (option int)) "unreachable" None (GA.distance g 0 4)
+
+let test_components () =
+  let g = G.of_edges ~n:6 [ (0, 1); (2, 3); (3, 4) ] in
+  let _, count = GA.components g in
+  check "component count" 3 count;
+  Alcotest.(check (array int)) "sizes sorted" [| 3; 2; 1 |] (GA.component_sizes g);
+  Alcotest.(check (array int)) "largest" [| 2; 3; 4 |] (GA.largest_component g)
+
+let test_diameter_and_apl () =
+  let path = G.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  check "path diameter" 3 (GA.diameter path);
+  (* P4 distances: 1,2,3,1,2,1 over 6 pairs -> 10/6. *)
+  Alcotest.(check (float 1e-9)) "path apl" (10.0 /. 6.0) (GA.average_path_length path);
+  check "eccentricity of end" 3 (GA.eccentricity path 0);
+  check "eccentricity of middle" 2 (GA.eccentricity path 1)
+
+let test_clustering () =
+  let triangle_plus = G.of_edges ~n:4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  Alcotest.(check (float 1e-9)) "triangle vertex" 1.0
+    (GA.clustering_coefficient triangle_plus 0);
+  Alcotest.(check (float 1e-9)) "hub vertex" (1.0 /. 3.0)
+    (GA.clustering_coefficient triangle_plus 2);
+  Alcotest.(check (float 1e-9)) "degree-1 vertex" 0.0
+    (GA.clustering_coefficient triangle_plus 3);
+  let complete = G.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  Alcotest.(check (float 1e-9)) "K4 average" 1.0 (GA.average_clustering complete)
+
+let test_sampled_paths () =
+  let rng = U.Prng.create 1 in
+  let path = G.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let avg, dmax = GA.sampled_path_stats rng path ~samples:50 in
+  checkb "sampled max <= true diameter" true (dmax <= 3);
+  checkb "sampled avg positive" true (avg > 0.0)
+
+let prop_bfs_symmetric =
+  QCheck.Test.make ~name:"bfs: distance is symmetric" ~count:100
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let n = G.n_vertices g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let du = GA.bfs_distances g u in
+        for v = 0 to n - 1 do
+          if (GA.bfs_distances g v).(u) <> du.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components: labels partition and respect edges" ~count:200
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let labels, count = GA.components g in
+      let ok = ref (Array.for_all (fun c -> c >= 0 && c < count) labels) in
+      G.iter_edges g (fun u v -> if labels.(u) <> labels.(v) then ok := false);
+      (* Reachable implies same label. *)
+      for u = 0 to G.n_vertices g - 1 do
+        let d = GA.bfs_distances g u in
+        Array.iteri
+          (fun v dv -> if dv >= 0 && labels.(v) <> labels.(u) then ok := false)
+          d
+      done;
+      !ok)
+
+(* Assortativity *)
+
+let test_assortativity_star () =
+  (* A star is perfectly disassortative: every edge joins the hub
+     (degree n-1) to a leaf (degree 1). *)
+  let g = G.of_edges ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Alcotest.(check (float 1e-9)) "star r = -1" (-1.0) (GA.degree_assortativity g)
+
+let test_assortativity_regular () =
+  (* Constant degrees: undefined (zero variance). *)
+  let g = G.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  checkb "regular graph gives nan" true (Float.is_nan (GA.degree_assortativity g))
+
+let test_assortativity_assortative () =
+  (* Two hubs joined to each other plus private leaves: the hub-hub
+     edge pushes r up relative to the star. *)
+  let g = G.of_edges ~n:6 [ (0, 1); (0, 2); (0, 3); (1, 4); (1, 5) ] in
+  let r = GA.degree_assortativity g in
+  checkb "within [-1,1]" true (r >= -1.0 && r <= 1.0)
+
+let prop_assortativity_bounded =
+  QCheck.Test.make ~name:"assortativity: in [-1,1] or nan" ~count:200
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let r = GA.degree_assortativity g in
+      Float.is_nan r || (r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9))
+
+(* Generators *)
+
+let test_erdos_renyi () =
+  let rng = U.Prng.create 4 in
+  let g = GG.erdos_renyi_gnm rng ~n:30 ~m:60 in
+  check "vertices" 30 (G.n_vertices g);
+  check "edges" 60 (G.n_edges g)
+
+let test_barabasi_albert () =
+  let rng = U.Prng.create 4 in
+  let g = GG.barabasi_albert rng ~n:200 ~m:2 in
+  check "vertices" 200 (G.n_vertices g);
+  checkb "edge count in range" true (G.n_edges g >= 300 && G.n_edges g <= 500);
+  let _, count = GA.components g in
+  check "connected" 1 count
+
+let test_configuration_model () =
+  let rng = U.Prng.create 4 in
+  let degseq = Array.make 40 3 in
+  let g = GG.configuration_model rng degseq in
+  check "vertices" 40 (G.n_vertices g);
+  (* Erased model: realized degrees never exceed the request. *)
+  checkb "degrees bounded" true
+    (Array.for_all (fun v -> G.degree g v <= 3) (Array.init 40 Fun.id))
+
+let test_random_regular_ish () =
+  let rng = U.Prng.create 4 in
+  let g = GG.random_regular_ish rng ~n:50 ~degree:6 in
+  checkb "min degree met" true
+    (Array.for_all (fun v -> G.degree g v >= 6) (Array.init 50 Fun.id))
+
+let test_maslov_sneppen_preserves_degrees () =
+  let rng = U.Prng.create 4 in
+  let g = GG.barabasi_albert rng ~n:120 ~m:3 in
+  let null = GG.maslov_sneppen rng g ~rounds:10 in
+  Alcotest.(check (array int)) "degree sequence preserved" (G.degrees g)
+    (G.degrees null);
+  check "edge count preserved" (G.n_edges g) (G.n_edges null);
+  checkb "wiring changed" false (G.edges g = G.edges null)
+
+let prop_maslov_sneppen_degrees =
+  QCheck.Test.make ~name:"maslov-sneppen: degrees preserved exactly" ~count:100
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let rng = U.Prng.create 7 in
+      let null = GG.maslov_sneppen rng g ~rounds:5 in
+      G.degrees null = G.degrees g)
+
+let test_planted_core_powerlaw () =
+  let rng = U.Prng.create 4 in
+  let g =
+    GG.planted_core_powerlaw rng ~n:500 ~core_size:20 ~core_degree:8 ~gamma:2.3 ~dmax:7
+  in
+  check "vertices" 500 (G.n_vertices g);
+  (* The planted block keeps its internal min degree. *)
+  let core, _ = G.induced g (Array.init 20 Fun.id) in
+  checkb "planted block dense" true
+    (Array.for_all (fun v -> G.degree core v >= 8) (Array.init 20 Fun.id));
+  let _, count = GA.components g in
+  check "connected" 1 count
+
+let () =
+  Alcotest.run "hp_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "dedup and loops" `Quick test_dedup_and_loops;
+          Alcotest.test_case "range check" `Quick test_out_of_range;
+          Alcotest.test_case "iter_edges" `Quick test_iter_edges;
+          Alcotest.test_case "induced subgraph" `Quick test_induced;
+        ] );
+      ( "algo",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "diameter and apl" `Quick test_diameter_and_apl;
+          Alcotest.test_case "clustering" `Quick test_clustering;
+          Alcotest.test_case "sampled paths" `Quick test_sampled_paths;
+          Th.prop prop_bfs_symmetric;
+          Th.prop prop_components_partition;
+        ] );
+      ( "assortativity",
+        [
+          Alcotest.test_case "star" `Quick test_assortativity_star;
+          Alcotest.test_case "regular" `Quick test_assortativity_regular;
+          Alcotest.test_case "mixed" `Quick test_assortativity_assortative;
+          Th.prop prop_assortativity_bounded;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
+          Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+          Alcotest.test_case "configuration model" `Quick test_configuration_model;
+          Alcotest.test_case "random regular-ish" `Quick test_random_regular_ish;
+          Alcotest.test_case "planted core" `Quick test_planted_core_powerlaw;
+          Alcotest.test_case "maslov-sneppen rewiring" `Quick
+            test_maslov_sneppen_preserves_degrees;
+          Th.prop prop_maslov_sneppen_degrees;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tests for the graph k-core decomposition (paper Section 3 and
+   Figure 2). *)
+
+module G = Hp_graph.Graph
+module GC = Hp_graph.Graph_core
+
+let check = Alcotest.(check int)
+
+(* The Figure 2 example: a graph whose maximum core is a 3-core.  We
+   re-encode it as a K4 (the 3-core) with a tree and a path hanging
+   off it, which exercises the same structure: 1-core = everything,
+   2-core = 3-core = the K4, 4-core empty. *)
+let figure2 () =
+  G.of_edges ~n:9
+    [
+      (* the K4: vertices 0-3 *)
+      (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3);
+      (* a path 4-5-6 attached to 0 *)
+      (0, 4); (4, 5); (5, 6);
+      (* pendant vertices *)
+      (1, 7); (2, 8);
+    ]
+
+let test_figure2 () =
+  let g = figure2 () in
+  let d = GC.decompose g in
+  check "max core" 3 d.max_core;
+  Alcotest.(check (array int)) "core numbers"
+    [| 3; 3; 3; 3; 1; 1; 1; 1; 1 |]
+    d.core_number;
+  Alcotest.(check (array int)) "3-core vertices" [| 0; 1; 2; 3 |]
+    (GC.k_core_vertices g 3);
+  Alcotest.(check (array int)) "2-core equals 3-core" [| 0; 1; 2; 3 |]
+    (GC.k_core_vertices g 2);
+  check "1-core is everything" 9 (Array.length (GC.k_core_vertices g 1));
+  check "4-core empty" 0 (Array.length (GC.k_core_vertices g 4));
+  Alcotest.(check (array int)) "max core vertices" [| 0; 1; 2; 3 |]
+    (GC.max_core_vertices g);
+  check "degeneracy" 3 (GC.degeneracy g)
+
+let test_empty_and_edgeless () =
+  let empty = G.of_edges ~n:0 [] in
+  check "empty max core" 0 (GC.decompose empty).max_core;
+  let edgeless = G.of_edges ~n:5 [] in
+  let d = GC.decompose edgeless in
+  check "edgeless max core" 0 d.max_core;
+  Alcotest.(check (array int)) "all zero" [| 0; 0; 0; 0; 0 |] d.core_number
+
+let test_k_core_subgraph () =
+  let g = figure2 () in
+  let sub, ids = GC.k_core g 3 in
+  check "subgraph vertices" 4 (G.n_vertices sub);
+  check "subgraph edges" 6 (G.n_edges sub);
+  Alcotest.(check (array int)) "ids" [| 0; 1; 2; 3 |] ids
+
+let test_peel_order_complete () =
+  let g = figure2 () in
+  let d = GC.decompose g in
+  Alcotest.(check (array int)) "peel order is a permutation"
+    (Array.init 9 Fun.id)
+    (Th.sorted_array d.peel_order)
+
+let test_clique_core () =
+  (* K6: every vertex in the 5-core. *)
+  let edges = ref [] in
+  for u = 0 to 5 do
+    for v = u + 1 to 5 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let g = G.of_edges ~n:6 !edges in
+  check "K6 degeneracy" 5 (GC.degeneracy g)
+
+let prop_matches_naive =
+  QCheck.Test.make ~name:"core numbers match naive peeling oracle" ~count:200
+    (Th.arbitrary_graph ())
+    (fun g ->
+      (GC.decompose g).core_number = Th.naive_graph_core_numbers g)
+
+let prop_kcore_min_degree =
+  QCheck.Test.make ~name:"k-core: induced subgraph has min degree >= k" ~count:200
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let d = GC.decompose g in
+      let ok = ref true in
+      for k = 1 to d.max_core do
+        let sub, _ = GC.k_core g k in
+        for v = 0 to G.n_vertices sub - 1 do
+          if G.degree sub v < k then ok := false
+        done
+      done;
+      !ok)
+
+let prop_cores_nested =
+  QCheck.Test.make ~name:"k-core: cores are nested" ~count:200
+    (Th.arbitrary_graph ())
+    (fun g ->
+      let d = GC.decompose g in
+      let ok = ref true in
+      for k = 1 to d.max_core do
+        let upper = GC.k_core_vertices g k in
+        let lower = GC.k_core_vertices g (k - 1) in
+        if not (Hp_util.Sorted.subset upper lower) then ok := false
+      done;
+      !ok)
+
+let prop_maximality =
+  (* No vertex outside the k-core could be added back: it must have had
+     degree < k against the k-core at removal time.  Equivalent check:
+     adding any single excluded vertex with its edges into the core
+     leaves it with degree < k against core vertices... which is false
+     in general (a removed vertex can have many core neighbors only if
+     its own cascade removed it; but then its neighbors-in-core count
+     must be < k).  Verify that. *)
+  QCheck.Test.make ~name:"k-core: excluded vertices have < k core neighbors"
+    ~count:200 (Th.arbitrary_graph ())
+    (fun g ->
+      let d = GC.decompose g in
+      let ok = ref true in
+      for k = 1 to d.max_core do
+        let core = GC.k_core_vertices g k in
+        let in_core = Array.make (G.n_vertices g) false in
+        Array.iter (fun v -> in_core.(v) <- true) core;
+        for v = 0 to G.n_vertices g - 1 do
+          if not in_core.(v) then begin
+            let core_neighbors =
+              Array.fold_left
+                (fun acc w -> if in_core.(w) then acc + 1 else acc)
+                0 (G.neighbors g v)
+            in
+            if core_neighbors >= k then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "hp_graph_core"
+    [
+      ( "known cases",
+        [
+          Alcotest.test_case "figure 2 example" `Quick test_figure2;
+          Alcotest.test_case "empty and edgeless" `Quick test_empty_and_edgeless;
+          Alcotest.test_case "k-core subgraph" `Quick test_k_core_subgraph;
+          Alcotest.test_case "peel order" `Quick test_peel_order_complete;
+          Alcotest.test_case "clique" `Quick test_clique_core;
+        ] );
+      ( "properties",
+        [
+          Th.prop prop_matches_naive;
+          Th.prop prop_kcore_min_degree;
+          Th.prop prop_cores_nested;
+          Th.prop prop_maximality;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Tests for hypergraph reduction and the k-core algorithm (paper
+   Section 3, Figure 4) — the heart of the library.  Known small
+   cases plus property tests that pin the definition:
+
+   - every vertex of the k-core has degree >= k inside it;
+   - the k-core is reduced (every hyperedge maximal);
+   - the overlap-based algorithm agrees with the naive subset-scan
+     oracle, and the one-pass decomposition with the iterated one;
+   - cores are nested and the computation is idempotent. *)
+
+module H = Hp_hypergraph.Hypergraph
+module R = Hp_hypergraph.Hypergraph_reduce
+module C = Hp_hypergraph.Hypergraph_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Reduction *)
+
+let test_overlaps () =
+  let h = H.create ~n_vertices:4 [ [ 0; 1; 2 ]; [ 1; 2; 3 ]; [ 3 ] ] in
+  Alcotest.(check (list (triple int int int)))
+    "overlaps"
+    [ (0, 1, 2); (1, 2, 1) ]
+    (R.overlaps h)
+
+let test_non_maximal () =
+  let h = H.create ~n_vertices:4 [ [ 0; 1; 2 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 3 ]; [] ] in
+  (* e1 contained in e0; duplicate e2 loses to e0; empty e4 always
+     removed when other edges exist. *)
+  Alcotest.(check (array int)) "non-maximal" [| 1; 2; 4 |] (R.non_maximal_edges h);
+  let reduced, emap = R.reduce h in
+  check "edges after reduce" 2 (H.n_edges reduced);
+  Alcotest.(check (array int)) "surviving ids" [| 0; 3 |] emap;
+  checkb "result reduced" true (H.is_reduced reduced)
+
+let test_reduce_duplicate_empties () =
+  let h = H.create ~n_vertices:1 [ []; [] ] in
+  let reduced, emap = R.reduce h in
+  check "one empty survives" 1 (H.n_edges reduced);
+  Alcotest.(check (array int)) "smallest id kept" [| 0 |] emap
+
+let prop_reduce_is_reduced =
+  QCheck.Test.make ~name:"reduce: output is reduced and maximal edges survive"
+    ~count:300 (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let reduced, emap = R.reduce h in
+      H.is_reduced reduced
+      (* Surviving edges keep their exact member sets. *)
+      && Array.for_all
+           (fun i ->
+             H.edge_members reduced i = H.edge_members h emap.(i))
+           (Array.init (H.n_edges reduced) Fun.id))
+
+let prop_overlaps_match_intersections =
+  QCheck.Test.make ~name:"overlaps match pairwise intersections" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      List.for_all
+        (fun (f, g, c) ->
+          c = Hp_util.Sorted.inter_count (H.edge_members h f) (H.edge_members h g))
+        (R.overlaps h))
+
+(* k-core: known cases *)
+
+(* The planted example: three mutually overlapping 4-member complexes
+   over six vertices; every vertex in exactly two -> max core 2. *)
+let tri () = H.create ~n_vertices:6 [ [ 0; 1; 2; 3 ]; [ 0; 1; 4; 5 ]; [ 2; 3; 4; 5 ] ]
+
+let test_kcore_tri () =
+  let r = C.k_core (tri ()) 2 in
+  check "2-core vertices" 6 (H.n_vertices r.core);
+  check "2-core edges" 3 (H.n_edges r.core);
+  let r3 = C.k_core (tri ()) 3 in
+  check "3-core empty" 0 (H.n_vertices r3.core);
+  check "3-core no edges" 0 (H.n_edges r3.core)
+
+let test_kcore_negative () =
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Hypergraph_core.k_core: negative k") (fun () ->
+      ignore (C.k_core (tri ()) (-1)))
+
+let test_kcore_cascade () =
+  (* Deleting the degree-1 vertex 3 shrinks e1 = {2,3} to {2}, which is
+     then contained in e0 = {0,1,2}; deleting e1 drops vertex 2 to
+     degree 1, so the 2-core is empty — the cascade the paper
+     describes. *)
+  let h = H.create ~n_vertices:4 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 0; 1 ] ] in
+  let r = C.k_core h 2 in
+  check "cascade empties the 2-core" 0 (H.n_vertices r.core)
+
+let test_zero_core () =
+  let h = H.create ~n_vertices:3 [ [ 0; 1 ]; [ 0 ] ] in
+  let r = C.k_core h 0 in
+  (* 0-core = reduced input with all vertices. *)
+  check "vertices kept" 3 (H.n_vertices r.core);
+  check "non-maximal dropped" 1 (H.n_edges r.core);
+  check "edges_deleted stat" 1 r.stats.edges_deleted
+
+let test_max_core_known () =
+  let k, r = C.max_core (tri ()) in
+  check "max core index" 2 k;
+  check "max core vertices" 6 (H.n_vertices r.core)
+
+let test_decompose_known () =
+  let h =
+    H.create ~n_vertices:8
+      [
+        [ 0; 1; 2; 3 ]; [ 0; 1; 4; 5 ]; [ 2; 3; 4; 5 ];  (* 2-core block *)
+        [ 5; 6 ];                                          (* tail *)
+        [ 7 ];                                             (* pendant *)
+      ]
+  in
+  let d = C.decompose h in
+  check "max core" 2 d.max_core;
+  Alcotest.(check (array int)) "vertex core numbers"
+    [| 2; 2; 2; 2; 2; 2; 1; 1 |]
+    d.vertex_core;
+  Alcotest.(check (array int)) "edge core numbers" [| 2; 2; 2; 1; 1 |] d.edge_core
+
+let test_decompose_initial_reduction_edges () =
+  let h = H.create ~n_vertices:3 [ [ 0; 1; 2 ]; [ 0; 1 ] ] in
+  let d = C.decompose h in
+  check "contained edge marked -1" (-1) d.edge_core.(1);
+  check "maximal edge survives to level 1" 1 d.edge_core.(0)
+
+let test_empty_hypergraph () =
+  let h = H.create ~n_vertices:0 [] in
+  check "max core of empty" 0 (C.decompose h).max_core;
+  let k, r = C.max_core h in
+  check "empty max core index" 0 k;
+  check "empty core" 0 (H.n_vertices r.core)
+
+let test_stats_counters () =
+  let h = H.create ~n_vertices:4 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 0; 1 ] ] in
+  let r = C.k_core h 2 in
+  check "vertices deleted" 4 r.stats.vertices_deleted;
+  check "edges deleted" 3 r.stats.edges_deleted;
+  checkb "did maximality checks" true (r.stats.maximality_checks >= 0)
+
+(* Property tests. *)
+
+let in_core_degree_ok k core =
+  Array.for_all
+    (fun v -> H.vertex_degree core v >= k)
+    (Array.init (H.n_vertices core) Fun.id)
+
+let prop_kcore_invariants =
+  QCheck.Test.make ~name:"k-core: min degree, reducedness, no empty edges" ~count:300
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 4))
+    (fun (h, k) ->
+      let k = max 1 k (* shrinker can escape the range *) in
+      let r = C.k_core h k in
+      in_core_degree_ok k r.core
+      && H.is_reduced r.core
+      && Array.for_all (fun s -> s > 0) (H.edge_sizes r.core)
+      (* id maps are consistent: edge members in the core are the
+         restriction of the original edge. *)
+      && Array.for_all
+           (fun i ->
+             let original = H.edge_members h r.edge_ids.(i) in
+             let mapped = Array.map (fun v -> r.vertex_ids.(v)) (H.edge_members r.core i) in
+             Hp_util.Sorted.subset mapped original)
+           (Array.init (H.n_edges r.core) Fun.id))
+
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"k-core: overlap and naive strategies agree" ~count:300
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 4))
+    (fun (h, k) ->
+      let a = C.k_core ~strategy:C.Overlap h k in
+      let b = C.k_core ~strategy:C.Naive h k in
+      H.equal_structure a.core b.core
+      && a.vertex_ids = b.vertex_ids
+      && a.edge_ids = b.edge_ids)
+
+let prop_onepass_matches_iterated =
+  (* Edge identity is order-dependent when two hyperedges shrink to
+     the same restriction (either may represent it in the core), so
+     edge levels are compared as a multiset; vertex core numbers are
+     unique outright. *)
+  QCheck.Test.make ~name:"decompose: one-pass equals iterated" ~count:300
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let a = C.decompose_onepass h in
+      let b = C.decompose_iterated h in
+      a.max_core = b.max_core && a.vertex_core = b.vertex_core
+      && Th.sorted_array a.edge_core = Th.sorted_array b.edge_core)
+
+let prop_cores_nested =
+  QCheck.Test.make ~name:"k-core: (k+1)-core inside k-core" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let d = C.decompose h in
+      let ok = ref true in
+      for k = 1 to d.max_core do
+        let hi = (C.k_core h k).vertex_ids in
+        let lo = (C.k_core h (k - 1)).vertex_ids in
+        if not (Hp_util.Sorted.subset hi lo) then ok := false
+      done;
+      !ok)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"k-core: recomputing on the core is identity" ~count:200
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 3))
+    (fun (h, k) ->
+      let r = C.k_core h k in
+      let r2 = C.k_core r.core k in
+      H.equal_structure r.core r2.core)
+
+let prop_decompose_consistent_with_kcore =
+  QCheck.Test.make ~name:"decompose: core numbers match per-k membership" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let d = C.decompose h in
+      let ok = ref true in
+      for k = 1 to d.max_core + 1 do
+        let r = C.k_core h k in
+        let members = Array.make (H.n_vertices h) false in
+        Array.iter (fun v -> members.(v) <- true) r.vertex_ids;
+        Array.iteri
+          (fun v c -> if (c >= k) <> members.(v) then ok := false)
+          d.vertex_core
+      done;
+      !ok)
+
+let test_core_profile () =
+  let h =
+    H.create ~n_vertices:8
+      [ [ 0; 1; 2; 3 ]; [ 0; 1; 4; 5 ]; [ 2; 3; 4; 5 ]; [ 5; 6 ]; [ 7 ] ]
+  in
+  let p = C.core_profile (C.decompose h) in
+  Alcotest.(check (array (triple int int int)))
+    "profile"
+    [| (0, 8, 5); (1, 8, 5); (2, 6, 3) |]
+    p
+
+let prop_core_profile_monotone =
+  QCheck.Test.make ~name:"core profile: sizes weakly decrease in k" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let p = C.core_profile (C.decompose h) in
+      let ok = ref true in
+      for i = 1 to Array.length p - 1 do
+        let _, nv0, ne0 = p.(i - 1) and _, nv1, ne1 = p.(i) in
+        if nv1 > nv0 || ne1 > ne0 then ok := false
+      done;
+      !ok)
+
+let prop_parallel_init_agrees =
+  QCheck.Test.make ~name:"k-core: multi-domain overlap init agrees with sequential"
+    ~count:100
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 3))
+    (fun (h, k) ->
+      let k = max 1 k in
+      let a = C.k_core ~domains:1 h k in
+      let b = C.k_core ~domains:3 h k in
+      H.equal_structure a.core b.core && a.vertex_ids = b.vertex_ids)
+
+let test_parallel_on_real_instance () =
+  let ds = Hp_data.Cellzome.generate ~seed:2004 () in
+  let a = C.decompose ~domains:1 ds.hypergraph in
+  let b = C.decompose ~domains:4 ds.hypergraph in
+  Alcotest.(check int) "same max core" a.max_core b.max_core;
+  Alcotest.(check (array int)) "same vertex cores" a.vertex_core b.vertex_core;
+  Alcotest.(check (array int)) "same edge cores" a.edge_core b.edge_core
+
+let prop_agrees_with_graph_core =
+  (* A simple graph is a 2-uniform hypergraph.  Singleton hyperedges
+     produced mid-peel are always contained in a surviving pair (or
+     emptied), so the two independently implemented k-core algorithms
+     must select exactly the same vertices at every level. *)
+  QCheck.Test.make ~name:"k-core: 2-uniform hypergraph matches graph k-core"
+    ~count:200 (Th.arbitrary_graph ())
+    (fun g ->
+      let module G = Hp_graph.Graph in
+      let members =
+        List.map (fun (u, v) -> [ u; v ]) (G.edges g)
+      in
+      let h = H.create ~n_vertices:(G.n_vertices g) members in
+      let gd = Hp_graph.Graph_core.decompose g in
+      let hd = C.decompose h in
+      gd.core_number = hd.vertex_core)
+
+let prop_max_core_nonempty =
+  QCheck.Test.make ~name:"max core is non-empty when an edge exists" ~count:200
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let k, r = C.max_core h in
+      let has_nonempty = Array.exists (fun s -> s > 0) (H.edge_sizes h) in
+      if has_nonempty then k >= 1 && H.n_vertices r.core > 0
+      else k = 0)
+
+let () =
+  Alcotest.run "hp_hypergraph_core"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+          Alcotest.test_case "non-maximal edges" `Quick test_non_maximal;
+          Alcotest.test_case "duplicate empty edges" `Quick test_reduce_duplicate_empties;
+          Th.prop prop_reduce_is_reduced;
+          Th.prop prop_overlaps_match_intersections;
+        ] );
+      ( "k-core known cases",
+        [
+          Alcotest.test_case "triangle of complexes" `Quick test_kcore_tri;
+          Alcotest.test_case "negative k rejected" `Quick test_kcore_negative;
+          Alcotest.test_case "deletion cascade" `Quick test_kcore_cascade;
+          Alcotest.test_case "0-core" `Quick test_zero_core;
+          Alcotest.test_case "max core" `Quick test_max_core_known;
+          Alcotest.test_case "decomposition" `Quick test_decompose_known;
+          Alcotest.test_case "reduced edges marked" `Quick
+            test_decompose_initial_reduction_edges;
+          Alcotest.test_case "empty hypergraph" `Quick test_empty_hypergraph;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "properties",
+        [
+          Th.prop prop_kcore_invariants;
+          Th.prop prop_strategies_agree;
+          Th.prop prop_onepass_matches_iterated;
+          Th.prop prop_cores_nested;
+          Th.prop prop_idempotent;
+          Th.prop prop_decompose_consistent_with_kcore;
+          Alcotest.test_case "core profile" `Quick test_core_profile;
+          Th.prop prop_core_profile_monotone;
+          Th.prop prop_agrees_with_graph_core;
+          Th.prop prop_parallel_init_agrees;
+          Alcotest.test_case "parallel on the yeast instance" `Quick
+            test_parallel_on_real_instance;
+          Th.prop prop_max_core_nonempty;
+        ] );
+    ]

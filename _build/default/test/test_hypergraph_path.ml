@@ -1,0 +1,172 @@
+(* Tests for hypergraph paths, distances, and connectivity (paper
+   Section 1.3 / Section 2). *)
+
+module H = Hp_hypergraph.Hypergraph
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_convert
+module GA = Hp_graph.Graph_algo
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A chain of three complexes: {0,1} {1,2} {2,3}, plus {4} isolated in
+   its own complex and vertex 5 in no complex. *)
+let chain () = H.create ~n_vertices:6 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 4 ] ]
+
+let test_bfs_chain () =
+  let h = chain () in
+  Alcotest.(check (array int)) "distances from 0" [| 0; 1; 2; 3; -1; -1 |] (HP.bfs h 0);
+  Alcotest.(check (option int)) "distance 0-3" (Some 3) (HP.distance h 0 3);
+  Alcotest.(check (option int)) "same complex" (Some 1) (HP.distance h 0 1);
+  Alcotest.(check (option int)) "self" (Some 0) (HP.distance h 2 2);
+  Alcotest.(check (option int)) "unreachable" None (HP.distance h 0 4)
+
+let test_components () =
+  let h = chain () in
+  let vlabel, elabel, count = HP.components h in
+  check "components" 3 count;
+  checkb "chain vertices together" true
+    (vlabel.(0) = vlabel.(3) && vlabel.(0) = vlabel.(1));
+  checkb "edge labels follow members" true (elabel.(0) = vlabel.(0));
+  checkb "isolated complex separate" true (vlabel.(4) <> vlabel.(0));
+  checkb "isolated vertex separate" true
+    (vlabel.(5) <> vlabel.(0) && vlabel.(5) <> vlabel.(4));
+  check "n_components" 3 (HP.n_components h)
+
+let test_component_summary () =
+  let h = chain () in
+  Alcotest.(check (array (pair int int))) "summary sorted"
+    [| (4, 3); (1, 1); (1, 0) |]
+    (HP.component_summary h)
+
+let test_largest_component () =
+  let h = chain () in
+  let sub, vids, eids = HP.largest_component h in
+  check "vertices" 4 (H.n_vertices sub);
+  check "edges" 3 (H.n_edges sub);
+  Alcotest.(check (array int)) "vertex ids" [| 0; 1; 2; 3 |] vids;
+  Alcotest.(check (array int)) "edge ids" [| 0; 1; 2 |] eids
+
+let test_diameter () =
+  let h = chain () in
+  let diam, apl = HP.diameter_and_average_path h in
+  check "diameter" 3 diam;
+  (* Chain distances (ordered pairs, both directions): 1,2,3,1,2,1 each
+     twice -> mean 10/6. *)
+  Alcotest.(check (float 1e-9)) "average path" (10.0 /. 6.0) apl
+
+let test_empty_edge_component () =
+  let h = H.create ~n_vertices:1 [ []; [ 0 ] ] in
+  check "empty hyperedge is its own component" 2 (HP.n_components h)
+
+let test_sampled () =
+  let rng = U.Prng.create 2 in
+  let h = chain () in
+  let dmax, avg = HP.sampled_diameter_and_average_path rng h ~samples:30 in
+  checkb "sampled diameter bounded" true (dmax <= 3);
+  checkb "sampled average positive" true (avg > 0.0)
+
+let prop_parallel_diameter_agrees =
+  QCheck.Test.make ~name:"diameter: multi-domain sweep agrees with sequential"
+    ~count:100 (Th.arbitrary_hypergraph ())
+    (fun h ->
+      HP.diameter_and_average_path ~domains:1 h
+      = HP.diameter_and_average_path ~domains:3 h)
+
+let test_parallel_diameter_real () =
+  let ds = Hp_data.Cellzome.generate ~seed:2004 () in
+  Alcotest.(check (pair int (float 1e-9)))
+    "yeast sweep identical across domain counts"
+    (HP.diameter_and_average_path ~domains:1 ds.hypergraph)
+    (HP.diameter_and_average_path ~domains:4 ds.hypergraph)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"hypergraph distance is symmetric" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let n = H.n_vertices h in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let du = HP.bfs h u in
+        for v = 0 to n - 1 do
+          if (HP.bfs h v).(u) <> du.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_distance_matches_bipartite =
+  (* Hypergraph distance counts hyperedges, i.e. exactly half the hop
+     distance in the bipartite graph B(H). *)
+  QCheck.Test.make ~name:"hypergraph distance = bipartite distance / 2" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let b = HC.bipartite_graph h in
+      let n = H.n_vertices h in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let dh = HP.bfs h u in
+        let db = GA.bfs_distances b u in
+        for v = 0 to n - 1 do
+          let expected = if db.(v) < 0 then -1 else db.(v) / 2 in
+          if dh.(v) <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"hypergraph distance satisfies triangle inequality"
+    ~count:100 (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let n = H.n_vertices h in
+      let d = Array.init n (fun v -> HP.bfs h v) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if d.(a).(b) >= 0 && d.(b).(c) >= 0 then
+              if d.(a).(c) < 0 || d.(a).(c) > d.(a).(b) + d.(b).(c) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_components_consistent =
+  QCheck.Test.make ~name:"components agree with reachability" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let vlabel, _, _ = HP.components h in
+      let n = H.n_vertices h in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let d = HP.bfs h u in
+        for v = 0 to n - 1 do
+          let reachable = d.(v) >= 0 in
+          if reachable <> (vlabel.(u) = vlabel.(v)) then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "hp_hypergraph_path"
+    [
+      ( "known cases",
+        [
+          Alcotest.test_case "bfs chain" `Quick test_bfs_chain;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "component summary" `Quick test_component_summary;
+          Alcotest.test_case "largest component" `Quick test_largest_component;
+          Alcotest.test_case "diameter and apl" `Quick test_diameter;
+          Alcotest.test_case "empty hyperedge component" `Quick test_empty_edge_component;
+          Alcotest.test_case "sampled stats" `Quick test_sampled;
+        ] );
+      ( "properties",
+        [
+          Th.prop prop_parallel_diameter_agrees;
+          Alcotest.test_case "parallel yeast sweep" `Quick test_parallel_diameter_real;
+          Th.prop prop_distance_symmetric;
+          Th.prop prop_distance_matches_bipartite;
+          Th.prop prop_triangle_inequality;
+          Th.prop prop_components_consistent;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* End-to-end integration tests: the full pipeline the experiments run,
+   crossing every library boundary — generate, persist, reload,
+   analyze, core, cover, export. *)
+
+module H = Hp_hypergraph.Hypergraph
+module HIO = Hp_hypergraph.Hypergraph_io
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_core
+module MM = Hp_data.Matrix_market
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_generate_save_reload_analyze () =
+  let ds = Hp_data.Cellzome.generate ~seed:99 () in
+  let path = Filename.temp_file "hp_integration" ".hg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      HIO.write path ds.hypergraph;
+      let h = HIO.read path in
+      check "vertices preserved" (H.n_vertices ds.hypergraph) (H.n_vertices h);
+      check "edges preserved" (H.n_edges ds.hypergraph) (H.n_edges h);
+      (* Core computed on the reloaded hypergraph matches (structure is
+         identical up to vertex renumbering by first appearance). *)
+      let k0, r0 = HC.max_core ds.hypergraph in
+      let k1, r1 = HC.max_core h in
+      check "same max core index" k0 k1;
+      check "same core size" (H.n_vertices r0.core) (H.n_vertices r1.core);
+      check "same core complexes" (H.n_edges r0.core) (H.n_edges r1.core);
+      (* And the core proteins carry the same names. *)
+      let names result base =
+        Array.map (fun v -> H.vertex_name base v) result
+        |> Array.to_list |> List.sort compare
+      in
+      Alcotest.(check (list string)) "same core proteins by name"
+        (names r0.vertex_ids ds.hypergraph)
+        (names r1.vertex_ids h))
+
+let test_mtx_pipeline () =
+  let rng = U.Prng.create 21 in
+  let m = MM.banded rng ~n:120 ~bandwidth:6 ~fill:0.8 in
+  let path = Filename.temp_file "hp_integration" ".mtx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      MM.write path m;
+      let m' = MM.read path in
+      checkb "mtx roundtrip" true (m = m');
+      let h = MM.to_hypergraph m' in
+      let d = HC.decompose h in
+      checkb "banded matrix has a core" true (d.max_core >= 2);
+      (* The k-core result agrees with an independent per-k run. *)
+      let r = HC.k_core h d.max_core in
+      checkb "per-k agrees with decomposition" true (H.n_vertices r.core > 0);
+      let r' = HC.k_core h (d.max_core + 1) in
+      check "nothing above the max core" 0 (H.n_vertices r'.core))
+
+let test_cover_pipeline_on_core () =
+  (* Select baits for just the core proteome: subhypergraph workflow. *)
+  let ds = Hp_data.Cellzome.generate ~seed:77 () in
+  let _, r = HC.max_core ds.hypergraph in
+  let cover = Hp_cover.Greedy.vertex_cover r.core in
+  checkb "cover of the core" true (Hp_cover.Cover.is_cover r.core cover);
+  checkb "cover smaller than core" true
+    (Array.length cover < H.n_vertices r.core);
+  (* Map back to original protein names without collisions. *)
+  let names =
+    Array.map (fun v -> H.vertex_name ds.hypergraph r.vertex_ids.(v)) cover
+  in
+  check "distinct names" (Array.length names)
+    (List.length (List.sort_uniq compare (Array.to_list names)))
+
+let test_null_model_pipeline () =
+  (* Degree-preserving shuffle preserves both degree sequences and
+     keeps every analysis runnable. *)
+  let ds = Hp_data.Cellzome.generate ~seed:55 () in
+  let h = ds.hypergraph in
+  let rng = U.Prng.create 55 in
+  let null = Hp_hypergraph.Hypergraph_gen.degree_preserving_shuffle rng h ~rounds:2 in
+  Alcotest.(check (array int)) "vertex degrees preserved" (H.vertex_degrees h)
+    (H.vertex_degrees null);
+  Alcotest.(check (array int)) "edge sizes preserved" (H.edge_sizes h)
+    (H.edge_sizes null);
+  checkb "wiring actually changed" false (H.equal_structure h null);
+  let _, apl = HP.diameter_and_average_path null in
+  checkb "null analyzable" true (apl > 0.0)
+
+let test_full_experiment_smoke () =
+  (* A miniature of bench/main.exe: every experiment step in sequence
+     on a fresh dataset. *)
+  let ds = Hp_data.Cellzome.generate ~seed:31 () in
+  let h = ds.hypergraph in
+  let hist = Hp_stats.Degree_dist.vertex_histogram h in
+  let fit = Hp_stats.Powerlaw.fit_loglog hist in
+  checkb "fit sane" true (fit.gamma > 1.0);
+  let summary = HP.component_summary h in
+  checkb "components found" true (Array.length summary > 1);
+  let k, r = HC.max_core h in
+  checkb "core found" true (k >= 5 && H.n_vertices r.core > 0);
+  let rng = U.Prng.create 31 in
+  let ann = Hp_data.Annotations.generate rng ds in
+  let report = Hp_data.Annotations.core_report ann ~protein_ids:r.vertex_ids in
+  checkb "enrichment computed" true (report.essential_enrichment.p_value <= 1.0);
+  let w = Hp_cover.Weighting.degree_squared h in
+  let t = Hp_cover.Multicover.double_cover ~weights:w h in
+  checkb "multicover valid" true
+    (Hp_cover.Cover.is_multicover h
+       ~requirements:(Hp_cover.Multicover.uniform_requirements h ~r:2)
+       t.cover);
+  let net, clu =
+    Hp_data.Pajek.write_figure3
+      ~dir:(Filename.get_temp_dir_name ())
+      ~prefix:"hp_smoke" h ~core_vertices:r.vertex_ids ~core_edges:r.edge_ids
+  in
+  checkb "pajek written" true (Sys.file_exists net && Sys.file_exists clu);
+  Sys.remove net;
+  Sys.remove clu
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "generate/save/reload/analyze" `Quick
+            test_generate_save_reload_analyze;
+          Alcotest.test_case "mtx to core" `Quick test_mtx_pipeline;
+          Alcotest.test_case "cover of the core" `Quick test_cover_pipeline_on_core;
+          Alcotest.test_case "null model" `Quick test_null_model_pipeline;
+          Alcotest.test_case "full experiment smoke" `Quick test_full_experiment_smoke;
+        ] );
+    ]

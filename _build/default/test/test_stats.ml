@@ -1,0 +1,194 @@
+(* Tests for the statistics layer: degree distributions, power-law
+   fitting (Figure 1), small-world assessment, and the hypergeometric
+   enrichment test. *)
+
+module H = Hp_hypergraph.Hypergraph
+module DD = Hp_stats.Degree_dist
+module PL = Hp_stats.Powerlaw
+module SW = Hp_stats.Smallworld
+module HG = Hp_stats.Hypergeom
+module U = Hp_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let sample () = H.create ~n_vertices:5 [ [ 0; 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+
+(* Degree distributions *)
+
+let test_histograms () =
+  let h = sample () in
+  let vh = DD.vertex_histogram h in
+  check "degree-1 proteins" 3 (DD.count_with_degree vh 1);
+  check "degree-2 proteins" 2 (DD.count_with_degree vh 2);
+  let eh = DD.edge_histogram h in
+  check "size-2 complexes" 2 (U.Int_histogram.count eh 2);
+  Alcotest.(check (array (pair int int))) "series" [| (1, 3); (2, 2) |]
+    (DD.frequency_series vh)
+
+let test_loglog_points () =
+  let hist = U.Int_histogram.of_array [| 1; 1; 1; 1; 2; 2; 4 |] in
+  let pts = DD.loglog_points hist in
+  check "points" 3 (Array.length pts);
+  let x0, y0 = pts.(0) in
+  checkf 1e-9 "first x" 0.0 x0;
+  checkf 1e-9 "first y" (log10 4.0) y0
+
+(* Power law *)
+
+let exact_powerlaw ~c ~gamma ~dmax =
+  (* Histogram with counts exactly c * d^-gamma (rounded). *)
+  let values = ref [] in
+  for d = 1 to dmax do
+    let count = int_of_float (Float.round (c *. (float_of_int d ** -.gamma))) in
+    for _ = 1 to count do
+      values := d :: !values
+    done
+  done;
+  U.Int_histogram.of_array (Array.of_list !values)
+
+let test_fit_recovers_exponent () =
+  let hist = exact_powerlaw ~c:1000.0 ~gamma:2.5 ~dmax:10 in
+  let fit = PL.fit_loglog hist in
+  checkb "gamma recovered" true (Float.abs (fit.gamma -. 2.5) < 0.1);
+  checkb "log c recovered" true (Float.abs (fit.log10_c -. 3.0) < 0.1);
+  checkb "excellent r2" true (fit.r2 > 0.99);
+  check "points" 10 fit.points;
+  checkb "prediction at d=1 near c" true
+    (Float.abs (PL.predicted_count fit 1 -. 1000.0) < 100.0)
+
+let test_fit_requires_two_degrees () =
+  let hist = U.Int_histogram.of_array [| 3; 3; 3 |] in
+  Alcotest.check_raises "single degree"
+    (Invalid_argument "Powerlaw.fit_loglog: need at least two distinct degrees")
+    (fun () -> ignore (PL.fit_loglog hist))
+
+let test_mle () =
+  (* Large sample from the true distribution: MLE should land near the
+     sampling exponent. *)
+  let rng = U.Prng.create 12 in
+  let values = Array.init 50000 (fun _ -> U.Prng.powerlaw_int rng ~gamma:2.5 ~dmin:1 ~dmax:1000) in
+  let hist = U.Int_histogram.of_array values in
+  let fit = PL.fit_mle hist in
+  checkb "gamma_mle near 2.5" true (Float.abs (fit.gamma_mle -. 2.5) < 0.15);
+  check "n_tail is sample size" 50000 fit.n_tail;
+  Alcotest.check_raises "dmin too high"
+    (Invalid_argument "Powerlaw.fit_mle: no observations at or above dmin") (fun () ->
+      ignore (PL.fit_mle ~dmin:5000 hist))
+
+let test_ks_distance () =
+  let rng = U.Prng.create 13 in
+  let values = Array.init 20000 (fun _ -> U.Prng.powerlaw_int rng ~gamma:2.5 ~dmin:1 ~dmax:50) in
+  let hist = U.Int_histogram.of_array values in
+  let good = PL.ks_distance hist ~gamma:2.5 ~dmin:1 in
+  let bad = PL.ks_distance hist ~gamma:1.2 ~dmin:1 in
+  checkb "true exponent fits well" true (good < 0.05);
+  checkb "wrong exponent fits worse" true (bad > (2.0 *. good))
+
+(* Small world *)
+
+let test_smallworld_hypergraph () =
+  let ds = Hp_data.Cellzome.generate ~seed:5 () in
+  let rng = U.Prng.create 5 in
+  let r = SW.assess_hypergraph rng ~trials:2 ~shuffle_rounds:3 ds.hypergraph in
+  checkb "observed diameter small" true (r.diameter <= 8);
+  checkb "null statistics positive" true (r.null_average_path_mean > 0.0);
+  check "trials recorded" 2 r.trials
+
+let test_smallworld_graph () =
+  (* A caveman-ish graph: cliques on a ring are strongly clustered. *)
+  let edges = ref [] in
+  let n = 40 in
+  for c = 0 to 7 do
+    let base = 5 * c in
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        edges := (base + i, base + j) :: !edges
+      done
+    done;
+    edges := (base + 4, (base + 5) mod n) :: !edges
+  done;
+  let g = Hp_graph.Graph.of_edges ~n !edges in
+  let rng = U.Prng.create 6 in
+  let r = SW.assess_graph rng ~trials:2 g in
+  checkb "clustering above random" true (r.g_clustering > r.rand_clustering);
+  checkb "sigma above one" true (r.sigma > 1.0)
+
+(* Hypergeometric *)
+
+let test_log_choose () =
+  checkf 1e-9 "C(5,2)" (log 10.0) (HG.log_choose 5 2);
+  checkf 1e-9 "C(n,0)" 0.0 (HG.log_choose 7 0);
+  checkb "out of range" true (HG.log_choose 3 5 = neg_infinity)
+
+let test_pmf_sums_to_one () =
+  let total = ref 0.0 in
+  for x = 0 to 10 do
+    total := !total +. HG.pmf ~capital_n:30 ~capital_k:10 ~n:12 ~x
+  done;
+  checkf 1e-9 "pmf sums to 1" 1.0 !total
+
+let test_pmf_known_value () =
+  (* Urn: 10 of 30 marked, draw 12; P(X = 4) computed directly. *)
+  let expected =
+    exp (HG.log_choose 10 4 +. HG.log_choose 20 8 -. HG.log_choose 30 12)
+  in
+  checkf 1e-12 "pmf" expected (HG.pmf ~capital_n:30 ~capital_k:10 ~n:12 ~x:4)
+
+let test_p_value_monotone () =
+  let p x = HG.p_value_ge ~capital_n:100 ~capital_k:20 ~n:30 ~x in
+  checkf 1e-9 "x=0 certain" 1.0 (p 0);
+  checkb "monotone decreasing" true (p 5 > p 10 && p 10 > p 15);
+  checkb "extreme tail small" true (p 19 < 1e-6)
+
+let test_enrichment_report () =
+  (* The paper's own comparison: 22 essential of 32 known core proteins
+     vs. 878 essential genes of 4036. *)
+  let e = HG.test ~population:4036 ~labelled:878 ~sample:32 ~hits:22 in
+  checkf 1e-9 "sample fraction" (22.0 /. 32.0) e.sample_fraction;
+  checkb "strong fold" true (e.fold > 3.0);
+  checkb "highly significant" true (e.p_value < 1e-6);
+  Alcotest.check_raises "inconsistent counts"
+    (Invalid_argument "Hypergeom.test: inconsistent counts") (fun () ->
+      ignore (HG.test ~population:10 ~labelled:20 ~sample:5 ~hits:1))
+
+let prop_pvalue_bounds =
+  QCheck.Test.make ~name:"hypergeom: p-values lie in [0,1]" ~count:200
+    QCheck.(quad (int_range 1 60) (int_range 0 60) (int_range 0 60) (int_range 0 60))
+    (fun (n, k, s, x) ->
+      let k = min k n and s = min s n in
+      let x = min x s in
+      let p = HG.p_value_ge ~capital_n:n ~capital_k:k ~n:s ~x in
+      p >= 0.0 && p <= 1.0)
+
+let () =
+  Alcotest.run "hp_stats"
+    [
+      ( "degree distribution",
+        [
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "loglog points" `Quick test_loglog_points;
+        ] );
+      ( "power law",
+        [
+          Alcotest.test_case "recovers exponent" `Quick test_fit_recovers_exponent;
+          Alcotest.test_case "degenerate input" `Quick test_fit_requires_two_degrees;
+          Alcotest.test_case "mle" `Quick test_mle;
+          Alcotest.test_case "ks distance" `Quick test_ks_distance;
+        ] );
+      ( "small world",
+        [
+          Alcotest.test_case "hypergraph report" `Slow test_smallworld_hypergraph;
+          Alcotest.test_case "graph sigma" `Quick test_smallworld_graph;
+        ] );
+      ( "hypergeometric",
+        [
+          Alcotest.test_case "log_choose" `Quick test_log_choose;
+          Alcotest.test_case "pmf normalization" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "pmf known value" `Quick test_pmf_known_value;
+          Alcotest.test_case "p-value monotone" `Quick test_p_value_monotone;
+          Alcotest.test_case "enrichment report" `Quick test_enrichment_report;
+          Th.prop prop_pvalue_bounds;
+        ] );
+    ]

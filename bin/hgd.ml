@@ -1,0 +1,71 @@
+(* hgd: the resident hypergraph analysis daemon.
+
+   Thin cmdliner front end over Hp_server.Server: bind a Unix-domain
+   socket, keep datasets resident, memoize analyses, answer the line
+   protocol documented in lib/server/protocol.mli.  `hgtool serve` is
+   the same loop; this standalone binary is what a supervisor runs. *)
+
+module Server = Hp_server.Server
+open Cmdliner
+
+let serve socket workers cache timeout domains preload quiet =
+  let config =
+    {
+      Server.socket_path = socket;
+      workers;
+      cache_capacity = cache;
+      request_timeout = timeout;
+      compute_domains = domains;
+      preload;
+    }
+  in
+  match Server.start config with
+  | Error msg ->
+    Printf.eprintf "hgd: %s\n" msg;
+    1
+  | Ok t ->
+    if not quiet then
+      Printf.printf "hgd: listening on %s (%d workers, %d cache entries)\n%!"
+        socket workers cache;
+    let stop_signal _ = Server.request_stop t in
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop_signal));
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal));
+    Server.wait t;
+    if not quiet then Printf.printf "hgd: shut down\n%!";
+    0
+
+let socket_arg =
+  Arg.(value & opt string "hgd.sock" & info [ "s"; "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket to listen on.")
+
+let workers_arg =
+  Arg.(value & opt int (Hp_util.Parallel.recommended_domains ())
+       & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+
+let cache_arg =
+  Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N"
+         ~doc:"Result cache entry budget (0 disables caching).")
+
+let timeout_arg =
+  Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Per-request compute budget (0 disables the check).")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Domains handed to each analysis kernel.")
+
+let preload_arg =
+  Arg.(value & opt_all file [] & info [ "preload" ] ~docv:"FILE"
+         ~doc:"Dataset to load before accepting connections (repeatable).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress startup chatter.")
+
+let () =
+  let doc = "Resident hypergraph analysis server with result caching." in
+  let cmd =
+    Cmd.v (Cmd.info "hgd" ~doc)
+      Term.(const serve $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
+            $ domains_arg $ preload_arg $ quiet_arg)
+  in
+  exit (Cmd.eval' cmd)

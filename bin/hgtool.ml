@@ -6,6 +6,8 @@
      kcore        k-core / core decomposition of a .hg or .mtx file
      cover        greedy (multi)cover bait selection
      export-pajek Figure-3 style .net/.clu export
+     serve        run the resident analysis server (hgd) in the foreground
+     query        send one request to a running server
 *)
 
 module H = Hp_hypergraph.Hypergraph
@@ -14,10 +16,22 @@ module HP = Hp_hypergraph.Hypergraph_path
 module HC = Hp_hypergraph.Hypergraph_core
 open Cmdliner
 
+(* A malformed or unreadable input must exit non-zero with a one-line
+   diagnostic naming the file (and line, when the parser knows it) —
+   never an exception backtrace. *)
 let load path =
-  if Filename.check_suffix path ".mtx" then
-    Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.read path)
-  else HIO.read path
+  match
+    if Filename.check_suffix path ".mtx" then
+      Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.read path)
+    else HIO.read path
+  with
+  | h -> h
+  | exception Sys_error msg ->
+    Printf.eprintf "hgtool: %s\n" msg;
+    exit 1
+  | exception (Failure msg | Invalid_argument msg) ->
+    Printf.eprintf "hgtool: %s: %s\n" path msg;
+    exit 1
 
 let input_arg =
   let doc = "Input hypergraph: .hg (membership lists) or .mtx (MatrixMarket)." in
@@ -307,6 +321,92 @@ let dual_cmd =
     (Cmd.info "dual" ~doc:"Write the dual hypergraph (complexes become vertices).")
     Term.(const run $ input_arg $ output)
 
+(* serve *)
+let socket_arg =
+  Arg.(value & opt string "hgd.sock" & info [ "s"; "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket of the server.")
+
+let serve_cmd =
+  let run socket workers cache timeout domains preload =
+    let config =
+      {
+        Hp_server.Server.socket_path = socket;
+        workers;
+        cache_capacity = cache;
+        request_timeout = timeout;
+        compute_domains = domains;
+        preload;
+      }
+    in
+    match Hp_server.Server.start config with
+    | Error msg ->
+      Printf.eprintf "hgtool: serve: %s\n" msg;
+      exit 1
+    | Ok t ->
+      Printf.printf "hgtool: serving on %s (%d workers, %d cache entries)\n%!"
+        socket workers cache;
+      let stop_signal _ = Hp_server.Server.request_stop t in
+      ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop_signal));
+      ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal));
+      Hp_server.Server.wait t
+  in
+  let workers =
+    Arg.(value & opt int (Hp_util.Parallel.recommended_domains ())
+         & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+  in
+  let cache =
+    Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N"
+           ~doc:"Result cache entry budget (0 disables caching).")
+  in
+  let timeout =
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request compute budget (0 disables the check).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Domains handed to each analysis kernel.")
+  in
+  let preload =
+    Arg.(value & opt_all file [] & info [ "preload" ] ~docv:"FILE"
+           ~doc:"Dataset to load before accepting connections (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the resident analysis server in the foreground.")
+    Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload)
+
+(* query *)
+let query_cmd =
+  let run socket words =
+    if words = [] then begin
+      Printf.eprintf "hgtool: query: missing request (e.g. PING, LOAD file, STATS digest)\n";
+      exit 1
+    end;
+    let line = String.concat " " words in
+    let outcome =
+      Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+          Hp_server.Client.request_line c line)
+    in
+    match outcome with
+    | Error msg ->
+      Printf.eprintf "hgtool: query: %s\n" msg;
+      exit 1
+    | Ok (Hp_server.Protocol.Err { code; message }) ->
+      Printf.eprintf "error: %s: %s\n"
+        (Hp_server.Protocol.error_code_to_string code) message;
+      exit 1
+    | Ok (Hp_server.Protocol.Ok kvs) ->
+      List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) kvs
+  in
+  let words =
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"Request verb and arguments, as one protocol line.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request (LOAD, STATS, KCORE, COVER, STORAGE, POWERLAW, \
+             DATASETS, METRICS, EVICT, PING, SHUTDOWN) to a running server.")
+    Term.(const run $ socket_arg $ words)
+
 let () =
   let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in
   exit
@@ -315,4 +415,5 @@ let () =
           [
             generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
             components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
+            serve_cmd; query_cmd;
           ]))

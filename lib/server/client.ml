@@ -1,0 +1,69 @@
+type t = { fd : Unix.file_descr; mutable pending : string }
+
+let connect ~socket_path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok { fd; pending = "" }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket_path (Unix.error_message err))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let rec read_line t =
+  match String.index_opt t.pending '\n' with
+  | Some i ->
+    let line = String.sub t.pending 0 i in
+    t.pending <- String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+    Ok line
+  | None -> (
+    let buf = Bytes.create 4096 in
+    match Unix.read t.fd buf 0 (Bytes.length buf) with
+    | 0 -> Error "connection closed by server"
+    | n ->
+      t.pending <- t.pending ^ Bytes.sub_string buf 0 n;
+      read_line t
+    | exception Unix.Unix_error (EINTR, _, _) -> read_line t
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then begin
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let read_reply t =
+  let ( let* ) = Result.bind in
+  let* header = read_line t in
+  (* Reassemble the framed lines and reuse the one decoder. *)
+  if String.length header >= 3 && String.sub header 0 3 = "OK " then
+    match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
+    | None -> Error ("bad OK header: " ^ header)
+    | Some n ->
+      let rec gather acc i =
+        if i = n then Ok (List.rev acc)
+        else
+          let* line = read_line t in
+          gather (line :: acc) (i + 1)
+      in
+      let* body = gather [] 0 in
+      Protocol.decode_reply (String.concat "\n" ((header :: body) @ [ "" ]))
+  else Protocol.decode_reply (header ^ "\n")
+
+let request_line t line =
+  match write_all t.fd (line ^ "\n") with
+  | () -> read_reply t
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let request t req = request_line t (Protocol.request_line req)
+
+let with_connection ~socket_path f =
+  match connect ~socket_path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

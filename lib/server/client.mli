@@ -1,0 +1,20 @@
+(** Blocking client for the hgd socket protocol; used by
+    [hgtool query] and the integration tests. *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.reply, string) result
+(** Send one request and read its full reply.  [Error] only on a
+    transport or framing failure; a server-side [ERR] arrives as
+    [Ok (Err _)]. *)
+
+val request_line : t -> string -> (Protocol.reply, string) result
+(** Send a raw line verbatim — deliberately malformed lines included,
+    which is what the protocol-hardening tests need. *)
+
+val with_connection :
+  socket_path:string -> (t -> ('a, string) result) -> ('a, string) result

@@ -1,0 +1,91 @@
+let n_buckets = 40
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  latency_buckets : int array;  (* bucket i: latencies in [2^i, 2^{i+1}) us *)
+  mutable latency_sum_us : float;
+  mutable latency_max_us : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 32;
+    latency_buckets = Array.make n_buckets 0;
+    latency_sum_us = 0.0;
+    latency_max_us = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr ?(by = 1) t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
+
+let get t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> !r
+      | None -> 0)
+
+let bucket_of_us us =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  min (n_buckets - 1) (log2 (max 1 us) 0)
+
+let observe_latency t seconds =
+  let us = max 0 (int_of_float (seconds *. 1e6)) in
+  locked t (fun () ->
+      let b = bucket_of_us us in
+      t.latency_buckets.(b) <- t.latency_buckets.(b) + 1;
+      t.latency_sum_us <- t.latency_sum_us +. float_of_int us;
+      if us > t.latency_max_us then t.latency_max_us <- us)
+
+let snapshot t =
+  let counters, buckets, sum_us, max_us =
+    locked t (fun () ->
+        ( Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [],
+          Array.copy t.latency_buckets,
+          t.latency_sum_us,
+          t.latency_max_us ))
+  in
+  let counter_lines =
+    List.sort compare counters
+    |> List.map (fun (k, v) -> (k, string_of_int v))
+  in
+  let hist =
+    Hp_util.Int_histogram.of_iter (fun f ->
+        Array.iteri (fun exp c -> if c > 0 then
+            for _ = 1 to c do f exp done)
+          buckets)
+  in
+  let total = Hp_util.Int_histogram.total hist in
+  if total = 0 then counter_lines
+  else begin
+    (* p-th percentile as the lower bound (2^exp us) of the smallest
+       bucket that covers p% of observations. *)
+    let percentile p =
+      let need = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+      let rec scan exp =
+        if exp >= n_buckets then t.latency_max_us
+        else if total - Hp_util.Int_histogram.cumulative_ge hist (exp + 1) >= need
+        then 1 lsl exp
+        else scan (exp + 1)
+      in
+      scan 0
+    in
+    counter_lines
+    @ [
+        ("latency_count", string_of_int total);
+        ("latency_mean_us",
+         Printf.sprintf "%.1f" (sum_us /. float_of_int total));
+        ("latency_p50_us", string_of_int (percentile 50.0));
+        ("latency_p90_us", string_of_int (percentile 90.0));
+        ("latency_p99_us", string_of_int (percentile 99.0));
+        ("latency_max_us", string_of_int max_us);
+      ]
+  end

@@ -1,0 +1,27 @@
+(** Server observability: monotonic named counters plus a latency
+    histogram, rendered as the [METRICS] reply payload.
+
+    Latencies are tallied into power-of-two microsecond buckets
+    (bucket i counts requests that took [2^i, 2^{i+1}) us); the
+    snapshot turns the buckets into an {!Hp_util.Int_histogram} over
+    bucket exponents to derive count / percentile / max lines, so the
+    recording path is O(1) per request and a reply is a fixed number
+    of lines.  All operations are mutex-serialized. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a named counter, creating it at 0 first.  [by] defaults to 1. *)
+
+val get : t -> string -> int
+(** Current value (0 for a counter never bumped). *)
+
+val observe_latency : t -> float -> unit
+(** Record one request service time, in seconds. *)
+
+val snapshot : t -> (string * string) list
+(** All counters in name order, followed by [latency_*] summary lines
+    ([count], [mean_us], [p50_us], [p90_us], [p99_us], [max_us]) when
+    at least one latency was observed. *)

@@ -1,0 +1,195 @@
+type weighting = Uniform | Degree | Degree_squared
+
+type analysis =
+  | Stats
+  | Kcore of int option
+  | Cover of { weighting : weighting; r : int }
+  | Storage
+  | Powerlaw
+
+type request =
+  | Load of string
+  | Analyze of { dataset : string; analysis : analysis }
+  | Datasets
+  | Metrics
+  | Evict of string option
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Unknown_dataset
+  | Parse_error
+  | Io_error
+  | Timeout
+  | Internal
+
+type reply =
+  | Ok of (string * string) list
+  | Err of { code : error_code; message : string }
+
+let weighting_of_string = function
+  | "uniform" -> Result.Ok Uniform
+  | "degree" -> Result.Ok Degree
+  | "degree2" -> Result.Ok Degree_squared
+  | s -> Result.Error (Printf.sprintf "unknown weighting %S (uniform|degree|degree2)" s)
+
+let weighting_to_string = function
+  | Uniform -> "uniform"
+  | Degree -> "degree"
+  | Degree_squared -> "degree2"
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_dataset -> "unknown-dataset"
+  | Parse_error -> "parse-error"
+  | Io_error -> "io-error"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad-request" -> Some Bad_request
+  | "unknown-dataset" -> Some Unknown_dataset
+  | "parse-error" -> Some Parse_error
+  | "io-error" -> Some Io_error
+  | "timeout" -> Some Timeout
+  | "internal" -> Some Internal
+  | _ -> None
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let int_arg what s =
+  match int_of_string_opt s with
+  | Some n -> Result.Ok n
+  | None -> Result.Error (Printf.sprintf "%s: expected an integer, got %S" what s)
+
+let parse_request line =
+  let ( let* ) = Result.bind in
+  match tokens line with
+  | [] -> Result.Error "empty request"
+  | verb :: args ->
+    (match (String.uppercase_ascii verb, args) with
+    | "LOAD", [ path ] -> Result.Ok (Load path)
+    | "LOAD", _ -> Result.Error "LOAD takes exactly one path"
+    | "STATS", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Stats })
+    | "STATS", _ -> Result.Error "STATS takes exactly one dataset"
+    | "KCORE", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Kcore None })
+    | "KCORE", [ ds; k ] ->
+      let* k = int_arg "KCORE" k in
+      if k < 0 then Result.Error "KCORE: k must be >= 0"
+      else Result.Ok (Analyze { dataset = ds; analysis = Kcore (Some k) })
+    | "KCORE", _ -> Result.Error "KCORE takes a dataset and an optional k"
+    | "COVER", ds :: rest ->
+      let* weighting, r =
+        match rest with
+        | [] -> Result.Ok (Uniform, 1)
+        | [ w ] ->
+          let* w = weighting_of_string w in
+          Result.Ok (w, 1)
+        | [ w; r ] ->
+          let* w = weighting_of_string w in
+          let* r = int_arg "COVER" r in
+          if r < 1 then Result.Error "COVER: r must be >= 1" else Result.Ok (w, r)
+        | _ -> Result.Error "COVER takes a dataset, an optional weighting and an optional r"
+      in
+      Result.Ok (Analyze { dataset = ds; analysis = Cover { weighting; r } })
+    | "COVER", [] -> Result.Error "COVER takes a dataset"
+    | "STORAGE", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Storage })
+    | "STORAGE", _ -> Result.Error "STORAGE takes exactly one dataset"
+    | "POWERLAW", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Powerlaw })
+    | "POWERLAW", _ -> Result.Error "POWERLAW takes exactly one dataset"
+    | "DATASETS", [] -> Result.Ok Datasets
+    | "METRICS", [] -> Result.Ok Metrics
+    | "EVICT", [] -> Result.Ok (Evict None)
+    | "EVICT", [ ds ] -> Result.Ok (Evict (Some ds))
+    | "EVICT", _ -> Result.Error "EVICT takes at most one dataset"
+    | "PING", [] -> Result.Ok Ping
+    | "SHUTDOWN", [] -> Result.Ok Shutdown
+    | v, _ -> Result.Error (Printf.sprintf "unknown verb %S" v))
+
+let analysis_args = function
+  | Stats -> "STATS", []
+  | Kcore None -> "KCORE", []
+  | Kcore (Some k) -> "KCORE", [ string_of_int k ]
+  | Cover { weighting; r } -> "COVER", [ weighting_to_string weighting; string_of_int r ]
+  | Storage -> "STORAGE", []
+  | Powerlaw -> "POWERLAW", []
+
+let request_line = function
+  | Load path -> "LOAD " ^ path
+  | Analyze { dataset; analysis } ->
+    let verb, args = analysis_args analysis in
+    String.concat " " (verb :: dataset :: args)
+  | Datasets -> "DATASETS"
+  | Metrics -> "METRICS"
+  | Evict None -> "EVICT"
+  | Evict (Some ds) -> "EVICT " ^ ds
+  | Ping -> "PING"
+  | Shutdown -> "SHUTDOWN"
+
+let analysis_key = function
+  | Stats -> "stats"
+  | Kcore None -> "kcore k=max"
+  | Kcore (Some k) -> Printf.sprintf "kcore k=%d" k
+  | Cover { weighting; r } ->
+    Printf.sprintf "cover w=%s r=%d" (weighting_to_string weighting) r
+  | Storage -> "storage"
+  | Powerlaw -> "powerlaw"
+
+(* Replies are framed by line count, so no payload byte may introduce a
+   line or field separator. *)
+let sanitize s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let encode_reply = function
+  | Ok kvs ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "OK %d\n" (List.length kvs));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (sanitize k);
+        Buffer.add_char buf '\t';
+        Buffer.add_string buf (sanitize v);
+        Buffer.add_char buf '\n')
+      kvs;
+    Buffer.contents buf
+  | Err { code; message } ->
+    Printf.sprintf "ERR %s %s\n" (error_code_to_string code) (sanitize message)
+
+let decode_reply text =
+  match String.split_on_char '\n' text with
+  | [] -> Result.Error "empty reply"
+  | header :: rest ->
+    if String.length header >= 3 && String.sub header 0 3 = "OK " then begin
+      match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
+      | None -> Result.Error ("bad OK header: " ^ header)
+      | Some n ->
+        let rec take acc i = function
+          | _ when i = n -> Result.Ok (Ok (List.rev acc))
+          | [] -> Result.Error "truncated reply payload"
+          | line :: rest ->
+            (match String.index_opt line '\t' with
+            | None -> Result.Error ("payload line without tab: " ^ line)
+            | Some t ->
+              let k = String.sub line 0 t in
+              let v = String.sub line (t + 1) (String.length line - t - 1) in
+              take ((k, v) :: acc) (i + 1) rest)
+        in
+        take [] 0 rest
+    end
+    else if String.length header >= 4 && String.sub header 0 4 = "ERR " then begin
+      let body = String.sub header 4 (String.length header - 4) in
+      match String.index_opt body ' ' with
+      | None ->
+        (match error_code_of_string body with
+        | Some code -> Result.Ok (Err { code; message = "" })
+        | None -> Result.Error ("unknown error code: " ^ body))
+      | Some sp ->
+        let code_s = String.sub body 0 sp in
+        let message = String.sub body (sp + 1) (String.length body - sp - 1) in
+        (match error_code_of_string code_s with
+        | Some code -> Result.Ok (Err { code; message })
+        | None -> Result.Error ("unknown error code: " ^ code_s))
+    end
+    else Result.Error ("bad reply header: " ^ header)

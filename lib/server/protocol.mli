@@ -1,0 +1,89 @@
+(** The hgd wire protocol: newline-delimited requests, tab-separated
+    replies.
+
+    A request is one line of space-separated tokens, case-insensitive
+    in the verb:
+
+    {v
+    LOAD <path>
+    STATS <dataset>
+    KCORE <dataset> [k]
+    COVER <dataset> [uniform|degree|degree2] [r]
+    STORAGE <dataset>
+    POWERLAW <dataset>
+    DATASETS
+    METRICS
+    EVICT [<dataset>]
+    PING
+    SHUTDOWN
+    v}
+
+    [<dataset>] is a content digest as returned by [LOAD] (an
+    unambiguous prefix of at least 4 hex digits is accepted).
+
+    A reply is either
+
+    {v
+    OK <n>
+    <key>\t<value>     (n times)
+    v}
+
+    or the single line [ERR <code> <message>].  Keys and values never
+    contain tabs or newlines (the encoder replaces them with spaces),
+    so a reply is always exactly [1 + n] lines. *)
+
+type weighting = Uniform | Degree | Degree_squared
+
+type analysis =
+  | Stats
+  | Kcore of int option  (** [None] selects the maximum core. *)
+  | Cover of { weighting : weighting; r : int }
+  | Storage
+  | Powerlaw
+
+type request =
+  | Load of string
+  | Analyze of { dataset : string; analysis : analysis }
+  | Datasets
+  | Metrics
+  | Evict of string option
+      (** [Some digest] drops a dataset and its cached results;
+          [None] clears the whole result cache. *)
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request      (** unparsable or unknown verb / arguments *)
+  | Unknown_dataset  (** digest not resident (or ambiguous prefix) *)
+  | Parse_error      (** dataset file failed to parse *)
+  | Io_error         (** dataset file could not be read *)
+  | Timeout          (** computation exceeded the request deadline *)
+  | Internal         (** unexpected exception while serving *)
+
+type reply =
+  | Ok of (string * string) list
+  | Err of { code : error_code; message : string }
+
+val parse_request : string -> (request, string) result
+
+val request_line : request -> string
+(** Canonical single-line rendering; [parse_request (request_line r)]
+    yields a request equal to [r]. *)
+
+val analysis_key : analysis -> string
+(** Canonical cache-key fragment for an analysis, with defaulted
+    arguments spelled out (e.g. ["kcore k=max"], ["cover w=degree2 r=1"]). *)
+
+val weighting_of_string : string -> (weighting, string) result
+
+val weighting_to_string : weighting -> string
+
+val error_code_to_string : error_code -> string
+
+val error_code_of_string : string -> error_code option
+
+val encode_reply : reply -> string
+(** Full reply text including the trailing newline. *)
+
+val decode_reply : string -> (reply, string) result
+(** Inverse of [encode_reply] (modulo key/value sanitization). *)

@@ -1,0 +1,98 @@
+type entry = {
+  digest : string;
+  path : string;
+  hypergraph : Hp_hypergraph.Hypergraph.t;
+  bytes : int;
+  loaded_at : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+}
+
+type load_error =
+  | Read_failed of string
+  | Parse_failed of string
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let parse_content ~path content =
+  if Filename.check_suffix path ".mtx" then
+    Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.parse content)
+  else Hp_hypergraph.Hypergraph_io.of_string content
+
+let load t path =
+  match read_file path with
+  | exception Sys_error msg -> Error (Read_failed msg)
+  | content ->
+    let digest = Digest.to_hex (Digest.string content) in
+    (match locked t (fun () -> Hashtbl.find_opt t.table digest) with
+    | Some entry -> Ok (entry, false)
+    | None ->
+      (match parse_content ~path content with
+      | exception Failure msg -> Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
+      | exception Invalid_argument msg ->
+        Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
+      | hypergraph ->
+        let entry =
+          {
+            digest;
+            path;
+            hypergraph;
+            bytes = String.length content;
+            loaded_at = Unix.gettimeofday ();
+          }
+        in
+        locked t (fun () ->
+            (* A concurrent load of the same content may have won the
+               race; keep the resident entry so ids stay stable. *)
+            match Hashtbl.find_opt t.table digest with
+            | Some existing -> Ok (existing, false)
+            | None ->
+              Hashtbl.add t.table digest entry;
+              Ok (entry, true))))
+
+let resolve_locked t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry -> `Found entry
+  | None ->
+    if String.length key < 4 then `Missing
+    else begin
+      let matches =
+        Hashtbl.fold
+          (fun digest entry acc ->
+            if String.length key <= String.length digest
+               && String.sub digest 0 (String.length key) = key
+            then entry :: acc
+            else acc)
+          t.table []
+      in
+      match matches with
+      | [ entry ] -> `Found entry
+      | [] -> `Missing
+      | _ -> `Ambiguous
+    end
+
+let find t key = locked t (fun () -> resolve_locked t key)
+
+let evict t key =
+  locked t (fun () ->
+      match resolve_locked t key with
+      | `Found entry ->
+        Hashtbl.remove t.table entry.digest;
+        Some entry
+      | `Ambiguous | `Missing -> None)
+
+let list t =
+  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  |> List.sort (fun a b -> compare a.loaded_at b.loaded_at)

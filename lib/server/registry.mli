@@ -1,0 +1,40 @@
+(** Resident datasets, keyed by content digest.
+
+    [load] reads a [.hg] or [.mtx] file once, digests its bytes (MD5,
+    hex), parses it, and keeps the hypergraph resident; loading a file
+    whose content is already resident is a no-op that returns the
+    existing entry, so the digest is a stable identity for the result
+    cache no matter how many paths or reloads point at it.
+
+    All operations are serialized by an internal mutex and safe to call
+    from concurrent worker domains. *)
+
+type entry = {
+  digest : string;  (** MD5 of the file bytes, lowercase hex. *)
+  path : string;    (** Path given at first load. *)
+  hypergraph : Hp_hypergraph.Hypergraph.t;
+  bytes : int;      (** Size of the source file. *)
+  loaded_at : float;
+}
+
+type t
+
+val create : unit -> t
+
+type load_error =
+  | Read_failed of string   (** I/O: missing file, permissions, ... *)
+  | Parse_failed of string  (** Malformed content; message names file and line. *)
+
+val load : t -> string -> (entry * bool, load_error) result
+(** [load t path] returns the resident entry and whether this call
+    parsed it fresh ([true]) or found it by digest ([false]). *)
+
+val find : t -> string -> [ `Found of entry | `Ambiguous | `Missing ]
+(** Exact digest, or a digest prefix of at least 4 characters that
+    matches exactly one resident dataset. *)
+
+val evict : t -> string -> entry option
+(** Drop a dataset (addressed as in [find]); returns the dropped entry. *)
+
+val list : t -> entry list
+(** Resident datasets, oldest first. *)

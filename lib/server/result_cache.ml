@@ -1,0 +1,48 @@
+type t = {
+  mutex : Mutex.t;
+  lru : (string, (string * string) list) Hp_util.Lru.t;
+  metrics : Metrics.t;
+}
+
+let create ~capacity ~metrics () =
+  { mutex = Mutex.create (); lru = Hp_util.Lru.create ~capacity (); metrics }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let key ~digest ~analysis = digest ^ " " ^ Protocol.analysis_key analysis
+
+let find t k =
+  let hit = locked t (fun () -> Hp_util.Lru.find t.lru k) in
+  Metrics.incr t.metrics (match hit with Some _ -> "cache_hits" | None -> "cache_misses");
+  hit
+
+let add t k payload =
+  let evicted = locked t (fun () -> Hp_util.Lru.set t.lru k payload) in
+  if Option.is_some evicted then Metrics.incr t.metrics "cache_evictions"
+
+let dataset_of_key k =
+  match String.index_opt k ' ' with
+  | Some i -> String.sub k 0 i
+  | None -> k
+
+let drop_dataset t ~digest =
+  locked t (fun () ->
+      let doomed =
+        Hp_util.Lru.to_list t.lru
+        |> List.filter_map (fun (k, _) ->
+               if dataset_of_key k = digest then Some k else None)
+      in
+      List.iter (fun k -> ignore (Hp_util.Lru.remove t.lru k)) doomed;
+      List.length doomed)
+
+let clear t =
+  locked t (fun () ->
+      let n = Hp_util.Lru.length t.lru in
+      Hp_util.Lru.clear t.lru;
+      n)
+
+let length t = locked t (fun () -> Hp_util.Lru.length t.lru)
+
+let capacity t = Hp_util.Lru.capacity t.lru

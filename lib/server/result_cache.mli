@@ -1,0 +1,35 @@
+(** Content-addressed memo of analysis replies.
+
+    Keys are ["<dataset digest> <canonical analysis key>"] (see
+    {!Protocol.analysis_key}), values are finished reply payloads;
+    identical queries against identical bytes are served without
+    recomputation, whatever path the dataset was loaded from.  Bounded
+    by an LRU entry budget ({!Hp_util.Lru}); hits, misses and
+    evictions are counted in the server {!Metrics} under
+    [cache_hits] / [cache_misses] / [cache_evictions].
+
+    Lookups and inserts are mutex-serialized.  There is no
+    single-flight guarantee: two workers racing on the same cold key
+    both compute and the second insert wins — wasted work, never a
+    wrong answer (payloads for equal keys are equal). *)
+
+type t
+
+val create : capacity:int -> metrics:Metrics.t -> unit -> t
+
+val key : digest:string -> analysis:Protocol.analysis -> string
+
+val find : t -> string -> (string * string) list option
+(** Counts a hit or a miss. *)
+
+val add : t -> string -> (string * string) list -> unit
+(** Counts an eviction when the budget forces one out. *)
+
+val drop_dataset : t -> digest:string -> int
+(** Drop every cached result for a dataset; returns how many. *)
+
+val clear : t -> int
+
+val length : t -> int
+
+val capacity : t -> int

@@ -1,0 +1,493 @@
+module H = Hp_hypergraph.Hypergraph
+module HP = Hp_hypergraph.Hypergraph_path
+module HC = Hp_hypergraph.Hypergraph_core
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  workers : int;
+  cache_capacity : int;
+  request_timeout : float;
+  compute_domains : int;
+  preload : string list;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = Hp_util.Parallel.recommended_domains ();
+    cache_capacity = 128;
+    request_timeout = 30.0;
+    compute_domains = 1;
+    preload = [];
+  }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  cache : Result_cache.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  started_at : float;
+  stopping : bool Atomic.t;
+  mutable pool : Unix.file_descr Worker.t option;
+  mutable accept_domain : unit Domain.t option;
+  finalize_mutex : Mutex.t;
+  mutable finalized : bool;
+}
+
+let socket_path t = t.config.socket_path
+
+(* ---------- analysis payloads ---------- *)
+
+let float3 = Printf.sprintf "%.3f"
+let float4 = Printf.sprintf "%.4f"
+
+let names h ids =
+  String.concat " " (Array.to_list (Array.map (H.vertex_name h) ids))
+
+let powerlaw_lines hist =
+  match Hp_stats.Powerlaw.fit_loglog hist with
+  | fit ->
+    [
+      ("powerlaw_gamma", float4 fit.gamma);
+      ("powerlaw_log10_c", float4 fit.log10_c);
+      ("powerlaw_r2", float4 fit.r2);
+    ]
+  | exception Invalid_argument _ -> [ ("powerlaw_fit", "n/a") ]
+
+let stats_payload ~domains h =
+  let summary = HP.component_summary h in
+  let diam, apl = HP.diameter_and_average_path ~domains h in
+  let largest =
+    if Array.length summary = 0 then []
+    else
+      let nv, ne = summary.(0) in
+      [
+        ("largest_component_vertices", string_of_int nv);
+        ("largest_component_hyperedges", string_of_int ne);
+      ]
+  in
+  [
+    ("vertices", string_of_int (H.n_vertices h));
+    ("hyperedges", string_of_int (H.n_edges h));
+    ("incidence", string_of_int (H.total_incidence h));
+    ("max_vertex_degree", string_of_int (H.max_vertex_degree h));
+    ("max_hyperedge_size", string_of_int (H.max_edge_size h));
+    ("components", string_of_int (Array.length summary));
+  ]
+  @ largest
+  @ [ ("diameter", string_of_int diam); ("average_path", float3 apl) ]
+  @ powerlaw_lines (Hp_stats.Degree_dist.vertex_histogram h)
+
+let kcore_payload ~domains h k =
+  let result, k =
+    match k with
+    | Some k -> (HC.k_core ~domains h k, k)
+    | None ->
+      let k, r = HC.max_core ~domains h in
+      (r, k)
+  in
+  [
+    ("k", string_of_int k);
+    ("core_vertices", string_of_int (H.n_vertices result.core));
+    ("core_hyperedges", string_of_int (H.n_edges result.core));
+    ("members", names h result.vertex_ids);
+  ]
+
+let cover_payload h (weighting : P.weighting) r =
+  let weights =
+    match weighting with
+    | P.Uniform -> Hp_cover.Weighting.uniform h
+    | P.Degree -> Hp_cover.Weighting.degree h
+    | P.Degree_squared -> Hp_cover.Weighting.degree_squared h
+  in
+  let trace =
+    if r <= 1 then Hp_cover.Greedy.vertex_cover_trace ~weights h
+    else
+      Hp_cover.Greedy.solve ~weights
+        ~requirements:(Hp_cover.Multicover.uniform_requirements h ~r)
+        h
+  in
+  [
+    ("weighting", P.weighting_to_string weighting);
+    ("r", string_of_int r);
+    ("cover_size", string_of_int (Array.length trace.cover));
+    ("total_weight", float3 trace.total_weight);
+    ("average_degree", float3 (Hp_cover.Cover.average_degree h trace.cover));
+    ("members", names h trace.cover);
+  ]
+
+let storage_payload h =
+  let r = Hp_hypergraph.Storage.measure h in
+  [
+    ("hypergraph_entries", string_of_int r.hypergraph_entries);
+    ("clique_entries", string_of_int r.clique_entries);
+    ("clique_entries_raw", string_of_int r.clique_entries_raw);
+    ("star_entries", string_of_int r.star_entries);
+    ("intersection_entries", string_of_int r.intersection_entries);
+  ]
+
+let powerlaw_payload h =
+  let hist = Hp_stats.Degree_dist.vertex_histogram h in
+  let ls = powerlaw_lines hist in
+  match Hp_stats.Powerlaw.fit_mle hist with
+  | mle ->
+    let ks =
+      match Hp_stats.Powerlaw.fit_loglog hist with
+      | fit -> [ ("ks_distance", float4 (Hp_stats.Powerlaw.ks_distance hist ~gamma:fit.gamma ~dmin:1)) ]
+      | exception Invalid_argument _ -> []
+    in
+    ls
+    @ [
+        ("mle_gamma", float4 mle.gamma_mle);
+        ("mle_tail_n", string_of_int mle.n_tail);
+      ]
+    @ ks
+  | exception Invalid_argument _ -> ls
+
+let compute_payload ~domains h : P.analysis -> (string * string) list = function
+  | P.Stats -> stats_payload ~domains h
+  | P.Kcore k -> kcore_payload ~domains h k
+  | P.Cover { weighting; r } -> cover_payload h weighting r
+  | P.Storage -> storage_payload h
+  | P.Powerlaw -> powerlaw_payload h
+
+(* ---------- request dispatch ---------- *)
+
+let entry_summary (e : Registry.entry) =
+  Printf.sprintf "path=%s vertices=%d hyperedges=%d incidence=%d bytes=%d"
+    e.path (H.n_vertices e.hypergraph) (H.n_edges e.hypergraph)
+    (H.total_incidence e.hypergraph) e.bytes
+
+let load_reply t path : P.reply =
+  match Registry.load t.registry path with
+  | Ok (entry, fresh) ->
+    if fresh then Metrics.incr t.metrics "datasets_loaded";
+    P.Ok
+      [
+        ("digest", entry.digest);
+        ("path", entry.path);
+        ("vertices", string_of_int (H.n_vertices entry.hypergraph));
+        ("hyperedges", string_of_int (H.n_edges entry.hypergraph));
+        ("incidence", string_of_int (H.total_incidence entry.hypergraph));
+        ("bytes", string_of_int entry.bytes);
+        ("fresh", string_of_bool fresh);
+      ]
+  | Error (Read_failed msg) ->
+    Metrics.incr t.metrics "io_errors";
+    P.Err { code = P.Io_error; message = msg }
+  | Error (Parse_failed msg) ->
+    Metrics.incr t.metrics "parse_errors";
+    P.Err { code = P.Parse_error; message = msg }
+
+let analyze_reply t ~t0 dataset analysis : P.reply =
+  match Registry.find t.registry dataset with
+  | `Missing ->
+    P.Err { code = P.Unknown_dataset; message = Printf.sprintf "no resident dataset %S" dataset }
+  | `Ambiguous ->
+    P.Err { code = P.Unknown_dataset; message = Printf.sprintf "ambiguous digest prefix %S" dataset }
+  | `Found entry ->
+    let key = Result_cache.key ~digest:entry.digest ~analysis in
+    (match Result_cache.find t.cache key with
+    | Some payload -> P.Ok (payload @ [ ("cached", "true") ])
+    | None ->
+      (match compute_payload ~domains:t.config.compute_domains entry.hypergraph analysis with
+      | payload ->
+        Result_cache.add t.cache key payload;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if t.config.request_timeout > 0.0 && elapsed > t.config.request_timeout then begin
+          Metrics.incr t.metrics "timeouts";
+          P.Err
+            {
+              code = P.Timeout;
+              message =
+                Printf.sprintf "computed in %.1f s, over the %.1f s budget (result cached)"
+                  elapsed t.config.request_timeout;
+            }
+        end
+        else P.Ok (payload @ [ ("cached", "false") ])
+      | exception e ->
+        Metrics.incr t.metrics "compute_errors";
+        P.Err { code = P.Internal; message = Printexc.to_string e }))
+
+let metrics_reply t : P.reply =
+  P.Ok
+    (Metrics.snapshot t.metrics
+    @ [
+        ("cache_entries", string_of_int (Result_cache.length t.cache));
+        ("cache_capacity", string_of_int (Result_cache.capacity t.cache));
+        ("datasets_resident", string_of_int (List.length (Registry.list t.registry)));
+        ("workers", string_of_int t.config.workers);
+        ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+      ])
+
+let verb_counter : P.request -> string = function
+  | P.Load _ -> "requests_load"
+  | P.Analyze { analysis = P.Stats; _ } -> "requests_stats"
+  | P.Analyze { analysis = P.Kcore _; _ } -> "requests_kcore"
+  | P.Analyze { analysis = P.Cover _; _ } -> "requests_cover"
+  | P.Analyze { analysis = P.Storage; _ } -> "requests_storage"
+  | P.Analyze { analysis = P.Powerlaw; _ } -> "requests_powerlaw"
+  | P.Datasets -> "requests_datasets"
+  | P.Metrics -> "requests_metrics"
+  | P.Evict _ -> "requests_evict"
+  | P.Ping -> "requests_ping"
+  | P.Shutdown -> "requests_shutdown"
+
+let handle_request t ~t0 (req : P.request) : P.reply * [ `Continue | `Stop ] =
+  Metrics.incr t.metrics (verb_counter req);
+  match req with
+  | P.Load path -> (load_reply t path, `Continue)
+  | P.Analyze { dataset; analysis } -> (analyze_reply t ~t0 dataset analysis, `Continue)
+  | P.Datasets ->
+    let entries = Registry.list t.registry in
+    (P.Ok (List.map (fun e -> (e.Registry.digest, entry_summary e)) entries), `Continue)
+  | P.Metrics -> (metrics_reply t, `Continue)
+  | P.Evict None ->
+    let n = Result_cache.clear t.cache in
+    (P.Ok [ ("dropped_results", string_of_int n) ], `Continue)
+  | P.Evict (Some ds) ->
+    (match Registry.evict t.registry ds with
+    | Some entry ->
+      Metrics.incr t.metrics "datasets_evicted";
+      let n = Result_cache.drop_dataset t.cache ~digest:entry.digest in
+      ( P.Ok
+          [ ("evicted_dataset", entry.digest); ("dropped_results", string_of_int n) ],
+        `Continue )
+    | None ->
+      ( P.Err
+          { code = P.Unknown_dataset; message = Printf.sprintf "no resident dataset %S" ds },
+        `Continue ))
+  | P.Ping ->
+    ( P.Ok
+        [
+          ("pong", "hgd");
+          ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+        ],
+      `Continue )
+  | P.Shutdown -> (P.Ok [ ("shutting_down", "true") ], `Stop)
+
+(* ---------- connection plumbing ---------- *)
+
+let max_line_bytes = 1 lsl 20
+
+type conn = { fd : Unix.file_descr; mutable pending : string }
+
+(* Reads block in slices of the poll interval so a worker parked on an
+   idle keep-alive connection notices shutdown promptly. *)
+let rec read_line t conn =
+  match String.index_opt conn.pending '\n' with
+  | Some i ->
+    let line = String.sub conn.pending 0 i in
+    conn.pending <-
+      String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
+    let line =
+      if line <> "" && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    Some line
+  | None ->
+    if String.length conn.pending > max_line_bytes then begin
+      Metrics.incr t.metrics "oversized_requests";
+      None
+    end
+    else begin
+      let buf = Bytes.create 4096 in
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+        if conn.pending = "" then None
+        else begin
+          let line = conn.pending in
+          conn.pending <- "";
+          Some line
+        end
+      | n ->
+        conn.pending <- conn.pending ^ Bytes.sub_string buf 0 n;
+        read_line t conn
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        if Atomic.get t.stopping then None else read_line t conn
+    end
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then begin
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let initiate_stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Nudge the accept loop out of its blocking accept. *)
+    try
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          try Unix.connect fd (Unix.ADDR_UNIX t.config.socket_path) with _ -> ())
+    with _ -> ()
+  end
+
+let serve_connection t fd =
+  Metrics.incr t.metrics "connections";
+  (try Unix.setsockopt_float fd SO_RCVTIMEO 0.25 with _ -> ());
+  let conn = { fd; pending = "" } in
+  let rec loop () =
+    match read_line t conn with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      let t0 = Unix.gettimeofday () in
+      Metrics.incr t.metrics "requests_total";
+      let reply, control =
+        match P.parse_request line with
+        | Error msg ->
+          Metrics.incr t.metrics "bad_requests";
+          (P.Err { code = P.Bad_request; message = msg }, `Continue)
+        | Ok req -> (
+          try handle_request t ~t0 req
+          with e ->
+            Metrics.incr t.metrics "compute_errors";
+            (P.Err { code = P.Internal; message = Printexc.to_string e }, `Continue))
+      in
+      (match reply with
+      | P.Err _ -> Metrics.incr t.metrics "responses_err"
+      | P.Ok _ -> ());
+      Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
+      write_all fd (P.encode_reply reply);
+      (match control with
+      | `Continue -> loop ()
+      | `Stop -> initiate_stop t)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else begin
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
+        else begin
+          match t.pool with
+          | Some pool -> if not (Worker.submit pool fd) then Unix.close fd
+          | None -> Unix.close fd
+        end;
+        go ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  go ();
+  (try Unix.close t.listen_fd with _ -> ());
+  (* No longer accepting: remove the rendezvous point right away, so a
+     SHUTDOWN client observes the file gone once its reply arrives and
+     a restarting server never sees its own stale socket. *)
+  try Unix.unlink t.config.socket_path with _ -> ()
+
+(* ---------- lifecycle ---------- *)
+
+let start config =
+  let ( let* ) = Result.bind in
+  let* () = if config.workers >= 1 then Ok () else Error "workers must be >= 1" in
+  let* () =
+    if config.cache_capacity >= 0 then Ok () else Error "cache capacity must be >= 0"
+  in
+  let* () =
+    if config.compute_domains >= 1 then Ok () else Error "compute domains must be >= 1"
+  in
+  (* A client vanishing mid-reply must surface as EPIPE, not kill the
+     daemon. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let registry = Registry.create () in
+  let* () =
+    List.fold_left
+      (fun acc path ->
+        let* () = acc in
+        match Registry.load registry path with
+        | Ok _ -> Ok ()
+        | Error (Registry.Read_failed msg | Registry.Parse_failed msg) -> Error msg)
+      (Ok ()) config.preload
+  in
+  (* Replace a stale socket file, but refuse to displace a live server. *)
+  let* () =
+    if not (Sys.file_exists config.socket_path) then Ok ()
+    else begin
+      let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      let live =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX config.socket_path);
+          true
+        with _ -> false
+      in
+      (try Unix.close probe with _ -> ());
+      if live then Error (config.socket_path ^ ": a server is already listening")
+      else begin
+        (try Unix.unlink config.socket_path with _ -> ());
+        Ok ()
+      end
+    end
+  in
+  let* listen_fd =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    try
+      Unix.bind fd (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen fd 64;
+      Ok fd
+    with Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Printf.sprintf "cannot bind %s: %s" config.socket_path
+           (Unix.error_message err))
+  in
+  let metrics = Metrics.create () in
+  let t =
+    {
+      config;
+      registry;
+      cache = Result_cache.create ~capacity:config.cache_capacity ~metrics ();
+      metrics;
+      listen_fd;
+      started_at = Unix.gettimeofday ();
+      stopping = Atomic.make false;
+      pool = None;
+      accept_domain = None;
+      finalize_mutex = Mutex.create ();
+      finalized = false;
+    }
+  in
+  t.pool <- Some (Worker.create ~workers:config.workers (serve_connection t));
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  Ok t
+
+let request_stop = initiate_stop
+
+let wait t =
+  Mutex.lock t.finalize_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.finalize_mutex)
+    (fun () ->
+      if not t.finalized then begin
+        Option.iter Domain.join t.accept_domain;
+        Option.iter Worker.shutdown t.pool;
+        (try Unix.unlink t.config.socket_path with _ -> ());
+        t.finalized <- true
+      end)
+
+let stop t =
+  initiate_stop t;
+  wait t
+
+let run config =
+  match start config with
+  | Error _ as e -> e
+  | Ok t ->
+    wait t;
+    Ok ()

@@ -1,0 +1,57 @@
+(** The hgd daemon: a Unix-domain-socket server holding datasets
+    resident and memoizing analyses.
+
+    Architecture: one accept domain feeds connections to a fixed
+    {!Worker} pool; each worker serves its connection's requests in a
+    read-parse-dispatch-reply loop until the client disconnects.
+    Analyses go through the {!Result_cache} (keyed by dataset content
+    digest and canonical request), datasets through the {!Registry};
+    every request is timed into {!Metrics}.
+
+    Timeouts are best-effort: the deadline is checked when a
+    computation finishes, so a slow analysis is reported (and counted
+    under [timeouts]) but not preempted — the [ERR timeout] reply tells
+    the client its budget was blown without leaving a poisoned worker
+    behind.
+
+    Malformed input at any layer — unparsable request line, unknown
+    dataset, unreadable or malformed file — produces a structured
+    [ERR] reply, never a crash or a dropped connection. *)
+
+type config = {
+  socket_path : string;
+  workers : int;          (** Worker pool size. *)
+  cache_capacity : int;   (** Result-cache entry budget. *)
+  request_timeout : float;(** Seconds; 0 disables the deadline check. *)
+  compute_domains : int;  (** Domains handed to the analysis kernels. *)
+  preload : string list;  (** Datasets loaded before accepting. *)
+}
+
+val default_config : socket_path:string -> config
+(** Workers from {!Hp_util.Parallel.recommended_domains}, 128 cache
+    entries, 30 s timeout, single-domain kernels, no preload. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Bind the socket (replacing a stale file), preload datasets, spawn
+    the pool and the accept domain, and return without blocking.
+    [Error] on bind failure or a preload that does not parse. *)
+
+val stop : t -> unit
+(** Initiate shutdown (as the [SHUTDOWN] verb does) and wait for
+    workers to drain.  Idempotent. *)
+
+val request_stop : t -> unit
+(** Initiate shutdown without blocking — safe from a signal handler;
+    pair with [wait]. *)
+
+val wait : t -> unit
+(** Block until the server has shut down — via [stop] or a client's
+    [SHUTDOWN] — and its socket file is removed. *)
+
+val run : config -> (unit, string) result
+(** [start] then [wait]; the foreground entry point used by [hgd] and
+    [hgtool serve]. *)
+
+val socket_path : t -> string

@@ -1,0 +1,84 @@
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  mutable stopping : bool;
+  mutable joined : bool;
+  domains : unit Domain.t array Lazy.t;
+  (* Lazy so the record exists before the domains that close over it. *)
+}
+
+let worker_loop t handler =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let job =
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.stopping then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    Mutex.unlock t.mutex;
+    match job with
+    | Some job ->
+      (try handler job with _ -> ());
+      next ()
+    | None -> ()
+  in
+  next ()
+
+let create ?workers handler =
+  let workers =
+    match workers with
+    | Some w ->
+      if w < 1 then invalid_arg "Worker.create: workers < 1";
+      w
+    | None -> Hp_util.Parallel.recommended_domains ()
+  in
+  let rec t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      joined = false;
+      domains =
+        lazy (Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t handler)));
+    }
+  in
+  ignore (Lazy.force t.domains);
+  t
+
+let size t = Array.length (Lazy.force t.domains)
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let submit t job =
+  Mutex.lock t.mutex;
+  let accepted =
+    if t.stopping then false
+    else begin
+      Queue.push job t.queue;
+      Condition.signal t.nonempty;
+      true
+    end
+  in
+  Mutex.unlock t.mutex;
+  accepted
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let join_now = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.mutex;
+  if join_now then Array.iter Domain.join (Lazy.force t.domains)

@@ -1,0 +1,31 @@
+(** A fixed pool of worker domains draining a shared job queue.
+
+    The accept loop hands each client connection to the pool; workers
+    run the handler to completion and pull the next job.  Jobs are
+    processed FIFO; a handler exception is swallowed (the handler is
+    expected to do its own error accounting), so one bad connection
+    never kills a worker.
+
+    Sizing follows {!Hp_util.Parallel.recommended_domains} by default —
+    the same domain budget the analysis kernels use for their fork-join
+    phases. *)
+
+type 'a t
+
+val create : ?workers:int -> ('a -> unit) -> 'a t
+(** Spawns the worker domains immediately.  [workers] defaults to
+    [Hp_util.Parallel.recommended_domains ()]; raises
+    [Invalid_argument] when [workers < 1]. *)
+
+val size : 'a t -> int
+
+val pending : 'a t -> int
+(** Jobs queued but not yet picked up. *)
+
+val submit : 'a t -> 'a -> bool
+(** Enqueue a job; [false] once [shutdown] has begun (the job is
+    dropped and the caller should dispose of it). *)
+
+val shutdown : 'a t -> unit
+(** Stop accepting jobs, finish everything already queued, and join
+    the domains.  Idempotent. *)

@@ -1,0 +1,113 @@
+(* Hash table over keys + intrusive doubly linked recency list.  The
+   list runs MRU (head) to LRU (tail); nodes are spliced in O(1). *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+}
+
+let create ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  { capacity; table = Hashtbl.create (max 16 capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.table
+
+let is_empty t = length t = 0
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with
+  | Some h -> h.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let promote t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+    unlink t node;
+    push_front t node
+
+let mem t k = Hashtbl.mem t.table k
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node -> Some node.value
+  | None -> None
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    promote t node;
+    Some node.value
+  | None -> None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k;
+    true
+  | None -> false
+
+let evict_lru t =
+  match t.tail with
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    Some (node.key, node.value)
+  | None -> None
+
+let set t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    promote t node;
+    None
+  | None ->
+    if t.capacity = 0 then Some (k, v)
+    else begin
+      let evicted = if length t >= t.capacity then evict_lru t else None in
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.table k node;
+      push_front t node;
+      evicted
+    end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let to_list t =
+  let rec walk acc = function
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+    | None -> List.rev acc
+  in
+  walk [] t.head
+
+let lru t =
+  match t.tail with
+  | Some node -> Some (node.key, node.value)
+  | None -> None

@@ -1,0 +1,48 @@
+(** Bounded map with least-recently-used eviction.
+
+    Backs the hgd result cache, but is independently reusable: a
+    polymorphic-hash table over the keys plus an intrusive doubly
+    linked recency list, so every operation is O(1) expected.
+
+    Recency: [set] and a successful [find] make the binding the most
+    recently used; [peek] and [mem] observe without promoting.  When an
+    insert of a {e new} key would exceed [capacity], the least recently
+    used binding is evicted and returned to the caller (so a cache can
+    count evictions or release resources).  A capacity of 0 is legal
+    and makes every [set] a no-op that returns its own binding. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does not promote. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes the binding to most recently used when present. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like [find] without promoting. *)
+
+val set : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or replace, making the binding most recently used.  Returns
+    the binding evicted to stay within capacity, if any (replacing an
+    existing key never evicts). *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** True when the key was bound. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings from most to least recently used. *)
+
+val lru : ('k, 'v) t -> ('k * 'v) option
+(** The binding next in line for eviction. *)

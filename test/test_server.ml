@@ -1,0 +1,358 @@
+(* The hgd server stack: protocol encode/decode, registry identity,
+   metrics, and a socket-level integration pass against an in-process
+   server (LOAD + STATS + KCORE, repeated query served from cache,
+   malformed requests answered with structured errors). *)
+
+module P = Hp_server.Protocol
+module Server = Hp_server.Server
+module Client = Hp_server.Client
+module Registry = Hp_server.Registry
+module Metrics = Hp_server.Metrics
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ---------- protocol ---------- *)
+
+let test_parse_requests () =
+  let ok line req =
+    match P.parse_request line with
+    | Ok got -> checkb line true (got = req)
+    | Error msg -> Alcotest.failf "%s: unexpected parse error %s" line msg
+  in
+  ok "LOAD data/x.hg" (P.Load "data/x.hg");
+  ok "load data/x.hg" (P.Load "data/x.hg");
+  ok "STATS abcd1234" (P.Analyze { dataset = "abcd1234"; analysis = P.Stats });
+  ok "KCORE abcd1234" (P.Analyze { dataset = "abcd1234"; analysis = P.Kcore None });
+  ok "KCORE abcd1234 3"
+    (P.Analyze { dataset = "abcd1234"; analysis = P.Kcore (Some 3) });
+  ok "COVER abcd1234"
+    (P.Analyze
+       { dataset = "abcd1234"; analysis = P.Cover { weighting = P.Uniform; r = 1 } });
+  ok "COVER abcd1234 degree2 2"
+    (P.Analyze
+       {
+         dataset = "abcd1234";
+         analysis = P.Cover { weighting = P.Degree_squared; r = 2 };
+       });
+  ok "  METRICS  " P.Metrics;
+  ok "EVICT" (P.Evict None);
+  ok "EVICT abcd" (P.Evict (Some "abcd"));
+  ok "PING" P.Ping;
+  ok "SHUTDOWN" P.Shutdown
+
+let test_parse_rejects () =
+  let bad line =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "%S should not parse" line
+    | Error _ -> ()
+  in
+  bad "";
+  bad "   ";
+  bad "FROB x";
+  bad "LOAD";
+  bad "LOAD a b";
+  bad "STATS";
+  bad "KCORE ds notanint";
+  bad "KCORE ds -1";
+  bad "COVER ds upside-down";
+  bad "COVER ds degree 0";
+  bad "PING extra";
+  bad "SHUTDOWN now"
+
+let request_gen =
+  QCheck.Gen.(
+    let dataset = string_size ~gen:(oneofl [ 'a'; 'b'; '0'; '9'; 'f' ]) (return 8) in
+    let weighting = oneofl [ P.Uniform; P.Degree; P.Degree_squared ] in
+    let analysis =
+      oneof
+        [
+          return P.Stats;
+          map (fun k -> P.Kcore k) (opt (int_range 0 20));
+          map2 (fun w r -> P.Cover { weighting = w; r }) weighting (int_range 1 5);
+          return P.Storage;
+          return P.Powerlaw;
+        ]
+    in
+    oneof
+      [
+        map (fun ds -> P.Load ("data/" ^ ds ^ ".hg")) dataset;
+        map2 (fun ds a -> P.Analyze { dataset = ds; analysis = a }) dataset analysis;
+        return P.Datasets;
+        return P.Metrics;
+        map (fun ds -> P.Evict ds) (opt dataset);
+        return P.Ping;
+        return P.Shutdown;
+      ])
+
+let request_print r = P.request_line r
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"protocol: request_line round-trips" ~count:500
+    (QCheck.make ~print:request_print request_gen)
+    (fun req -> P.parse_request (P.request_line req) = Ok req)
+
+let payload_gen =
+  QCheck.Gen.(
+    let token =
+      string_size ~gen:(oneofl [ 'a'; 'z'; '0'; '.'; '-'; ' ' ]) (int_range 1 12)
+    in
+    let key = string_size ~gen:(oneofl [ 'a'; 'z'; '_' ]) (int_range 1 8) in
+    list_size (int_range 0 10) (pair key token))
+
+let reply_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun kvs -> P.Ok kvs) payload_gen;
+        map2
+          (fun code message -> P.Err { code; message })
+          (oneofl
+             [ P.Bad_request; P.Unknown_dataset; P.Parse_error; P.Io_error;
+               P.Timeout; P.Internal ])
+          (string_size ~gen:(oneofl [ 'x'; ' '; '1' ]) (int_range 0 20));
+      ])
+
+let prop_reply_roundtrip =
+  QCheck.Test.make ~name:"protocol: reply encode/decode round-trips" ~count:500
+    (QCheck.make ~print:P.encode_reply reply_gen)
+    (fun reply -> P.decode_reply (P.encode_reply reply) = Ok reply)
+
+let test_reply_sanitization () =
+  (* Tabs and newlines in payloads must not break framing. *)
+  let encoded = P.encode_reply (P.Ok [ ("key", "a\tb\nc") ]) in
+  match P.decode_reply encoded with
+  | Ok (P.Ok [ ("key", v) ]) ->
+    checks "sanitized" "a b c" v
+  | _ -> Alcotest.fail "sanitized reply should decode to one binding"
+
+let test_analysis_key_defaults () =
+  checks "kcore max" "kcore k=max" (P.analysis_key (P.Kcore None));
+  checks "kcore 3" "kcore k=3" (P.analysis_key (P.Kcore (Some 3)));
+  checks "cover" "cover w=degree2 r=2"
+    (P.analysis_key (P.Cover { weighting = P.Degree_squared; r = 2 }))
+
+(* ---------- registry ---------- *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let tiny_hg = "# test\nc1: a b c\nc2: b c d\nc3: c d e\n"
+
+let test_registry_identity () =
+  let dir = Filename.temp_dir "hgd" "registry" in
+  let p1 = Filename.concat dir "one.hg" in
+  let p2 = Filename.concat dir "two.hg" in
+  write_file p1 tiny_hg;
+  write_file p2 tiny_hg;
+  let r = Registry.create () in
+  (match (Registry.load r p1, Registry.load r p1, Registry.load r p2) with
+  | Ok (e1, fresh1), Ok (e2, fresh2), Ok (e3, fresh3) ->
+    checkb "first load is fresh" true fresh1;
+    checkb "reload is resident" false fresh2;
+    checkb "same bytes, same dataset" false fresh3;
+    checks "stable digest" e1.digest e2.digest;
+    checks "content-addressed" e1.digest e3.digest;
+    check "one resident dataset" 1 (List.length (Registry.list r));
+    (match Registry.find r (String.sub e1.digest 0 8) with
+    | `Found e -> checks "prefix lookup" e1.digest e.digest
+    | _ -> Alcotest.fail "digest prefix should resolve");
+    checkb "short prefix missing" true (Registry.find r "ab" = `Missing);
+    checkb "evict" true (Registry.evict r e1.digest <> None);
+    check "empty after evict" 0 (List.length (Registry.list r))
+  | _ -> Alcotest.fail "loads should succeed");
+  (match Registry.load r (Filename.concat dir "absent.hg") with
+  | Error (Registry.Read_failed _) -> ()
+  | _ -> Alcotest.fail "missing file should be Read_failed");
+  let bad = Filename.concat dir "bad.hg" in
+  write_file bad "c1: a b\nbroken line here\n";
+  match Registry.load r bad with
+  | Error (Registry.Parse_failed msg) ->
+    checkb "names the file" true
+      (String.length msg >= String.length bad
+      && String.sub msg 0 (String.length bad) = bad)
+  | _ -> Alcotest.fail "malformed file should be Parse_failed"
+
+(* ---------- metrics ---------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  check "unset counter" 0 (Metrics.get m "nope");
+  Metrics.incr m "requests_total";
+  Metrics.incr m ~by:4 "requests_total";
+  check "incremented" 5 (Metrics.get m "requests_total");
+  Metrics.observe_latency m 0.001;
+  Metrics.observe_latency m 0.004;
+  Metrics.observe_latency m 0.1;
+  let snap = Metrics.snapshot m in
+  checks "latency count" "3" (List.assoc "latency_count" snap);
+  checkb "p50 present" true (List.mem_assoc "latency_p50_us" snap);
+  checkb "max is 100ms" true
+    (int_of_string (List.assoc "latency_max_us" snap) >= 100_000)
+
+(* ---------- socket integration ---------- *)
+
+let with_server ?(cache_capacity = 16) f =
+  let dir = Filename.temp_dir "hgd" "server" in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let config =
+    { (Server.default_config ~socket_path) with workers = 2; cache_capacity }
+  in
+  match Server.start config with
+  | Error msg -> Alcotest.failf "server start failed: %s" msg
+  | Ok t ->
+    Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f dir socket_path)
+
+let expect_ok what = function
+  | Ok (P.Ok kvs) -> kvs
+  | Ok (P.Err { code; message }) ->
+    Alcotest.failf "%s: unexpected ERR %s %s" what (P.error_code_to_string code)
+      message
+  | Error msg -> Alcotest.failf "%s: transport error %s" what msg
+
+let expect_err what code = function
+  | Ok (P.Err { code = got; message = _ }) ->
+    checks (what ^ ": code") (P.error_code_to_string code)
+      (P.error_code_to_string got)
+  | Ok (P.Ok _) -> Alcotest.failf "%s: expected ERR, got OK" what
+  | Error msg -> Alcotest.failf "%s: transport error %s" what msg
+
+let connect socket_path =
+  match Client.connect ~socket_path with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let test_integration () =
+  with_server (fun dir socket_path ->
+      let data = Filename.concat dir "tiny.hg" in
+      write_file data tiny_hg;
+      let c = connect socket_path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* LOAD, then the digest addresses the dataset. *)
+      let loaded = expect_ok "load" (Client.request c (P.Load data)) in
+      let digest = List.assoc "digest" loaded in
+      checks "vertices" "5" (List.assoc "vertices" loaded);
+      checks "hyperedges" "3" (List.assoc "hyperedges" loaded);
+      checks "fresh" "true" (List.assoc "fresh" loaded);
+      (* First STATS computes, second is a cache hit. *)
+      let stats1 =
+        expect_ok "stats"
+          (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats }))
+      in
+      checks "cold query computed" "false" (List.assoc "cached" stats1);
+      checks "stats vertices" "5" (List.assoc "vertices" stats1);
+      let stats2 =
+        expect_ok "stats again"
+          (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats }))
+      in
+      checks "repeat served from cache" "true" (List.assoc "cached" stats2);
+      checkb "same payload modulo cache line" true
+        (List.remove_assoc "cached" stats1 = List.remove_assoc "cached" stats2);
+      (* KCORE, by digest prefix. *)
+      let kcore =
+        expect_ok "kcore"
+          (Client.request c
+             (P.Analyze { dataset = String.sub digest 0 8; analysis = P.Kcore None }))
+      in
+      checkb "kcore k parses" true (int_of_string_opt (List.assoc "k" kcore) <> None);
+      (* METRICS must report the cache hit. *)
+      let metrics = expect_ok "metrics" (Client.request c P.Metrics) in
+      checkb "at least one cache hit" true
+        (int_of_string (List.assoc "cache_hits" metrics) >= 1);
+      checkb "requests counted" true
+        (int_of_string (List.assoc "requests_total" metrics) >= 4);
+      (* Structured errors, and the daemon survives all of them. *)
+      expect_err "malformed verb" P.Bad_request (Client.request_line c "FROB x");
+      expect_err "empty-ish garbage" P.Bad_request (Client.request_line c "LOAD a b c");
+      expect_err "unknown dataset" P.Unknown_dataset
+        (Client.request c (P.Analyze { dataset = "feedfacedeadbeef"; analysis = P.Stats }));
+      expect_err "missing file" P.Io_error
+        (Client.request c (P.Load (Filename.concat dir "absent.hg")));
+      let bad = Filename.concat dir "bad.hg" in
+      write_file bad "c1: a b\nbroken line here\n";
+      expect_err "malformed dataset file" P.Parse_error (Client.request c (P.Load bad));
+      let pong = expect_ok "still alive" (Client.request c P.Ping) in
+      checks "pong" "hgd" (List.assoc "pong" pong);
+      (* EVICT drops the dataset and its cached results. *)
+      let evicted = expect_ok "evict" (Client.request c (P.Evict (Some digest))) in
+      checkb "dropped cached results" true
+        (int_of_string (List.assoc "dropped_results" evicted) >= 1);
+      expect_err "gone after evict" P.Unknown_dataset
+        (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats })))
+
+let test_concurrent_clients () =
+  with_server (fun dir socket_path ->
+      let data = Filename.concat dir "tiny.hg" in
+      write_file data tiny_hg;
+      let digest =
+        Client.with_connection ~socket_path (fun c -> Client.request c (P.Load data))
+        |> expect_ok "load"
+        |> List.assoc "digest"
+      in
+      let hammer () =
+        Client.with_connection ~socket_path (fun c ->
+            let rec go i acc =
+              if i = 0 then Ok acc
+              else
+                match
+                  Client.request c (P.Analyze { dataset = digest; analysis = P.Stats })
+                with
+                | Ok (P.Ok _) -> go (i - 1) (acc + 1)
+                | Ok (P.Err { message; _ }) -> Error message
+                | Error msg -> Error msg
+            in
+            go 10 0)
+      in
+      let domains = Array.init 4 (fun _ -> Domain.spawn hammer) in
+      let results = Array.map Domain.join domains in
+      Array.iter
+        (function
+          | Ok n -> check "all queries answered" 10 n
+          | Error msg -> Alcotest.failf "concurrent client failed: %s" msg)
+        results)
+
+let test_shutdown_verb () =
+  with_server (fun dir socket_path ->
+      let _ = dir in
+      let reply =
+        Client.with_connection ~socket_path (fun c -> Client.request c P.Shutdown)
+      in
+      let kvs = expect_ok "shutdown" reply in
+      checks "acknowledged" "true" (List.assoc "shutting_down" kvs);
+      (* The socket disappears once the server drains. *)
+      let rec poll n =
+        if not (Sys.file_exists socket_path) then ()
+        else if n = 0 then Alcotest.fail "socket file not removed after SHUTDOWN"
+        else begin
+          Unix.sleepf 0.1;
+          poll (n - 1)
+        end
+      in
+      poll 50)
+
+let () =
+  Alcotest.run "hp_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse accepts" `Quick test_parse_requests;
+          Alcotest.test_case "parse rejects" `Quick test_parse_rejects;
+          Alcotest.test_case "sanitization" `Quick test_reply_sanitization;
+          Alcotest.test_case "analysis keys" `Quick test_analysis_key_defaults;
+          Th.prop prop_request_roundtrip;
+          Th.prop prop_reply_roundtrip;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "content identity" `Quick test_registry_identity ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters and latency" `Quick test_metrics_counters ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end" `Quick test_integration;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "shutdown verb" `Quick test_shutdown_verb;
+        ] );
+    ]

@@ -368,6 +368,114 @@ let prop_parallel_deterministic =
       in
       List.sort compare (run domains) = List.sort compare (run 1))
 
+(* Lru *)
+
+let test_lru_basic () =
+  let l = U.Lru.create ~capacity:3 () in
+  checkb "empty" true (U.Lru.is_empty l);
+  check "capacity" 3 (U.Lru.capacity l);
+  checkb "no eviction" true (U.Lru.set l "a" 1 = None);
+  checkb "no eviction" true (U.Lru.set l "b" 2 = None);
+  check "length" 2 (U.Lru.length l);
+  checkb "find" true (U.Lru.find l "a" = Some 1);
+  checkb "peek" true (U.Lru.peek l "b" = Some 2);
+  checkb "missing" true (U.Lru.find l "z" = None);
+  checkb "mem" true (U.Lru.mem l "a");
+  checkb "remove" true (U.Lru.remove l "a");
+  checkb "remove missing" false (U.Lru.remove l "a");
+  U.Lru.clear l;
+  check "cleared" 0 (U.Lru.length l)
+
+let test_lru_eviction_order () =
+  let l = U.Lru.create ~capacity:2 () in
+  ignore (U.Lru.set l "a" 1);
+  ignore (U.Lru.set l "b" 2);
+  (* Touch "a" so "b" is the LRU. *)
+  ignore (U.Lru.find l "a");
+  checkb "lru is b" true (U.Lru.lru l = Some ("b", 2));
+  checkb "evicts b" true (U.Lru.set l "c" 3 = Some ("b", 2));
+  checkb "a survives" true (U.Lru.mem l "a");
+  (* Replacing an existing key never evicts. *)
+  checkb "replace" true (U.Lru.set l "a" 10 = None);
+  checkb "replaced" true (U.Lru.peek l "a" = Some 10);
+  check "length" 2 (U.Lru.length l)
+
+let test_lru_zero_capacity () =
+  let l = U.Lru.create ~capacity:0 () in
+  checkb "set bounces" true (U.Lru.set l "a" 1 = Some ("a", 1));
+  check "stays empty" 0 (U.Lru.length l);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (U.Lru.create ~capacity:(-1) ()))
+
+(* Model-based property: an association list kept MRU-first, with the
+   same promote-on-hit / evict-from-tail rules. *)
+type lru_op = Set of int * int | Find of int | Peek of int | Remove of int
+
+let lru_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Set (k, v)) (int_range 0 9) (int_range 0 99));
+        (2, map (fun k -> Find k) (int_range 0 9));
+        (1, map (fun k -> Peek k) (int_range 0 9));
+        (1, map (fun k -> Remove k) (int_range 0 9));
+      ])
+
+let lru_op_print = function
+  | Set (k, v) -> Printf.sprintf "set %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Peek k -> Printf.sprintf "peek %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+
+let prop_lru_matches_model =
+  QCheck.Test.make ~name:"lru: agrees with list model" ~count:300
+    QCheck.(
+      pair (int_range 1 5)
+        (make ~print:(fun l -> String.concat "; " (List.map lru_op_print l))
+           (Gen.list_size (Gen.int_range 0 40) lru_op_gen)))
+    (fun (cap, ops) ->
+      let l = U.Lru.create ~capacity:cap () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Set (k, v) ->
+            let evicted = U.Lru.set l k v in
+            let expected_evicted =
+              if List.mem_assoc k !model then begin
+                model := (k, v) :: List.remove_assoc k !model;
+                None
+              end
+              else if List.length !model >= cap then begin
+                let doomed = List.nth !model (List.length !model - 1) in
+                model :=
+                  (k, v) :: List.filter (fun (k', _) -> k' <> fst doomed) !model;
+                Some doomed
+              end
+              else begin
+                model := (k, v) :: !model;
+                None
+              end
+            in
+            evicted = expected_evicted
+            && U.Lru.length l <= cap
+            && U.Lru.to_list l = !model
+          | Find k ->
+            let got = U.Lru.find l k in
+            let expected = List.assoc_opt k !model in
+            if expected <> None then
+              model :=
+                (k, Option.get expected) :: List.remove_assoc k !model;
+            got = expected && U.Lru.to_list l = !model
+          | Peek k -> U.Lru.peek l k = List.assoc_opt k !model
+          | Remove k ->
+            let removed = U.Lru.remove l k in
+            let expected = List.mem_assoc k !model in
+            model := List.remove_assoc k !model;
+            removed = expected && U.Lru.to_list l = !model)
+        ops)
+
 let () =
   Alcotest.run "hp_util"
     [
@@ -421,6 +529,13 @@ let () =
       ( "heap",
         [ Alcotest.test_case "basic" `Quick test_heap_basic; Th.prop prop_heap_sorts ]
       );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Th.prop prop_lru_matches_model;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "sum across domains" `Quick test_parallel_sum;

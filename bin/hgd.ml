@@ -8,7 +8,8 @@
 module Server = Hp_server.Server
 open Cmdliner
 
-let serve socket workers cache timeout domains preload quiet =
+let serve socket workers cache timeout domains preload queue_limit
+    shed_watermark max_file_bytes failpoints quiet =
   let config =
     {
       Server.socket_path = socket;
@@ -17,6 +18,10 @@ let serve socket workers cache timeout domains preload quiet =
       request_timeout = timeout;
       compute_domains = domains;
       preload;
+      queue_limit;
+      shed_watermark;
+      max_file_bytes;
+      failpoints;
     }
   in
   match Server.start config with
@@ -58,6 +63,25 @@ let preload_arg =
   Arg.(value & opt_all file [] & info [ "preload" ] ~docv:"FILE"
          ~doc:"Dataset to load before accepting connections (repeatable).")
 
+let queue_limit_arg =
+  Arg.(value & opt int 128 & info [ "queue-limit" ] ~docv:"N"
+         ~doc:"Connections waiting for a worker before ERR busy.")
+
+let shed_watermark_arg =
+  Arg.(value & opt int 64 & info [ "shed-watermark" ] ~docv:"N"
+         ~doc:"Queue depth at which analyses become cache-only \
+               (0 disables shedding).")
+
+let max_file_bytes_arg =
+  Arg.(value & opt int (1 lsl 30) & info [ "max-file-bytes" ] ~docv:"BYTES"
+         ~doc:"Reject dataset files larger than this (0 = unlimited).")
+
+let failpoints_arg =
+  let env = Cmd.Env.info "HGD_FAILPOINTS" in
+  Arg.(value & opt string "" & info [ "failpoints" ] ~env ~docv:"SPEC"
+         ~doc:"Fault-injection spec, e.g. \
+               $(i,registry.read=err*1;core.peel=sleep:50).  Test-only.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress startup chatter.")
 
@@ -66,6 +90,7 @@ let () =
   let cmd =
     Cmd.v (Cmd.info "hgd" ~doc)
       Term.(const serve $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
-            $ domains_arg $ preload_arg $ quiet_arg)
+            $ domains_arg $ preload_arg $ queue_limit_arg $ shed_watermark_arg
+            $ max_file_bytes_arg $ failpoints_arg $ quiet_arg)
   in
   exit (Cmd.eval' cmd)

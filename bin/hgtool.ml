@@ -327,7 +327,8 @@ let socket_arg =
          ~doc:"Unix-domain socket of the server.")
 
 let serve_cmd =
-  let run socket workers cache timeout domains preload =
+  let run socket workers cache timeout domains preload queue_limit
+      shed_watermark max_file_bytes failpoints =
     let config =
       {
         Hp_server.Server.socket_path = socket;
@@ -336,6 +337,10 @@ let serve_cmd =
         request_timeout = timeout;
         compute_domains = domains;
         preload;
+        queue_limit;
+        shed_watermark;
+        max_file_bytes;
+        failpoints;
       }
     in
     match Hp_server.Server.start config with
@@ -370,32 +375,76 @@ let serve_cmd =
     Arg.(value & opt_all file [] & info [ "preload" ] ~docv:"FILE"
            ~doc:"Dataset to load before accepting connections (repeatable).")
   in
+  let queue_limit =
+    Arg.(value & opt int 128 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Connections waiting for a worker before ERR busy.")
+  in
+  let shed_watermark =
+    Arg.(value & opt int 64 & info [ "shed-watermark" ] ~docv:"N"
+           ~doc:"Queue depth at which analyses become cache-only \
+                 (0 disables shedding).")
+  in
+  let max_file_bytes =
+    Arg.(value & opt int (1 lsl 30) & info [ "max-file-bytes" ] ~docv:"BYTES"
+           ~doc:"Reject dataset files larger than this (0 = unlimited).")
+  in
+  let failpoints =
+    let env = Cmd.Env.info "HGD_FAILPOINTS" in
+    Arg.(value & opt string "" & info [ "failpoints" ] ~env ~docv:"SPEC"
+           ~doc:"Fault-injection spec (test-only).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the resident analysis server in the foreground.")
-    Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload)
+    Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
+          $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints)
 
 (* query *)
 let query_cmd =
-  let run socket words =
+  let run socket retries timeout words =
     if words = [] then begin
       Printf.eprintf "hgtool: query: missing request (e.g. PING, LOAD file, STATS digest)\n";
       exit 1
     end;
     let line = String.concat " " words in
     let outcome =
-      Hp_server.Client.with_connection ~socket_path:socket (fun c ->
-          Hp_server.Client.request_line c line)
+      (* A well-formed request goes through the retrying caller, which
+         honours ERR busy backoff hints and rides out a daemon restart.
+         A malformed line is still sent verbatim, once, so the server
+         answers it itself. *)
+      match Hp_server.Protocol.parse_request line with
+      | Ok req ->
+        let policy =
+          { Hp_server.Client.default_policy with retries; timeout }
+        in
+        Hp_server.Client.call ~policy ~socket_path:socket req
+      | Error _ ->
+        Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+            Hp_server.Client.request_line c line)
     in
     match outcome with
     | Error msg ->
       Printf.eprintf "hgtool: query: %s\n" msg;
       exit 1
-    | Ok (Hp_server.Protocol.Err { code; message }) ->
-      Printf.eprintf "error: %s: %s\n"
-        (Hp_server.Protocol.error_code_to_string code) message;
+    | Ok (Hp_server.Protocol.Err { code; message; retry_after_ms }) ->
+      let hint =
+        match retry_after_ms with
+        | Some ms -> Printf.sprintf " (retry after %d ms)" ms
+        | None -> ""
+      in
+      Printf.eprintf "error: %s: %s%s\n"
+        (Hp_server.Protocol.error_code_to_string code) message hint;
       exit 1
     | Ok (Hp_server.Protocol.Ok kvs) ->
       List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) kvs
+  in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry busy or unreachable servers up to N times with \
+                 jittered exponential backoff.")
+  in
+  let timeout =
+    Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-attempt I/O timeout (0 = none).")
   in
   let words =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
@@ -405,7 +454,7 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Send one request (LOAD, STATS, KCORE, COVER, STORAGE, POWERLAW, \
              DATASETS, METRICS, EVICT, PING, SHUTDOWN) to a running server.")
-    Term.(const run $ socket_arg $ words)
+    Term.(const run $ socket_arg $ retries $ timeout $ words)
 
 let () =
   let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in

@@ -223,7 +223,7 @@ let alive_ids flags =
 
 let compose map ids = Array.map (fun i -> map.(i)) ids
 
-let k_core ?(strategy = Overlap) ?(domains = 1) h k =
+let k_core ?(strategy = Overlap) ?(domains = 1) ?(deadline = U.Deadline.never) h k =
   if k < 0 then invalid_arg "Hypergraph_core.k_core: negative k";
   let reduced, emap0 = Hypergraph_reduce.reduce h in
   if k = 0 then begin
@@ -254,6 +254,10 @@ let k_core ?(strategy = Overlap) ?(domains = 1) h k =
       if st.vdeg.(v) < k then Queue.add v queue
     done;
     while not (Queue.is_empty queue) do
+      (* The cascade is the long pole on large inputs; abort promptly
+         when the caller's budget is blown. *)
+      U.Deadline.check deadline;
+      U.Fault.point "core.peel";
       let v = Queue.take queue in
       if st.valive.(v) then delete_vertex st v
     done;
@@ -278,17 +282,18 @@ type decomposition = {
   max_core : int;
 }
 
-let decompose_iterated ?(strategy = Overlap) ?(domains = 1) h =
+let decompose_iterated ?(strategy = Overlap) ?(domains = 1)
+    ?(deadline = U.Deadline.never) h =
   let nv = H.n_vertices h and m = H.n_edges h in
   let vertex_core = Array.make nv 0 in
   let edge_core = Array.make m (-1) in
   (* Edges surviving the initial reduction are at least in the 0-core. *)
-  let r0 = k_core ~strategy ~domains h 0 in
+  let r0 = k_core ~strategy ~domains ~deadline h 0 in
   Array.iter (fun e -> edge_core.(e) <- 0) r0.edge_ids;
   (* Iterate k upward, peeling the previous core (cores are nested; see
      the property tests). *)
   let rec loop k cur vids eids =
-    let r = k_core ~strategy ~domains cur k in
+    let r = k_core ~strategy ~domains ~deadline cur k in
     if H.n_vertices r.core = 0 then k - 1
     else begin
       let vids' = compose vids r.vertex_ids in
@@ -301,7 +306,8 @@ let decompose_iterated ?(strategy = Overlap) ?(domains = 1) h =
   let max_core = loop 1 r0.core (Array.init nv Fun.id) r0.edge_ids in
   { vertex_core; edge_core; max_core = max max_core 0 }
 
-let decompose_onepass ?(strategy = Overlap) ?(domains = 1) h =
+let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
+    ?(deadline = U.Deadline.never) h =
   let nv = H.n_vertices h and m = H.n_edges h in
   let vertex_core = Array.make nv 0 in
   let edge_core = Array.make m (-1) in
@@ -327,6 +333,8 @@ let decompose_onepass ?(strategy = Overlap) ?(domains = 1) h =
   st.on_edge_delete <- (fun f -> edge_core.(emap0.(f)) <- !level);
   let continue = ref true in
   while !continue do
+    U.Deadline.check deadline;
+    U.Fault.point "core.peel";
     match U.Bucket_queue.pop_min q with
     | None -> continue := false
     | Some (v, d) ->
@@ -338,9 +346,9 @@ let decompose_onepass ?(strategy = Overlap) ?(domains = 1) h =
 
 let decompose = decompose_onepass
 
-let max_core ?(strategy = Overlap) ?(domains = 1) h =
-  let d = decompose_onepass ~strategy ~domains h in
-  (d.max_core, k_core ~strategy ~domains h d.max_core)
+let max_core ?(strategy = Overlap) ?(domains = 1) ?(deadline = U.Deadline.never) h =
+  let d = decompose_onepass ~strategy ~domains ~deadline h in
+  (d.max_core, k_core ~strategy ~domains ~deadline h d.max_core)
 
 let core_profile d =
   Array.init (d.max_core + 1) (fun k ->

@@ -19,7 +19,13 @@
     two hyperedges shrink to the same restriction during peeling,
     either original may represent the surviving set — edge identity in
     the result depends on deletion order (vertex core numbers and the
-    multiset of edge core levels do not). *)
+    multiset of edge core levels do not).
+
+    Every driver accepts a cooperative [?deadline]
+    ({!Hp_util.Deadline}): the peeling loop checks it each iteration
+    and raises [Deadline.Expired] when the budget is blown, so a
+    server can abort an over-budget request mid-computation instead of
+    discovering the overrun after the fact. *)
 
 type strategy =
   | Overlap  (** overlap-count maximality (the paper's algorithm) *)
@@ -39,9 +45,17 @@ type result = {
   stats : stats;
 }
 
-val k_core : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int -> result
+val k_core :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  int ->
+  result
 (** [k_core h k] for k >= 0.  The 0-core is the reduced input with all
-    vertices.  Raises [Invalid_argument] for negative k. *)
+    vertices.  Raises [Invalid_argument] for negative k and
+    [Hp_util.Deadline.Expired] when [deadline] (default
+    {!Hp_util.Deadline.never}) passes mid-peel. *)
 
 type decomposition = {
   vertex_core : int array;
@@ -53,22 +67,42 @@ type decomposition = {
   (** Largest k with a non-empty k-core; 0 when the 1-core is empty. *)
 }
 
-val decompose : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+val decompose :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  decomposition
 (** Alias for [decompose_onepass]. *)
 
-val decompose_iterated : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+val decompose_iterated :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  decomposition
 (** Runs [k_core] for k = 1, 2, ... on the shrinking core, exactly as
     the paper describes the maximum-core search.  Cost grows with the
     maximum core index; kept as the reference implementation. *)
 
-val decompose_onepass : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> decomposition
+val decompose_onepass :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  decomposition
 (** Single minimum-degree peel over a bucket queue (the hypergraph
     analogue of the Batagelj-Zaversnik sweep): the level only rises,
     every vertex is deleted once, and the core numbers fall out of the
     deletion levels.  Agrees with [decompose_iterated] (property-tested)
     at a fraction of the cost for deep cores. *)
 
-val max_core : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int * result
+val max_core :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  int * result
 (** The maximum core and its index: the k-core for the largest k such
     that the core still has vertices. *)
 

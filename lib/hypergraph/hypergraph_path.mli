@@ -27,11 +27,14 @@ val largest_component : Hypergraph.t -> Hypergraph.t * int array * int array
 (** The subhypergraph induced by a component with the most vertices,
     plus new-to-old id maps. *)
 
-val diameter_and_average_path : ?domains:int -> Hypergraph.t -> int * float
+val diameter_and_average_path :
+  ?domains:int -> ?deadline:Hp_util.Deadline.t -> Hypergraph.t -> int * float
 (** Exact all-pairs sweep over vertices: [(diameter, average path
     length)] over reachable ordered pairs of distinct vertices.  The
     per-source BFS runs fan out over [domains] (default 1) — see
-    [Hp_util.Parallel] and the E20 bench. *)
+    [Hp_util.Parallel] and the E20 bench.  [deadline] (default
+    {!Hp_util.Deadline.never}) is checked before every source BFS;
+    [Hp_util.Deadline.Expired] aborts the sweep across all domains. *)
 
 val sampled_diameter_and_average_path :
   Hp_util.Prng.t -> Hypergraph.t -> samples:int -> int * float

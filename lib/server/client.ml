@@ -6,10 +6,28 @@ let connect ~socket_path =
   | () -> Ok { fd; pending = "" }
   | exception Unix.Unix_error (err, _, _) ->
     (try Unix.close fd with _ -> ());
-    Error
-      (Printf.sprintf "cannot connect to %s: %s" socket_path (Unix.error_message err))
+    let detail =
+      match err with
+      | ECONNREFUSED ->
+        (* The file exists but nobody is listening: a daemon died
+           without unlinking.  A restarting hgd replaces it. *)
+        "stale socket — no server listening (restart hgd to replace it)"
+      | ENOENT -> "no such socket — is hgd running?"
+      | _ -> Unix.error_message err
+    in
+    Error (Printf.sprintf "cannot connect to %s: %s" socket_path detail)
 
 let close t = try Unix.close t.fd with _ -> ()
+
+(* A wedged or mid-restart server makes reads fail with EAGAIN instead
+   of hanging the client. *)
+let set_timeout t timeout =
+  if timeout > 0.0 then begin
+    try
+      Unix.setsockopt_float t.fd SO_RCVTIMEO timeout;
+      Unix.setsockopt_float t.fd SO_SNDTIMEO timeout
+    with Unix.Unix_error _ -> ()
+  end
 
 let rec read_line t =
   match String.index_opt t.pending '\n' with
@@ -17,15 +35,22 @@ let rec read_line t =
     let line = String.sub t.pending 0 i in
     t.pending <- String.sub t.pending (i + 1) (String.length t.pending - i - 1);
     Ok line
-  | None -> (
-    let buf = Bytes.create 4096 in
-    match Unix.read t.fd buf 0 (Bytes.length buf) with
-    | 0 -> Error "connection closed by server"
-    | n ->
-      t.pending <- t.pending ^ Bytes.sub_string buf 0 n;
-      read_line t
-    | exception Unix.Unix_error (EINTR, _, _) -> read_line t
-    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+  | None ->
+    if String.length t.pending > Protocol.max_line_bytes then
+      Error
+        (Printf.sprintf "reply line exceeds %d bytes" Protocol.max_line_bytes)
+    else begin
+      let buf = Bytes.create 4096 in
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        t.pending <- t.pending ^ Bytes.sub_string buf 0 n;
+        read_line t
+      | exception Unix.Unix_error (EINTR, _, _) -> read_line t
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Error "timed out waiting for reply"
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+    end
 
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
@@ -59,7 +84,13 @@ let read_reply t =
 let request_line t line =
   match write_all t.fd (line ^ "\n") with
   | () -> read_reply t
-  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | exception Unix.Unix_error (err, _, _) -> (
+    (* An admission-rejected connection is answered (ERR busy) and
+       closed before the server ever reads; the write then fails but
+       the reply is already sitting in the receive buffer. *)
+    match read_reply t with
+    | Ok _ as salvaged -> salvaged
+    | Error _ -> Error (Unix.error_message err))
 
 let request t req = request_line t (Protocol.request_line req)
 
@@ -67,3 +98,65 @@ let with_connection ~socket_path f =
   match connect ~socket_path with
   | Error _ as e -> e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ---------- retrying calls ---------- *)
+
+type retry_policy = {
+  retries : int;
+  base_delay_ms : int;
+  max_delay_ms : int;
+  timeout : float;
+  seed : int;
+}
+
+let default_policy =
+  { retries = 3; base_delay_ms = 100; max_delay_ms = 5000; timeout = 0.0; seed = 0x6a09 }
+
+let retry_delay_ms ~policy ~prng ~attempt ~hint_ms =
+  if attempt < 1 then invalid_arg "Client.retry_delay_ms: attempt < 1";
+  let exp = min (attempt - 1) 20 in
+  let ceiling = min (policy.base_delay_ms * (1 lsl exp)) policy.max_delay_ms in
+  (* Equal jitter: half the step is fixed, half uniform, so a herd of
+     rejected clients spreads out instead of re-colliding. *)
+  let half = ceiling / 2 in
+  let jittered =
+    half + int_of_float (Hp_util.Prng.float prng *. float_of_int (ceiling - half + 1))
+  in
+  match hint_ms with Some h -> max h jittered | None -> jittered
+
+let call ?(policy = default_policy) ~socket_path req =
+  let prng = Hp_util.Prng.create policy.seed in
+  let attempt_once () =
+    match connect ~socket_path with
+    | Error msg -> `Transport msg
+    | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          set_timeout t policy.timeout;
+          match request t req with
+          | Ok (Protocol.Err { code = Protocol.Busy; retry_after_ms; _ } as reply)
+            ->
+            `Busy (reply, retry_after_ms)
+          | Ok reply -> `Done reply
+          | Error msg -> `Transport msg)
+  in
+  let rec go attempt =
+    match attempt_once () with
+    | `Done reply -> Ok reply
+    | (`Busy _ | `Transport _) as outcome ->
+      if attempt > policy.retries then
+        match outcome with
+        | `Busy (reply, _) -> Ok reply
+        | `Transport msg ->
+          Error (Printf.sprintf "%s (after %d attempts)" msg attempt)
+      else begin
+        let hint_ms =
+          match outcome with `Busy (_, h) -> h | `Transport _ -> None
+        in
+        let delay = retry_delay_ms ~policy ~prng ~attempt ~hint_ms in
+        Unix.sleepf (float_of_int delay /. 1000.0);
+        go (attempt + 1)
+      end
+  in
+  go 1

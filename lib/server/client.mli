@@ -4,13 +4,22 @@
 type t
 
 val connect : socket_path:string -> (t, string) result
+(** A connect refused on an existing socket file is reported as a
+    stale socket — the footprint of a daemon that died without
+    unlinking (a restarting hgd replaces the file itself). *)
 
 val close : t -> unit
+
+val set_timeout : t -> float -> unit
+(** Bound every subsequent read and write by [timeout] seconds, so a
+    wedged server yields [Error "timed out ..."] instead of blocking
+    forever.  [<= 0] is a no-op. *)
 
 val request : t -> Protocol.request -> (Protocol.reply, string) result
 (** Send one request and read its full reply.  [Error] only on a
     transport or framing failure; a server-side [ERR] arrives as
-    [Ok (Err _)]. *)
+    [Ok (Err _)].  Reply lines beyond {!Protocol.max_line_bytes} are a
+    framing error, bounding client memory against a corrupt stream. *)
 
 val request_line : t -> string -> (Protocol.reply, string) result
 (** Send a raw line verbatim — deliberately malformed lines included,
@@ -18,3 +27,43 @@ val request_line : t -> string -> (Protocol.reply, string) result
 
 val with_connection :
   socket_path:string -> (t -> ('a, string) result) -> ('a, string) result
+
+(** {2 Retrying calls}
+
+    One request per connection, retried across transient failures:
+    [ERR busy] backpressure replies (honouring the server's
+    [retry_after_ms] hint as a floor) and transport errors such as a
+    connect refused while the daemon restarts. *)
+
+type retry_policy = {
+  retries : int;        (** Retry attempts after the first try. *)
+  base_delay_ms : int;  (** Backoff step for the first retry. *)
+  max_delay_ms : int;   (** Backoff ceiling. *)
+  timeout : float;      (** Per-attempt I/O timeout; 0 = none. *)
+  seed : int;           (** Jitter PRNG seed — fixed seed, fixed delays. *)
+}
+
+val default_policy : retry_policy
+(** 3 retries, 100 ms doubling to a 5 s cap, no I/O timeout. *)
+
+val retry_delay_ms :
+  policy:retry_policy ->
+  prng:Hp_util.Prng.t ->
+  attempt:int ->
+  hint_ms:int option ->
+  int
+(** The delay [call] sleeps after failed attempt [attempt] (1-based):
+    equal-jitter exponential backoff, never below the server's
+    [hint_ms].  Exposed so tests can check the schedule without
+    sleeping. *)
+
+val call :
+  ?policy:retry_policy ->
+  socket_path:string ->
+  Protocol.request ->
+  (Protocol.reply, string) result
+(** Dial, send [req], read the reply, close; on [ERR busy] or a
+    transport error, back off and retry up to [policy.retries] times.
+    A final [ERR busy] is returned as [Ok (Err _)]; a final transport
+    failure as [Error] naming the attempt count.  Errors the server
+    answers (timeout, bad request, ...) are never retried. *)

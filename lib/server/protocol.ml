@@ -22,11 +22,14 @@ type error_code =
   | Parse_error
   | Io_error
   | Timeout
+  | Busy
   | Internal
 
 type reply =
   | Ok of (string * string) list
-  | Err of { code : error_code; message : string }
+  | Err of { code : error_code; message : string; retry_after_ms : int option }
+
+let err ?retry_after_ms code message = Err { code; message; retry_after_ms }
 
 let weighting_of_string = function
   | "uniform" -> Result.Ok Uniform
@@ -45,6 +48,7 @@ let error_code_to_string = function
   | Parse_error -> "parse-error"
   | Io_error -> "io-error"
   | Timeout -> "timeout"
+  | Busy -> "busy"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -53,6 +57,7 @@ let error_code_of_string = function
   | "parse-error" -> Some Parse_error
   | "io-error" -> Some Io_error
   | "timeout" -> Some Timeout
+  | "busy" -> Some Busy
   | "internal" -> Some Internal
   | _ -> None
 
@@ -137,10 +142,17 @@ let analysis_key = function
   | Storage -> "storage"
   | Powerlaw -> "powerlaw"
 
+(* One line cap shared by the server's request reader and the
+   client's reply reader, so neither side can be ballooned by a peer
+   that never sends a newline. *)
+let max_line_bytes = 1 lsl 20
+
 (* Replies are framed by line count, so no payload byte may introduce a
    line or field separator. *)
 let sanitize s =
   String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let retry_hint_prefix = "retry_after_ms="
 
 let encode_reply = function
   | Ok kvs ->
@@ -154,8 +166,14 @@ let encode_reply = function
         Buffer.add_char buf '\n')
       kvs;
     Buffer.contents buf
-  | Err { code; message } ->
-    Printf.sprintf "ERR %s %s\n" (error_code_to_string code) (sanitize message)
+  | Err { code; message; retry_after_ms } ->
+    let hint =
+      match retry_after_ms with
+      | None -> ""
+      | Some ms -> Printf.sprintf "%s%d " retry_hint_prefix ms
+    in
+    Printf.sprintf "ERR %s %s%s\n" (error_code_to_string code) hint
+      (sanitize message)
 
 let decode_reply text =
   match String.split_on_char '\n' text with
@@ -180,16 +198,37 @@ let decode_reply text =
     end
     else if String.length header >= 4 && String.sub header 0 4 = "ERR " then begin
       let body = String.sub header 4 (String.length header - 4) in
+      (* A machine-readable hint token may sit between code and
+         message: ERR busy retry_after_ms=250 <message>. *)
+      let split_hint s =
+        let plen = String.length retry_hint_prefix in
+        if String.length s >= plen && String.sub s 0 plen = retry_hint_prefix then begin
+          let tok_end =
+            match String.index_opt s ' ' with Some i -> i | None -> String.length s
+          in
+          match int_of_string_opt (String.sub s plen (tok_end - plen)) with
+          | Some ms when ms >= 0 ->
+            let rest =
+              if tok_end >= String.length s then ""
+              else String.sub s (tok_end + 1) (String.length s - tok_end - 1)
+            in
+            (Some ms, rest)
+          | _ -> (None, s)
+        end
+        else (None, s)
+      in
       match String.index_opt body ' ' with
       | None ->
         (match error_code_of_string body with
-        | Some code -> Result.Ok (Err { code; message = "" })
+        | Some code -> Result.Ok (Err { code; message = ""; retry_after_ms = None })
         | None -> Result.Error ("unknown error code: " ^ body))
       | Some sp ->
         let code_s = String.sub body 0 sp in
-        let message = String.sub body (sp + 1) (String.length body - sp - 1) in
+        let rest = String.sub body (sp + 1) (String.length body - sp - 1) in
         (match error_code_of_string code_s with
-        | Some code -> Result.Ok (Err { code; message })
+        | Some code ->
+          let retry_after_ms, message = split_hint rest in
+          Result.Ok (Err { code; message; retry_after_ms })
         | None -> Result.Error ("unknown error code: " ^ code_s))
     end
     else Result.Error ("bad reply header: " ^ header)

@@ -28,7 +28,9 @@
     <key>\t<value>     (n times)
     v}
 
-    or the single line [ERR <code> <message>].  Keys and values never
+    or the single line [ERR <code> <message>].  A [busy] error carries
+    a machine-readable retry hint between the code and the message:
+    [ERR busy retry_after_ms=250 <message>].  Keys and values never
     contain tabs or newlines (the encoder replaces them with spaces),
     so a reply is always exactly [1 + n] lines. *)
 
@@ -58,11 +60,27 @@ type error_code =
   | Parse_error      (** dataset file failed to parse *)
   | Io_error         (** dataset file could not be read *)
   | Timeout          (** computation exceeded the request deadline *)
+  | Busy             (** admission refused / load shed; retry later *)
   | Internal         (** unexpected exception while serving *)
 
 type reply =
   | Ok of (string * string) list
-  | Err of { code : error_code; message : string }
+  | Err of {
+      code : error_code;
+      message : string;
+      retry_after_ms : int option;
+          (** Server's backoff hint; set on [Busy] replies.  Clients
+              should wait at least this long before retrying. *)
+    }
+
+val err : ?retry_after_ms:int -> error_code -> string -> reply
+(** [err code message] builds an [Err] reply (hint omitted unless
+    given) — the constructor the server uses everywhere. *)
+
+val max_line_bytes : int
+(** Upper bound (1 MiB) on any single protocol line.  The server
+    aborts requests whose line exceeds it; the client refuses replies
+    whose line exceeds it. *)
 
 val parse_request : string -> (request, string) result
 

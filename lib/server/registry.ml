@@ -9,22 +9,32 @@ type entry = {
 type t = {
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
+  max_file_bytes : int;  (* 0 = unlimited *)
 }
 
 type load_error =
   | Read_failed of string
   | Parse_failed of string
 
-let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+let create ?(max_file_bytes = 0) () =
+  if max_file_bytes < 0 then invalid_arg "Registry.create: max_file_bytes < 0";
+  { mutex = Mutex.create (); table = Hashtbl.create 16; max_file_bytes }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let read_file path =
+(* The size gate runs before the bytes are pulled into memory, so a
+   multi-GB file answers [ERR io_error] instead of OOM-ing the daemon. *)
+let read_file ~max_bytes path =
+  Hp_util.Fault.point "registry.read";
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      really_input_string ic (in_channel_length ic))
+      let len = in_channel_length ic in
+      if max_bytes > 0 && len > max_bytes then
+        Error
+          (Printf.sprintf "%s: file exceeds %d bytes (%d)" path max_bytes len)
+      else Ok (really_input_string ic len))
 
 let parse_content ~path content =
   if Filename.check_suffix path ".mtx" then
@@ -32,9 +42,12 @@ let parse_content ~path content =
   else Hp_hypergraph.Hypergraph_io.of_string content
 
 let load t path =
-  match read_file path with
+  match read_file ~max_bytes:t.max_file_bytes path with
   | exception Sys_error msg -> Error (Read_failed msg)
-  | content ->
+  | exception Hp_util.Fault.Injected name ->
+    Error (Read_failed (Printf.sprintf "%s: injected fault %s" path name))
+  | Error msg -> Error (Read_failed msg)
+  | Ok content ->
     let digest = Digest.to_hex (Digest.string content) in
     (match locked t (fun () -> Hashtbl.find_opt t.table digest) with
     | Some entry -> Ok (entry, false)

@@ -19,7 +19,10 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?max_file_bytes:int -> unit -> t
+(** [max_file_bytes] (default 0 = unlimited) rejects dataset files
+    larger than the cap with [Read_failed] before reading them into
+    memory, so a runaway input cannot OOM the daemon. *)
 
 type load_error =
   | Read_failed of string   (** I/O: missing file, permissions, ... *)

@@ -10,6 +10,10 @@ type config = {
   request_timeout : float;
   compute_domains : int;
   preload : string list;
+  queue_limit : int;
+  shed_watermark : int;
+  max_file_bytes : int;
+  failpoints : string;
 }
 
 let default_config ~socket_path =
@@ -20,6 +24,10 @@ let default_config ~socket_path =
     request_timeout = 30.0;
     compute_domains = 1;
     preload = [];
+    queue_limit = 128;
+    shed_watermark = 64;
+    max_file_bytes = 1 lsl 30;
+    failpoints = "";
   }
 
 type t = {
@@ -56,9 +64,9 @@ let powerlaw_lines hist =
     ]
   | exception Invalid_argument _ -> [ ("powerlaw_fit", "n/a") ]
 
-let stats_payload ~domains h =
+let stats_payload ~domains ~deadline h =
   let summary = HP.component_summary h in
-  let diam, apl = HP.diameter_and_average_path ~domains h in
+  let diam, apl = HP.diameter_and_average_path ~domains ~deadline h in
   let largest =
     if Array.length summary = 0 then []
     else
@@ -80,12 +88,12 @@ let stats_payload ~domains h =
   @ [ ("diameter", string_of_int diam); ("average_path", float3 apl) ]
   @ powerlaw_lines (Hp_stats.Degree_dist.vertex_histogram h)
 
-let kcore_payload ~domains h k =
+let kcore_payload ~domains ~deadline h k =
   let result, k =
     match k with
-    | Some k -> (HC.k_core ~domains h k, k)
+    | Some k -> (HC.k_core ~domains ~deadline h k, k)
     | None ->
-      let k, r = HC.max_core ~domains h in
+      let k, r = HC.max_core ~domains ~deadline h in
       (r, k)
   in
   [
@@ -146,9 +154,10 @@ let powerlaw_payload h =
     @ ks
   | exception Invalid_argument _ -> ls
 
-let compute_payload ~domains h : P.analysis -> (string * string) list = function
-  | P.Stats -> stats_payload ~domains h
-  | P.Kcore k -> kcore_payload ~domains h k
+let compute_payload ~domains ~deadline h : P.analysis -> (string * string) list =
+  function
+  | P.Stats -> stats_payload ~domains ~deadline h
+  | P.Kcore k -> kcore_payload ~domains ~deadline h k
   | P.Cover { weighting; r } -> cover_payload h weighting r
   | P.Storage -> storage_payload h
   | P.Powerlaw -> powerlaw_payload h
@@ -176,42 +185,77 @@ let load_reply t path : P.reply =
       ]
   | Error (Read_failed msg) ->
     Metrics.incr t.metrics "io_errors";
-    P.Err { code = P.Io_error; message = msg }
+    P.err P.Io_error msg
   | Error (Parse_failed msg) ->
     Metrics.incr t.metrics "parse_errors";
-    P.Err { code = P.Parse_error; message = msg }
+    P.err P.Parse_error msg
+
+(* How long a rejected client should wait before retrying: scale with
+   the queue depth it was turned away at, clamped to keep herds of
+   clients from all sleeping for minutes. *)
+let retry_hint_ms depth = min 5000 (100 * (depth + 1))
+
+let queue_depth t =
+  match t.pool with Some pool -> Worker.pending pool | None -> 0
 
 let analyze_reply t ~t0 dataset analysis : P.reply =
   match Registry.find t.registry dataset with
   | `Missing ->
-    P.Err { code = P.Unknown_dataset; message = Printf.sprintf "no resident dataset %S" dataset }
+    P.err P.Unknown_dataset (Printf.sprintf "no resident dataset %S" dataset)
   | `Ambiguous ->
-    P.Err { code = P.Unknown_dataset; message = Printf.sprintf "ambiguous digest prefix %S" dataset }
+    P.err P.Unknown_dataset (Printf.sprintf "ambiguous digest prefix %S" dataset)
   | `Found entry ->
     let key = Result_cache.key ~digest:entry.digest ~analysis in
     (match Result_cache.find t.cache key with
     | Some payload -> P.Ok (payload @ [ ("cached", "true") ])
     | None ->
-      (match compute_payload ~domains:t.config.compute_domains entry.hypergraph analysis with
-      | payload ->
-        Result_cache.add t.cache key payload;
-        let elapsed = Unix.gettimeofday () -. t0 in
-        if t.config.request_timeout > 0.0 && elapsed > t.config.request_timeout then begin
+      let depth = queue_depth t in
+      if t.config.shed_watermark > 0 && depth >= t.config.shed_watermark then begin
+        (* Cache hits were answered above; starting a fresh computation
+           while the queue is already deep only digs the hole deeper. *)
+        Metrics.incr t.metrics "shed_cacheonly";
+        P.err
+          ~retry_after_ms:(retry_hint_ms depth)
+          P.Busy
+          (Printf.sprintf
+             "queue depth %d at shed watermark %d; serving cached results only"
+             depth t.config.shed_watermark)
+      end
+      else begin
+        let budget = t.config.request_timeout in
+        let deadline = Hp_util.Deadline.of_timeout budget in
+        match
+          compute_payload ~domains:t.config.compute_domains ~deadline
+            entry.hypergraph analysis
+        with
+        | payload ->
+          Result_cache.add t.cache key payload;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if budget > 0.0 && elapsed > budget then begin
+            (* Analyses without deadline checks (cover, storage, ...) can
+               still overrun; report that after the fact as before. *)
+            Metrics.incr t.metrics "timeouts";
+            P.err P.Timeout
+              (Printf.sprintf
+                 "computed in %.1f s, over the %.1f s budget (result cached)"
+                 elapsed budget)
+          end
+          else P.Ok (payload @ [ ("cached", "false") ])
+        | exception Hp_util.Deadline.Expired ->
           Metrics.incr t.metrics "timeouts";
-          P.Err
-            {
-              code = P.Timeout;
-              message =
-                Printf.sprintf "computed in %.1f s, over the %.1f s budget (result cached)"
-                  elapsed t.config.request_timeout;
-            }
-        end
-        else P.Ok (payload @ [ ("cached", "false") ])
-      | exception e ->
-        Metrics.incr t.metrics "compute_errors";
-        P.Err { code = P.Internal; message = Printexc.to_string e }))
+          P.err P.Timeout
+            (Printf.sprintf "aborted after %.1f s (budget %.1f s)"
+               (Unix.gettimeofday () -. t0)
+               budget)
+        | exception e ->
+          Metrics.incr t.metrics "compute_errors";
+          P.err P.Internal (Printexc.to_string e)
+      end)
 
 let metrics_reply t : P.reply =
+  let restarts =
+    match t.pool with Some pool -> Worker.restarts pool | None -> 0
+  in
   P.Ok
     (Metrics.snapshot t.metrics
     @ [
@@ -219,6 +263,9 @@ let metrics_reply t : P.reply =
         ("cache_capacity", string_of_int (Result_cache.capacity t.cache));
         ("datasets_resident", string_of_int (List.length (Registry.list t.registry)));
         ("workers", string_of_int t.config.workers);
+        ("worker_restarts", string_of_int restarts);
+        ("queue_pending", string_of_int (queue_depth t));
+        ("queue_limit", string_of_int t.config.queue_limit);
         ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
       ])
 
@@ -256,8 +303,7 @@ let handle_request t ~t0 (req : P.request) : P.reply * [ `Continue | `Stop ] =
           [ ("evicted_dataset", entry.digest); ("dropped_results", string_of_int n) ],
         `Continue )
     | None ->
-      ( P.Err
-          { code = P.Unknown_dataset; message = Printf.sprintf "no resident dataset %S" ds },
+      ( P.err P.Unknown_dataset (Printf.sprintf "no resident dataset %S" ds),
         `Continue ))
   | P.Ping ->
     ( P.Ok
@@ -270,14 +316,15 @@ let handle_request t ~t0 (req : P.request) : P.reply * [ `Continue | `Stop ] =
 
 (* ---------- connection plumbing ---------- *)
 
-let max_line_bytes = 1 lsl 20
-
 type conn = { fd : Unix.file_descr; mutable pending : string }
 
 (* Reads block in slices of the poll interval so a worker parked on an
    idle keep-alive connection notices shutdown promptly. *)
 let rec read_line t conn =
   match String.index_opt conn.pending '\n' with
+  | Some i when i > P.max_line_bytes ->
+    Metrics.incr t.metrics "oversized_requests";
+    `Oversized
   | Some i ->
     let line = String.sub conn.pending 0 i in
     conn.pending <-
@@ -287,30 +334,35 @@ let rec read_line t conn =
         String.sub line 0 (String.length line - 1)
       else line
     in
-    Some line
+    `Line line
   | None ->
-    if String.length conn.pending > max_line_bytes then begin
+    if String.length conn.pending > P.max_line_bytes then begin
       Metrics.incr t.metrics "oversized_requests";
-      None
+      `Oversized
     end
     else begin
       let buf = Bytes.create 4096 in
       match Unix.read conn.fd buf 0 (Bytes.length buf) with
       | 0 ->
-        if conn.pending = "" then None
+        if conn.pending = "" then `Eof
         else begin
           let line = conn.pending in
           conn.pending <- "";
-          Some line
+          `Line line
         end
       | n ->
         conn.pending <- conn.pending ^ Bytes.sub_string buf 0 n;
         read_line t conn
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-        if Atomic.get t.stopping then None else read_line t conn
+        if Atomic.get t.stopping then `Eof else read_line t conn
     end
 
 let write_all fd s =
+  Hp_util.Fault.point "server.write";
+  (* A truncation fault writes a prefix and then fails, modelling a
+     connection torn down mid-reply. *)
+  let truncated = Hp_util.Fault.fires "server.write.trunc" in
+  let s = if truncated then String.sub s 0 (String.length s / 2) else s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
     if off < Bytes.length b then begin
@@ -319,7 +371,8 @@ let write_all fd s =
       | exception Unix.Unix_error (EINTR, _, _) -> go off
     end
   in
-  go 0
+  go 0;
+  if truncated then raise (Hp_util.Fault.Injected "server.write.trunc")
 
 let initiate_stop t =
   if not (Atomic.exchange t.stopping true) then begin
@@ -339,21 +392,31 @@ let serve_connection t fd =
   let conn = { fd; pending = "" } in
   let rec loop () =
     match read_line t conn with
-    | None -> ()
-    | Some line when String.trim line = "" -> loop ()
-    | Some line ->
+    | `Eof -> ()
+    | `Oversized ->
+      (* The line cannot be parsed for a request id, so answer once and
+         drop the connection rather than scan for the next newline. *)
+      Metrics.incr t.metrics "responses_err";
+      write_all fd
+        (P.encode_reply
+           (P.err P.Bad_request
+              (Printf.sprintf "request line exceeds %d bytes" P.max_line_bytes)))
+    | `Line line when String.trim line = "" -> loop ()
+    | `Line line ->
       let t0 = Unix.gettimeofday () in
       Metrics.incr t.metrics "requests_total";
       let reply, control =
         match P.parse_request line with
         | Error msg ->
           Metrics.incr t.metrics "bad_requests";
-          (P.Err { code = P.Bad_request; message = msg }, `Continue)
+          (P.err P.Bad_request msg, `Continue)
         | Ok req -> (
           try handle_request t ~t0 req
-          with e ->
+          with
+          | Hp_util.Fault.Killed _ as e -> raise e
+          | e ->
             Metrics.incr t.metrics "compute_errors";
-            (P.Err { code = P.Internal; message = Printexc.to_string e }, `Continue))
+            (P.err P.Internal (Printexc.to_string e), `Continue))
       in
       (match reply with
       | P.Err _ -> Metrics.incr t.metrics "responses_err"
@@ -366,7 +429,9 @@ let serve_connection t fd =
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with _ -> ())
-    (fun () -> try loop () with Unix.Unix_error _ -> ())
+    (fun () ->
+      Hp_util.Fault.point "worker.job";
+      try loop () with Unix.Unix_error _ -> ())
 
 let accept_loop t =
   let rec go () =
@@ -377,8 +442,23 @@ let accept_loop t =
         if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
         else begin
           match t.pool with
-          | Some pool -> if not (Worker.submit pool fd) then Unix.close fd
           | None -> Unix.close fd
+          | Some pool -> (
+            match Worker.submit pool fd with
+            | `Accepted -> ()
+            | `Stopping -> ( try Unix.close fd with _ -> ())
+            | `Busy depth ->
+              (* Reject at the door with a machine-readable backoff hint
+                 instead of queueing unboundedly or hanging up mute. *)
+              Metrics.incr t.metrics "busy_rejections";
+              let reply =
+                P.err
+                  ~retry_after_ms:(retry_hint_ms depth)
+                  P.Busy
+                  (Printf.sprintf "job queue full (%d pending)" depth)
+              in
+              (try write_all fd (P.encode_reply reply) with _ -> ());
+              (try Unix.close fd with _ -> ()))
         end;
         go ()
       | exception Unix.Unix_error (EINTR, _, _) -> go ()
@@ -403,10 +483,23 @@ let start config =
   let* () =
     if config.compute_domains >= 1 then Ok () else Error "compute domains must be >= 1"
   in
+  let* () =
+    if config.queue_limit >= 1 then Ok () else Error "queue limit must be >= 1"
+  in
+  let* () =
+    if config.max_file_bytes >= 0 then Ok () else Error "max file bytes must be >= 0"
+  in
+  let* () =
+    if config.failpoints = "" then Ok ()
+    else
+      match Hp_util.Fault.configure config.failpoints with
+      | Ok () -> Ok ()
+      | Error msg -> Error ("failpoints: " ^ msg)
+  in
   (* A client vanishing mid-reply must surface as EPIPE, not kill the
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
-  let registry = Registry.create () in
+  let registry = Registry.create ~max_file_bytes:config.max_file_bytes () in
   let* () =
     List.fold_left
       (fun acc path ->
@@ -463,7 +556,14 @@ let start config =
       finalized = false;
     }
   in
-  t.pool <- Some (Worker.create ~workers:config.workers (serve_connection t));
+  t.pool <-
+    Some
+      (Worker.create ~workers:config.workers ~max_pending:config.queue_limit
+         ~lethal:(function Hp_util.Fault.Killed _ -> true | _ -> false)
+         ~on_exception:(fun e ->
+           Metrics.incr metrics "worker_exceptions";
+           Printf.eprintf "hgd: worker exception: %s\n%!" (Printexc.to_string e))
+         (serve_connection t));
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
   Ok t
 

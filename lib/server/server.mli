@@ -8,28 +8,47 @@
     digest and canonical request), datasets through the {!Registry};
     every request is timed into {!Metrics}.
 
-    Timeouts are best-effort: the deadline is checked when a
-    computation finishes, so a slow analysis is reported (and counted
-    under [timeouts]) but not preempted — the [ERR timeout] reply tells
-    the client its budget was blown without leaving a poisoned worker
-    behind.
+    Failure containment: each worker runs under a supervisor that
+    respawns it if a job kills the domain (counted under
+    [worker_restarts]); non-lethal handler exceptions are captured into
+    [ERR internal] replies and the [worker_exceptions] counter.  The
+    [request_timeout] is a cooperative deadline ({!Hp_util.Deadline})
+    threaded into the k-core and path kernels, so an over-budget
+    k-core or diameter request aborts mid-computation with
+    [ERR timeout]; analyses without deadline checks still report the
+    overrun after the fact.  Admission control bounds the job queue at
+    [queue_limit]: overflow connections get an [ERR busy] carrying a
+    [retry_after_ms] hint and are closed, and once the queue passes
+    [shed_watermark] analyses are served from cache only.
 
-    Malformed input at any layer — unparsable request line, unknown
-    dataset, unreadable or malformed file — produces a structured
-    [ERR] reply, never a crash or a dropped connection. *)
+    Malformed input at any layer — unparsable or oversized request
+    line, unknown dataset, unreadable, oversized, or malformed file —
+    produces a structured [ERR] reply, never a crash or a dropped
+    connection. *)
 
 type config = {
   socket_path : string;
   workers : int;          (** Worker pool size. *)
   cache_capacity : int;   (** Result-cache entry budget. *)
-  request_timeout : float;(** Seconds; 0 disables the deadline check. *)
+  request_timeout : float;(** Seconds; 0 disables the deadline. *)
   compute_domains : int;  (** Domains handed to the analysis kernels. *)
   preload : string list;  (** Datasets loaded before accepting. *)
+  queue_limit : int;
+  (** Max connections waiting for a worker before [ERR busy]. *)
+  shed_watermark : int;
+  (** Queue depth at which analyses become cache-only; <= 0 disables
+      shedding. *)
+  max_file_bytes : int;
+  (** Reject dataset files larger than this (0 = unlimited). *)
+  failpoints : string;
+  (** {!Hp_util.Fault.configure} spec armed at [start]; [""] arms
+      nothing.  Test-only. *)
 }
 
 val default_config : socket_path:string -> config
 (** Workers from {!Hp_util.Parallel.recommended_domains}, 128 cache
-    entries, 30 s timeout, single-domain kernels, no preload. *)
+    entries, 30 s timeout, single-domain kernels, no preload, queue
+    limit 128, shed watermark 64, 1 GiB file cap, no failpoints. *)
 
 type t
 

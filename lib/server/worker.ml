@@ -1,11 +1,18 @@
 type 'a t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
+  crash_wakeup : Condition.t;
   queue : 'a Queue.t;
+  max_pending : int;  (* 0 = unbounded *)
+  lethal : exn -> bool;
+  on_exception : exn -> unit;
   mutable stopping : bool;
   mutable joined : bool;
-  domains : unit Domain.t array Lazy.t;
-  (* Lazy so the record exists before the domains that close over it. *)
+  mutable exceptions : int;
+  mutable restarts : int;
+  mutable crashed : int list;  (* slot indices awaiting respawn *)
+  slots : unit Domain.t option array;
+  mutable supervisor : unit Domain.t option;
 }
 
 let worker_loop t handler =
@@ -25,13 +32,58 @@ let worker_loop t handler =
     Mutex.unlock t.mutex;
     match job with
     | Some job ->
-      (try handler job with _ -> ());
+      (match handler job with
+      | () -> ()
+      | exception e when not (t.lethal e) ->
+        (* Captured: account for it and keep the worker alive.  A
+           lethal exception falls through and kills the domain; the
+           supervisor respawns it. *)
+        Mutex.lock t.mutex;
+        t.exceptions <- t.exceptions + 1;
+        Mutex.unlock t.mutex;
+        (try t.on_exception e with _ -> ()));
       next ()
     | None -> ()
   in
   next ()
 
-let create ?workers handler =
+(* Body of one worker domain.  A lethal crash is recorded for the
+   supervisor and the domain exits normally, so joins never re-raise. *)
+let slot_body t handler i () =
+  try worker_loop t handler
+  with e ->
+    Printf.eprintf "hgd: worker[%d] killed: %s\n%!" i (Printexc.to_string e);
+    Mutex.lock t.mutex;
+    t.crashed <- i :: t.crashed;
+    Condition.signal t.crash_wakeup;
+    Mutex.unlock t.mutex
+
+(* The supervisor sleeps until a worker dies, then joins the corpse
+   and spawns a replacement into the same slot.  It owns the slot
+   array while running; [shutdown] joins it before joining workers. *)
+let supervisor_body t handler () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.crashed = [] && not t.stopping do
+      Condition.wait t.crash_wakeup t.mutex
+    done;
+    let dead = t.crashed in
+    t.crashed <- [];
+    let stopping = t.stopping in
+    if not stopping then t.restarts <- t.restarts + List.length dead;
+    Mutex.unlock t.mutex;
+    List.iter
+      (fun i ->
+        Option.iter (fun d -> try Domain.join d with _ -> ()) t.slots.(i);
+        t.slots.(i) <-
+          (if stopping then None else Some (Domain.spawn (slot_body t handler i))))
+      dead;
+    if not stopping then loop ()
+  in
+  loop ()
+
+let create ?workers ?(max_pending = 0) ?(lethal = fun _ -> false)
+    ?(on_exception = fun _ -> ()) handler =
   let workers =
     match workers with
     | Some w ->
@@ -39,46 +91,65 @@ let create ?workers handler =
       w
     | None -> Hp_util.Parallel.recommended_domains ()
   in
-  let rec t =
+  if max_pending < 0 then invalid_arg "Worker.create: max_pending < 0";
+  let t =
     {
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      crash_wakeup = Condition.create ();
       queue = Queue.create ();
+      max_pending;
+      lethal;
+      on_exception;
       stopping = false;
       joined = false;
-      domains =
-        lazy (Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t handler)));
+      exceptions = 0;
+      restarts = 0;
+      crashed = [];
+      slots = Array.make workers None;
+      supervisor = None;
     }
   in
-  ignore (Lazy.force t.domains);
+  for i = 0 to workers - 1 do
+    t.slots.(i) <- Some (Domain.spawn (slot_body t handler i))
+  done;
+  t.supervisor <- Some (Domain.spawn (supervisor_body t handler));
   t
 
-let size t = Array.length (Lazy.force t.domains)
+let size t = Array.length t.slots
 
-let pending t =
+let locked t f =
   Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let pending t = locked t (fun () -> Queue.length t.queue)
+let exceptions t = locked t (fun () -> t.exceptions)
+let restarts t = locked t (fun () -> t.restarts)
 
 let submit t job =
-  Mutex.lock t.mutex;
-  let accepted =
-    if t.stopping then false
-    else begin
-      Queue.push job t.queue;
-      Condition.signal t.nonempty;
-      true
-    end
-  in
-  Mutex.unlock t.mutex;
-  accepted
+  locked t (fun () ->
+      if t.stopping then `Stopping
+      else begin
+        let depth = Queue.length t.queue in
+        if t.max_pending > 0 && depth >= t.max_pending then `Busy depth
+        else begin
+          Queue.push job t.queue;
+          Condition.signal t.nonempty;
+          `Accepted
+        end
+      end)
 
 let shutdown t =
   Mutex.lock t.mutex;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
+  Condition.broadcast t.crash_wakeup;
   let join_now = not t.joined in
   t.joined <- true;
   Mutex.unlock t.mutex;
-  if join_now then Array.iter Domain.join (Lazy.force t.domains)
+  if join_now then begin
+    (* The supervisor must go first: it is the only other writer of
+       the slot array. *)
+    Option.iter Domain.join t.supervisor;
+    Array.iter (fun s -> Option.iter Domain.join s) t.slots
+  end

@@ -1,0 +1,43 @@
+exception Expired
+
+type t = {
+  at : float;  (* absolute epoch seconds; infinity = never *)
+  cancelled : bool Atomic.t;
+  stride : int;
+  mutable tick : int;
+      (* Racy under multi-domain checks by design: a lost increment
+         only shifts when the next clock read happens, never whether
+         expiry is eventually observed. *)
+}
+
+let never = { at = infinity; cancelled = Atomic.make false; stride = 1; tick = 0 }
+
+let after ?(stride = 32) budget =
+  if stride < 1 then invalid_arg "Deadline.after: stride < 1";
+  {
+    at = Unix.gettimeofday () +. budget;
+    cancelled = Atomic.make false;
+    stride;
+    tick = 0;
+  }
+
+let of_timeout s = if s > 0.0 then after s else never
+
+(* [never] is a shared constant; cancelling it would poison every
+   caller that defaulted to it. *)
+let cancel t = if t != never then Atomic.set t.cancelled true
+
+let expired t =
+  Atomic.get t.cancelled || (t.at < infinity && Unix.gettimeofday () >= t.at)
+
+let check t =
+  if Atomic.get t.cancelled then raise Expired
+  else if t.at < infinity then begin
+    t.tick <- t.tick + 1;
+    if t.tick mod t.stride = 0 && Unix.gettimeofday () >= t.at then raise Expired
+  end
+
+let remaining t =
+  if Atomic.get t.cancelled then 0.0
+  else if t.at = infinity then infinity
+  else max 0.0 (t.at -. Unix.gettimeofday ())

@@ -1,0 +1,53 @@
+(** Cooperative deadlines for long-running computations.
+
+    OCaml domains cannot be preempted safely, so an over-budget
+    computation can only stop itself: the caller creates a token with
+    a wall-clock budget and threads it into the kernel, and the
+    kernel's inner loop calls {!check} at every iteration.  [check]
+    amortizes the clock read over a stride of calls, so it is cheap
+    enough for per-vertex / per-source loops; when the budget is blown
+    it raises {!Expired}, which unwinds out of the kernel (including
+    across {!Parallel.fold_range} worker domains, whose join re-raises
+    it) and is translated into a structured [ERR timeout] by the
+    server.
+
+    A token can also be fired early from another domain with
+    {!cancel} — the hook for load shedding and client-abandoned
+    requests. *)
+
+type t
+
+exception Expired
+(** Raised by {!check} (and by cancelled tokens) once the deadline has
+    passed.  Carries no payload so handlers cannot lose information by
+    re-raising. *)
+
+val never : t
+(** A token that never expires.  It is a shared constant: {!cancel}
+    is a no-op on it (use [of_timeout] / [after] for a cancellable
+    token). *)
+
+val after : ?stride:int -> float -> t
+(** [after budget] expires [budget] seconds from now.  [stride]
+    (default 32) is how many {!check} calls share one clock read; 1
+    checks the clock every time.  Raises [Invalid_argument] on a
+    non-positive stride. *)
+
+val of_timeout : float -> t
+(** [of_timeout s] is [after s] when [s > 0.], else {!never} — the
+    shape server configs use ([0] disables the budget). *)
+
+val cancel : t -> unit
+(** Force the token into the expired state immediately.  Safe from any
+    domain; idempotent. *)
+
+val expired : t -> bool
+(** Whether the deadline has passed (always reads the clock). *)
+
+val check : t -> unit
+(** Raise {!Expired} if the deadline has passed.  Strided: only every
+    [stride]-th call reads the clock, so a loop can call this
+    unconditionally.  Cancellation is observed immediately. *)
+
+val remaining : t -> float
+(** Seconds left; [infinity] for {!never}, [0.] once expired. *)

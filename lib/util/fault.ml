@@ -1,0 +1,175 @@
+exception Injected of string
+exception Killed of string
+
+type action = Err | Kill | Sleep_ms of int
+
+type arm = {
+  action : action;
+  count : int option;  (* max firings; None = unlimited *)
+  skip : int;          (* hits passed through before arming *)
+  prob : float;
+  prng : Prng.t;
+  mutable hits : int;
+  mutable fired : int;
+}
+
+let mutex = Mutex.create ()
+let table : (string, arm) Hashtbl.t = Hashtbl.create 8
+
+(* Fast path: sites are compiled into hot loops, so an unarmed process
+   must pay one atomic read, not a mutex. *)
+let armed = Atomic.make false
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let arm ?count ?(skip = 0) ?(prob = 1.0) ?(seed = 0) name action =
+  locked (fun () ->
+      Hashtbl.replace table name
+        { action; count; skip; prob; prng = Prng.create seed; hits = 0; fired = 0 };
+      Atomic.set armed true)
+
+let disarm name =
+  locked (fun () ->
+      Hashtbl.remove table name;
+      if Hashtbl.length table = 0 then Atomic.set armed false)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set armed false)
+
+(* Decide whether this hit fires, under the registry mutex. *)
+let eval p =
+  p.hits <- p.hits + 1;
+  let live = match p.count with Some n -> p.fired < n | None -> true in
+  let past_skip = p.hits > p.skip in
+  let lucky = p.prob >= 1.0 || Prng.float p.prng < p.prob in
+  if live && past_skip && lucky then begin
+    p.fired <- p.fired + 1;
+    true
+  end
+  else false
+
+let trigger name =
+  if not (Atomic.get armed) then None
+  else
+    locked (fun () ->
+        match Hashtbl.find_opt table name with
+        | None -> None
+        | Some p -> if eval p then Some p.action else None)
+
+let fires name = trigger name <> None
+
+let point name =
+  match trigger name with
+  | None -> ()
+  | Some Err -> raise (Injected name)
+  | Some Kill -> raise (Killed name)
+  | Some (Sleep_ms ms) -> Unix.sleepf (float_of_int ms /. 1000.0)
+
+let hits name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with Some p -> p.hits | None -> 0)
+
+let fired name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with Some p -> p.fired | None -> 0)
+
+let stats () =
+  locked (fun () ->
+      Hashtbl.fold (fun name p acc -> (name, p.hits, p.fired) :: acc) table [])
+  |> List.sort compare
+
+(* ---------- spec parsing ---------- *)
+
+(* name=action[*count][+skip][%prob][@seed], arms separated by ';'. *)
+
+let parse_action s =
+  if s = "err" then Ok Err
+  else if s = "kill" then Ok Kill
+  else if String.length s > 6 && String.sub s 0 6 = "sleep:" then
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some ms when ms >= 0 -> Ok (Sleep_ms ms)
+    | _ -> Error (Printf.sprintf "bad sleep duration in %S" s)
+  else Error (Printf.sprintf "unknown action %S (err|kill|sleep:MS)" s)
+
+(* Split [s] at the first occurrence of any modifier introducer,
+   returning the head and the (introducer, body) list. *)
+let split_modifiers s =
+  let is_intro c = c = '*' || c = '+' || c = '%' || c = '@' in
+  let n = String.length s in
+  let rec find i = if i >= n then n else if is_intro s.[i] then i else find (i + 1) in
+  let head_end = find 0 in
+  let head = String.sub s 0 head_end in
+  let rec mods i acc =
+    if i >= n then List.rev acc
+    else begin
+      let j = find (i + 1) in
+      mods j ((s.[i], String.sub s (i + 1) (j - i - 1)) :: acc)
+    end
+  in
+  (head, mods head_end [])
+
+let parse_arm s =
+  let ( let* ) = Result.bind in
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "arm %S has no '='" s)
+  | Some eq ->
+    let name = String.trim (String.sub s 0 eq) in
+    let* () = if name = "" then Error "empty failpoint name" else Ok () in
+    let rhs = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+    let action_s, mods = split_modifiers rhs in
+    let* action = parse_action action_s in
+    let int_mod what body =
+      match int_of_string_opt body with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Printf.sprintf "bad %s %S in arm %S" what body s)
+    in
+    let* count, skip, prob, seed =
+      List.fold_left
+        (fun acc (c, body) ->
+          let* count, skip, prob, seed = acc in
+          match c with
+          | '*' ->
+            let* n = int_mod "count" body in
+            Ok (Some n, skip, prob, seed)
+          | '+' ->
+            let* n = int_mod "skip" body in
+            Ok (count, n, prob, seed)
+          | '%' ->
+            (match float_of_string_opt body with
+            | Some p when p >= 0.0 && p <= 1.0 -> Ok (count, skip, p, seed)
+            | _ -> Error (Printf.sprintf "bad probability %S in arm %S" body s))
+          | '@' ->
+            let* n = int_mod "seed" body in
+            Ok (count, skip, prob, Some n)
+          | _ -> assert false)
+        (Ok (None, 0, 1.0, None))
+        mods
+    in
+    Ok (name, action, count, skip, prob, Option.value seed ~default:0)
+
+let configure spec =
+  let arms =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match parse_arm s with
+      | Ok a -> go (a :: acc) rest
+      | Error _ as e -> e)
+  in
+  match go [] arms with
+  | Error msg -> Error msg
+  | Ok parsed ->
+    reset ();
+    List.iter
+      (fun (name, action, count, skip, prob, seed) ->
+        arm ?count ~skip ~prob ~seed name action)
+      parsed;
+    Ok ()

@@ -1,0 +1,70 @@
+(** Deterministic fault injection: named failpoints compiled into the
+    hot paths (registry file I/O, worker job pickup, socket writes,
+    kernel inner loops) and armed at run time from a spec string.
+
+    A failpoint site calls {!point} (perform the armed action) or
+    {!fires} (just ask whether the trigger fires, for sites that
+    synthesize their own failure, e.g. a truncated socket write).
+    When nothing is armed the cost of a site is one [Atomic.get], so
+    failpoints stay compiled into production binaries.
+
+    {2 Spec grammar}
+
+    A spec is [;]-separated arms, each
+    [name=action[*count][+skip][%prob][@seed]]:
+
+    - [action] is [err] (raise {!Injected}), [kill] (raise {!Killed},
+      which supervised worker pools treat as lethal), or [sleep:MS]
+      (delay the caller by [MS] milliseconds).
+    - [*count] fires at most [count] times (default unlimited).
+    - [+skip] passes the first [skip] hits before arming (default 0).
+    - [%prob] fires each eligible hit with probability [prob],
+      decided by a per-failpoint splitmix64 stream (default 1 —
+      always), seeded by [@seed] (default 0).  Equal seeds give equal
+      firing patterns, so probabilistic chaos runs are replayable.
+
+    Example: ["worker.job=kill*1;registry.read=err+2;core.peel=sleep:5%0.5@42"].
+
+    The registry is process-global (sites are scattered across
+    libraries) and mutex-protected; [hits]/[fired] counters make
+    assertions in chaos tests deterministic. *)
+
+exception Injected of string
+(** Raised by an [err] arm; carries the failpoint name. *)
+
+exception Killed of string
+(** Raised by a [kill] arm.  {!Hp_server.Worker} treats it as lethal:
+    the worker domain dies and the supervisor respawns it. *)
+
+type action = Err | Kill | Sleep_ms of int
+
+val configure : string -> (unit, string) result
+(** Parse a spec and arm its failpoints, replacing the current
+    configuration ([configure ""] disarms everything).  [Error]
+    describes the first malformed arm. *)
+
+val arm : ?count:int -> ?skip:int -> ?prob:float -> ?seed:int -> string -> action -> unit
+(** Programmatic equivalent of one spec arm. *)
+
+val disarm : string -> unit
+
+val reset : unit -> unit
+(** Disarm every failpoint and zero all counters. *)
+
+val point : string -> unit
+(** Evaluate the failpoint: no-op when disarmed or the trigger does
+    not fire; otherwise perform the armed action ([Err]/[Kill] raise,
+    [Sleep_ms] blocks). *)
+
+val fires : string -> bool
+(** Evaluate the trigger and consume a hit, but perform no action —
+    the call site supplies its own failure. *)
+
+val hits : string -> int
+(** Times the failpoint was evaluated since it was armed. *)
+
+val fired : string -> int
+(** Times it actually fired. *)
+
+val stats : unit -> (string * int * int) list
+(** [(name, hits, fired)] for every armed failpoint, name order. *)

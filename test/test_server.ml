@@ -106,11 +106,13 @@ let reply_gen =
     oneof
       [
         map (fun kvs -> P.Ok kvs) payload_gen;
-        map2
-          (fun code message -> P.Err { code; message })
+        map3
+          (fun code retry_after_ms message ->
+            P.Err { code; message; retry_after_ms })
           (oneofl
              [ P.Bad_request; P.Unknown_dataset; P.Parse_error; P.Io_error;
-               P.Timeout; P.Internal ])
+               P.Timeout; P.Busy; P.Internal ])
+          (opt (int_range 0 60_000))
           (string_size ~gen:(oneofl [ 'x'; ' '; '1' ]) (int_range 0 20));
       ])
 
@@ -208,13 +210,13 @@ let with_server ?(cache_capacity = 16) f =
 
 let expect_ok what = function
   | Ok (P.Ok kvs) -> kvs
-  | Ok (P.Err { code; message }) ->
+  | Ok (P.Err { code; message; _ }) ->
     Alcotest.failf "%s: unexpected ERR %s %s" what (P.error_code_to_string code)
       message
   | Error msg -> Alcotest.failf "%s: transport error %s" what msg
 
 let expect_err what code = function
-  | Ok (P.Err { code = got; message = _ }) ->
+  | Ok (P.Err { code = got; _ }) ->
     checks (what ^ ": code") (P.error_code_to_string code)
       (P.error_code_to_string got)
   | Ok (P.Ok _) -> Alcotest.failf "%s: expected ERR, got OK" what

@@ -50,6 +50,50 @@ let write_artifact name header rows =
         rows);
   Printf.printf "[wrote %s]\n" path
 
+(* Machine-readable kernel timings.  Every [record_kernel] call lands
+   in _artifacts/BENCH_kernels.json, which CI uploads as an artifact so
+   runs can be compared without scraping the human-readable tables. *)
+let bench_entries : (string * float * (string * string) list) list ref = ref []
+
+let record_kernel op seconds stats =
+  bench_entries := (op, seconds, stats) :: !bench_entries
+
+let write_bench_json () =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_kernels.json" in
+  let esc s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"schema\":1,\"entries\":[";
+      List.iteri
+        (fun i (op, seconds, stats) ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc "\n  {\"op\":\"%s\",\"seconds\":%.6f,\"stats\":{"
+            (esc op) seconds;
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then output_char oc ',';
+              Printf.fprintf oc "\"%s\":\"%s\"" (esc k) (esc v))
+            stats;
+          output_string oc "}}")
+        (List.rev !bench_entries);
+      output_string oc "\n]}\n");
+  Printf.printf "[wrote %s]\n" path
+
 let write_gnuplot_script () =
   if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
   let oc = open_out "_artifacts/plots.gp" in
@@ -722,6 +766,14 @@ let ext_scaling () =
         let p = Hp_data.Proteome_gen.generate rng params in
         let h = p.hypergraph in
         let d, t = time (fun () -> HC.decompose h) in
+        record_kernel "decompose:scaled-proteome" t
+          [
+            ("scale", ff ~digits:0 factor);
+            ("proteins", fi (H.n_vertices h));
+            ("complexes", fi (H.n_edges h));
+            ("incidence", fi (H.total_incidence h));
+            ("max_core", fi d.max_core);
+          ];
         [
           ff ~digits:0 factor;
           fi (H.n_vertices h); fi (H.n_edges h); fi (H.total_incidence h);
@@ -771,6 +823,11 @@ let ext_parallel () =
         let t1 = snd (time (fun () -> run 1)) in
         let t2 = snd (time (fun () -> run 2)) in
         let t4 = snd (time (fun () -> run 4)) in
+        List.iter
+          (fun (domains, t) ->
+            record_kernel ("parallel:" ^ name) t
+              [ ("domains", fi domains) ])
+          [ (1, t1); (2, t2); (4, t4) ];
         [
           name;
           U.Table.fmt_time t1; U.Table.fmt_time t2; U.Table.fmt_time t4;
@@ -851,6 +908,49 @@ let bechamel_pass () =
   let rows = List.sort compare !rows in
   print_endline (table ~header:[ "benchmark"; "monotonic clock" ] rows)
 
+(* ------------------------------------------------------------------ *)
+(* Kernel profile: timings plus the counters the kernels now surface  *)
+(* (peel rounds, maximality checks, BFS sources) — the same numbers   *)
+(* hgd exports as kernel_* gauges, here in BENCH_kernels.json form.   *)
+
+let kernel_profile () =
+  section "kernel profile (peel rounds, maximality checks, BFS sources)";
+  let r, t = time (fun () -> HC.k_core yeast 3) in
+  record_kernel "kcore:yeast:k3" t
+    [
+      ("peel_rounds", fi r.stats.peel_rounds);
+      ("maximality_checks", fi r.stats.maximality_checks);
+      ("vertices_deleted", fi r.stats.vertices_deleted);
+      ("edges_deleted", fi r.stats.edges_deleted);
+    ];
+  Printf.printf
+    "3-core peel: %d rounds, %d maximality checks, %d vertices peeled\n"
+    r.stats.peel_rounds r.stats.maximality_checks r.stats.vertices_deleted;
+  let stats = HP.sweep_stats () in
+  let (diam, apl), t = time (fun () -> HP.diameter_and_average_path ~stats yeast) in
+  record_kernel "sweep:yeast:exact" t
+    [
+      ("bfs_sources", fi (HP.sources_visited stats));
+      ("diameter", fi diam);
+      ("average_path", Printf.sprintf "%.4f" apl);
+    ];
+  let sstats = HP.sweep_stats () in
+  let (sdiam, sapl), st =
+    time (fun () ->
+        HP.sampled_diameter_and_average_path ~stats:sstats (U.Prng.create 2004)
+          yeast ~samples:100)
+  in
+  record_kernel "sweep:yeast:sampled100" st
+    [
+      ("bfs_sources", fi (HP.sources_visited sstats));
+      ("diameter", fi sdiam);
+      ("average_path", Printf.sprintf "%.4f" sapl);
+    ];
+  Printf.printf
+    "exact sweep: %d sources in %.4fs; 100-sample estimate: %.4fs \
+     (diameter %d vs %d)\n"
+    (HP.sources_visited stats) t st diam sdiam
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -875,6 +975,8 @@ let () =
   ext_reconstruction ();
   ext_scaling ();
   ext_parallel ();
+  kernel_profile ();
+  write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();
   print_endline "done."

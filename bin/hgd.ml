@@ -9,7 +9,10 @@ module Server = Hp_server.Server
 open Cmdliner
 
 let serve socket workers cache timeout domains preload queue_limit
-    shed_watermark max_file_bytes failpoints quiet =
+    shed_watermark max_file_bytes failpoints stats_samples log_level quiet =
+  (match Hp_util.Log.level_of_string log_level with
+  | Ok l -> Hp_util.Log.set_level l
+  | Error msg -> Printf.eprintf "hgd: %s, keeping info\n%!" msg);
   let config =
     {
       Server.socket_path = socket;
@@ -22,11 +25,12 @@ let serve socket workers cache timeout domains preload queue_limit
       shed_watermark;
       max_file_bytes;
       failpoints;
+      stats_samples;
     }
   in
   match Server.start config with
   | Error msg ->
-    Printf.eprintf "hgd: %s\n" msg;
+    Hp_util.Log.error ~comp:"hgd" ~fields:[ ("error", msg) ] "start failed";
     1
   | Ok t ->
     if not quiet then
@@ -82,6 +86,16 @@ let failpoints_arg =
          ~doc:"Fault-injection spec, e.g. \
                $(i,registry.read=err*1;core.peel=sleep:50).  Test-only.")
 
+let stats_samples_arg =
+  Arg.(value & opt int 0 & info [ "stats-samples" ] ~docv:"N"
+         ~doc:"Estimate STATS path metrics from N sampled BFS sources \
+               instead of the exact all-pairs sweep (0 = exact).")
+
+let log_level_arg =
+  let env = Cmd.Env.info "HGD_LOG_LEVEL" in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
+         ~doc:"Structured-log threshold: debug, info, warn, or error.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress startup chatter.")
 
@@ -91,6 +105,7 @@ let () =
     Cmd.v (Cmd.info "hgd" ~doc)
       Term.(const serve $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
             $ domains_arg $ preload_arg $ queue_limit_arg $ shed_watermark_arg
-            $ max_file_bytes_arg $ failpoints_arg $ quiet_arg)
+            $ max_file_bytes_arg $ failpoints_arg $ stats_samples_arg
+            $ log_level_arg $ quiet_arg)
   in
   exit (Cmd.eval' cmd)

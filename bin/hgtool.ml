@@ -8,6 +8,8 @@
      export-pajek Figure-3 style .net/.clu export
      serve        run the resident analysis server (hgd) in the foreground
      query        send one request to a running server
+     metrics      fetch server counters/histograms (table or Prometheus)
+     trace        show the slowest recent requests with per-stage timings
 *)
 
 module H = Hp_hypergraph.Hypergraph
@@ -60,7 +62,7 @@ let generate_cmd =
 
 (* stats *)
 let stats_cmd =
-  let run path =
+  let run path samples domains timeout seed =
     let h = load path in
     Printf.printf "vertices: %d\nhyperedges: %d\ntotal incidence |E|: %d\n"
       (H.n_vertices h) (H.n_edges h) (H.total_incidence h);
@@ -73,7 +75,22 @@ let stats_cmd =
       Printf.printf " (largest: %d vertices, %d hyperedges)" nv ne
     end;
     print_newline ();
-    let diam, apl = HP.diameter_and_average_path h in
+    let deadline = Hp_util.Deadline.of_timeout timeout in
+    let sampled = samples > 0 && samples < H.n_vertices h in
+    let diam, apl =
+      match
+        if sampled then
+          HP.sampled_diameter_and_average_path ~domains ~deadline
+            (Hp_util.Prng.create seed) h ~samples
+        else HP.diameter_and_average_path ~domains ~deadline h
+      with
+      | r -> r
+      | exception Hp_util.Deadline.Expired ->
+        Printf.eprintf "hgtool: stats: path sweep exceeded the %.1f s budget\n"
+          timeout;
+        exit 1
+    in
+    if sampled then Printf.printf "sampled sources: %d\n" samples;
     Printf.printf "diameter: %d\naverage path length: %.3f\n" diam apl;
     let hist = Hp_stats.Degree_dist.vertex_histogram h in
     (match Hp_stats.Powerlaw.fit_loglog hist with
@@ -83,9 +100,22 @@ let stats_cmd =
     | exception Invalid_argument _ ->
       print_endline "power-law fit: not enough distinct degrees")
   in
+  let samples =
+    Arg.(value & opt int 0 & info [ "samples" ] ~docv:"N"
+           ~doc:"Estimate path metrics from N sampled BFS sources \
+                 instead of the exact all-pairs sweep (0 = exact).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Domains for the path sweep.")
+  in
+  let timeout =
+    Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Abort the path sweep past this budget (0 = none).")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Network statistics (paper Section 2).")
-    Term.(const run $ input_arg)
+    Term.(const run $ input_arg $ samples $ domains $ timeout $ seed_arg)
 
 (* kcore *)
 let kcore_cmd =
@@ -328,7 +358,10 @@ let socket_arg =
 
 let serve_cmd =
   let run socket workers cache timeout domains preload queue_limit
-      shed_watermark max_file_bytes failpoints =
+      shed_watermark max_file_bytes failpoints stats_samples log_level =
+    (match Hp_util.Log.level_of_string log_level with
+    | Ok l -> Hp_util.Log.set_level l
+    | Error msg -> Printf.eprintf "hgtool: serve: %s, keeping info\n%!" msg);
     let config =
       {
         Hp_server.Server.socket_path = socket;
@@ -341,6 +374,7 @@ let serve_cmd =
         shed_watermark;
         max_file_bytes;
         failpoints;
+        stats_samples;
       }
     in
     match Hp_server.Server.start config with
@@ -393,10 +427,106 @@ let serve_cmd =
     Arg.(value & opt string "" & info [ "failpoints" ] ~env ~docv:"SPEC"
            ~doc:"Fault-injection spec (test-only).")
   in
+  let stats_samples =
+    Arg.(value & opt int 0 & info [ "stats-samples" ] ~docv:"N"
+           ~doc:"Estimate STATS path metrics from N sampled BFS sources \
+                 (0 = exact).")
+  in
+  let log_level =
+    let env = Cmd.Env.info "HGD_LOG_LEVEL" in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
+           ~doc:"Structured-log threshold: debug, info, warn, or error.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the resident analysis server in the foreground.")
     Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
-          $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints)
+          $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints
+          $ stats_samples $ log_level)
+
+(* Shared plumbing for the one-shot observability commands: send a
+   single request, fail loudly on transport or server errors, hand the
+   payload to the renderer. *)
+let one_shot ~what ~socket req render =
+  match
+    Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+        Hp_server.Client.request c req)
+  with
+  | Error msg ->
+    Printf.eprintf "hgtool: %s: %s\n" what msg;
+    exit 1
+  | Ok (Hp_server.Protocol.Err { code; message; _ }) ->
+    Printf.eprintf "hgtool: %s: %s: %s\n" what
+      (Hp_server.Protocol.error_code_to_string code)
+      message;
+    exit 1
+  | Ok (Hp_server.Protocol.Ok kvs) -> render kvs
+
+(* metrics *)
+let metrics_cmd =
+  let run socket format =
+    let fmt =
+      match String.lowercase_ascii format with
+      | "table" | "text" -> Hp_server.Protocol.Table
+      | "prom" | "prometheus" -> Hp_server.Protocol.Prometheus
+      | other ->
+        Printf.eprintf "hgtool: metrics: unknown format %S (table or prom)\n" other;
+        exit 1
+    in
+    one_shot ~what:"metrics" ~socket (Hp_server.Protocol.Metrics fmt) (fun kvs ->
+        match fmt with
+        | Hp_server.Protocol.Prometheus ->
+          (* The exposition lines arrive keyed by line number, already
+             in order; printing the values verbatim reassembles the
+             text format a Prometheus scraper expects. *)
+          List.iter (fun (_, line) -> print_endline line) kvs
+        | Hp_server.Protocol.Table ->
+          print_endline
+            (Hp_util.Table.render ~header:[ "metric"; "value" ]
+               (List.map (fun (k, v) -> [ k; v ]) kvs)))
+  in
+  let format =
+    Arg.(value & opt string "table" & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Output format: $(i,table) (key/value) or $(i,prom) \
+                 (Prometheus text exposition).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Fetch a running server's counters and latency histograms.")
+    Term.(const run $ socket_arg $ format)
+
+(* trace *)
+let trace_cmd =
+  let run socket n =
+    one_shot ~what:"trace" ~socket (Hp_server.Protocol.Trace n) (fun kvs ->
+        let count =
+          match List.assoc_opt "count" kvs with
+          | Some c -> (try int_of_string c with _ -> 0)
+          | None -> 0
+        in
+        if count = 0 then print_endline "no traced requests yet"
+        else begin
+          let field i name =
+            Option.value ~default:"-"
+              (List.assoc_opt (Printf.sprintf "%d.%s" i name) kvs)
+          in
+          let cols =
+            [ "trace"; "status"; "cached"; "total_us"; "queue_us"; "parse_us";
+              "cache_us"; "compute_us"; "write_us"; "request" ]
+          in
+          print_endline
+            (Hp_util.Table.render ~header:cols
+               (List.init count (fun i -> List.map (field i) cols)))
+        end)
+  in
+  let n =
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N"
+           ~doc:"Show the N slowest retained requests (server default 10).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Show the slowest recent requests with per-stage timings \
+             (queue, parse, cache, compute, write).")
+    Term.(const run $ socket_arg $ n)
 
 (* query *)
 let query_cmd =
@@ -453,7 +583,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request (LOAD, STATS, KCORE, COVER, STORAGE, POWERLAW, \
-             DATASETS, METRICS, EVICT, PING, SHUTDOWN) to a running server.")
+             DATASETS, METRICS, TRACE, EVICT, PING, SHUTDOWN) to a running \
+             server.")
     Term.(const run $ socket_arg $ retries $ timeout $ words)
 
 let () =
@@ -464,5 +595,5 @@ let () =
           [
             generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
             components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
-            serve_cmd; query_cmd;
+            serve_cmd; query_cmd; metrics_cmd; trace_cmd;
           ]))

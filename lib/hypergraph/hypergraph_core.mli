@@ -36,6 +36,11 @@ type stats = {
   edges_deleted : int;
   maximality_checks : int;
   (** Number of (hyperedge, candidate container) containment tests. *)
+  peel_rounds : int;
+  (** FIFO cascade depth of the peel: the number of worklist batches
+      drained, where each batch holds the vertices exposed by the
+      previous one.  0 when nothing was peeled (k = 0, or no vertex
+      ever fell below k). *)
 }
 
 type result = {

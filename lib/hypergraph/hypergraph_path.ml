@@ -88,18 +88,26 @@ let largest_component h =
     H.sub h ~vertices:(U.Dynarray.to_array vkeep) ~edges:(U.Dynarray.to_array ekeep)
   end
 
+(* Profiling hook for the sweeps: completed-source counting is atomic
+   because the fold fans out across domains. *)
+type sweep_stats = { sources : int Atomic.t }
+
+let sweep_stats () = { sources = Atomic.make 0 }
+let sources_visited s = Atomic.get s.sources
+
 (* One BFS per source, accumulating (sum of finite distances, finite
    ordered pairs, max distance).  Sources are independent, so the sweep
    fans out across domains: the hypergraph is only read.  The deadline
    is checked once per source — [Deadline.Expired] raised in a worker
    domain is re-raised by the fork-join, so an over-budget sweep
    aborts across all domains. *)
-let pair_stats_over ~domains ~deadline h ~n_sources ~source_of =
+let pair_stats_over ~domains ~deadline ?stats h ~n_sources ~source_of =
   let fold (sum, pairs, dmax) i =
     U.Deadline.check deadline;
     U.Fault.point "path.bfs";
     let src = source_of i in
     let dist = bfs h src in
+    (match stats with Some s -> Atomic.incr s.sources | None -> ());
     let sum = ref sum and pairs = ref pairs and dmax = ref dmax in
     Array.iteri
       (fun v d ->
@@ -120,15 +128,20 @@ let pair_stats_over ~domains ~deadline h ~n_sources ~source_of =
   let avg = if pairs = 0 then 0.0 else float_of_int sum /. float_of_int pairs in
   (dmax, avg)
 
-let diameter_and_average_path ?(domains = 1) ?(deadline = U.Deadline.never) h =
-  pair_stats_over ~domains ~deadline h ~n_sources:(H.n_vertices h)
+let diameter_and_average_path ?(domains = 1) ?(deadline = U.Deadline.never)
+    ?stats h =
+  pair_stats_over ~domains ~deadline ?stats h ~n_sources:(H.n_vertices h)
     ~source_of:Fun.id
 
-let sampled_diameter_and_average_path rng h ~samples =
+let sampled_diameter_and_average_path ?(domains = 1)
+    ?(deadline = U.Deadline.never) ?stats rng h ~samples =
   let nv = H.n_vertices h in
   if nv = 0 then (0, 0.0)
   else begin
+    (* Sources are drawn up front so the estimate is a function of the
+       rng alone — the same seed yields the same answer at any domain
+       count (the combine is commutative). *)
     let sources = Array.init samples (fun _ -> U.Prng.int rng nv) in
-    pair_stats_over ~domains:1 ~deadline:U.Deadline.never h ~n_sources:samples
+    pair_stats_over ~domains ~deadline ?stats h ~n_sources:samples
       ~source_of:(fun i -> sources.(i))
   end

@@ -27,8 +27,19 @@ val largest_component : Hypergraph.t -> Hypergraph.t * int array * int array
 (** The subhypergraph induced by a component with the most vertices,
     plus new-to-old id maps. *)
 
+type sweep_stats
+(** Profiling hook for the sweeps: pass one cell in and read the
+    completed-source count out, even after a deadline abort.  Safe to
+    share across the sweep's worker domains. *)
+
+val sweep_stats : unit -> sweep_stats
+
+val sources_visited : sweep_stats -> int
+(** Sources whose BFS ran to completion so far. *)
+
 val diameter_and_average_path :
-  ?domains:int -> ?deadline:Hp_util.Deadline.t -> Hypergraph.t -> int * float
+  ?domains:int -> ?deadline:Hp_util.Deadline.t -> ?stats:sweep_stats ->
+  Hypergraph.t -> int * float
 (** Exact all-pairs sweep over vertices: [(diameter, average path
     length)] over reachable ordered pairs of distinct vertices.  The
     per-source BFS runs fan out over [domains] (default 1) — see
@@ -37,5 +48,10 @@ val diameter_and_average_path :
     [Hp_util.Deadline.Expired] aborts the sweep across all domains. *)
 
 val sampled_diameter_and_average_path :
+  ?domains:int -> ?deadline:Hp_util.Deadline.t -> ?stats:sweep_stats ->
   Hp_util.Prng.t -> Hypergraph.t -> samples:int -> int * float
-(** Estimate from BFS at sampled source vertices, for large inputs. *)
+(** Estimate from BFS at sampled source vertices, for large inputs.
+    [domains] / [deadline] behave exactly as in the exact sweep (they
+    used to be hardcoded to 1 / {!Hp_util.Deadline.never}); the source
+    sample depends only on the rng, so the estimate is identical at
+    any domain count. *)

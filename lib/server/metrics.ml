@@ -1,20 +1,23 @@
 let n_buckets = 40
 
+type hist = {
+  buckets : int array;  (* bucket i: observations in [2^i, 2^{i+1}) us *)
+  mutable sum_us : float;
+  mutable max_us : int;
+  mutable count : int;
+}
+
 type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
-  latency_buckets : int array;  (* bucket i: latencies in [2^i, 2^{i+1}) us *)
-  mutable latency_sum_us : float;
-  mutable latency_max_us : int;
+  hists : (string, hist) Hashtbl.t;
 }
 
 let create () =
   {
     mutex = Mutex.create ();
     counters = Hashtbl.create 32;
-    latency_buckets = Array.make n_buckets 0;
-    latency_sum_us = 0.0;
-    latency_max_us = 0;
+    hists = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -37,55 +40,159 @@ let bucket_of_us us =
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
   min (n_buckets - 1) (log2 (max 1 us) 0)
 
-let observe_latency t seconds =
+let observe t name seconds =
   let us = max 0 (int_of_float (seconds *. 1e6)) in
   locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+          let h =
+            { buckets = Array.make n_buckets 0; sum_us = 0.0; max_us = 0; count = 0 }
+          in
+          Hashtbl.add t.hists name h;
+          h
+      in
       let b = bucket_of_us us in
-      t.latency_buckets.(b) <- t.latency_buckets.(b) + 1;
-      t.latency_sum_us <- t.latency_sum_us +. float_of_int us;
-      if us > t.latency_max_us then t.latency_max_us <- us)
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      h.sum_us <- h.sum_us +. float_of_int us;
+      h.count <- h.count + 1;
+      if us > h.max_us then h.max_us <- us)
+
+let observe_latency t seconds = observe t "latency" seconds
+
+(* The p-th percentile as the lower bound (2^i us) of the smallest
+   bucket whose cumulative count covers p% of the observations.  One
+   pass over the fixed-size bucket array — the cost does not grow with
+   the number of observations (the old implementation expanded every
+   observation into an intermediate histogram, O(total) per call). *)
+let percentile_of_buckets ~buckets ~total ~max_us p =
+  if total <= 0 then 0
+  else begin
+    let need =
+      max 1 (min total (int_of_float (ceil (p /. 100.0 *. float_of_int total))))
+    in
+    let n = Array.length buckets in
+    let rec scan i cum =
+      if i >= n then max_us
+      else
+        let cum = cum + buckets.(i) in
+        if cum >= need then 1 lsl i else scan (i + 1) cum
+    in
+    scan 0 0
+  end
+
+type frozen_hist = {
+  f_buckets : int array;
+  f_sum_us : float;
+  f_max_us : int;
+  f_count : int;
+}
+
+type frozen = {
+  f_counters : (string * int) list;
+  f_hists : (string * frozen_hist) list;
+}
+
+let freeze t =
+  locked t (fun () ->
+      {
+        f_counters =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+          |> List.sort compare;
+        f_hists =
+          Hashtbl.fold
+            (fun k h acc ->
+              ( k,
+                {
+                  f_buckets = Array.copy h.buckets;
+                  f_sum_us = h.sum_us;
+                  f_max_us = h.max_us;
+                  f_count = h.count;
+                } )
+              :: acc)
+            t.hists []
+          |> List.sort compare;
+      })
 
 let snapshot t =
-  let counters, buckets, sum_us, max_us =
-    locked t (fun () ->
-        ( Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [],
-          Array.copy t.latency_buckets,
-          t.latency_sum_us,
-          t.latency_max_us ))
-  in
+  let { f_counters; f_hists } = freeze t in
   let counter_lines =
-    List.sort compare counters
-    |> List.map (fun (k, v) -> (k, string_of_int v))
+    List.map (fun (k, v) -> (k, string_of_int v)) f_counters
   in
-  let hist =
-    Hp_util.Int_histogram.of_iter (fun f ->
-        Array.iteri (fun exp c -> if c > 0 then
-            for _ = 1 to c do f exp done)
-          buckets)
-  in
-  let total = Hp_util.Int_histogram.total hist in
-  if total = 0 then counter_lines
-  else begin
-    (* p-th percentile as the lower bound (2^exp us) of the smallest
-       bucket that covers p% of observations. *)
-    let percentile p =
-      let need = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
-      let rec scan exp =
-        if exp >= n_buckets then t.latency_max_us
-        else if total - Hp_util.Int_histogram.cumulative_ge hist (exp + 1) >= need
-        then 1 lsl exp
-        else scan (exp + 1)
+  let hist_lines (name, h) =
+    if h.f_count = 0 then []
+    else begin
+      let pct p =
+        percentile_of_buckets ~buckets:h.f_buckets ~total:h.f_count
+          ~max_us:h.f_max_us p
       in
-      scan 0
-    in
-    counter_lines
-    @ [
-        ("latency_count", string_of_int total);
-        ("latency_mean_us",
-         Printf.sprintf "%.1f" (sum_us /. float_of_int total));
-        ("latency_p50_us", string_of_int (percentile 50.0));
-        ("latency_p90_us", string_of_int (percentile 90.0));
-        ("latency_p99_us", string_of_int (percentile 99.0));
-        ("latency_max_us", string_of_int max_us);
+      [
+        (name ^ "_count", string_of_int h.f_count);
+        (name ^ "_mean_us",
+         Printf.sprintf "%.1f" (h.f_sum_us /. float_of_int h.f_count));
+        (name ^ "_p50_us", string_of_int (pct 50.0));
+        (name ^ "_p90_us", string_of_int (pct 90.0));
+        (name ^ "_p99_us", string_of_int (pct 99.0));
+        (name ^ "_max_us", string_of_int h.f_max_us);
       ]
-  end
+    end
+  in
+  counter_lines @ List.concat_map hist_lines f_hists
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let prom_name namespace s =
+  let sane =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      s
+  in
+  let sane =
+    if sane = "" then "_"
+    else
+      match sane.[0] with
+      | '0' .. '9' -> "_" ^ sane
+      | _ -> sane
+  in
+  namespace ^ "_" ^ sane
+
+(* %.17g is lossless for doubles; trim the common integral case. *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus ?(namespace = "hgd") ~gauges ~extra_counters frozen =
+  let buf = ref [] in
+  let line l = buf := l :: !buf in
+  let simple mtype (name, value) =
+    let n = prom_name namespace name in
+    line (Printf.sprintf "# TYPE %s %s" n mtype);
+    line (Printf.sprintf "%s %s" n (prom_float value))
+  in
+  List.iter (fun (k, v) -> simple "counter" (k, float_of_int v)) frozen.f_counters;
+  List.iter (fun (k, v) -> simple "counter" (k, float_of_int v)) extra_counters;
+  List.iter (simple "gauge") gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name namespace (name ^ "_seconds") in
+      line (Printf.sprintf "# TYPE %s histogram" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          (* Bucket i holds [2^i, 2^{i+1}) us, so its cumulative upper
+             bound is 2^{i+1} us. *)
+          let le = Float.of_int (1 lsl (i + 1)) /. 1e6 in
+          line
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d" n (prom_float le) !cum))
+        h.f_buckets;
+      line (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n h.f_count);
+      line (Printf.sprintf "%s_sum %s" n (prom_float (h.f_sum_us /. 1e6)));
+      line (Printf.sprintf "%s_count %d" n h.f_count))
+    frozen.f_hists;
+  List.rev !buf

@@ -1,14 +1,19 @@
-(** Server observability: monotonic named counters plus a latency
-    histogram, rendered as the [METRICS] reply payload.
+(** Server observability: monotonic named counters plus named latency
+    histograms, rendered as the [METRICS] reply payload (table form)
+    or Prometheus text exposition ([METRICS prom]).
 
-    Latencies are tallied into power-of-two microsecond buckets
-    (bucket i counts requests that took [2^i, 2^{i+1}) us); the
-    snapshot turns the buckets into an {!Hp_util.Int_histogram} over
-    bucket exponents to derive count / percentile / max lines, so the
-    recording path is O(1) per request and a reply is a fixed number
-    of lines.  All operations are mutex-serialized. *)
+    Durations are tallied into power-of-two microsecond buckets
+    (bucket i counts observations in [2^i, 2^{i+1}) us).  Percentiles
+    are computed directly from the bucket counts — a single
+    O(n_buckets) cumulative scan — so a [METRICS] reply costs the same
+    whether the daemon has served forty requests or forty million.
+    All operations are mutex-serialized. *)
 
 type t
+
+val n_buckets : int
+(** Number of power-of-two buckets per histogram (40: up to ~2^40 us,
+    about 12.7 days, before clamping into the last bucket). *)
 
 val create : unit -> t
 
@@ -18,10 +23,51 @@ val incr : ?by:int -> t -> string -> unit
 val get : t -> string -> int
 (** Current value (0 for a counter never bumped). *)
 
+val observe : t -> string -> float -> unit
+(** [observe t name seconds] records one duration into the histogram
+    [name], creating it on first use. *)
+
 val observe_latency : t -> float -> unit
-(** Record one request service time, in seconds. *)
+(** [observe t "latency"] — the request service-time histogram. *)
+
+val percentile_of_buckets :
+  buckets:int array -> total:int -> max_us:int -> float -> int
+(** [percentile_of_buckets ~buckets ~total ~max_us p] is the p-th
+    percentile in microseconds, as the lower bound (2^i us) of the
+    smallest bucket whose cumulative count covers p% of [total]
+    observations ([max_us] when the scan runs off the end; 0 when
+    [total] is 0).  Pure, O(n_buckets); exposed for tests. *)
 
 val snapshot : t -> (string * string) list
-(** All counters in name order, followed by [latency_*] summary lines
-    ([count], [mean_us], [p50_us], [p90_us], [p99_us], [max_us]) when
-    at least one latency was observed. *)
+(** All counters in name order, then for each histogram in name order
+    with at least one observation, [<name>_count], [<name>_mean_us],
+    [<name>_p50_us], [<name>_p90_us], [<name>_p99_us], [<name>_max_us]. *)
+
+(** {2 Prometheus exposition} *)
+
+type frozen_hist = {
+  f_buckets : int array;
+  f_sum_us : float;
+  f_max_us : int;
+  f_count : int;
+}
+
+type frozen = {
+  f_counters : (string * int) list;  (** name order *)
+  f_hists : (string * frozen_hist) list;  (** name order *)
+}
+
+val freeze : t -> frozen
+(** Consistent copy of all counters and histograms. *)
+
+val prometheus :
+  ?namespace:string ->
+  gauges:(string * float) list ->
+  extra_counters:(string * int) list ->
+  frozen -> string list
+(** Prometheus text-exposition lines (version 0.0.4, no trailing
+    newline per line): every frozen counter and [extra_counters] as
+    [counter] metrics, [gauges] as [gauge] metrics, every histogram as
+    a [histogram] with cumulative [le] buckets in seconds, [+Inf],
+    [_sum] and [_count].  Metric names are prefixed with [namespace]
+    (default ["hgd"]) and sanitized to the Prometheus charset. *)

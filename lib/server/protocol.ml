@@ -7,11 +7,14 @@ type analysis =
   | Storage
   | Powerlaw
 
+type metrics_format = Table | Prometheus
+
 type request =
   | Load of string
   | Analyze of { dataset : string; analysis : analysis }
   | Datasets
-  | Metrics
+  | Metrics of metrics_format
+  | Trace of int option
   | Evict of string option
   | Ping
   | Shutdown
@@ -105,7 +108,20 @@ let parse_request line =
     | "POWERLAW", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Powerlaw })
     | "POWERLAW", _ -> Result.Error "POWERLAW takes exactly one dataset"
     | "DATASETS", [] -> Result.Ok Datasets
-    | "METRICS", [] -> Result.Ok Metrics
+    | "METRICS", [] -> Result.Ok (Metrics Table)
+    | "METRICS", [ fmt ] ->
+      (match String.lowercase_ascii fmt with
+      | "table" | "text" -> Result.Ok (Metrics Table)
+      | "prom" | "prometheus" -> Result.Ok (Metrics Prometheus)
+      | other ->
+        Result.Error (Printf.sprintf "unknown metrics format %S (table|prom)" other))
+    | "METRICS", _ -> Result.Error "METRICS takes an optional format (table|prom)"
+    | "TRACE", [] -> Result.Ok (Trace None)
+    | "TRACE", [ n ] ->
+      let* n = int_arg "TRACE" n in
+      if n < 1 then Result.Error "TRACE: n must be >= 1"
+      else Result.Ok (Trace (Some n))
+    | "TRACE", _ -> Result.Error "TRACE takes an optional count"
     | "EVICT", [] -> Result.Ok (Evict None)
     | "EVICT", [ ds ] -> Result.Ok (Evict (Some ds))
     | "EVICT", _ -> Result.Error "EVICT takes at most one dataset"
@@ -127,7 +143,10 @@ let request_line = function
     let verb, args = analysis_args analysis in
     String.concat " " (verb :: dataset :: args)
   | Datasets -> "DATASETS"
-  | Metrics -> "METRICS"
+  | Metrics Table -> "METRICS"
+  | Metrics Prometheus -> "METRICS prom"
+  | Trace None -> "TRACE"
+  | Trace (Some n) -> "TRACE " ^ string_of_int n
   | Evict None -> "EVICT"
   | Evict (Some ds) -> "EVICT " ^ ds
   | Ping -> "PING"

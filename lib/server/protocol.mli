@@ -12,7 +12,8 @@
     STORAGE <dataset>
     POWERLAW <dataset>
     DATASETS
-    METRICS
+    METRICS [table|prom]
+    TRACE [n]
     EVICT [<dataset>]
     PING
     SHUTDOWN
@@ -43,11 +44,18 @@ type analysis =
   | Storage
   | Powerlaw
 
+type metrics_format =
+  | Table       (** key/value summary lines (the default) *)
+  | Prometheus  (** text exposition, one line per payload value *)
+
 type request =
   | Load of string
   | Analyze of { dataset : string; analysis : analysis }
   | Datasets
-  | Metrics
+  | Metrics of metrics_format
+  | Trace of int option
+      (** Slowest recent requests with per-stage span timings;
+          [None] defaults to 10. *)
   | Evict of string option
       (** [Some digest] drops a dataset and its cached results;
           [None] clears the whole result cache. *)

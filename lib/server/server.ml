@@ -3,6 +3,8 @@ module HP = Hp_hypergraph.Hypergraph_path
 module HC = Hp_hypergraph.Hypergraph_core
 module P = Protocol
 
+module Log = Hp_util.Log
+
 type config = {
   socket_path : string;
   workers : int;
@@ -14,6 +16,7 @@ type config = {
   shed_watermark : int;
   max_file_bytes : int;
   failpoints : string;
+  stats_samples : int;
 }
 
 let default_config ~socket_path =
@@ -28,6 +31,7 @@ let default_config ~socket_path =
     shed_watermark = 64;
     max_file_bytes = 1 lsl 30;
     failpoints = "";
+    stats_samples = 0;
   }
 
 type t = {
@@ -35,10 +39,13 @@ type t = {
   registry : Registry.t;
   cache : Result_cache.t;
   metrics : Metrics.t;
+  trace : Trace.t;
   listen_fd : Unix.file_descr;
   started_at : float;
   stopping : bool Atomic.t;
-  mutable pool : Unix.file_descr Worker.t option;
+  (* Jobs carry the accept timestamp so the worker that picks the
+     connection up can measure the queue wait. *)
+  mutable pool : (Unix.file_descr * float) Worker.t option;
   mutable accept_domain : unit Domain.t option;
   finalize_mutex : Mutex.t;
   mutable finalized : bool;
@@ -64,9 +71,34 @@ let powerlaw_lines hist =
     ]
   | exception Invalid_argument _ -> [ ("powerlaw_fit", "n/a") ]
 
-let stats_payload ~domains ~deadline h =
+(* The deterministic seed for server-side sampled sweeps: the result
+   is cached under the same key as the exact sweep, so it must at
+   least be reproducible within a daemon's lifetime. *)
+let sampled_sweep_seed = 2004
+
+let stats_payload ~domains ~deadline ~samples ~metrics h =
   let summary = HP.component_summary h in
-  let diam, apl = HP.diameter_and_average_path ~domains ~deadline h in
+  let sweep = HP.sweep_stats () in
+  (* The completed-source count feeds the kernel gauge even when the
+     deadline aborts the sweep mid-flight. *)
+  let diam, apl, sweep_lines =
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.incr metrics ~by:(HP.sources_visited sweep) "kernel_bfs_sources")
+      (fun () ->
+        if samples > 0 && samples < H.n_vertices h then begin
+          let rng = Hp_util.Prng.create sampled_sweep_seed in
+          let d, a =
+            HP.sampled_diameter_and_average_path ~domains ~deadline ~stats:sweep
+              rng h ~samples
+          in
+          (d, a, [ ("sampled_sources", string_of_int samples) ])
+        end
+        else begin
+          let d, a = HP.diameter_and_average_path ~domains ~deadline ~stats:sweep h in
+          (d, a, [])
+        end)
+  in
   let largest =
     if Array.length summary = 0 then []
     else
@@ -86,9 +118,10 @@ let stats_payload ~domains ~deadline h =
   ]
   @ largest
   @ [ ("diameter", string_of_int diam); ("average_path", float3 apl) ]
+  @ sweep_lines
   @ powerlaw_lines (Hp_stats.Degree_dist.vertex_histogram h)
 
-let kcore_payload ~domains ~deadline h k =
+let kcore_payload ~domains ~deadline ~metrics h k =
   let result, k =
     match k with
     | Some k -> (HC.k_core ~domains ~deadline h k, k)
@@ -96,6 +129,12 @@ let kcore_payload ~domains ~deadline h k =
       let k, r = HC.max_core ~domains ~deadline h in
       (r, k)
   in
+  (* Kernel profiling stats used to be computed and dropped here; they
+     now feed the kernel_* gauges behind METRICS. *)
+  Metrics.incr metrics ~by:result.stats.peel_rounds "kernel_peel_rounds";
+  Metrics.incr metrics ~by:result.stats.maximality_checks "kernel_maximality_checks";
+  Metrics.incr metrics ~by:result.stats.vertices_deleted "kernel_vertices_peeled";
+  Metrics.incr metrics ~by:result.stats.edges_deleted "kernel_edges_deleted";
   [
     ("k", string_of_int k);
     ("core_vertices", string_of_int (H.n_vertices result.core));
@@ -154,10 +193,10 @@ let powerlaw_payload h =
     @ ks
   | exception Invalid_argument _ -> ls
 
-let compute_payload ~domains ~deadline h : P.analysis -> (string * string) list =
-  function
-  | P.Stats -> stats_payload ~domains ~deadline h
-  | P.Kcore k -> kcore_payload ~domains ~deadline h k
+let compute_payload ~domains ~deadline ~samples ~metrics h :
+    P.analysis -> (string * string) list = function
+  | P.Stats -> stats_payload ~domains ~deadline ~samples ~metrics h
+  | P.Kcore k -> kcore_payload ~domains ~deadline ~metrics h k
   | P.Cover { weighting; r } -> cover_payload h weighting r
   | P.Storage -> storage_payload h
   | P.Powerlaw -> powerlaw_payload h
@@ -198,7 +237,7 @@ let retry_hint_ms depth = min 5000 (100 * (depth + 1))
 let queue_depth t =
   match t.pool with Some pool -> Worker.pending pool | None -> 0
 
-let analyze_reply t ~t0 dataset analysis : P.reply =
+let analyze_reply t ~t0 ~tr dataset analysis : P.reply =
   match Registry.find t.registry dataset with
   | `Missing ->
     P.err P.Unknown_dataset (Printf.sprintf "no resident dataset %S" dataset)
@@ -206,8 +245,10 @@ let analyze_reply t ~t0 dataset analysis : P.reply =
     P.err P.Unknown_dataset (Printf.sprintf "ambiguous digest prefix %S" dataset)
   | `Found entry ->
     let key = Result_cache.key ~digest:entry.digest ~analysis in
-    (match Result_cache.find t.cache key with
-    | Some payload -> P.Ok (payload @ [ ("cached", "true") ])
+    (match Trace.timed tr Trace.Cache (fun () -> Result_cache.find t.cache key) with
+    | Some payload ->
+      Trace.set_cached tr true;
+      P.Ok (payload @ [ ("cached", "true") ])
     | None ->
       let depth = queue_depth t in
       if t.config.shed_watermark > 0 && depth >= t.config.shed_watermark then begin
@@ -225,11 +266,13 @@ let analyze_reply t ~t0 dataset analysis : P.reply =
         let budget = t.config.request_timeout in
         let deadline = Hp_util.Deadline.of_timeout budget in
         match
-          compute_payload ~domains:t.config.compute_domains ~deadline
-            entry.hypergraph analysis
+          Trace.timed tr Trace.Compute (fun () ->
+              compute_payload ~domains:t.config.compute_domains ~deadline
+                ~samples:t.config.stats_samples ~metrics:t.metrics
+                entry.hypergraph analysis)
         with
         | payload ->
-          Result_cache.add t.cache key payload;
+          Trace.timed tr Trace.Cache (fun () -> Result_cache.add t.cache key payload);
           let elapsed = Unix.gettimeofday () -. t0 in
           if budget > 0.0 && elapsed > budget then begin
             (* Analyses without deadline checks (cover, storage, ...) can
@@ -252,22 +295,70 @@ let analyze_reply t ~t0 dataset analysis : P.reply =
           P.err P.Internal (Printexc.to_string e)
       end)
 
-let metrics_reply t : P.reply =
+(* Point-in-time values the Metrics store does not own, appended to
+   both exposition formats. *)
+let server_gauges t =
+  [
+    ("cache_entries", float_of_int (Result_cache.length t.cache));
+    ("cache_capacity", float_of_int (Result_cache.capacity t.cache));
+    ("datasets_resident",
+     float_of_int (List.length (Registry.list t.registry)));
+    ("workers", float_of_int t.config.workers);
+    ("queue_pending", float_of_int (queue_depth t));
+    ("queue_limit", float_of_int t.config.queue_limit);
+    ("uptime_seconds", Unix.gettimeofday () -. t.started_at);
+  ]
+
+let metrics_reply t (fmt : P.metrics_format) : P.reply =
   let restarts =
     match t.pool with Some pool -> Worker.restarts pool | None -> 0
   in
+  match fmt with
+  | P.Table ->
+    P.Ok
+      (Metrics.snapshot t.metrics
+      @ [
+          ("cache_entries", string_of_int (Result_cache.length t.cache));
+          ("cache_capacity", string_of_int (Result_cache.capacity t.cache));
+          ("datasets_resident", string_of_int (List.length (Registry.list t.registry)));
+          ("workers", string_of_int t.config.workers);
+          ("worker_restarts", string_of_int restarts);
+          ("queue_pending", string_of_int (queue_depth t));
+          ("queue_limit", string_of_int t.config.queue_limit);
+          ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+        ])
+  | P.Prometheus ->
+    (* One exposition line per payload value, keyed by line number, so
+       the reply stays inside the tab-separated framing; the client
+       reassembles by printing values in order. *)
+    let lines =
+      Metrics.prometheus ~gauges:(server_gauges t)
+        ~extra_counters:[ ("worker_restarts", restarts) ]
+        (Metrics.freeze t.metrics)
+    in
+    P.Ok (List.mapi (fun i l -> (string_of_int i, l)) lines)
+
+let trace_reply t n : P.reply =
+  let n = Option.value n ~default:10 in
+  let records = Trace.slowest t.trace n in
+  let entry i (r : Trace.record) =
+    let p = string_of_int i ^ "." in
+    [
+      (p ^ "trace", string_of_int r.Trace.id);
+      (p ^ "status", r.status);
+      (p ^ "cached", string_of_bool r.cached);
+      (p ^ "total_us", string_of_int r.total_us);
+      (p ^ "queue_us", string_of_int r.queue_us);
+      (p ^ "parse_us", string_of_int r.parse_us);
+      (p ^ "cache_us", string_of_int r.cache_us);
+      (p ^ "compute_us", string_of_int r.compute_us);
+      (p ^ "write_us", string_of_int r.write_us);
+      (p ^ "request", r.request);
+    ]
+  in
   P.Ok
-    (Metrics.snapshot t.metrics
-    @ [
-        ("cache_entries", string_of_int (Result_cache.length t.cache));
-        ("cache_capacity", string_of_int (Result_cache.capacity t.cache));
-        ("datasets_resident", string_of_int (List.length (Registry.list t.registry)));
-        ("workers", string_of_int t.config.workers);
-        ("worker_restarts", string_of_int restarts);
-        ("queue_pending", string_of_int (queue_depth t));
-        ("queue_limit", string_of_int t.config.queue_limit);
-        ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
-      ])
+    (("count", string_of_int (List.length records))
+    :: List.concat (List.mapi entry records))
 
 let verb_counter : P.request -> string = function
   | P.Load _ -> "requests_load"
@@ -277,20 +368,23 @@ let verb_counter : P.request -> string = function
   | P.Analyze { analysis = P.Storage; _ } -> "requests_storage"
   | P.Analyze { analysis = P.Powerlaw; _ } -> "requests_powerlaw"
   | P.Datasets -> "requests_datasets"
-  | P.Metrics -> "requests_metrics"
+  | P.Metrics _ -> "requests_metrics"
+  | P.Trace _ -> "requests_trace"
   | P.Evict _ -> "requests_evict"
   | P.Ping -> "requests_ping"
   | P.Shutdown -> "requests_shutdown"
 
-let handle_request t ~t0 (req : P.request) : P.reply * [ `Continue | `Stop ] =
+let handle_request t ~t0 ~tr (req : P.request) : P.reply * [ `Continue | `Stop ] =
   Metrics.incr t.metrics (verb_counter req);
   match req with
   | P.Load path -> (load_reply t path, `Continue)
-  | P.Analyze { dataset; analysis } -> (analyze_reply t ~t0 dataset analysis, `Continue)
+  | P.Analyze { dataset; analysis } ->
+    (analyze_reply t ~t0 ~tr dataset analysis, `Continue)
   | P.Datasets ->
     let entries = Registry.list t.registry in
     (P.Ok (List.map (fun e -> (e.Registry.digest, entry_summary e)) entries), `Continue)
-  | P.Metrics -> (metrics_reply t, `Continue)
+  | P.Metrics fmt -> (metrics_reply t fmt, `Continue)
+  | P.Trace n -> (trace_reply t n, `Continue)
   | P.Evict None ->
     let n = Result_cache.clear t.cache in
     (P.Ok [ ("dropped_results", string_of_int n) ], `Continue)
@@ -386,8 +480,14 @@ let initiate_stop t =
     with _ -> ()
   end
 
-let serve_connection t fd =
+let serve_connection t (fd, accepted_at) =
   Metrics.incr t.metrics "connections";
+  (* Accept-to-pickup wait.  It belongs to the connection, so it is
+     charged to the queue-wait histogram once and to the first request's
+     trace (later requests on a keep-alive connection never queued). *)
+  let queue_wait = Unix.gettimeofday () -. accepted_at in
+  Metrics.observe t.metrics "queue_wait" queue_wait;
+  let pending_queue_us = ref (max 0 (int_of_float (queue_wait *. 1e6))) in
   (try Unix.setsockopt_float fd SO_RCVTIMEO 0.25 with _ -> ());
   let conn = { fd; pending = "" } in
   let rec loop () =
@@ -405,24 +505,58 @@ let serve_connection t fd =
     | `Line line ->
       let t0 = Unix.gettimeofday () in
       Metrics.incr t.metrics "requests_total";
+      let queue_us = !pending_queue_us in
+      pending_queue_us := 0;
+      let tr = Trace.start t.trace ~queue_us ~request:line () in
       let reply, control =
-        match P.parse_request line with
+        match Trace.timed tr Trace.Parse (fun () -> P.parse_request line) with
         | Error msg ->
           Metrics.incr t.metrics "bad_requests";
           (P.err P.Bad_request msg, `Continue)
         | Ok req -> (
-          try handle_request t ~t0 req
+          try handle_request t ~t0 ~tr req
           with
           | Hp_util.Fault.Killed _ as e -> raise e
           | e ->
             Metrics.incr t.metrics "compute_errors";
             (P.err P.Internal (Printexc.to_string e), `Continue))
       in
-      (match reply with
-      | P.Err _ -> Metrics.incr t.metrics "responses_err"
-      | P.Ok _ -> ());
-      Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
-      write_all fd (P.encode_reply reply);
+      let status =
+        match reply with
+        | P.Err { code; _ } ->
+          Metrics.incr t.metrics "responses_err";
+          "err-" ^ P.error_code_to_string code
+        | P.Ok _ -> "ok"
+      in
+      (* Service time is observed after the reply is on the wire, so
+         serialization and write time are part of the request latency
+         (they used to be invisible).  A failed write is still a
+         finished — and accounted — request. *)
+      let account status =
+        Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
+        let r = Trace.finish t.trace tr ~status in
+        if Log.enabled Log.Debug then
+          Log.debug ~comp:"server"
+            ~fields:
+              [
+                ("trace", string_of_int r.Trace.id);
+                ("status", r.status);
+                ("cached", string_of_bool r.cached);
+                ("total_us", string_of_int r.total_us);
+                ("queue_us", string_of_int r.queue_us);
+                ("parse_us", string_of_int r.parse_us);
+                ("cache_us", string_of_int r.cache_us);
+                ("compute_us", string_of_int r.compute_us);
+                ("write_us", string_of_int r.write_us);
+                ("request", r.request);
+              ]
+            "request"
+      in
+      (match Trace.timed tr Trace.Write (fun () -> write_all fd (P.encode_reply reply)) with
+      | () -> account status
+      | exception e ->
+        account "write-error";
+        raise e);
       (match control with
       | `Continue -> loop ()
       | `Stop -> initiate_stop t)
@@ -444,7 +578,7 @@ let accept_loop t =
           match t.pool with
           | None -> Unix.close fd
           | Some pool -> (
-            match Worker.submit pool fd with
+            match Worker.submit pool (fd, Unix.gettimeofday ()) with
             | `Accepted -> ()
             | `Stopping -> ( try Unix.close fd with _ -> ())
             | `Busy depth ->
@@ -548,6 +682,7 @@ let start config =
       cache = Result_cache.create ~capacity:config.cache_capacity ~metrics ();
       metrics;
       listen_fd;
+      trace = Trace.create ();
       started_at = Unix.gettimeofday ();
       stopping = Atomic.make false;
       pool = None;
@@ -562,9 +697,22 @@ let start config =
          ~lethal:(function Hp_util.Fault.Killed _ -> true | _ -> false)
          ~on_exception:(fun e ->
            Metrics.incr metrics "worker_exceptions";
-           Printf.eprintf "hgd: worker exception: %s\n%!" (Printexc.to_string e))
+           Log.warn ~comp:"worker"
+             ~fields:[ ("exn", Printexc.to_string e) ]
+             "handler exception captured")
          (serve_connection t));
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  Log.info ~comp:"server"
+    ~fields:
+      [
+        ("socket", config.socket_path);
+        ("workers", string_of_int config.workers);
+        ("queue_limit", string_of_int config.queue_limit);
+        ("cache_capacity", string_of_int config.cache_capacity);
+        ("compute_domains", string_of_int config.compute_domains);
+        ("stats_samples", string_of_int config.stats_samples);
+      ]
+    "listening";
   Ok t
 
 let request_stop = initiate_stop
@@ -578,7 +726,14 @@ let wait t =
         Option.iter Domain.join t.accept_domain;
         Option.iter Worker.shutdown t.pool;
         (try Unix.unlink t.config.socket_path with _ -> ());
-        t.finalized <- true
+        t.finalized <- true;
+        Log.info ~comp:"server"
+          ~fields:
+            [
+              ( "uptime_s",
+                Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started_at) );
+            ]
+          "stopped"
       end)
 
 let stop t =

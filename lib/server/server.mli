@@ -43,12 +43,18 @@ type config = {
   failpoints : string;
   (** {!Hp_util.Fault.configure} spec armed at [start]; [""] arms
       nothing.  Test-only. *)
+  stats_samples : int;
+  (** When > 0 and smaller than the vertex count, [STATS] estimates
+      diameter and average path from this many sampled BFS sources
+      (deterministic seed, so the cached result is reproducible)
+      instead of the exact all-pairs sweep.  0 = exact. *)
 }
 
 val default_config : socket_path:string -> config
 (** Workers from {!Hp_util.Parallel.recommended_domains}, 128 cache
     entries, 30 s timeout, single-domain kernels, no preload, queue
-    limit 128, shed watermark 64, 1 GiB file cap, no failpoints. *)
+    limit 128, shed watermark 64, 1 GiB file cap, no failpoints,
+    exact path sweeps ([stats_samples = 0]). *)
 
 type t
 

@@ -1,0 +1,153 @@
+type stage = Queue | Parse | Cache | Compute | Write
+
+let stage_name = function
+  | Queue -> "queue"
+  | Parse -> "parse"
+  | Cache -> "cache"
+  | Compute -> "compute"
+  | Write -> "write"
+
+type record = {
+  id : int;
+  request : string;
+  status : string;
+  started_at : float;
+  total_us : int;
+  queue_us : int;
+  parse_us : int;
+  cache_us : int;
+  compute_us : int;
+  write_us : int;
+  cached : bool;
+}
+
+type active = {
+  a_id : int;
+  a_request : string;
+  a_started : float;
+  mutable a_queue_us : int;
+  mutable a_parse_us : int;
+  mutable a_cache_us : int;
+  mutable a_compute_us : int;
+  mutable a_write_us : int;
+  mutable a_cached : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  ring : record array;
+  capacity : int;
+  mutable next : int;
+  mutable count : int;
+  ids : int Atomic.t;
+}
+
+let default_capacity = 256
+let max_request_bytes = 200
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  let dummy =
+    {
+      id = 0; request = ""; status = ""; started_at = 0.0; total_us = 0;
+      queue_us = 0; parse_us = 0; cache_us = 0; compute_us = 0; write_us = 0;
+      cached = false;
+    }
+  in
+  {
+    mutex = Mutex.create ();
+    ring = Array.make capacity dummy;
+    capacity;
+    next = 0;
+    count = 0;
+    ids = Atomic.make 1;
+  }
+
+let start t ?(queue_us = 0) ~request () =
+  let request =
+    if String.length request <= max_request_bytes then request
+    else String.sub request 0 max_request_bytes
+  in
+  {
+    a_id = Atomic.fetch_and_add t.ids 1;
+    a_request = request;
+    a_started = Unix.gettimeofday ();
+    a_queue_us = max 0 queue_us;
+    a_parse_us = 0;
+    a_cache_us = 0;
+    a_compute_us = 0;
+    a_write_us = 0;
+    a_cached = false;
+  }
+
+let id a = a.a_id
+
+let set_cached a cached = a.a_cached <- cached
+
+(* Time a closure into a stage accumulator ([+=], so a stage entered
+   twice — e.g. the cache probe before and the insert after a compute —
+   sums).  An exception still charges the elapsed time before
+   re-raising, so aborted computes show up in the span. *)
+let timed a stage f =
+  let t0 = Unix.gettimeofday () in
+  let charge () =
+    let us = max 0 (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)) in
+    match stage with
+    | Queue -> a.a_queue_us <- a.a_queue_us + us
+    | Parse -> a.a_parse_us <- a.a_parse_us + us
+    | Cache -> a.a_cache_us <- a.a_cache_us + us
+    | Compute -> a.a_compute_us <- a.a_compute_us + us
+    | Write -> a.a_write_us <- a.a_write_us + us
+  in
+  match f () with
+  | result ->
+    charge ();
+    result
+  | exception e ->
+    charge ();
+    raise e
+
+let finish t a ~status =
+  let total_us =
+    (* Queue wait precedes [start]; fold it into the end-to-end time. *)
+    a.a_queue_us
+    + max 0 (int_of_float ((Unix.gettimeofday () -. a.a_started) *. 1e6))
+  in
+  let r =
+    {
+      id = a.a_id;
+      request = a.a_request;
+      status;
+      started_at = a.a_started;
+      total_us;
+      queue_us = a.a_queue_us;
+      parse_us = a.a_parse_us;
+      cache_us = a.a_cache_us;
+      compute_us = a.a_compute_us;
+      write_us = a.a_write_us;
+      cached = a.a_cached;
+    }
+  in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      t.ring.(t.next) <- r;
+      t.next <- (t.next + 1) mod t.capacity;
+      if t.count < t.capacity then t.count <- t.count + 1);
+  r
+
+let retained t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      List.init t.count (fun i ->
+          t.ring.((t.next - 1 - i + (2 * t.capacity)) mod t.capacity)))
+
+let recent t n = List.filteri (fun i _ -> i < max 0 n) (retained t)
+
+let slowest t n =
+  retained t
+  |> List.stable_sort (fun a b -> compare b.total_us a.total_us)
+  |> List.filteri (fun i _ -> i < max 0 n)

@@ -52,7 +52,9 @@ let worker_loop t handler =
 let slot_body t handler i () =
   try worker_loop t handler
   with e ->
-    Printf.eprintf "hgd: worker[%d] killed: %s\n%!" i (Printexc.to_string e);
+    Hp_util.Log.error ~comp:"worker"
+      ~fields:[ ("slot", string_of_int i); ("exn", Printexc.to_string e) ]
+      "worker killed; awaiting respawn";
     Mutex.lock t.mutex;
     t.crashed <- i :: t.crashed;
     Condition.signal t.crash_wakeup;
@@ -76,7 +78,13 @@ let supervisor_body t handler () =
       (fun i ->
         Option.iter (fun d -> try Domain.join d with _ -> ()) t.slots.(i);
         t.slots.(i) <-
-          (if stopping then None else Some (Domain.spawn (slot_body t handler i))))
+          (if stopping then None
+           else begin
+             Hp_util.Log.info ~comp:"worker"
+               ~fields:[ ("slot", string_of_int i) ]
+               "respawned worker slot";
+             Some (Domain.spawn (slot_body t handler i))
+           end))
       dead;
     if not stopping then loop ()
   in

@@ -1,0 +1,115 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other ->
+    Result.Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" other)
+
+(* The threshold is read on every call from any domain; an int Atomic
+   keeps the hot path lock-free. *)
+let threshold = Atomic.make (severity Info)
+
+let set_level l = Atomic.set threshold (severity l)
+
+let current_level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let enabled l = severity l >= Atomic.get threshold
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let iso8601 ts =
+  let tm = Unix.gmtime ts in
+  let millis =
+    int_of_float ((ts -. Float.of_int (int_of_float ts)) *. 1000.0)
+  in
+  let millis = max 0 (min 999 millis) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.tm_year + 1900)
+    (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min tm.tm_sec millis
+
+let render ~ts level ~comp ~fields msg =
+  let buf = Buffer.create 128 in
+  let field k v =
+    Buffer.add_string buf ",\"";
+    json_escape buf k;
+    Buffer.add_string buf "\":\"";
+    json_escape buf v;
+    Buffer.add_char buf '"'
+  in
+  Buffer.add_string buf "{\"ts\":\"";
+  Buffer.add_string buf (iso8601 ts);
+  Buffer.add_string buf "\",\"level\":\"";
+  Buffer.add_string buf (level_to_string level);
+  Buffer.add_char buf '"';
+  field "comp" comp;
+  field "msg" msg;
+  List.iter (fun (k, v) -> field k v) fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Ring of recent lines.  The mutex also serializes the stderr write so
+   lines from concurrent domains never interleave. *)
+let ring_capacity = 512
+
+let mutex = Mutex.create ()
+let ring = Array.make ring_capacity ""
+let ring_next = ref 0
+let ring_count = ref 0
+
+let emit level ~comp ?(fields = []) msg =
+  if enabled level then begin
+    let line = render ~ts:(Unix.gettimeofday ()) level ~comp ~fields msg in
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        ring.(!ring_next) <- line;
+        ring_next := (!ring_next + 1) mod ring_capacity;
+        if !ring_count < ring_capacity then incr ring_count;
+        output_string stderr line;
+        output_char stderr '\n';
+        flush stderr)
+  end
+
+let debug ~comp ?fields msg = emit Debug ~comp ?fields msg
+let info ~comp ?fields msg = emit Info ~comp ?fields msg
+let warn ~comp ?fields msg = emit Warn ~comp ?fields msg
+let error ~comp ?fields msg = emit Error ~comp ?fields msg
+
+let recent n =
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      let n = max 0 (min n !ring_count) in
+      List.init n (fun i ->
+          let idx = (!ring_next - 1 - i + (2 * ring_capacity)) mod ring_capacity in
+          ring.(idx)))

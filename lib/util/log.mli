@@ -1,0 +1,55 @@
+(** Structured logging: leveled JSON-lines on stderr plus a bounded
+    in-memory ring of recent entries.
+
+    One log record is one JSON object on one line, with the fixed keys
+    [ts] (ISO-8601 UTC, millisecond precision), [level], [comp] (the
+    emitting component) and [msg], followed by the caller's string
+    fields.  Machines grep and parse it; humans still read it.
+
+    The logger is a process-wide singleton (like {!Fault}): the
+    daemon's components — server, worker pool, kernels — log through
+    the same threshold and into the same ring, and the binaries set
+    the threshold once from [--log-level].  Entries below the
+    threshold are dropped entirely (neither written nor retained).
+    Emission is mutex-serialized so concurrent domains never interleave
+    bytes within a line. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> (level, string) result
+(** Inverse of {!level_to_string} (case-insensitive); [Error] names the
+    accepted spellings. *)
+
+val set_level : level -> unit
+(** Set the process-wide threshold.  Default: [Info]. *)
+
+val current_level : unit -> level
+
+val enabled : level -> bool
+(** Whether a record at this level would be emitted — the guard for
+    callers that want to skip building expensive fields. *)
+
+val render :
+  ts:float -> level -> comp:string -> fields:(string * string) list ->
+  string -> string
+(** Pure JSON-line rendering (no trailing newline), exposed for tests:
+    [render ~ts level ~comp ~fields msg].  All values are JSON strings
+    with full escaping; caller fields follow the fixed keys in order. *)
+
+val emit : level -> comp:string -> ?fields:(string * string) list -> string -> unit
+(** Render with the current wall clock and, when at or above the
+    threshold, write the line to stderr and retain it in the ring. *)
+
+val debug : comp:string -> ?fields:(string * string) list -> string -> unit
+val info : comp:string -> ?fields:(string * string) list -> string -> unit
+val warn : comp:string -> ?fields:(string * string) list -> string -> unit
+val error : comp:string -> ?fields:(string * string) list -> string -> unit
+
+val ring_capacity : int
+(** Entries retained in memory (the oldest are overwritten). *)
+
+val recent : int -> string list
+(** Up to [n] most recent retained lines, newest first. *)

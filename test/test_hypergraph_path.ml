@@ -67,6 +67,41 @@ let test_sampled () =
   checkb "sampled diameter bounded" true (dmax <= 3);
   checkb "sampled average positive" true (avg > 0.0)
 
+let test_sampled_domains_agree () =
+  let ds = Hp_data.Cellzome.generate ~seed:2004 () in
+  let sweep domains =
+    HP.sampled_diameter_and_average_path ~domains (U.Prng.create 7) ds.hypergraph
+      ~samples:40
+  in
+  Alcotest.(check (pair int (float 1e-9)))
+    "sampled sweep identical across domain counts" (sweep 1) (sweep 4)
+
+let test_sampled_deadline_abort () =
+  let ds = Hp_data.Cellzome.generate ~seed:2004 () in
+  (* An already-blown budget (checked every source, stride 1) must
+     abort the sampled sweep instead of running it to completion —
+     this used to be impossible because the sweep hardcoded
+     [Deadline.never]. *)
+  let deadline = U.Deadline.after ~stride:1 1e-9 in
+  Unix.sleepf 0.002;
+  let stats = HP.sweep_stats () in
+  (match
+     HP.sampled_diameter_and_average_path ~deadline ~stats (U.Prng.create 7)
+       ds.hypergraph ~samples:200
+   with
+  | _ -> Alcotest.fail "expired deadline should abort the sampled sweep"
+  | exception U.Deadline.Expired -> ());
+  checkb "aborted before finishing every source" true
+    (HP.sources_visited stats < 200)
+
+let test_sweep_stats_counts_sources () =
+  let h = chain () in
+  let stats = HP.sweep_stats () in
+  let _ = HP.diameter_and_average_path ~stats h in
+  check "one BFS per vertex" (H.n_vertices h) (HP.sources_visited stats);
+  let _ = HP.sampled_diameter_and_average_path ~stats (U.Prng.create 3) h ~samples:11 in
+  check "sampled sources accumulate" (H.n_vertices h + 11) (HP.sources_visited stats)
+
 let prop_parallel_diameter_agrees =
   QCheck.Test.make ~name:"diameter: multi-domain sweep agrees with sequential"
     ~count:100 (Th.arbitrary_hypergraph ())
@@ -159,6 +194,9 @@ let () =
           Alcotest.test_case "diameter and apl" `Quick test_diameter;
           Alcotest.test_case "empty hyperedge component" `Quick test_empty_edge_component;
           Alcotest.test_case "sampled stats" `Quick test_sampled;
+          Alcotest.test_case "sampled multi-domain" `Quick test_sampled_domains_agree;
+          Alcotest.test_case "sampled deadline abort" `Quick test_sampled_deadline_abort;
+          Alcotest.test_case "sweep stats" `Quick test_sweep_stats_counts_sources;
         ] );
       ( "properties",
         [

@@ -334,7 +334,7 @@ let expect_ok what = function
 let metric socket_path name =
   let kvs =
     expect_ok ("metrics for " ^ name)
-      (Client.with_connection ~socket_path (fun c -> Client.request c P.Metrics))
+      (Client.with_connection ~socket_path (fun c -> Client.request c (P.Metrics P.Table)))
   in
   match List.assoc_opt name kvs with
   | Some v -> int_of_string v
@@ -482,7 +482,7 @@ let test_chaos_shed_cache_only () =
       in
       Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
       eventually "c2 queued" (fun () ->
-          match Client.request c1 P.Metrics with
+          match Client.request c1 (P.Metrics P.Table) with
           | Ok (P.Ok kvs) -> List.assoc_opt "queue_pending" kvs = Some "1"
           | _ -> false);
       (* Cached analysis still served... *)
@@ -497,7 +497,7 @@ let test_chaos_shed_cache_only () =
        with
       | Ok (P.Err { code = P.Busy; retry_after_ms = Some _; _ }) -> ()
       | _ -> Alcotest.fail "cache miss above watermark should be shed busy");
-      let metrics = expect_ok "metrics" (Client.request c1 P.Metrics) in
+      let metrics = expect_ok "metrics" (Client.request c1 (P.Metrics P.Table)) in
       checkb "shed counted" true
         (int_of_string (List.assoc "shed_cacheonly" metrics) >= 1))
 
@@ -562,6 +562,10 @@ let test_dataset_size_cap () =
       | _ -> Alcotest.fail "oversized dataset should be ERR io_error")
 
 let () =
+  (* The whole chaos suite runs with debug logging on: fault-injected
+     crashes, respawns, and busy rejections must survive (and exercise)
+     the structured-log path, not just the quiet default. *)
+  Hp_util.Log.set_level Hp_util.Log.Debug;
   Alcotest.run "hp_resilience"
     [
       ( "deadline",

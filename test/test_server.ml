@@ -36,7 +36,12 @@ let test_parse_requests () =
          dataset = "abcd1234";
          analysis = P.Cover { weighting = P.Degree_squared; r = 2 };
        });
-  ok "  METRICS  " P.Metrics;
+  ok "  METRICS  " (P.Metrics P.Table);
+  ok "METRICS table" (P.Metrics P.Table);
+  ok "METRICS prom" (P.Metrics P.Prometheus);
+  ok "metrics PROMETHEUS" (P.Metrics P.Prometheus);
+  ok "TRACE" (P.Trace None);
+  ok "TRACE 5" (P.Trace (Some 5));
   ok "EVICT" (P.Evict None);
   ok "EVICT abcd" (P.Evict (Some "abcd"));
   ok "PING" P.Ping;
@@ -58,6 +63,12 @@ let test_parse_rejects () =
   bad "KCORE ds -1";
   bad "COVER ds upside-down";
   bad "COVER ds degree 0";
+  bad "METRICS json";
+  bad "METRICS prom extra";
+  bad "TRACE 0";
+  bad "TRACE -3";
+  bad "TRACE notanint";
+  bad "TRACE 1 2";
   bad "PING extra";
   bad "SHUTDOWN now"
 
@@ -80,7 +91,8 @@ let request_gen =
         map (fun ds -> P.Load ("data/" ^ ds ^ ".hg")) dataset;
         map2 (fun ds a -> P.Analyze { dataset = ds; analysis = a }) dataset analysis;
         return P.Datasets;
-        return P.Metrics;
+        map (fun f -> P.Metrics f) (oneofl [ P.Table; P.Prometheus ]);
+        map (fun n -> P.Trace n) (opt (int_range 1 50));
         map (fun ds -> P.Evict ds) (opt dataset);
         return P.Ping;
         return P.Shutdown;
@@ -195,6 +207,180 @@ let test_metrics_counters () =
   checkb "max is 100ms" true
     (int_of_string (List.assoc "latency_max_us" snap) >= 100_000)
 
+(* The percentile scan must agree with the retired implementation,
+   which expanded every bucket count into individual observations and
+   indexed the resulting sorted list (the O(total) behaviour the
+   rewrite removed).  The expansion is the oracle here. *)
+let test_percentiles_from_buckets () =
+  let n = Metrics.n_buckets in
+  let oracle buckets total max_us p =
+    if total <= 0 then 0
+    else begin
+      let values = ref [] in
+      for i = n - 1 downto 0 do
+        for _ = 1 to buckets.(i) do
+          values := (1 lsl i) :: !values
+        done
+      done;
+      let arr = Array.of_list !values in
+      let need =
+        max 1 (min total (int_of_float (ceil (p /. 100.0 *. float_of_int total))))
+      in
+      if need - 1 < Array.length arr then arr.(need - 1) else max_us
+    end
+  in
+  let case name buckets =
+    let full = Array.make n 0 in
+    List.iter (fun (i, c) -> full.(i) <- c) buckets;
+    let total = Array.fold_left ( + ) 0 full in
+    let max_us =
+      let m = ref 0 in
+      Array.iteri (fun i c -> if c > 0 then m := (1 lsl (i + 1)) - 1) full;
+      !m
+    in
+    List.iter
+      (fun p ->
+        check
+          (Printf.sprintf "%s p%g" name p)
+          (oracle full total max_us p)
+          (Metrics.percentile_of_buckets ~buckets:full ~total ~max_us p))
+      [ 0.0; 1.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
+  in
+  case "empty" [];
+  case "one observation" [ (5, 1) ];
+  case "one bucket" [ (3, 100) ];
+  case "two buckets" [ (0, 7); (10, 3) ];
+  case "spread" [ (1, 5); (2, 40); (5, 30); (9, 20); (20, 5) ];
+  case "heavy tail" [ (0, 990); (30, 10) ];
+  case "last bucket" [ (n - 1, 4) ]
+
+(* Regression for the expansion bug: a snapshot's cost must depend on
+   the bucket count, not on how many observations the daemon has
+   absorbed.  400x the observations must not cost anywhere near 400x
+   the snapshot time. *)
+let test_snapshot_cost_independent () =
+  let m = Metrics.create () in
+  let snapshots k =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to k do
+      ignore (Metrics.snapshot m)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  for i = 1 to 1_000 do
+    Metrics.observe_latency m (float_of_int (i mod 97) *. 1e-5)
+  done;
+  let small = snapshots 300 in
+  for i = 1 to 400_000 do
+    Metrics.observe_latency m (float_of_int (i mod 97) *. 1e-5)
+  done;
+  let large = snapshots 300 in
+  (* The old expansion would make [large] ~400x [small]; allow a wide
+     noise margin while still catching any O(total) regression. *)
+  checkb
+    (Printf.sprintf "snapshot cost grew %.1fx (small %.4fs, large %.4fs)"
+       (large /. small) small large)
+    true
+    (large < (small *. 20.0) +. 0.05)
+
+(* ---------- Prometheus exposition ---------- *)
+
+let is_prom_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+(* Structural validity of one exposition line: a TYPE comment with a
+   known kind, or "name[{labels}] value" with a parseable float. *)
+let check_prom_line line =
+  checkb ("no newline in: " ^ line) false (String.contains line '\n');
+  if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; kind ] ->
+      checkb ("namespaced: " ^ name) true
+        (String.length name > 4 && String.sub name 0 4 = "hgd_");
+      checkb ("known kind: " ^ kind) true
+        (List.mem kind [ "counter"; "gauge"; "histogram" ])
+    | _ -> Alcotest.failf "malformed TYPE line: %s" line
+  else
+    match String.index_opt line ' ' with
+    | None -> Alcotest.failf "no value separator: %s" line
+    | Some sp ->
+      let name_part = String.sub line 0 sp in
+      let value_part = String.sub line (sp + 1) (String.length line - sp - 1) in
+      checkb ("value parses in: " ^ line) true
+        (float_of_string_opt value_part <> None);
+      let base =
+        match String.index_opt name_part '{' with
+        | Some i -> String.sub name_part 0 i
+        | None -> name_part
+      in
+      checkb ("name charset: " ^ base) true
+        (base <> "" && String.for_all is_prom_name_char base)
+
+let prom_value lines name =
+  let prefix = name ^ " " in
+  let n = String.length prefix in
+  match
+    List.find_opt
+      (fun l -> String.length l > n && String.sub l 0 n = prefix)
+      lines
+  with
+  | Some l -> float_of_string (String.sub l n (String.length l - n))
+  | None -> Alcotest.failf "missing exposition line: %s" name
+
+let test_prometheus_format () =
+  let m = Metrics.create () in
+  Metrics.incr m "requests_total";
+  Metrics.incr m ~by:3 "cache_hits";
+  Metrics.incr m "weird name-with.chars";
+  Metrics.observe_latency m 0.001;
+  Metrics.observe_latency m 0.02;
+  Metrics.observe m "queue_wait" 0.0001;
+  let lines =
+    Metrics.prometheus
+      ~gauges:[ ("uptime_seconds", 12.5) ]
+      ~extra_counters:[ ("worker_restarts", 1) ]
+      (Metrics.freeze m)
+  in
+  checkb "non-empty exposition" true (lines <> []);
+  List.iter check_prom_line lines;
+  checkb "counter surfaced" true (prom_value lines "hgd_requests_total" = 1.0);
+  checkb "extra counter surfaced" true
+    (prom_value lines "hgd_worker_restarts" = 1.0);
+  checkb "gauge surfaced" true (prom_value lines "hgd_uptime_seconds" = 12.5);
+  checkb "hostile name sanitized" true
+    (List.exists
+       (fun l ->
+         String.length l >= 26 && String.sub l 0 26 = "hgd_weird_name_with_chars ")
+       lines);
+  (* Histogram invariants: cumulative buckets never decrease and the
+     +Inf bucket equals _count. *)
+  let count = prom_value lines "hgd_latency_seconds_count" in
+  checkb "histogram count" true (count = 2.0);
+  let bucket_values =
+    List.filter_map
+      (fun l ->
+        let p = "hgd_latency_seconds_bucket{le=" in
+        let n = String.length p in
+        if String.length l > n && String.sub l 0 n = p then
+          match String.index_opt l ' ' with
+          | Some sp ->
+            Some (float_of_string (String.sub l (sp + 1) (String.length l - sp - 1)))
+          | None -> None
+        else None)
+      lines
+  in
+  checkb "has buckets" true (bucket_values <> []);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  checkb "buckets cumulative" true (monotone bucket_values);
+  checkb "+Inf equals count" true
+    (List.nth bucket_values (List.length bucket_values - 1) = count)
+
 (* ---------- socket integration ---------- *)
 
 let with_server ?(cache_capacity = 16) f =
@@ -261,11 +447,48 @@ let test_integration () =
       in
       checkb "kcore k parses" true (int_of_string_opt (List.assoc "k" kcore) <> None);
       (* METRICS must report the cache hit. *)
-      let metrics = expect_ok "metrics" (Client.request c P.Metrics) in
+      let metrics = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
       checkb "at least one cache hit" true
         (int_of_string (List.assoc "cache_hits" metrics) >= 1);
       checkb "requests counted" true
         (int_of_string (List.assoc "requests_total" metrics) >= 4);
+      checkb "queue wait observed" true
+        (int_of_string (List.assoc "queue_wait_count" metrics) >= 1);
+      checkb "kernel sources counted" true
+        (int_of_string (List.assoc "kernel_bfs_sources" metrics) >= 5);
+      checkb "kernel peel rounds counted" true
+        (List.mem_assoc "kernel_peel_rounds" metrics);
+      (* METRICS prom carries the same state as Prometheus exposition
+         lines, keyed by line index. *)
+      let prom = expect_ok "metrics prom" (Client.request c (P.Metrics P.Prometheus)) in
+      let prom_lines = List.map snd prom in
+      checkb "prom non-empty" true (prom_lines <> []);
+      List.iter check_prom_line prom_lines;
+      checkb "prom requests_total at least table's" true
+        (prom_value prom_lines "hgd_requests_total"
+        >= float_of_string (List.assoc "requests_total" metrics));
+      checkb "prom gauge workers" true (prom_value prom_lines "hgd_workers" = 2.0);
+      (* TRACE shows finished requests with per-stage spans. *)
+      let trace = expect_ok "trace" (Client.request c (P.Trace (Some 5))) in
+      let traced = int_of_string (List.assoc "count" trace) in
+      checkb "trace retains requests" true (traced >= 1 && traced <= 5);
+      List.iter
+        (fun key ->
+          checkb ("trace has 0." ^ key) true (List.mem_assoc ("0." ^ key) trace))
+        [ "trace"; "status"; "cached"; "total_us"; "queue_us"; "parse_us";
+          "cache_us"; "compute_us"; "write_us"; "request" ];
+      (* The slowest request did real work: its stages sum below the
+         total (the total also covers dispatch overhead). *)
+      let stage_sum =
+        List.fold_left
+          (fun acc k -> acc + int_of_string (List.assoc ("0." ^ k) trace))
+          0
+          [ "queue_us"; "parse_us"; "cache_us"; "compute_us"; "write_us" ]
+      in
+      checkb "stage spans bounded by total" true
+        (stage_sum <= int_of_string (List.assoc "0.total_us" trace));
+      checkb "slowest computed something" true
+        (int_of_string (List.assoc "0.compute_us" trace) >= 0);
       (* Structured errors, and the daemon survives all of them. *)
       expect_err "malformed verb" P.Bad_request (Client.request_line c "FROB x");
       expect_err "empty-ish garbage" P.Bad_request (Client.request_line c "LOAD a b c");
@@ -350,7 +573,14 @@ let () =
       ( "registry",
         [ Alcotest.test_case "content identity" `Quick test_registry_identity ] );
       ( "metrics",
-        [ Alcotest.test_case "counters and latency" `Quick test_metrics_counters ] );
+        [
+          Alcotest.test_case "counters and latency" `Quick test_metrics_counters;
+          Alcotest.test_case "bucket percentiles vs expansion oracle" `Quick
+            test_percentiles_from_buckets;
+          Alcotest.test_case "snapshot cost independent of volume" `Slow
+            test_snapshot_cost_independent;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_format;
+        ] );
       ( "server",
         [
           Alcotest.test_case "end to end" `Quick test_integration;

@@ -476,6 +476,47 @@ let prop_lru_matches_model =
             removed = expected && U.Lru.to_list l = !model)
         ops)
 
+(* Log *)
+
+let checks = Alcotest.(check string)
+
+let test_log_render () =
+  checks "fixed keys and escaping"
+    "{\"ts\":\"1970-01-01T00:00:00.000Z\",\"level\":\"info\",\"comp\":\"test\",\
+     \"msg\":\"tab\\there\",\"k\":\"a\\\"b\\\\c\\nd\",\"ctl\":\"\\u0001\"}"
+    (U.Log.render ~ts:0.0 U.Log.Info ~comp:"test"
+       ~fields:[ ("k", "a\"b\\c\nd"); ("ctl", "\x01") ]
+       "tab\there");
+  checks "millis" "2001-09-09T01:46:40.500Z"
+    (String.sub
+       (U.Log.render ~ts:1_000_000_000.5 U.Log.Error ~comp:"c" ~fields:[] "m")
+       7 24)
+
+let test_log_levels_and_ring () =
+  let saved = U.Log.current_level () in
+  Fun.protect
+    ~finally:(fun () -> U.Log.set_level saved)
+    (fun () ->
+      U.Log.set_level U.Log.Warn;
+      checkb "debug disabled" false (U.Log.enabled U.Log.Debug);
+      checkb "info disabled" false (U.Log.enabled U.Log.Info);
+      checkb "warn enabled" true (U.Log.enabled U.Log.Warn);
+      checkb "error enabled" true (U.Log.enabled U.Log.Error);
+      U.Log.info ~comp:"ringtest" "below threshold, dropped";
+      U.Log.warn ~comp:"ringtest" ~fields:[ ("n", "1") ] "first kept";
+      U.Log.error ~comp:"ringtest" "second kept";
+      match U.Log.recent 2 with
+      | [ newest; older ] ->
+        let has needle line =
+          let nl = String.length needle and ll = String.length line in
+          let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+          go 0
+        in
+        checkb "newest first" true (has "second kept" newest);
+        checkb "older second" true (has "first kept" older);
+        checkb "dropped line not retained" false (has "below threshold" older)
+      | l -> Alcotest.failf "expected 2 retained lines, got %d" (List.length l))
+
 let () =
   Alcotest.run "hp_util"
     [
@@ -543,5 +584,10 @@ let () =
           Alcotest.test_case "errors" `Quick test_parallel_errors;
           Alcotest.test_case "recommended domains" `Quick test_recommended_domains;
           Th.prop prop_parallel_deterministic;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "json rendering" `Quick test_log_render;
+          Alcotest.test_case "threshold and ring" `Quick test_log_levels_and_ring;
         ] );
     ]

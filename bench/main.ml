@@ -21,6 +21,13 @@ module U = Hp_util
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_timing = Array.exists (( = ) "--no-timing") Sys.argv
 
+(* --check-path: after the E21 path bench, compare the measured
+   scratch-kernel speedup against bench/path_baseline.json and exit
+   non-zero if it regressed by more than 2x.  Speedups (new kernel vs
+   in-process reference kernel) are machine-normalized ratios, so the
+   guard travels across CI hosts where absolute times do not. *)
+let check_path = Array.exists (( = ) "--check-path") Sys.argv
+
 let section title = Printf.printf "\n== %s ==\n" title
 
 let table = U.Table.render
@@ -951,6 +958,237 @@ let kernel_profile () =
      (diameter %d vs %d)\n"
     (HP.sources_visited stats) t st diam sdiam
 
+(* ------------------------------------------------------------------ *)
+(* E21: path-kernel bench.  The scratch-reuse CSR BFS sweep against   *)
+(* the pre-scratch reference kernel (fresh O(|V|+|E|) arrays and a    *)
+(* boxed Queue per source, stats by a post-pass over the distance     *)
+(* vector), on the paper instance and a generated scaled proteome.    *)
+(* Lands in _artifacts/BENCH_path.json; CI guards the speedup ratio.  *)
+
+let reference_bfs h src =
+  let nv = H.n_vertices h in
+  let ne = H.n_edges h in
+  let vdist = Array.make nv (-1) in
+  let evisited = Array.make ne false in
+  let queue = Queue.create () in
+  vdist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun e ->
+        if not evisited.(e) then begin
+          evisited.(e) <- true;
+          Array.iter
+            (fun w ->
+              if vdist.(w) < 0 then begin
+                vdist.(w) <- vdist.(v) + 1;
+                Queue.add w queue
+              end)
+            (H.edge_members h e)
+        end)
+      (H.vertex_edges h v)
+  done;
+  vdist
+
+let reference_sweep h =
+  let nv = H.n_vertices h in
+  let sum = ref 0 and pairs = ref 0 and dmax = ref 0 in
+  for src = 0 to nv - 1 do
+    let dist = reference_bfs h src in
+    Array.iteri
+      (fun v d ->
+        if v <> src && d > 0 then begin
+          sum := !sum + d;
+          incr pairs;
+          if d > !dmax then dmax := d
+        end)
+      dist
+  done;
+  (!dmax, if !pairs = 0 then 0.0 else float_of_int !sum /. float_of_int !pairs)
+
+(* Result of the first run, best wall-clock of [k]. *)
+let best_of k f =
+  let r, t0 = time f in
+  let best = ref t0 in
+  for _ = 2 to k do
+    let _, t = time f in
+    if t < !best then best := t
+  done;
+  (r, !best)
+
+type path_row = {
+  pname : string;
+  nv : int;
+  ne : int;
+  ref_s : float;
+  s1 : float;
+  s2 : float;
+  s4 : float;
+  speedup : float;
+  diam : int;
+  apl : float;
+}
+
+let write_path_json rows =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_path.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"schema\":1,\"domains_verified\":\"1,2,4,7\",\"sweeps\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc
+            "\n  {\"name\":\"%s\",\"vertices\":%d,\"hyperedges\":%d,\
+             \"reference_s\":%.6f,\"scratch_1dom_s\":%.6f,\
+             \"scratch_2dom_s\":%.6f,\"scratch_4dom_s\":%.6f,\
+             \"speedup_1dom\":%.4f,\
+             \"reference_us_per_source\":%.3f,\"scratch_us_per_source\":%.3f,\
+             \"diameter\":%d,\"average_path\":%.6f}"
+            r.pname r.nv r.ne r.ref_s r.s1 r.s2 r.s4 r.speedup
+            (r.ref_s *. 1e6 /. float_of_int (max 1 r.nv))
+            (r.s1 *. 1e6 /. float_of_int (max 1 r.nv))
+            r.diam r.apl)
+        rows;
+      output_string oc "\n]}\n");
+  Printf.printf "[wrote %s]\n" path
+
+(* Minimal field scraping for the baseline file — the schema is ours
+   and flat, so a scanner beats pulling in a JSON dependency. *)
+let baseline_speedups path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let find_from key start =
+    let kl = String.length key in
+    let rec scan i =
+      if i + kl > String.length text then None
+      else if String.sub text i kl = key then Some (i + kl)
+      else scan (i + 1)
+    in
+    scan start
+  in
+  let token_at i =
+    let stop = ref i in
+    while
+      !stop < String.length text
+      && not (List.mem text.[!stop] [ ','; '}'; ']'; '"'; '\n' ])
+    do
+      incr stop
+    done;
+    String.sub text i (!stop - i)
+  in
+  let rec collect acc pos =
+    match find_from "\"name\":\"" pos with
+    | None -> List.rev acc
+    | Some i ->
+      let name =
+        let stop = String.index_from text i '"' in
+        String.sub text i (stop - i)
+      in
+      (match find_from "\"speedup_1dom\":" i with
+      | None -> List.rev acc
+      | Some j ->
+        let v = float_of_string_opt (token_at j) in
+        let acc = match v with Some s -> (name, s) :: acc | None -> acc in
+        collect acc j)
+  in
+  collect [] 0
+
+let path_bench () =
+  section "E21: scratch-reuse path kernel vs reference (extension)";
+  let scaled =
+    let rng = U.Prng.create 5050 in
+    (Hp_data.Proteome_gen.generate rng
+       (Hp_data.Proteome_gen.scaled Hp_data.Proteome_gen.cellzome_params 2.0))
+      .hypergraph
+  in
+  let graphs = [ ("yeast:exact", yeast); ("scaled2x-proteome:exact", scaled) ] in
+  let rows =
+    List.map
+      (fun (name, h) ->
+        let (rdiam, rapl), ref_s = best_of 3 (fun () -> reference_sweep h) in
+        let (d1, a1), s1 =
+          best_of 3 (fun () -> HP.diameter_and_average_path ~domains:1 h)
+        in
+        let _, s2 =
+          time (fun () -> HP.diameter_and_average_path ~domains:2 h)
+        in
+        let _, s4 =
+          time (fun () -> HP.diameter_and_average_path ~domains:4 h)
+        in
+        (* The sweep must be bit-identical to the reference at every
+           domain count — the paper's Section 2 numbers are not allowed
+           to move.  (sum and pairs are ints, so averages either match
+           exactly or not at all.) *)
+        List.iter
+          (fun domains ->
+            let d, a = HP.diameter_and_average_path ~domains h in
+            if d <> rdiam || a <> rapl then begin
+              Printf.eprintf
+                "E21 FAIL: %s at domains=%d: (%d, %.6f) <> reference (%d, %.6f)\n"
+                name domains d a rdiam rapl;
+              exit 1
+            end)
+          [ 1; 2; 4; 7 ];
+        ignore (d1, a1);
+        let speedup = ref_s /. s1 in
+        record_kernel ("path:" ^ name) s1
+          [ ("reference_s", Printf.sprintf "%.6f" ref_s);
+            ("speedup", Printf.sprintf "%.2f" speedup) ];
+        { pname = name; nv = H.n_vertices h; ne = H.n_edges h;
+          ref_s; s1; s2; s4; speedup; diam = rdiam; apl = rapl })
+      graphs
+  in
+  print_endline
+    (table
+       ~header:
+         [ "sweep"; "reference"; "scratch @1"; "@2"; "@4"; "speedup @1" ]
+       (List.map
+          (fun r ->
+            [ r.pname; U.Table.fmt_time r.ref_s; U.Table.fmt_time r.s1;
+              U.Table.fmt_time r.s2; U.Table.fmt_time r.s4;
+              ff ~digits:2 r.speedup ^ "x" ])
+          rows));
+  print_endline
+    "(identical (diameter, average path) verified at domains 1, 2, 4 and 7\n\
+    \ against the reference kernel on both instances)";
+  write_path_json rows;
+  if check_path then begin
+    let baseline_file = Filename.concat "bench" "path_baseline.json" in
+    if not (Sys.file_exists baseline_file) then begin
+      Printf.eprintf "E21 guard: missing %s\n" baseline_file;
+      exit 1
+    end;
+    let baseline = baseline_speedups baseline_file in
+    List.iter
+      (fun r ->
+        match List.assoc_opt r.pname baseline with
+        | None -> ()
+        | Some base ->
+          (* Per-source sweep time is a ratio of the same two kernels
+             on the same host, so "worsened >2x" is host-independent:
+             fail when the measured speedup fell below half the
+             committed one. *)
+          if r.speedup *. 2.0 < base then begin
+            Printf.eprintf
+              "E21 guard: %s speedup %.2fx fell below half the baseline \
+               %.2fx — the sweep regressed >2x per source\n"
+              r.pname r.speedup base;
+            exit 1
+          end
+          else
+            Printf.printf "guard ok: %s %.2fx (baseline %.2fx)\n" r.pname
+              r.speedup base)
+      rows
+  end
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -976,6 +1214,7 @@ let () =
   ext_scaling ();
   ext_parallel ();
   kernel_profile ();
+  path_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

@@ -529,8 +529,72 @@ let trace_cmd =
     Term.(const run $ socket_arg $ n)
 
 (* query *)
+let print_reply_stdout = function
+  | Hp_server.Protocol.Err { code; message; retry_after_ms } ->
+    let hint =
+      match retry_after_ms with
+      | Some ms -> Printf.sprintf " (retry after %d ms)" ms
+      | None -> ""
+    in
+    Printf.printf "error\t%s: %s%s\n"
+      (Hp_server.Protocol.error_code_to_string code) message hint;
+    false
+  | Hp_server.Protocol.Ok kvs ->
+    List.iter (fun (k, v) -> Printf.printf "%s\t%s\n" k v) kvs;
+    true
+
+(* One request line per stdin line, shipped as a single pipelined
+   BATCH; items are printed as they stream back, separated by their
+   "item <i>" header so the output stays machine-splittable. *)
+let run_batch_query socket =
+  let lines = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line stdin) in
+       if line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> ());
+  let lines = List.rev !lines in
+  if lines = [] then begin
+    Printf.eprintf "hgtool: query --batch: no request lines on stdin\n";
+    exit 1
+  end;
+  let outcome =
+    Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+        Hp_server.Client.batch_lines c lines)
+  in
+  match outcome with
+  | Error msg ->
+    Printf.eprintf "hgtool: query: %s\n" msg;
+    exit 1
+  | Ok (Hp_server.Client.Refused reply) ->
+    ignore (print_reply_stdout reply);
+    exit 1
+  | Ok (Hp_server.Client.Items items) ->
+    let all_ok = ref true in
+    List.iteri
+      (fun i item ->
+        Printf.printf "item\t%d\n" i;
+        match item with
+        | Ok reply -> if not (print_reply_stdout reply) then all_ok := false
+        | Error msg ->
+          Printf.printf "error\ttransport: %s\n" msg;
+          all_ok := false)
+      items;
+    if not !all_ok then exit 1
+
 let query_cmd =
-  let run socket retries timeout words =
+  let run socket retries timeout batch words =
+    if batch then begin
+      if words <> [] then begin
+        Printf.eprintf
+          "hgtool: query: --batch reads request lines from stdin; drop the \
+           positional request\n";
+        exit 1
+      end;
+      run_batch_query socket;
+      exit 0
+    end;
     if words = [] then begin
       Printf.eprintf "hgtool: query: missing request (e.g. PING, LOAD file, STATS digest)\n";
       exit 1
@@ -576,6 +640,12 @@ let query_cmd =
     Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECONDS"
            ~doc:"Per-attempt I/O timeout (0 = none).")
   in
+  let batch =
+    Arg.(value & flag & info [ "batch" ]
+           ~doc:"Read one request line per stdin line and send them all as a \
+                 single pipelined BATCH over one connection; replies stream \
+                 back per item, each preceded by an `item\\t<i>' line.")
+  in
   let words =
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
            ~doc:"Request verb and arguments, as one protocol line.")
@@ -584,8 +654,8 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Send one request (LOAD, STATS, KCORE, COVER, STORAGE, POWERLAW, \
              DATASETS, METRICS, TRACE, EVICT, PING, SHUTDOWN) to a running \
-             server.")
-    Term.(const run $ socket_arg $ retries $ timeout $ words)
+             server, or a pipelined batch with $(b,--batch).")
+    Term.(const run $ socket_arg $ retries $ timeout $ batch $ words)
 
 let () =
   let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in

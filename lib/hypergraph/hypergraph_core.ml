@@ -22,15 +22,24 @@ type result = {
    with low-degree vertices, while the one-pass decomposition peels
    minimum-degree vertices from a bucket queue.  They observe deletions
    through the [on_vertex_degree] / [on_edge_delete] hooks. *)
+(* Incidence is read straight off the immutable CSR arrays
+   ([H.vertex_edges] / [H.edge_members]) filtered through the alive
+   flags: the alive members of edge e are exactly its static members
+   whose [valive] flag still holds, and symmetrically for a vertex's
+   alive incident edges.  (Deletion order makes this exact: a vertex's
+   flag drops before its edges are rechecked, and an edge's flag drops
+   before its members' degrees fall.)  The per-vertex/per-edge
+   hashtables this replaces dominated [init] on small-k peels of
+   already-reduced inputs — O(|V| + |E| + total incidence) hashtable
+   inserts before any peeling started. *)
 type state = {
   m : int;                                (* edge count, for pair keys *)
   strategy : strategy;
+  h : H.t;                                (* static incidence (CSR arrays) *)
   valive : bool array;
   ealive : bool array;
   vdeg : int array;
   edeg : int array;
-  vadj : (int, unit) Hashtbl.t array;     (* vertex -> alive incident edges *)
-  members : (int, unit) Hashtbl.t array;  (* edge -> alive members *)
   overlap : (int, int) Hashtbl.t;         (* key f*m+g (f<g) -> count *)
   partners : (int, unit) Hashtbl.t array; (* edge -> overlapping alive edges *)
   mutable on_vertex_degree : int -> unit; (* fires after a degree drop *)
@@ -61,14 +70,19 @@ let init ~strategy ~domains h =
     {
       m;
       strategy;
+      h;
       valive = Array.make nv true;
       ealive = Array.make m true;
       vdeg = H.vertex_degrees h;
       edeg = H.edge_sizes h;
-      vadj = Array.init nv (fun v -> Hashtbl.create (1 + H.vertex_degree h v));
-      members = Array.init m (fun e -> Hashtbl.create (1 + H.edge_size h e));
-      overlap = Hashtbl.create (4 * (m + 1));
-      partners = Array.init m (fun _ -> Hashtbl.create 8);
+      overlap =
+        (match strategy with
+        | Naive -> Hashtbl.create 1
+        | Overlap -> Hashtbl.create (4 * (m + 1)));
+      partners =
+        (match strategy with
+        | Naive -> [||]
+        | Overlap -> Array.init m (fun _ -> Hashtbl.create 8));
       on_vertex_degree = ignore;
       on_edge_delete = ignore;
       vdel = 0;
@@ -76,12 +90,6 @@ let init ~strategy ~domains h =
       checks = 0;
     }
   in
-  for v = 0 to nv - 1 do
-    Array.iter (fun e -> Hashtbl.replace st.vadj.(v) e ()) (H.vertex_edges h v)
-  done;
-  for e = 0 to m - 1 do
-    Array.iter (fun v -> Hashtbl.replace st.members.(e) v ()) (H.edge_members h e)
-  done;
   (match strategy with
   | Naive -> ()
   | Overlap ->
@@ -127,14 +135,14 @@ let rec delete_edge st f =
   st.ealive.(f) <- false;
   st.edel <- st.edel + 1;
   st.on_edge_delete f;
-  let ms = Hashtbl.fold (fun w () acc -> w :: acc) st.members.(f) [] in
-  List.iter
+  Array.iter
     (fun w ->
-      Hashtbl.remove st.vadj.(w) f;
-      st.vdeg.(w) <- st.vdeg.(w) - 1;
-      if st.valive.(w) then st.on_vertex_degree w)
-    ms;
-  (match st.strategy with
+      if st.valive.(w) then begin
+        st.vdeg.(w) <- st.vdeg.(w) - 1;
+        st.on_vertex_degree w
+      end)
+    (H.edge_members st.h f);
+  match st.strategy with
   | Naive -> ()
   | Overlap ->
     let ps = Hashtbl.fold (fun g () acc -> g :: acc) st.partners.(f) [] in
@@ -143,8 +151,7 @@ let rec delete_edge st f =
         Hashtbl.remove st.partners.(g) f;
         Hashtbl.remove st.overlap (pair_key st f g))
       ps;
-    Hashtbl.reset st.partners.(f));
-  Hashtbl.reset st.members.(f)
+    Hashtbl.reset st.partners.(f)
 
 and check_maximality st f =
   if st.ealive.(f) then begin
@@ -168,24 +175,28 @@ and check_maximality st f =
           !found
         | Naive ->
           (* Candidate containers share every member, so scanning the
-             alive edges incident to one member of f is complete. *)
-          let anchor =
-            Hashtbl.fold (fun w () acc -> if acc < 0 then w else acc) st.members.(f) (-1)
-          in
+             alive edges incident to one alive member of f is complete
+             (edeg f > 0 here, so such a member exists). *)
+          let ms = H.edge_members st.h f in
+          let anchor = ref (-1) in
+          let i = ref 0 in
+          while !anchor < 0 do
+            if st.valive.(ms.(!i)) then anchor := ms.(!i);
+            incr i
+          done;
           let subset_of g =
             st.checks <- st.checks + 1;
-            Hashtbl.fold
-              (fun w () acc -> acc && Hashtbl.mem st.members.(g) w)
-              st.members.(f) true
+            Array.for_all
+              (fun w -> (not st.valive.(w)) || H.mem st.h ~vertex:w ~edge:g)
+              ms
           in
-          Hashtbl.fold
-            (fun g () acc ->
-              acc
-              || (g <> f && st.ealive.(g)
-                 && (st.edeg.(g) > st.edeg.(f)
-                    || (st.edeg.(g) = st.edeg.(f) && g < f))
-                 && subset_of g))
-            st.vadj.(anchor) false
+          Array.exists
+            (fun g ->
+              g <> f && st.ealive.(g)
+              && (st.edeg.(g) > st.edeg.(f)
+                 || (st.edeg.(g) = st.edeg.(f) && g < f))
+              && subset_of g)
+            (H.vertex_edges st.h !anchor)
       in
       if contained then delete_edge st f
     end
@@ -194,7 +205,11 @@ and check_maximality st f =
 let delete_vertex st v =
   st.valive.(v) <- false;
   st.vdel <- st.vdel + 1;
-  let affected = Hashtbl.fold (fun e () acc -> e :: acc) st.vadj.(v) [] in
+  let affected = ref [] in
+  Array.iter
+    (fun e -> if st.ealive.(e) then affected := e :: !affected)
+    (H.vertex_edges st.h v);
+  let affected = !affected in
   (* Overlap bookkeeping: every pair of alive edges containing v loses
      one common vertex. *)
   (match st.strategy with
@@ -207,15 +222,12 @@ let delete_vertex st v =
         pairs rest
     in
     pairs affected);
-  List.iter
-    (fun f ->
-      Hashtbl.remove st.members.(f) v;
-      st.edeg.(f) <- st.edeg.(f) - 1)
-    affected;
+  (* [valive.(v)] is already down, so the flag-filtered member views
+     exclude v; only the degree counters need the explicit update. *)
+  List.iter (fun f -> st.edeg.(f) <- st.edeg.(f) - 1) affected;
   (* Only hyperedges whose degree was just decremented can have become
      non-maximal (paper Section 3). *)
-  List.iter (fun f -> check_maximality st f) affected;
-  Hashtbl.reset st.vadj.(v)
+  List.iter (fun f -> check_maximality st f) affected
 
 let alive_ids flags =
   let buf = U.Dynarray.create ~dummy:0 () in

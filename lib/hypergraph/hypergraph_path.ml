@@ -2,32 +2,88 @@ module U = Hp_util
 module H = Hypergraph
 
 (* BFS on the bipartite view, alternating vertex and hyperedge layers.
-   Vertex distance d corresponds to d hyperedges along the path. *)
-let bfs h src =
-  let nv = H.n_vertices h in
-  let ne = H.n_edges h in
-  let vdist = Array.make nv (-1) in
-  let evisited = Array.make ne false in
-  let queue = Queue.create () in
-  vdist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.take queue in
-    Array.iter
-      (fun e ->
-        if not evisited.(e) then begin
-          evisited.(e) <- true;
-          Array.iter
-            (fun w ->
-              if vdist.(w) < 0 then begin
-                vdist.(w) <- vdist.(v) + 1;
-                Queue.add w queue
-              end)
-            (H.edge_members h e)
-        end)
-      (H.vertex_edges h v)
+   Vertex distance d corresponds to d hyperedges along the path.
+
+   The sweep runs this once per source, so the kernel allocates
+   nothing per call: each domain owns a scratch arena of epoch-stamped
+   flat arrays ([vstamp.(v) = epoch] means v was reached in the
+   current traversal, so no O(|V|+|E|) clear between sources) and an
+   int-array frontier (every vertex is enqueued at most once, so a
+   flat queue of capacity |V| never wraps).  Arrays only grow; a
+   smaller graph reuses a larger arena untouched.  Epochs start at 1
+   and are bumped per source — freshly grown arrays are zero-filled,
+   which can never equal a live epoch. *)
+type scratch = {
+  mutable vstamp : int array; (* vstamp.(v) = epoch  <=>  v reached *)
+  mutable vdist : int array;  (* valid only where vstamp matches *)
+  mutable estamp : int array; (* estamp.(e) = epoch  <=>  e expanded *)
+  mutable frontier : int array; (* flat FIFO, head/tail in run_bfs *)
+  mutable epoch : int;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { vstamp = [||]; vdist = [||]; estamp = [||]; frontier = [||]; epoch = 0 })
+
+let ensure_capacity s ~nv ~ne =
+  if Array.length s.vstamp < nv then begin
+    s.vstamp <- Array.make nv 0;
+    s.vdist <- Array.make nv 0;
+    s.frontier <- Array.make nv 0
+  end;
+  if Array.length s.estamp < ne then s.estamp <- Array.make ne 0
+
+(* One traversal from [src], accumulating the sweep statistics inline:
+   (sum of finite distances to other vertices, count of such vertices,
+   max distance).  Distances land in [s.vdist] under epoch [s.epoch]
+   for callers that want the full vector. *)
+let run_bfs s h src =
+  let nv = H.n_vertices h and ne = H.n_edges h in
+  ensure_capacity s ~nv ~ne;
+  s.epoch <- s.epoch + 1;
+  let ep = s.epoch in
+  let vstamp = s.vstamp
+  and vdist = s.vdist
+  and estamp = s.estamp
+  and queue = s.frontier in
+  Array.unsafe_set vstamp src ep;
+  Array.unsafe_set vdist src 0;
+  Array.unsafe_set queue 0 src;
+  let head = ref 0 and tail = ref 1 in
+  let sum = ref 0 and pairs = ref 0 and dmax = ref 0 in
+  while !head < !tail do
+    let v = Array.unsafe_get queue !head in
+    incr head;
+    let d = Array.unsafe_get vdist v + 1 in
+    let es = H.vertex_edges h v in
+    for ei = 0 to Array.length es - 1 do
+      let e = Array.unsafe_get es ei in
+      if Array.unsafe_get estamp e <> ep then begin
+        Array.unsafe_set estamp e ep;
+        let ws = H.edge_members h e in
+        for wi = 0 to Array.length ws - 1 do
+          let w = Array.unsafe_get ws wi in
+          if Array.unsafe_get vstamp w <> ep then begin
+            Array.unsafe_set vstamp w ep;
+            Array.unsafe_set vdist w d;
+            Array.unsafe_set queue !tail w;
+            incr tail;
+            sum := !sum + d;
+            incr pairs;
+            if d > !dmax then dmax := d
+          end
+        done
+      end
+    done
   done;
-  vdist
+  (!sum, !pairs, !dmax)
+
+let bfs h src =
+  let s = Domain.DLS.get scratch_key in
+  ignore (run_bfs s h src);
+  let ep = s.epoch and vstamp = s.vstamp and vd = s.vdist in
+  Array.init (H.n_vertices h) (fun v ->
+      if vstamp.(v) = ep then vd.(v) else -1)
 
 let distance h u v =
   let d = (bfs h u).(v) in
@@ -106,18 +162,9 @@ let pair_stats_over ~domains ~deadline ?stats h ~n_sources ~source_of =
     U.Deadline.check deadline;
     U.Fault.point "path.bfs";
     let src = source_of i in
-    let dist = bfs h src in
-    (match stats with Some s -> Atomic.incr s.sources | None -> ());
-    let sum = ref sum and pairs = ref pairs and dmax = ref dmax in
-    Array.iteri
-      (fun v d ->
-        if v <> src && d > 0 then begin
-          sum := !sum + d;
-          incr pairs;
-          if d > !dmax then dmax := d
-        end)
-      dist;
-    (!sum, !pairs, !dmax)
+    let s, p, d = run_bfs (Domain.DLS.get scratch_key) h src in
+    (match stats with Some st -> Atomic.incr st.sources | None -> ());
+    (sum + s, pairs + p, max dmax d)
   in
   let sum, pairs, dmax =
     U.Parallel.fold_range ~domains ~n:n_sources

@@ -63,9 +63,8 @@ let write_all fd s =
   in
   go 0
 
-let read_reply t =
+let read_reply_after t header =
   let ( let* ) = Result.bind in
-  let* header = read_line t in
   (* Reassemble the framed lines and reuse the one decoder. *)
   if String.length header >= 3 && String.sub header 0 3 = "OK " then
     match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
@@ -81,6 +80,11 @@ let read_reply t =
       Protocol.decode_reply (String.concat "\n" ((header :: body) @ [ "" ]))
   else Protocol.decode_reply (header ^ "\n")
 
+let read_reply t =
+  match read_line t with
+  | Error _ as e -> e
+  | Ok header -> read_reply_after t header
+
 let request_line t line =
   match write_all t.fd (line ^ "\n") with
   | () -> read_reply t
@@ -93,6 +97,68 @@ let request_line t line =
     | Error _ -> Error (Unix.error_message err))
 
 let request t req = request_line t (Protocol.request_line req)
+
+(* ---------- pipelined batches ---------- *)
+
+type batch_reply =
+  | Items of (Protocol.reply, string) result list
+  | Refused of Protocol.reply
+
+let batch_lines t lines =
+  let ( let* ) = Result.bind in
+  let n = List.length lines in
+  if n = 0 then Error "empty batch"
+  else if n > Protocol.max_batch_items then
+    Error
+      (Printf.sprintf "batch of %d items exceeds the protocol cap of %d" n
+         Protocol.max_batch_items)
+  else begin
+    let buf = Buffer.create (64 * (n + 1)) in
+    Buffer.add_string buf (Protocol.request_line (Protocol.Batch n));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      lines;
+    let* () =
+      match write_all t.fd (Buffer.contents buf) with
+      | () -> Ok ()
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+    in
+    let* first = read_line t in
+    match Protocol.parse_item_line first with
+    | None ->
+      (* Un-tagged header: the server answered the whole batch with a
+         single reply (admission rejection, malformed header). *)
+      let* reply = read_reply_after t first in
+      Ok (Refused reply)
+    | Some _ ->
+      (* Item replies arrive 0..n-1 in order, each flushed as soon as
+         the server computes it — consume them as they land. *)
+      let rec items acc i =
+        if i >= n then Ok (Items (List.rev acc))
+        else
+          let* tag = if i = 0 then Ok first else read_line t in
+          match Protocol.parse_item_line tag with
+          | Some j when j = i ->
+            let reply =
+              match read_reply t with
+              | Ok r -> Ok r
+              | Error e -> Error e
+            in
+            (* A transport failure mid-stream kills the rest of the
+               batch: framing is lost once a read breaks. *)
+            (match reply with
+            | Error e when i < n - 1 ->
+              Error (Printf.sprintf "batch item %d: %s" i e)
+            | _ -> items (reply :: acc) (i + 1))
+          | _ -> Error (Printf.sprintf "bad batch framing: expected ITEM %d, got %S" i tag)
+      in
+      items [] 0
+  end
+
+let batch t reqs = batch_lines t (List.map Protocol.request_line reqs)
 
 let with_connection ~socket_path f =
   match connect ~socket_path with

@@ -28,6 +28,31 @@ val request_line : t -> string -> (Protocol.reply, string) result
 val with_connection :
   socket_path:string -> (t -> ('a, string) result) -> ('a, string) result
 
+(** {2 Pipelined batches}
+
+    [BATCH] sends n requests over one connection and reads n tagged
+    sub-replies; the server flushes each as soon as it is computed, so
+    a batch costs one round-trip plus compute instead of n
+    round-trips. *)
+
+type batch_reply =
+  | Items of (Protocol.reply, string) result list
+      (** One entry per request, in request order.  A server-side
+          per-item failure is [Ok (Err _)]; [Error] marks an item lost
+          to a transport break (only ever the last entry — framing is
+          gone once a read fails). *)
+  | Refused of Protocol.reply
+      (** The server answered the whole batch with a single un-tagged
+          reply (e.g. [ERR busy] at admission) before any item ran. *)
+
+val batch_lines : t -> string list -> (batch_reply, string) result
+(** Send the raw request lines as one [BATCH] and collect the tagged
+    replies.  [Error] on an empty batch, a batch beyond
+    {!Protocol.max_batch_items}, or a transport/framing failure. *)
+
+val batch : t -> Protocol.request list -> (batch_reply, string) result
+(** [batch_lines] over the canonical renderings of [reqs]. *)
+
 (** {2 Retrying calls}
 
     One request per connection, retried across transient failures:

@@ -18,6 +18,7 @@ type request =
   | Evict of string option
   | Ping
   | Shutdown
+  | Batch of int
 
 type error_code =
   | Bad_request
@@ -63,6 +64,11 @@ let error_code_of_string = function
   | "busy" -> Some Busy
   | "internal" -> Some Internal
   | _ -> None
+
+(* Upper bound on the number of requests one BATCH may carry: keeps a
+   single connection from parking an unbounded amount of work on one
+   worker slot. *)
+let max_batch_items = 1024
 
 let tokens line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
@@ -127,6 +133,14 @@ let parse_request line =
     | "EVICT", _ -> Result.Error "EVICT takes at most one dataset"
     | "PING", [] -> Result.Ok Ping
     | "SHUTDOWN", [] -> Result.Ok Shutdown
+    | "BATCH", [ n ] ->
+      let* n = int_arg "BATCH" n in
+      if n < 1 then Result.Error "BATCH: n must be >= 1"
+      else if n > max_batch_items then
+        Result.Error
+          (Printf.sprintf "BATCH: n must be <= %d" max_batch_items)
+      else Result.Ok (Batch n)
+    | "BATCH", _ -> Result.Error "BATCH takes exactly one count"
     | v, _ -> Result.Error (Printf.sprintf "unknown verb %S" v))
 
 let analysis_args = function
@@ -151,6 +165,7 @@ let request_line = function
   | Evict (Some ds) -> "EVICT " ^ ds
   | Ping -> "PING"
   | Shutdown -> "SHUTDOWN"
+  | Batch n -> "BATCH " ^ string_of_int n
 
 let analysis_key = function
   | Stats -> "stats"
@@ -193,6 +208,17 @@ let encode_reply = function
     in
     Printf.sprintf "ERR %s %s%s\n" (error_code_to_string code) hint
       (sanitize message)
+
+(* Batched replies interleave a tag line before each sub-reply:
+   ITEM <i>, then the standard OK/ERR framing for item i.  Items are
+   written in request order, each as soon as it is computed, so a
+   client can consume reply i while the server still works on i+1. *)
+let item_line i = Printf.sprintf "ITEM %d" i
+
+let parse_item_line line =
+  match tokens line with
+  | [ tag; i ] when String.uppercase_ascii tag = "ITEM" -> int_of_string_opt i
+  | _ -> None
 
 let decode_reply text =
   match String.split_on_char '\n' text with

@@ -17,6 +17,7 @@
     EVICT [<dataset>]
     PING
     SHUTDOWN
+    BATCH <n>
     v}
 
     [<dataset>] is a content digest as returned by [LOAD] (an
@@ -33,7 +34,17 @@
     a machine-readable retry hint between the code and the message:
     [ERR busy retry_after_ms=250 <message>].  Keys and values never
     contain tabs or newlines (the encoder replaces them with spaces),
-    so a reply is always exactly [1 + n] lines. *)
+    so a reply is always exactly [1 + n] lines.
+
+    [BATCH <n>] pipelines n requests over one connection: the client
+    sends the BATCH line followed by n ordinary request lines, and the
+    server answers with n tagged sub-replies — for each item, the line
+    [ITEM <i>] (0-based, in request order) followed by that item's
+    standard OK/ERR framing.  Each sub-reply is flushed as soon as it
+    is computed, so the client may consume item i while item i+1 is
+    still being served.  [SHUTDOWN] and nested [BATCH] are rejected
+    per-item with [bad-request]; a malformed item line likewise gets
+    its own [ERR] without poisoning its neighbours. *)
 
 type weighting = Uniform | Degree | Degree_squared
 
@@ -61,6 +72,9 @@ type request =
           [None] clears the whole result cache. *)
   | Ping
   | Shutdown
+  | Batch of int
+      (** Header for a pipelined run of n requests on one connection;
+          the n request lines follow on the wire. *)
 
 type error_code =
   | Bad_request      (** unparsable or unknown verb / arguments *)
@@ -89,6 +103,16 @@ val max_line_bytes : int
 (** Upper bound (1 MiB) on any single protocol line.  The server
     aborts requests whose line exceeds it; the client refuses replies
     whose line exceeds it. *)
+
+val max_batch_items : int
+(** Upper bound (1024) on the item count of a single [BATCH]. *)
+
+val item_line : int -> string
+(** [item_line i] is the tag line ["ITEM <i>"] framing sub-reply [i]
+    of a batched reply (no trailing newline). *)
+
+val parse_item_line : string -> int option
+(** Inverse of {!item_line}; [None] when the line is not an item tag. *)
 
 val parse_request : string -> (request, string) result
 

@@ -373,6 +373,7 @@ let verb_counter : P.request -> string = function
   | P.Evict _ -> "requests_evict"
   | P.Ping -> "requests_ping"
   | P.Shutdown -> "requests_shutdown"
+  | P.Batch _ -> "requests_batch"
 
 let handle_request t ~t0 ~tr (req : P.request) : P.reply * [ `Continue | `Stop ] =
   Metrics.incr t.metrics (verb_counter req);
@@ -407,6 +408,11 @@ let handle_request t ~t0 ~tr (req : P.request) : P.reply * [ `Continue | `Stop ]
         ],
       `Continue )
   | P.Shutdown -> (P.Ok [ ("shutting_down", "true") ], `Stop)
+  | P.Batch _ ->
+    (* Batch headers are consumed at the connection level (they need
+       to read the item lines off the wire); reaching here means a
+       direct API caller passed one through. *)
+    (P.err P.Bad_request "BATCH heads a pipelined run; items follow on the wire", `Continue)
 
 (* ---------- connection plumbing ---------- *)
 
@@ -490,6 +496,112 @@ let serve_connection t (fd, accepted_at) =
   let pending_queue_us = ref (max 0 (int_of_float (queue_wait *. 1e6))) in
   (try Unix.setsockopt_float fd SO_RCVTIMEO 0.25 with _ -> ());
   let conn = { fd; pending = "" } in
+  (* Answer one already-parsed request line: compute the reply, put it
+     on the wire behind [prefix] (the ITEM tag for batched items, ""
+     otherwise) and account metrics/trace.  Service time is observed
+     after the reply is on the wire, so serialization and write time
+     are part of the request latency; a failed write is still a
+     finished — and accounted — request. *)
+  let answer ~tr ~t0 ~prefix parsed : [ `Continue | `Stop | `Close ] =
+    let reply, control =
+      match parsed with
+      | Error msg ->
+        Metrics.incr t.metrics "bad_requests";
+        (P.err P.Bad_request msg, `Continue)
+      | Ok req -> (
+        try handle_request t ~t0 ~tr req
+        with
+        | Hp_util.Fault.Killed _ as e -> raise e
+        | e ->
+          Metrics.incr t.metrics "compute_errors";
+          (P.err P.Internal (Printexc.to_string e), `Continue))
+    in
+    let status =
+      match reply with
+      | P.Err { code; _ } ->
+        Metrics.incr t.metrics "responses_err";
+        "err-" ^ P.error_code_to_string code
+      | P.Ok _ -> "ok"
+    in
+    let account status =
+      Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
+      let r = Trace.finish t.trace tr ~status in
+      if Log.enabled Log.Debug then
+        Log.debug ~comp:"server"
+          ~fields:
+            [
+              ("trace", string_of_int r.Trace.id);
+              ("status", r.status);
+              ("cached", string_of_bool r.cached);
+              ("total_us", string_of_int r.total_us);
+              ("queue_us", string_of_int r.queue_us);
+              ("parse_us", string_of_int r.parse_us);
+              ("cache_us", string_of_int r.cache_us);
+              ("compute_us", string_of_int r.compute_us);
+              ("write_us", string_of_int r.write_us);
+              ("request", r.request);
+            ]
+          "request"
+    in
+    (match
+       Trace.timed tr Trace.Write (fun () ->
+           write_all fd (prefix ^ P.encode_reply reply))
+     with
+    | () -> account status
+    | exception e ->
+      account "write-error";
+      raise e);
+    (control :> [ `Continue | `Stop | `Close ])
+  in
+  (* A BATCH header was read: consume its n item lines and answer each
+     in order, flushing every sub-reply as soon as it is computed so
+     the client can overlap its reads with our compute.  Each item
+     carries its own metrics counters and trace record; SHUTDOWN and
+     nested BATCH are refused per-item without poisoning neighbours. *)
+  let serve_batch ~header_tr ~header_t0 n =
+    Metrics.incr t.metrics "batch_requests";
+    let rec items i =
+      if i >= n then `Continue
+      else
+        match read_line t conn with
+        | `Eof -> `Close
+        | `Oversized ->
+          Metrics.incr t.metrics "responses_err";
+          (try
+             write_all fd
+               (P.item_line i ^ "\n"
+               ^ P.encode_reply
+                   (P.err P.Bad_request
+                      (Printf.sprintf "request line exceeds %d bytes"
+                         P.max_line_bytes)))
+           with _ -> ());
+          `Close
+        | `Line line ->
+          let t0 = Unix.gettimeofday () in
+          Metrics.incr t.metrics "requests_total";
+          Metrics.incr t.metrics "batch_items";
+          let tr = Trace.start t.trace ~queue_us:0 ~request:line () in
+          let parsed =
+            Trace.timed tr Trace.Parse (fun () ->
+                match P.parse_request line with
+                | Result.Ok P.Shutdown ->
+                  Result.Error "SHUTDOWN is not allowed inside BATCH"
+                | Result.Ok (P.Batch _) ->
+                  Result.Error "nested BATCH is not allowed"
+                | r -> r)
+          in
+          (match answer ~tr ~t0 ~prefix:(P.item_line i ^ "\n") parsed with
+          | `Continue -> items (i + 1)
+          | (`Stop | `Close) as c -> c)
+    in
+    let control = items 0 in
+    (* The header's own record spans the whole pipelined run. *)
+    Metrics.observe_latency t.metrics (Unix.gettimeofday () -. header_t0);
+    ignore
+      (Trace.finish t.trace header_tr
+         ~status:(match control with `Continue -> "ok" | _ -> "aborted"));
+    control
+  in
   let rec loop () =
     match read_line t conn with
     | `Eof -> ()
@@ -508,57 +620,17 @@ let serve_connection t (fd, accepted_at) =
       let queue_us = !pending_queue_us in
       pending_queue_us := 0;
       let tr = Trace.start t.trace ~queue_us ~request:line () in
-      let reply, control =
-        match Trace.timed tr Trace.Parse (fun () -> P.parse_request line) with
-        | Error msg ->
-          Metrics.incr t.metrics "bad_requests";
-          (P.err P.Bad_request msg, `Continue)
-        | Ok req -> (
-          try handle_request t ~t0 ~tr req
-          with
-          | Hp_util.Fault.Killed _ as e -> raise e
-          | e ->
-            Metrics.incr t.metrics "compute_errors";
-            (P.err P.Internal (Printexc.to_string e), `Continue))
+      let parsed = Trace.timed tr Trace.Parse (fun () -> P.parse_request line) in
+      let control =
+        match parsed with
+        | Result.Ok (P.Batch n) ->
+          Metrics.incr t.metrics (verb_counter (P.Batch n));
+          serve_batch ~header_tr:tr ~header_t0:t0 n
+        | parsed -> answer ~tr ~t0 ~prefix:"" parsed
       in
-      let status =
-        match reply with
-        | P.Err { code; _ } ->
-          Metrics.incr t.metrics "responses_err";
-          "err-" ^ P.error_code_to_string code
-        | P.Ok _ -> "ok"
-      in
-      (* Service time is observed after the reply is on the wire, so
-         serialization and write time are part of the request latency
-         (they used to be invisible).  A failed write is still a
-         finished — and accounted — request. *)
-      let account status =
-        Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
-        let r = Trace.finish t.trace tr ~status in
-        if Log.enabled Log.Debug then
-          Log.debug ~comp:"server"
-            ~fields:
-              [
-                ("trace", string_of_int r.Trace.id);
-                ("status", r.status);
-                ("cached", string_of_bool r.cached);
-                ("total_us", string_of_int r.total_us);
-                ("queue_us", string_of_int r.queue_us);
-                ("parse_us", string_of_int r.parse_us);
-                ("cache_us", string_of_int r.cache_us);
-                ("compute_us", string_of_int r.compute_us);
-                ("write_us", string_of_int r.write_us);
-                ("request", r.request);
-              ]
-            "request"
-      in
-      (match Trace.timed tr Trace.Write (fun () -> write_all fd (P.encode_reply reply)) with
-      | () -> account status
-      | exception e ->
-        account "write-error";
-        raise e);
       (match control with
       | `Continue -> loop ()
+      | `Close -> ()
       | `Stop -> initiate_stop t)
   in
   Fun.protect

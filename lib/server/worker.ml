@@ -32,7 +32,17 @@ let worker_loop t handler =
     Mutex.unlock t.mutex;
     match job with
     | Some job ->
-      (match handler job with
+      (* The handler runs kernels that fan out over domains; bracket it
+         so the shared domain budget sees how many jobs are in flight
+         and clamps each job's fan-out accordingly (a pool of w workers
+         each asking for 8 domains must not land 8w domains on the
+         machine). *)
+      Hp_util.Parallel.enter_job ();
+      (match
+         Fun.protect
+           ~finally:(fun () -> Hp_util.Parallel.leave_job ())
+           (fun () -> handler job)
+       with
       | () -> ()
       | exception e when not (t.lethal e) ->
         (* Captured: account for it and keep the worker alive.  A

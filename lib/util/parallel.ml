@@ -1,5 +1,36 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* Shared domain budget.  Kernel call sites ask for a fan-out
+   ([domains] below); when several worker-pool jobs run kernels
+   concurrently each would otherwise spawn its full request, so a
+   pool of 4 workers asking for 8 domains apiece lands 32 domains on
+   8 cores.  The budget divides a fixed number of domains across the
+   jobs currently inside the pool: [enter_job]/[leave_job] track
+   occupancy and [fold_range] clamps its fan-out to budget/occupancy. *)
+let budget = Atomic.make (recommended_domains ())
+let occupancy_counter = Atomic.make 0
+
+let set_domain_budget b =
+  if b < 1 then invalid_arg "Parallel.set_domain_budget: budget < 1";
+  Atomic.set budget b
+
+let domain_budget () = Atomic.get budget
+let occupancy () = Atomic.get occupancy_counter
+let enter_job () = ignore (Atomic.fetch_and_add occupancy_counter 1)
+
+let leave_job () =
+  let prev = Atomic.fetch_and_add occupancy_counter (-1) in
+  if prev <= 0 then (
+    (* Unbalanced leave: restore and complain loudly in debug builds. *)
+    ignore (Atomic.fetch_and_add occupancy_counter 1);
+    invalid_arg "Parallel.leave_job: no job entered")
+
+let effective_domains requested =
+  if requested < 1 then invalid_arg "Parallel.effective_domains: domains < 1";
+  let b = Atomic.get budget in
+  let occ = max 1 (Atomic.get occupancy_counter) in
+  max 1 (min requested (b / occ))
+
 let sequential ~n ~create ~fold =
   let acc = ref (create ()) in
   for i = 0 to n - 1 do
@@ -10,7 +41,11 @@ let sequential ~n ~create ~fold =
 let fold_range ~domains ~n ~create ~fold ~combine =
   if domains < 1 then invalid_arg "Parallel.fold_range: domains < 1";
   if n < 0 then invalid_arg "Parallel.fold_range: negative range";
-  if domains = 1 || n < 2 * domains then sequential ~n ~create ~fold
+  (* Fall back to the caller's domain only when the range genuinely
+     cannot feed more than one chunk: an 8-source sweep over a huge
+     graph must still fan out even though n is small. *)
+  let domains = min (effective_domains domains) n in
+  if domains <= 1 then sequential ~n ~create ~fold
   else begin
     let chunk lo hi () =
       let acc = ref (create ()) in
@@ -19,8 +54,14 @@ let fold_range ~domains ~n ~create ~fold ~combine =
       done;
       !acc
     in
+    (* Remainder-first: the first [n mod domains] chunks take one
+       extra item, so no chunk is ever empty and heavy-item small-n
+       workloads split as evenly as possible. *)
+    let base = n / domains and rem = n mod domains in
     let bounds =
-      Array.init domains (fun d -> (d * n / domains, (d + 1) * n / domains))
+      Array.init domains (fun d ->
+          let lo = (d * base) + min d rem in
+          (lo, lo + base + if d < rem then 1 else 0))
     in
     (* Workers for every chunk but the first, which runs here. *)
     let workers =

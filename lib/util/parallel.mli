@@ -16,6 +16,38 @@
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
+(** {2 Shared domain budget}
+
+    When a worker pool runs several jobs at once, each job calling a
+    kernel with [domains = recommended_domains ()] would multiply the
+    fan-out by the pool size.  The budget is a process-wide cap on
+    concurrently useful domains, divided across the jobs currently
+    executing: a job brackets its kernel work with
+    [enter_job]/[leave_job], and [fold_range] clamps its fan-out to
+    [budget / occupancy] (at least 1).  With no job entered (CLI
+    paths), the clamp is just [min requested budget]. *)
+
+val set_domain_budget : int -> unit
+(** Set the process-wide domain budget (default
+    [recommended_domains ()]).  Raises [Invalid_argument] on [b < 1]. *)
+
+val domain_budget : unit -> int
+(** Current budget. *)
+
+val occupancy : unit -> int
+(** Number of jobs currently between [enter_job] and [leave_job]. *)
+
+val enter_job : unit -> unit
+(** Mark this thread of control as one concurrently running job. *)
+
+val leave_job : unit -> unit
+(** Undo one [enter_job].  Raises [Invalid_argument] if unbalanced. *)
+
+val effective_domains : int -> int
+(** [effective_domains requested] is the fan-out [fold_range] will
+    actually use before range clamping:
+    [max 1 (min requested (budget / max 1 occupancy))]. *)
+
 val fold_range :
   domains:int ->
   n:int ->
@@ -23,6 +55,8 @@ val fold_range :
   fold:('acc -> int -> 'acc) ->
   combine:('acc -> 'acc -> 'acc) ->
   'acc
-(** Runs sequentially when [domains <= 1] or the range is tiny.
+(** Runs sequentially only when the clamped fan-out or the range
+    leaves a single chunk ([n < 2] or effective domains = 1); chunks
+    are near-equal with the remainder spread over the first chunks.
     Raises [Invalid_argument] on [domains < 1] or [n < 0]; re-raises
     the first worker exception after joining every domain. *)

@@ -256,6 +256,39 @@ let prop_parallel_init_agrees =
       let b = C.k_core ~domains:3 h k in
       H.equal_structure a.core b.core && a.vertex_ids = b.vertex_ids)
 
+let prop_overlap_init_domain_invariant =
+  (* The Overlap strategy's parallel pairwise-overlap preprocessing
+     must give identical peels at domains 1 (sequential), 2 (even
+     split) and 7 (odd split, remainder-first chunks): the merged
+     overlap tables are the same multiset whatever the fan-out. *)
+  QCheck.Test.make
+    ~name:"k-core: Overlap preprocessing identical at domains 1, 2 and 7"
+    ~count:100
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 3))
+    (fun (h, k) ->
+      let run d = C.k_core ~strategy:C.Overlap ~domains:d h k in
+      let a = run 1 and b = run 2 and c = run 7 in
+      H.equal_structure a.core b.core
+      && H.equal_structure a.core c.core
+      && a.vertex_ids = b.vertex_ids
+      && a.vertex_ids = c.vertex_ids
+      && a.edge_ids = b.edge_ids
+      && a.edge_ids = c.edge_ids)
+
+let prop_decompose_domain_invariant =
+  QCheck.Test.make
+    ~name:"decompose: identical at domains 1, 2 and 7" ~count:50
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let run d = C.decompose ~domains:d h in
+      let a = run 1 and b = run 2 and c = run 7 in
+      a.C.vertex_core = b.C.vertex_core
+      && a.C.vertex_core = c.C.vertex_core
+      && a.C.edge_core = b.C.edge_core
+      && a.C.edge_core = c.C.edge_core
+      && a.C.max_core = b.C.max_core
+      && a.C.max_core = c.C.max_core)
+
 let test_parallel_on_real_instance () =
   let ds = Hp_data.Cellzome.generate ~seed:2004 () in
   let a = C.decompose ~domains:1 ds.hypergraph in
@@ -326,6 +359,8 @@ let () =
           Th.prop prop_core_profile_monotone;
           Th.prop prop_agrees_with_graph_core;
           Th.prop prop_parallel_init_agrees;
+          Th.prop prop_overlap_init_domain_invariant;
+          Th.prop prop_decompose_domain_invariant;
           Alcotest.test_case "parallel on the yeast instance" `Quick
             test_parallel_on_real_instance;
           Th.prop prop_max_core_nonempty;

@@ -109,6 +109,48 @@ let prop_parallel_diameter_agrees =
       HP.diameter_and_average_path ~domains:1 h
       = HP.diameter_and_average_path ~domains:3 h)
 
+let prop_exact_sweep_domain_invariant =
+  (* The required invariance set: 1 (sequential), 2 (even split), 7
+     (odd split exercising the remainder-first chunking).  Exact
+     equality — sum and pairs are integers, so averages either match
+     bit-for-bit or not at all. *)
+  QCheck.Test.make ~name:"diameter: identical at domains 1, 2 and 7" ~count:100
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let at1 = HP.diameter_and_average_path ~domains:1 h in
+      at1 = HP.diameter_and_average_path ~domains:2 h
+      && at1 = HP.diameter_and_average_path ~domains:7 h)
+
+let test_scratch_aliasing () =
+  (* Two sweeps over different graphs interleaved on the same domain
+     must not see each other through the shared scratch arena — the
+     second graph is larger (forces the arena to grow mid-stream) and
+     the first is revisited afterwards (stale stamps would surface as
+     wrong distances). *)
+  let a = chain () in
+  let b =
+    let ds = Hp_data.Cellzome.generate ~seed:2004 () in
+    ds.hypergraph
+  in
+  let da_before = HP.bfs a 0 in
+  let sweep_a = HP.diameter_and_average_path ~domains:1 a in
+  let sweep_b = HP.diameter_and_average_path ~domains:1 b in
+  (* Interleave per-source traversals across the two graphs. *)
+  let db = HP.bfs b 1 in
+  let da_mid = HP.bfs a 0 in
+  let db' = HP.bfs b 1 in
+  Alcotest.(check (array int)) "graph a stable across graph b traversals"
+    da_before da_mid;
+  Alcotest.(check (array int)) "graph b stable across graph a traversals" db db';
+  Alcotest.(check (pair int (float 1e-9)))
+    "sweep over a unchanged after sweeping b" sweep_a
+    (HP.diameter_and_average_path ~domains:1 a);
+  Alcotest.(check (pair int (float 1e-9)))
+    "sweep over b unchanged after sweeping a" sweep_b
+    (HP.diameter_and_average_path ~domains:1 b);
+  Alcotest.(check (array int)) "shrunk arena reuse is clean"
+    [| 0; 1; 2; 3; -1; -1 |] (HP.bfs a 0)
+
 let test_parallel_diameter_real () =
   let ds = Hp_data.Cellzome.generate ~seed:2004 () in
   Alcotest.(check (pair int (float 1e-9)))
@@ -201,6 +243,8 @@ let () =
       ( "properties",
         [
           Th.prop prop_parallel_diameter_agrees;
+          Th.prop prop_exact_sweep_domain_invariant;
+          Alcotest.test_case "scratch arena aliasing" `Quick test_scratch_aliasing;
           Alcotest.test_case "parallel yeast sweep" `Quick test_parallel_diameter_real;
           Th.prop prop_distance_symmetric;
           Th.prop prop_distance_matches_bipartite;

@@ -45,7 +45,9 @@ let test_parse_requests () =
   ok "EVICT" (P.Evict None);
   ok "EVICT abcd" (P.Evict (Some "abcd"));
   ok "PING" P.Ping;
-  ok "SHUTDOWN" P.Shutdown
+  ok "SHUTDOWN" P.Shutdown;
+  ok "BATCH 1" (P.Batch 1);
+  ok "batch 1024" (P.Batch P.max_batch_items)
 
 let test_parse_rejects () =
   let bad line =
@@ -70,7 +72,13 @@ let test_parse_rejects () =
   bad "TRACE notanint";
   bad "TRACE 1 2";
   bad "PING extra";
-  bad "SHUTDOWN now"
+  bad "SHUTDOWN now";
+  bad "BATCH";
+  bad "BATCH 0";
+  bad "BATCH -2";
+  bad "BATCH notanint";
+  bad ("BATCH " ^ string_of_int (P.max_batch_items + 1));
+  bad "BATCH 1 2"
 
 let request_gen =
   QCheck.Gen.(
@@ -96,6 +104,7 @@ let request_gen =
         map (fun ds -> P.Evict ds) (opt dataset);
         return P.Ping;
         return P.Shutdown;
+        map (fun n -> P.Batch n) (int_range 1 P.max_batch_items);
       ])
 
 let request_print r = P.request_line r
@@ -508,6 +517,75 @@ let test_integration () =
       expect_err "gone after evict" P.Unknown_dataset
         (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats })))
 
+let test_batch () =
+  with_server (fun dir socket_path ->
+      let data = Filename.concat dir "tiny.hg" in
+      write_file data tiny_hg;
+      let c = connect socket_path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let digest =
+        expect_ok "load" (Client.request c (P.Load data)) |> List.assoc "digest"
+      in
+      let stats = P.Analyze { dataset = digest; analysis = P.Stats } in
+      (* One pipelined run: the repeated STATS must be a cache hit even
+         though both items travel on the same connection. *)
+      (match Client.batch c [ P.Ping; stats; stats ] with
+      | Ok (Client.Items [ r1; r2; r3 ]) ->
+        checks "batch pong" "hgd" (List.assoc "pong" (expect_ok "batch ping" r1));
+        let cold = expect_ok "batch stats cold" r2 in
+        checks "computed inside batch" "false" (List.assoc "cached" cold);
+        let hot = expect_ok "batch stats hot" r3 in
+        checks "cache hit inside batch" "true" (List.assoc "cached" hot);
+        checkb "same payload modulo cache line" true
+          (List.remove_assoc "cached" cold = List.remove_assoc "cached" hot)
+      | Ok (Client.Items items) ->
+        Alcotest.failf "batch: expected 3 items, got %d" (List.length items)
+      | Ok (Client.Refused r) ->
+        Alcotest.failf "batch refused: %s" (P.encode_reply r)
+      | Error msg -> Alcotest.failf "batch transport: %s" msg);
+      (* Per-item rejection: garbage, SHUTDOWN and nested BATCH inside
+         the run each get their own tagged ERR, neighbours unharmed. *)
+      (match
+         Client.batch_lines c [ "PING"; "FROB x"; "SHUTDOWN"; "BATCH 2"; "PING" ]
+       with
+      | Ok (Client.Items [ ok1; bad; shut; nested; ok2 ]) ->
+        ignore (expect_ok "item before rejects" ok1);
+        expect_err "garbage item" P.Bad_request bad;
+        expect_err "shutdown inside batch" P.Bad_request shut;
+        expect_err "nested batch" P.Bad_request nested;
+        checks "item after rejects still served" "hgd"
+          (List.assoc "pong" (expect_ok "item after rejects" ok2))
+      | Ok (Client.Items items) ->
+        Alcotest.failf "batch: expected 5 items, got %d" (List.length items)
+      | Ok (Client.Refused r) ->
+        Alcotest.failf "batch refused: %s" (P.encode_reply r)
+      | Error msg -> Alcotest.failf "batch transport: %s" msg);
+      (* The connection is still usable for plain requests afterwards,
+         and a malformed BATCH header is an ordinary one-line error. *)
+      expect_err "batch header out of range" P.Bad_request
+        (Client.request_line c "BATCH 0");
+      ignore (expect_ok "plain request after batches" (Client.request c P.Ping));
+      (* Metrics count the run and its items; traces record each item
+         individually. *)
+      let metrics = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checkb "batch runs counted" true
+        (int_of_string (List.assoc "batch_requests" metrics) >= 2);
+      checkb "batch items counted" true
+        (int_of_string (List.assoc "batch_items" metrics) >= 8);
+      let trace = expect_ok "trace" (Client.request c (P.Trace (Some 20))) in
+      let requests =
+        List.filter_map
+          (fun (k, v) ->
+            if String.length k > 8 && String.sub k (String.length k - 8) 8 = ".request"
+            then Some v
+            else None)
+          trace
+      in
+      checkb "batched items traced individually" true
+        (List.length (List.filter (( = ) "PING") requests) >= 2);
+      checkb "batch headers traced" true
+        (List.exists (fun r -> r = "BATCH 3") requests))
+
 let test_concurrent_clients () =
   with_server (fun dir socket_path ->
       let data = Filename.concat dir "tiny.hg" in
@@ -584,6 +662,7 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end to end" `Quick test_integration;
+          Alcotest.test_case "batched pipelined queries" `Quick test_batch;
           Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "shutdown verb" `Quick test_shutdown_verb;
         ] );

@@ -356,6 +356,62 @@ let test_recommended_domains () =
   checkb "at least one" true (d >= 1);
   checkb "capped" true (d <= 8)
 
+let with_budget b f =
+  let saved = U.Parallel.domain_budget () in
+  U.Parallel.set_domain_budget b;
+  Fun.protect ~finally:(fun () -> U.Parallel.set_domain_budget saved) f
+
+let test_parallel_small_n_fans_out () =
+  (* An 8-item range at 4 domains used to fall back to one domain
+     (n < 2 * domains); heavy-item small-n sweeps must fan out.  The
+     fold records which domain ran each index. *)
+  with_budget 4 (fun () ->
+      let ids =
+        U.Parallel.fold_range ~domains:4 ~n:8
+          ~create:(fun () -> [])
+          ~fold:(fun acc i -> (i, Domain.self ()) :: acc)
+          ~combine:( @ )
+      in
+      check "all indices folded" 8 (List.length ids);
+      checkb "every index exactly once" true
+        (List.sort compare (List.map fst ids) = [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+      let distinct =
+        List.sort_uniq compare (List.map snd ids) |> List.length
+      in
+      check "four domains used" 4 distinct)
+
+let test_parallel_remainder_first () =
+  (* n = 7 over 3 domains: chunks 3/2/2 — no chunk empty, every index
+     covered once, deterministic left-to-right combine. *)
+  with_budget 8 (fun () ->
+      let idx =
+        U.Parallel.fold_range ~domains:3 ~n:7
+          ~create:(fun () -> [])
+          ~fold:(fun acc i -> i :: acc)
+          ~combine:(fun a b -> a @ b)
+      in
+      checkb "in-order coverage" true
+        (List.rev idx = [ 0; 1; 2; 3; 4; 5; 6 ] || List.sort compare idx = [ 0; 1; 2; 3; 4; 5; 6 ]))
+
+let test_domain_budget_clamp () =
+  with_budget 8 (fun () ->
+      check "idle clamp is the budget" 8 (U.Parallel.effective_domains 8);
+      check "requests below budget pass" 3 (U.Parallel.effective_domains 3);
+      U.Parallel.enter_job ();
+      U.Parallel.enter_job ();
+      check "occupancy visible" 2 (U.Parallel.occupancy ());
+      check "two jobs split the budget" 4 (U.Parallel.effective_domains 8);
+      U.Parallel.enter_job ();
+      U.Parallel.enter_job ();
+      check "four jobs quarter it" 2 (U.Parallel.effective_domains 8);
+      for _ = 1 to 4 do U.Parallel.leave_job () done;
+      check "budget restored when jobs leave" 8 (U.Parallel.effective_domains 8);
+      U.Parallel.set_domain_budget 1;
+      check "floor of one domain" 1 (U.Parallel.effective_domains 8));
+  Alcotest.check_raises "unbalanced leave"
+    (Invalid_argument "Parallel.leave_job: no job entered") (fun () ->
+      U.Parallel.leave_job ())
+
 let prop_parallel_deterministic =
   QCheck.Test.make ~name:"parallel: result independent of domain count" ~count:50
     QCheck.(pair (int_range 1 6) (int_range 0 500))
@@ -583,6 +639,9 @@ let () =
           Alcotest.test_case "empty range" `Quick test_parallel_empty_range;
           Alcotest.test_case "errors" `Quick test_parallel_errors;
           Alcotest.test_case "recommended domains" `Quick test_recommended_domains;
+          Alcotest.test_case "small n fans out" `Quick test_parallel_small_n_fans_out;
+          Alcotest.test_case "remainder-first chunks" `Quick test_parallel_remainder_first;
+          Alcotest.test_case "domain budget clamp" `Quick test_domain_budget_clamp;
           Th.prop prop_parallel_deterministic;
         ] );
       ( "log",

@@ -4,8 +4,12 @@
    micro-benchmarks — one per table/figure workload.
 
    Usage:  dune exec bench/main.exe [-- --quick] [-- --no-timing]
-     --quick      skip the largest Table-1 instance
-     --no-timing  skip the Bechamel pass *)
+     --quick       skip the largest Table-1 instance
+     --no-timing   skip the Bechamel pass
+     --check-path  fail if the E21 path-kernel speedup regressed >2x
+                   against bench/path_baseline.json
+     --check-core  fail if the E22 core-peel speedup regressed >2x
+                   against bench/core_baseline.json *)
 
 module H = Hp_hypergraph.Hypergraph
 module HP = Hp_hypergraph.Hypergraph_path
@@ -27,6 +31,11 @@ let no_timing = Array.exists (( = ) "--no-timing") Sys.argv
    in-process reference kernel) are machine-normalized ratios, so the
    guard travels across CI hosts where absolute times do not. *)
 let check_path = Array.exists (( = ) "--check-path") Sys.argv
+
+(* --check-core: the same guard for the E22 core bench, against
+   bench/core_baseline.json — CSR overlap kernel vs the retired
+   hashtable kernel on the same host. *)
+let check_core = Array.exists (( = ) "--check-core") Sys.argv
 
 let section title = Printf.printf "\n== %s ==\n" title
 
@@ -1189,6 +1198,151 @@ let path_bench () =
       rows
   end
 
+(* ------------------------------------------------------------------ *)
+(* E22: flat CSR overlap kernel vs the retired hashtable kernel in    *)
+(* the k-core peel.  Both strategies drive the same deletion order,   *)
+(* so their decompositions and k-cores must agree bit-for-bit; the    *)
+(* CSR build (sort-based counting into per-domain flat buffers) and   *)
+(* its early-exit partner scans are where the speedup comes from.     *)
+(* Lands in _artifacts/BENCH_core.json; CI guards the speedup ratio.  *)
+
+type core_row = {
+  cname : string;
+  cnv : int;
+  cne : int;
+  cinc : int;
+  cmax : int;
+  table_s : float;
+  c1 : float;
+  c2 : float;
+  c4 : float;
+  cspeedup : float;
+}
+
+let write_core_json rows =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_core.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"schema\":1,\"domains_verified\":\"1,2,4,7\",\"peels\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc
+            "\n  {\"name\":\"%s\",\"vertices\":%d,\"hyperedges\":%d,\
+             \"incidence\":%d,\"max_core\":%d,\
+             \"table_s\":%.6f,\"csr_1dom_s\":%.6f,\
+             \"csr_2dom_s\":%.6f,\"csr_4dom_s\":%.6f,\
+             \"speedup_1dom\":%.4f}"
+            r.cname r.cnv r.cne r.cinc r.cmax r.table_s r.c1 r.c2 r.c4
+            r.cspeedup)
+        rows;
+      output_string oc "\n]}\n");
+  Printf.printf "[wrote %s]\n" path
+
+let core_bench () =
+  section "E22: CSR overlap kernel vs hashtable reference (k-core peel)";
+  if quick then print_endline "(--quick: fidapm11-like skipped)";
+  let suite = MM.synthetic_suite () in
+  let instances =
+    [ ("cellzome", yeast);
+      ("stk21-like", MM.to_hypergraph (List.assoc "stk21-like" suite));
+      ("utm5940-like", MM.to_hypergraph (List.assoc "utm5940-like" suite)) ]
+    @
+    if quick then []
+    else [ ("fidapm11-like", MM.to_hypergraph (List.assoc "fidapm11-like" suite)) ]
+  in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "E22 FAIL: %s\n" s; exit 1) fmt in
+  let rows =
+    List.map
+      (fun (name, h) ->
+        let dt, table_s =
+          time (fun () -> HC.decompose ~strategy:HC.Overlap_table h)
+        in
+        let d1, c1 =
+          best_of 2 (fun () -> HC.decompose ~strategy:HC.Overlap ~domains:1 h)
+        in
+        let d2, c2 = time (fun () -> HC.decompose ~strategy:HC.Overlap ~domains:2 h) in
+        let d4, c4 = time (fun () -> HC.decompose ~strategy:HC.Overlap ~domains:4 h) in
+        let d7 = HC.decompose ~strategy:HC.Overlap ~domains:7 h in
+        (* Bit-identical decompositions at every fan-out: both overlap
+           kernels peel in the same order, so the arrays — not just
+           the multisets — must match the hashtable reference. *)
+        List.iter
+          (fun (domains, d) ->
+            if
+              d.HC.vertex_core <> dt.HC.vertex_core
+              || d.HC.edge_core <> dt.HC.edge_core
+              || d.HC.max_core <> dt.HC.max_core
+            then fail "%s: decompose differs from reference at domains=%d" name domains)
+          [ (1, d1); (2, d2); (4, d4); (7, d7) ];
+        (* Same check for the per-k driver at the maximum core. *)
+        let rt = HC.k_core ~strategy:HC.Overlap_table h dt.HC.max_core in
+        List.iter
+          (fun domains ->
+            let r = HC.k_core ~strategy:HC.Overlap ~domains h dt.HC.max_core in
+            if r.HC.vertex_ids <> rt.HC.vertex_ids || r.HC.edge_ids <> rt.HC.edge_ids
+            then fail "%s: k_core differs from reference at domains=%d" name domains)
+          [ 1; 2; 4; 7 ];
+        let speedup = table_s /. c1 in
+        record_kernel ("core:" ^ name) c1
+          [ ("table_s", Printf.sprintf "%.6f" table_s);
+            ("speedup", Printf.sprintf "%.2f" speedup);
+            ("max_core", fi dt.HC.max_core) ];
+        {
+          cname = name;
+          cnv = H.n_vertices h;
+          cne = H.n_edges h;
+          cinc = H.total_incidence h;
+          cmax = dt.HC.max_core;
+          table_s; c1; c2; c4;
+          cspeedup = speedup;
+        })
+      instances
+  in
+  print_endline
+    (table
+       ~header:[ "peel"; "hashtable"; "CSR @1"; "@2"; "@4"; "speedup @1" ]
+       (List.map
+          (fun r ->
+            [ r.cname; U.Table.fmt_time r.table_s; U.Table.fmt_time r.c1;
+              U.Table.fmt_time r.c2; U.Table.fmt_time r.c4;
+              ff ~digits:2 r.cspeedup ^ "x" ])
+          rows));
+  print_endline
+    "(identical decompose arrays and k_core id maps verified at domains\n\
+    \ 1, 2, 4 and 7 against the hashtable reference on every instance)";
+  write_core_json rows;
+  if check_core then begin
+    let baseline_file = Filename.concat "bench" "core_baseline.json" in
+    if not (Sys.file_exists baseline_file) then begin
+      Printf.eprintf "E22 guard: missing %s\n" baseline_file;
+      exit 1
+    end;
+    let baseline = baseline_speedups baseline_file in
+    List.iter
+      (fun r ->
+        match List.assoc_opt r.cname baseline with
+        | None -> ()
+        | Some base ->
+          (* Same-host ratio of the same two kernels, so the guard is
+             machine-independent: fail when the measured speedup fell
+             below half the committed one. *)
+          if r.cspeedup *. 2.0 < base then begin
+            Printf.eprintf
+              "E22 guard: %s speedup %.2fx fell below half the baseline \
+               %.2fx — the core peel regressed >2x\n"
+              r.cname r.cspeedup base;
+            exit 1
+          end
+          else
+            Printf.printf "guard ok: %s %.2fx (baseline %.2fx)\n" r.cname
+              r.cspeedup base)
+      rows
+  end
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -1215,6 +1369,7 @@ let () =
   ext_parallel ();
   kernel_profile ();
   path_bench ();
+  core_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

@@ -1,7 +1,7 @@
 module U = Hp_util
 module H = Hypergraph
 
-type strategy = Overlap | Naive
+type strategy = Overlap | Overlap_table | Naive
 
 type stats = {
   vertices_deleted : int;
@@ -17,7 +17,35 @@ type result = {
   stats : stats;
 }
 
-(* Mutable peeling state over a (reduced) hypergraph.  The two drivers
+(* ------------------------------------------------------------------ *)
+(* Overlap bookkeeping.                                               *)
+
+(* Flat CSR overlap graph: one node per hyperedge, one (symmetric)
+   entry per overlapping pair.  [adj.(adj_off.(f) .. adj_off.(f+1)-1)]
+   are f's partners in ascending id order; [ocount] holds the live
+   shared-vertex count of the pair in BOTH directions, and [twin]
+   maps a slot to its mirror in the partner's slice, so a symmetric
+   count update is two array writes.  A pair whose count reaches 0 —
+   or whose endpoint is deleted — has both slots zeroed and is skipped
+   by every later scan; slices never shrink, "membership" is just
+   [ocount > 0].  Invariant: [ocount.(s) > 0] implies both endpoints
+   of the pair are alive ([delete_edge] zeroes the whole slice). *)
+type csr = {
+  adj_off : int array;  (* m+1 slice offsets *)
+  adj : int array;      (* partner hyperedge ids, sorted per slice *)
+  ocount : int array;   (* live overlap count per slot; 0 = dissolved *)
+  twin : int array;     (* slot of the mirrored (g,f) entry *)
+}
+
+type overlap_impl =
+  | No_overlap
+  | Table of {
+      overlap : (int, int) Hashtbl.t;         (* key f*m+g (f<g) -> count *)
+      partners : (int, unit) Hashtbl.t array; (* edge -> overlapping alive edges *)
+    }
+  | Csr of csr
+
+(* Mutable peeling state over a (reduced) hypergraph.  The drivers
    below share it: the per-k algorithm of Figure 4 seeds a worklist
    with low-degree vertices, while the one-pass decomposition peels
    minimum-degree vertices from a bucket queue.  They observe deletions
@@ -28,10 +56,7 @@ type result = {
    whose [valive] flag still holds, and symmetrically for a vertex's
    alive incident edges.  (Deletion order makes this exact: a vertex's
    flag drops before its edges are rechecked, and an edge's flag drops
-   before its members' degrees fall.)  The per-vertex/per-edge
-   hashtables this replaces dominated [init] on small-k peels of
-   already-reduced inputs — O(|V| + |E| + total incidence) hashtable
-   inserts before any peeling started. *)
+   before its members' degrees fall.) *)
 type state = {
   m : int;                                (* edge count, for pair keys *)
   strategy : strategy;
@@ -40,8 +65,7 @@ type state = {
   ealive : bool array;
   vdeg : int array;
   edeg : int array;
-  overlap : (int, int) Hashtbl.t;         (* key f*m+g (f<g) -> count *)
-  partners : (int, unit) Hashtbl.t array; (* edge -> overlapping alive edges *)
+  impl : overlap_impl;
   mutable on_vertex_degree : int -> unit; (* fires after a degree drop *)
   mutable on_edge_delete : int -> unit;
   mutable vdel : int;
@@ -49,87 +73,206 @@ type state = {
   mutable checks : int;
 }
 
-let pair_key st f g = if f < g then (f * st.m) + g else (g * st.m) + f
+let pair_key m f g = if f < g then (f * m) + g else (g * m) + f
 
-let get_overlap st f g =
-  Option.value (Hashtbl.find_opt st.overlap (pair_key st f g)) ~default:0
+(* --- hashtable reference implementation (the retired kernel, kept as
+   the [Overlap_table] strategy for differential testing and the E22
+   bench) --- *)
+
+let build_table ~domains h m nv =
+  let overlap = Hashtbl.create (4 * (m + 1)) in
+  let partners = Array.init m (fun _ -> Hashtbl.create 8) in
+  (* Pairwise overlaps from vertex adjacency lists, the paper's
+     O(sum d(v)^2) preprocessing.  Vertices are independent, so the
+     counting fans out over domains into local tables that are merged
+     afterwards. *)
+  let local =
+    U.Parallel.fold_range ~domains ~n:nv
+      ~create:(fun () -> Hashtbl.create 256)
+      ~fold:(fun tbl v ->
+        let adj = H.vertex_edges h v in
+        let d = Array.length adj in
+        for i = 0 to d - 1 do
+          for j = i + 1 to d - 1 do
+            let key = pair_key m adj.(i) adj.(j) in
+            let c = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
+            Hashtbl.replace tbl key (c + 1)
+          done
+        done;
+        tbl)
+      ~combine:(fun a b ->
+        let big, small =
+          if Hashtbl.length a >= Hashtbl.length b then (a, b) else (b, a)
+        in
+        Hashtbl.iter
+          (fun key c ->
+            let c0 = Option.value (Hashtbl.find_opt big key) ~default:0 in
+            Hashtbl.replace big key (c0 + c))
+          small;
+        big)
+  in
+  Hashtbl.iter
+    (fun key c ->
+      Hashtbl.replace overlap key c;
+      let f = key / m and g = key mod m in
+      Hashtbl.replace partners.(f) g ();
+      Hashtbl.replace partners.(g) f ())
+    local;
+  Table { overlap; partners }
+
+(* --- flat CSR construction --- *)
+
+(* Growable flat buffer of pair keys; one per domain chunk, so pushes
+   are contention-free. *)
+type keybuf = { mutable keys : int array; mutable len : int }
+
+let keybuf_push kb x =
+  if kb.len = Array.length kb.keys then begin
+    let bigger = Array.make (2 * max 1 kb.len) 0 in
+    Array.blit kb.keys 0 bigger 0 kb.len;
+    kb.keys <- bigger
+  end;
+  kb.keys.(kb.len) <- x;
+  kb.len <- kb.len + 1
+
+(* Sort-based pairwise-overlap counting: each domain chunk emits one
+   flat buffer holding a key f*m+g (f<g) per shared vertex of the
+   pair, the buffers are radix-sorted in parallel, and a k-way
+   run-length merge yields each distinct pair with its multiplicity —
+   the overlap count — in ascending key order.  No hashtables: the
+   build is bounded by the same O(sum d(v)^2) term as the paper's
+   preprocessing, plus O(P) sort passes over the P emitted keys. *)
+let build_csr ~domains h m nv =
+  let buffers =
+    U.Parallel.fold_range ~domains ~n:nv
+      ~create:(fun () -> [ { keys = Array.make 1024 0; len = 0 } ])
+      ~fold:(fun acc v ->
+        let kb = List.hd acc in
+        let adj = H.vertex_edges h v in
+        let d = Array.length adj in
+        for i = 0 to d - 1 do
+          let fi = adj.(i) * m in
+          for j = i + 1 to d - 1 do
+            keybuf_push kb (fi + adj.(j))
+          done
+        done;
+        acc)
+      ~combine:(fun a b -> a @ b)
+  in
+  let bufs = Array.of_list buffers in
+  let nb = Array.length bufs in
+  (* Parallel per-buffer radix sort (each worker reuses its own
+     domain-local Intsort scratch). *)
+  U.Parallel.fold_range ~domains ~n:nb
+    ~create:(fun () -> ())
+    ~fold:(fun () i -> U.Intsort.sort ~len:bufs.(i).len bufs.(i).keys)
+    ~combine:(fun () () -> ());
+  (* Run-length merge into flat (key, count) arrays of unique pairs,
+     ascending by key — which is exactly (f, g) lexicographic order. *)
+  let ukeys = { keys = Array.make 1024 0; len = 0 } in
+  let ucounts = { keys = Array.make 1024 0; len = 0 } in
+  U.Intsort.merge_runs
+    (Array.map (fun kb -> (kb.keys, kb.len)) bufs)
+    (fun key count ->
+      keybuf_push ukeys key;
+      keybuf_push ucounts count);
+  let np = ukeys.len in
+  (* CSR assembly: degree count, offset prefix sum, symmetric fill.
+     Processing pairs in ascending key order appends every slice in
+     ascending partner order — for edge f the pairs (p, f) with p < f
+     all sort before any (f, g) — so the slices support binary
+     search. *)
+  let deg = Array.make (max m 1) 0 in
+  for i = 0 to np - 1 do
+    let key = ukeys.keys.(i) in
+    let f = key / m and g = key mod m in
+    deg.(f) <- deg.(f) + 1;
+    deg.(g) <- deg.(g) + 1
+  done;
+  let adj_off = Array.make (m + 1) 0 in
+  for f = 0 to m - 1 do
+    adj_off.(f + 1) <- adj_off.(f) + deg.(f)
+  done;
+  let total = adj_off.(m) in
+  let adj = Array.make (max total 1) 0 in
+  let ocount = Array.make (max total 1) 0 in
+  let twin = Array.make (max total 1) 0 in
+  let pos = Array.sub adj_off 0 (max m 1) in
+  for i = 0 to np - 1 do
+    let key = ukeys.keys.(i) and c = ucounts.keys.(i) in
+    let f = key / m and g = key mod m in
+    let sf = pos.(f) and sg = pos.(g) in
+    pos.(f) <- sf + 1;
+    pos.(g) <- sg + 1;
+    adj.(sf) <- g;
+    adj.(sg) <- f;
+    ocount.(sf) <- c;
+    ocount.(sg) <- c;
+    twin.(sf) <- sg;
+    twin.(sg) <- sf
+  done;
+  Csr { adj_off; adj; ocount; twin }
+
+(* Slot of partner [g] in [f]'s slice, or -1: binary search over the
+   sorted slice. *)
+let csr_slot c f g =
+  let lo = ref c.adj_off.(f) and hi = ref (c.adj_off.(f + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let x = Array.unsafe_get c.adj mid in
+    if x = g then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if x < g then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
 
 let dec_overlap st f g =
-  let key = pair_key st f g in
-  match Hashtbl.find_opt st.overlap key with
-  | None -> ()
-  | Some 1 ->
-    Hashtbl.remove st.overlap key;
-    Hashtbl.remove st.partners.(f) g;
-    Hashtbl.remove st.partners.(g) f
-  | Some c -> Hashtbl.replace st.overlap key (c - 1)
+  match st.impl with
+  | No_overlap -> ()
+  | Csr c ->
+    let s = csr_slot c f g in
+    if s >= 0 then begin
+      match c.ocount.(s) with
+      | 0 -> () (* pair already dissolved *)
+      | n ->
+        c.ocount.(s) <- n - 1;
+        c.ocount.(c.twin.(s)) <- n - 1
+    end
+  | Table t ->
+    let key = pair_key st.m f g in
+    (match Hashtbl.find_opt t.overlap key with
+    | None -> ()
+    | Some 1 ->
+      Hashtbl.remove t.overlap key;
+      Hashtbl.remove t.partners.(f) g;
+      Hashtbl.remove t.partners.(g) f
+    | Some c -> Hashtbl.replace t.overlap key (c - 1))
 
 let init ~strategy ~domains h =
   let nv = H.n_vertices h and m = H.n_edges h in
-  let st =
-    {
-      m;
-      strategy;
-      h;
-      valive = Array.make nv true;
-      ealive = Array.make m true;
-      vdeg = H.vertex_degrees h;
-      edeg = H.edge_sizes h;
-      overlap =
-        (match strategy with
-        | Naive -> Hashtbl.create 1
-        | Overlap -> Hashtbl.create (4 * (m + 1)));
-      partners =
-        (match strategy with
-        | Naive -> [||]
-        | Overlap -> Array.init m (fun _ -> Hashtbl.create 8));
-      on_vertex_degree = ignore;
-      on_edge_delete = ignore;
-      vdel = 0;
-      edel = 0;
-      checks = 0;
-    }
-  in
-  (match strategy with
-  | Naive -> ()
-  | Overlap ->
-    (* Pairwise overlaps from vertex adjacency lists, the paper's
-       O(sum d(v)^2) preprocessing.  Vertices are independent, so the
-       counting fans out over domains into local tables that are merged
-       afterwards. *)
-    let local =
-      U.Parallel.fold_range ~domains ~n:nv
-        ~create:(fun () -> Hashtbl.create 256)
-        ~fold:(fun tbl v ->
-          let adj = H.vertex_edges h v in
-          let d = Array.length adj in
-          for i = 0 to d - 1 do
-            for j = i + 1 to d - 1 do
-              let key = pair_key st adj.(i) adj.(j) in
-              let c = Option.value (Hashtbl.find_opt tbl key) ~default:0 in
-              Hashtbl.replace tbl key (c + 1)
-            done
-          done;
-          tbl)
-        ~combine:(fun a b ->
-          let big, small =
-            if Hashtbl.length a >= Hashtbl.length b then (a, b) else (b, a)
-          in
-          Hashtbl.iter
-            (fun key c ->
-              let c0 = Option.value (Hashtbl.find_opt big key) ~default:0 in
-              Hashtbl.replace big key (c0 + c))
-            small;
-          big)
-    in
-    Hashtbl.iter
-      (fun key c ->
-        Hashtbl.replace st.overlap key c;
-        let f = key / m and g = key mod m in
-        Hashtbl.replace st.partners.(f) g ();
-        Hashtbl.replace st.partners.(g) f ())
-      local);
-  st
+  {
+    m;
+    strategy;
+    h;
+    valive = Array.make nv true;
+    ealive = Array.make m true;
+    vdeg = H.vertex_degrees h;
+    edeg = H.edge_sizes h;
+    impl =
+      (match strategy with
+      | Naive -> No_overlap
+      | Overlap -> build_csr ~domains h m nv
+      | Overlap_table -> build_table ~domains h m nv);
+    on_vertex_degree = ignore;
+    on_edge_delete = ignore;
+    vdel = 0;
+    edel = 0;
+    checks = 0;
+  }
 
 let rec delete_edge st f =
   st.ealive.(f) <- false;
@@ -142,38 +285,72 @@ let rec delete_edge st f =
         st.on_vertex_degree w
       end)
     (H.edge_members st.h f);
-  match st.strategy with
-  | Naive -> ()
-  | Overlap ->
-    let ps = Hashtbl.fold (fun g () acc -> g :: acc) st.partners.(f) [] in
+  match st.impl with
+  | No_overlap -> ()
+  | Csr c ->
+    (* Dissolve every surviving pair (f, g): zero both directions so
+       partner scans skip them without consulting [ealive]. *)
+    for s = c.adj_off.(f) to c.adj_off.(f + 1) - 1 do
+      if c.ocount.(s) > 0 then begin
+        c.ocount.(c.twin.(s)) <- 0;
+        c.ocount.(s) <- 0
+      end
+    done
+  | Table t ->
+    let ps = Hashtbl.fold (fun g () acc -> g :: acc) t.partners.(f) [] in
     List.iter
       (fun g ->
-        Hashtbl.remove st.partners.(g) f;
-        Hashtbl.remove st.overlap (pair_key st f g))
+        Hashtbl.remove t.partners.(g) f;
+        Hashtbl.remove t.overlap (pair_key st.m f g))
       ps;
-    Hashtbl.reset st.partners.(f)
+    Hashtbl.reset t.partners.(f)
 
 and check_maximality st f =
   if st.ealive.(f) then begin
     if st.edeg.(f) = 0 then delete_edge st f
     else begin
       let contained =
-        match st.strategy with
-        | Overlap ->
+        match st.impl with
+        | Csr c ->
+          (* Scan f's partner slice: a live slot ([ocount > 0]) has an
+             alive partner by the CSR invariant, and containment is
+             count = degree.  Unlike [Hashtbl.iter], the scan stops at
+             the first witness. *)
+          let df = st.edeg.(f) in
+          let found = ref false in
+          let s = ref c.adj_off.(f) and stop = c.adj_off.(f + 1) in
+          while (not !found) && !s < stop do
+            let cnt = Array.unsafe_get c.ocount !s in
+            if cnt > 0 then begin
+              st.checks <- st.checks + 1;
+              if cnt = df then begin
+                let g = Array.unsafe_get c.adj !s in
+                let dg = st.edeg.(g) in
+                if dg > df || (dg = df && g < f) then found := true
+              end
+            end;
+            incr s
+          done;
+          !found
+        | Table t ->
           let found = ref false in
           Hashtbl.iter
             (fun g () ->
               if (not !found) && st.ealive.(g) then begin
                 st.checks <- st.checks + 1;
-                let c = get_overlap st f g in
+                let c =
+                  Option.value
+                    (Hashtbl.find_opt t.overlap (pair_key st.m f g))
+                    ~default:0
+                in
                 if c = st.edeg.(f)
                    && (st.edeg.(g) > st.edeg.(f)
                       || (st.edeg.(g) = st.edeg.(f) && g < f))
                 then found := true
               end)
-            st.partners.(f);
+            t.partners.(f);
           !found
-        | Naive ->
+        | No_overlap ->
           (* Candidate containers share every member, so scanning the
              alive edges incident to one alive member of f is complete
              (edeg f > 0 here, so such a member exists). *)
@@ -212,9 +389,9 @@ let delete_vertex st v =
   let affected = !affected in
   (* Overlap bookkeeping: every pair of alive edges containing v loses
      one common vertex. *)
-  (match st.strategy with
-  | Naive -> ()
-  | Overlap ->
+  (match st.impl with
+  | No_overlap -> ()
+  | Csr _ | Table _ ->
     let rec pairs = function
       | [] -> ()
       | f :: rest ->
@@ -330,8 +507,9 @@ let decompose_iterated ?(strategy = Overlap) ?(domains = 1)
   let max_core = loop 1 r0.core (Array.init nv Fun.id) r0.edge_ids in
   { vertex_core; edge_core; max_core = max max_core 0 }
 
-let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
-    ?(deadline = U.Deadline.never) h =
+(* The one-pass sweep, also returning the peeling state so callers
+   ([max_core]) can surface its counters without a second peel. *)
+let decompose_onepass_state ~strategy ~domains ~deadline h =
   let nv = H.n_vertices h and m = H.n_edges h in
   let vertex_core = Array.make nv 0 in
   let edge_core = Array.make m (-1) in
@@ -366,23 +544,62 @@ let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
       vertex_core.(v) <- !level;
       delete_vertex st v
   done;
-  { vertex_core; edge_core; max_core = !level }
+  ({ vertex_core; edge_core; max_core = !level }, st)
+
+let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
+    ?(deadline = U.Deadline.never) h =
+  fst (decompose_onepass_state ~strategy ~domains ~deadline h)
 
 let decompose = decompose_onepass
 
 let max_core ?(strategy = Overlap) ?(domains = 1) ?(deadline = U.Deadline.never) h =
-  let d = decompose_onepass ~strategy ~domains ~deadline h in
-  (d.max_core, k_core ~strategy ~domains ~deadline h d.max_core)
+  (* The decomposition already knows the maximum core: vertices with
+     [vertex_core = max_core] and edges deleted at that level ARE the
+     core (when the one-pass level first reaches max_core, the alive
+     structure is exactly the maximum core, and restricting a
+     surviving edge to surviving vertices reproduces its alive member
+     set).  Build the subhypergraph from those id sets instead of
+     re-peeling the input from scratch. *)
+  let d, st = decompose_onepass_state ~strategy ~domains ~deadline h in
+  let kmax = d.max_core in
+  let nv = H.n_vertices h and m = H.n_edges h in
+  let vkeep = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun v c -> if c >= kmax then U.Dynarray.push vkeep v) d.vertex_core;
+  let ekeep = U.Dynarray.create ~dummy:0 () in
+  Array.iteri (fun e c -> if c >= kmax then U.Dynarray.push ekeep e) d.edge_core;
+  let vkeep = U.Dynarray.to_array vkeep and ekeep = U.Dynarray.to_array ekeep in
+  let core, _, _ = H.sub h ~vertices:vkeep ~edges:ekeep in
+  ( kmax,
+    {
+      core;
+      vertex_ids = vkeep;
+      edge_ids = ekeep;
+      stats =
+        {
+          vertices_deleted = nv - Array.length vkeep;
+          edges_deleted = m - Array.length ekeep;
+          maximality_checks = st.checks;
+          (* The one-pass sweep has no FIFO cascade structure. *)
+          peel_rounds = 0;
+        };
+    } )
 
 let core_profile d =
-  Array.init (d.max_core + 1) (fun k ->
-      let nv =
-        Array.fold_left (fun a c -> if c >= k then a + 1 else a) 0 d.vertex_core
-      in
-      let ne =
-        Array.fold_left (fun a c -> if c >= k then a + 1 else a) 0 d.edge_core
-      in
-      (k, nv, ne))
+  (* Single pass: histogram the core numbers, then suffix-sum so level
+     k counts everything with core >= k — O(nv + ne + max_core)
+     instead of rescanning both arrays once per level. *)
+  let mc = d.max_core in
+  let vcnt = Array.make (mc + 1) 0 in
+  let ecnt = Array.make (mc + 1) 0 in
+  Array.iter (fun c -> vcnt.(c) <- vcnt.(c) + 1) d.vertex_core;
+  Array.iter
+    (fun c -> if c >= 0 then ecnt.(c) <- ecnt.(c) + 1)
+    d.edge_core;
+  for k = mc - 1 downto 0 do
+    vcnt.(k) <- vcnt.(k) + vcnt.(k + 1);
+    ecnt.(k) <- ecnt.(k) + ecnt.(k + 1)
+  done;
+  Array.init (mc + 1) (fun k -> (k, vcnt.(k), ecnt.(k)))
 
 type round_stats = {
   rounds : int;
@@ -391,7 +608,8 @@ type round_stats = {
   core_edges : int;
 }
 
-let peel_rounds ?(strategy = Overlap) ?(domains = 1) h k =
+let peel_rounds ?(strategy = Overlap) ?(domains = 1)
+    ?(deadline = U.Deadline.never) h k =
   if k < 0 then invalid_arg "Hypergraph_core.peel_rounds: negative k";
   let reduced, _ = Hypergraph_reduce.reduce h in
   let nv = H.n_vertices reduced in
@@ -410,7 +628,14 @@ let peel_rounds ?(strategy = Overlap) ?(domains = 1) h k =
     | [] -> continue := false
     | vs ->
       U.Dynarray.push batches (List.length vs);
-      List.iter (fun v -> if st.valive.(v) then delete_vertex st v) vs
+      List.iter
+        (fun v ->
+          (* Same budget discipline as the other drivers: the cascade
+             inside a round is where the time goes. *)
+          U.Deadline.check deadline;
+          U.Fault.point "core.peel";
+          if st.valive.(v) then delete_vertex st v)
+        vs
   done;
   let core_vertices = Array.fold_left (fun a b -> if b then a + 1 else a) 0 st.valive in
   let core_edges = Array.fold_left (fun a b -> if b then a + 1 else a) 0 st.ealive in

@@ -12,8 +12,14 @@
     maintaining pairwise hyperedge overlaps: after a deletion, a
     hyperedge f is contained in a partner g exactly when its current
     degree equals its current overlap with g (the paper's key
-    observation).  A naive strategy that re-scans member lists is kept
-    for differential testing and for the E11 ablation bench.
+    observation).  The default strategy stores the overlaps as a flat
+    CSR overlap graph — per-edge partner slices with parallel count
+    and twin-slot arrays, built once by parallel sort-based counting
+    (DESIGN.md section 10) — so the per-deletion bookkeeping is array
+    scans and a binary search instead of hash probes.  The retired
+    hashtable implementation survives as [Overlap_table], and a naive
+    strategy that re-scans member lists as [Naive]; both serve
+    differential testing and the E11/E22 ablation benches.
 
     Uniqueness caveat: the k-core is unique as a SET SYSTEM, but when
     two hyperedges shrink to the same restriction during peeling,
@@ -28,7 +34,13 @@
     discovering the overrun after the fact. *)
 
 type strategy =
-  | Overlap  (** overlap-count maximality (the paper's algorithm) *)
+  | Overlap
+      (** overlap-count maximality (the paper's algorithm) over the
+          flat CSR overlap graph — the fast default *)
+  | Overlap_table
+      (** overlap-count maximality over per-pair hashtables — the
+          retired reference kernel, kept for differential testing and
+          the E22 bench *)
   | Naive    (** subset re-scan maximality (oracle / ablation) *)
 
 type stats = {
@@ -109,7 +121,13 @@ val max_core :
   Hypergraph.t ->
   int * result
 (** The maximum core and its index: the k-core for the largest k such
-    that the core still has vertices. *)
+    that the core still has vertices.  Built directly from the
+    one-pass decomposition's [vertex_core]/[edge_core] arrays — no
+    second peel — so [stats] reports the decomposition's counters:
+    [maximality_checks] is the sweep's total, and [peel_rounds] is 0
+    (the minimum-degree sweep has no FIFO cascade structure).  Edge
+    identity in the result is subject to the uniqueness caveat
+    above. *)
 
 val core_profile : decomposition -> (int * int * int) array
 (** Per level k = 0 .. max_core: [(k, vertices in the k-core, edges in
@@ -126,9 +144,17 @@ type round_stats = {
   core_edges : int;
 }
 
-val peel_rounds : ?strategy:strategy -> ?domains:int -> Hypergraph.t -> int -> round_stats
+val peel_rounds :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  Hypergraph.t ->
+  int ->
+  round_stats
 (** Batch-synchronous variant of the k-core peel: each round deletes
     every vertex currently below degree k at once.  The round count is
     the depth a parallel implementation would need — the groundwork for
     the parallel algorithm the paper calls for on large hypergraphs
-    (Section 3).  The resulting core equals [k_core]'s. *)
+    (Section 3).  The resulting core equals [k_core]'s.  Like every
+    other driver, checks [deadline] per deletion and raises
+    [Hp_util.Deadline.Expired] when the budget is blown. *)

@@ -164,14 +164,41 @@ let prop_kcore_invariants =
            (Array.init (H.n_edges r.core) Fun.id))
 
 let prop_strategies_agree =
-  QCheck.Test.make ~name:"k-core: overlap and naive strategies agree" ~count:300
+  QCheck.Test.make ~name:"k-core: CSR, hashtable and naive strategies agree"
+    ~count:300
     QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 1 4))
     (fun (h, k) ->
       let a = C.k_core ~strategy:C.Overlap h k in
       let b = C.k_core ~strategy:C.Naive h k in
+      let c = C.k_core ~strategy:C.Overlap_table h k in
       H.equal_structure a.core b.core
       && a.vertex_ids = b.vertex_ids
-      && a.edge_ids = b.edge_ids)
+      && a.edge_ids = b.edge_ids
+      && H.equal_structure a.core c.core
+      && a.vertex_ids = c.vertex_ids
+      && a.edge_ids = c.edge_ids)
+
+let prop_decompose_strategies_domain_matrix =
+  (* The tentpole guarantee: the CSR overlap kernel, the retired
+     hashtable kernel and the naive oracle produce identical
+     decompositions — exact arrays, not just multisets, since all
+     three drive the same deletion order — at fan-outs covering the
+     sequential path (1), an even split (2) and an odd split (7). *)
+  QCheck.Test.make
+    ~name:"decompose: Naive/Overlap_table/Overlap identical at domains 1, 2, 7"
+    ~count:60 (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let reference = C.decompose ~strategy:C.Naive ~domains:1 h in
+      List.for_all
+        (fun strategy ->
+          List.for_all
+            (fun domains ->
+              let d = C.decompose ~strategy ~domains h in
+              d.C.vertex_core = reference.C.vertex_core
+              && d.C.edge_core = reference.C.edge_core
+              && d.C.max_core = reference.C.max_core)
+            [ 1; 2; 7 ])
+        [ C.Naive; C.Overlap_table; C.Overlap ])
 
 let prop_onepass_matches_iterated =
   (* Edge identity is order-dependent when two hyperedges shrink to
@@ -314,6 +341,39 @@ let prop_agrees_with_graph_core =
       let hd = C.decompose h in
       gd.core_number = hd.vertex_core)
 
+let test_scratch_aliasing () =
+  (* The CSR build's sort runs through a domain-local scratch arena
+     that only grows; interleaving peels of two hypergraphs of very
+     different sizes on one domain must not let the larger instance's
+     leftovers leak into the smaller one's overlaps. *)
+  let rng = Hp_util.Prng.create 97 in
+  let big =
+    (Hp_data.Proteome_gen.generate rng Hp_data.Proteome_gen.cellzome_params)
+      .hypergraph
+  in
+  let small = tri () in
+  let db0 = C.decompose ~strategy:C.Overlap big in
+  let ds0 = C.decompose ~strategy:C.Overlap small in
+  for _ = 1 to 3 do
+    let db = C.decompose ~strategy:C.Overlap big in
+    let ds = C.decompose ~strategy:C.Overlap small in
+    Alcotest.(check (array int)) "big vertex cores stable" db0.vertex_core db.vertex_core;
+    Alcotest.(check (array int)) "big edge cores stable" db0.edge_core db.edge_core;
+    Alcotest.(check (array int)) "small vertex cores stable" ds0.vertex_core ds.vertex_core;
+    Alcotest.(check (array int)) "small edge cores stable" ds0.edge_core ds.edge_core
+  done
+
+let test_peel_rounds_deadline () =
+  let h = tri () in
+  (* A healthy budget changes nothing. *)
+  let r = C.peel_rounds ~deadline:(Hp_util.Deadline.after 60.0) h 3 in
+  check "peeled to empty" 0 r.core_vertices;
+  (* A cancelled token aborts the round loop mid-peel. *)
+  let t = Hp_util.Deadline.after 60.0 in
+  Hp_util.Deadline.cancel t;
+  Alcotest.check_raises "expired budget" Hp_util.Deadline.Expired (fun () ->
+      ignore (C.peel_rounds ~deadline:t h 3))
+
 let prop_max_core_nonempty =
   QCheck.Test.make ~name:"max core is non-empty when an edge exists" ~count:200
     (Th.arbitrary_hypergraph ())
@@ -322,6 +382,26 @@ let prop_max_core_nonempty =
       let has_nonempty = Array.exists (fun s -> s > 0) (H.edge_sizes h) in
       if has_nonempty then k >= 1 && H.n_vertices r.core > 0
       else k = 0)
+
+let prop_max_core_matches_kcore =
+  (* max_core is now assembled from the decomposition arrays instead
+     of a second peel; it must still be k_core at the maximum index as
+     a set system (vertex ids are unique; edge representative ids can
+     legitimately differ on shrink ties, so member sets are compared
+     as sorted multisets). *)
+  QCheck.Test.make ~name:"max core equals k_core at its index" ~count:150
+    (Th.arbitrary_hypergraph ())
+    (fun h ->
+      let edge_sets core =
+        List.sort compare
+          (List.init (H.n_edges core) (fun e -> H.edge_members core e))
+      in
+      let k, r = C.max_core h in
+      let r2 = C.k_core h k in
+      r.vertex_ids = r2.vertex_ids
+      && edge_sets r.core = edge_sets r2.core
+      && r.stats.vertices_deleted = r2.stats.vertices_deleted
+      && r.stats.edges_deleted = r2.stats.edges_deleted)
 
 let () =
   Alcotest.run "hp_hypergraph_core"
@@ -351,6 +431,7 @@ let () =
         [
           Th.prop prop_kcore_invariants;
           Th.prop prop_strategies_agree;
+          Th.prop prop_decompose_strategies_domain_matrix;
           Th.prop prop_onepass_matches_iterated;
           Th.prop prop_cores_nested;
           Th.prop prop_idempotent;
@@ -363,6 +444,10 @@ let () =
           Th.prop prop_decompose_domain_invariant;
           Alcotest.test_case "parallel on the yeast instance" `Quick
             test_parallel_on_real_instance;
+          Alcotest.test_case "scratch aliasing across instances" `Quick
+            test_scratch_aliasing;
+          Alcotest.test_case "peel_rounds deadline" `Quick test_peel_rounds_deadline;
           Th.prop prop_max_core_nonempty;
+          Th.prop prop_max_core_matches_kcore;
         ] );
     ]

@@ -573,6 +573,60 @@ let test_log_levels_and_ring () =
         checkb "dropped line not retained" false (has "below threshold" older)
       | l -> Alcotest.failf "expected 2 retained lines, got %d" (List.length l))
 
+(* Intsort *)
+
+let test_intsort_known () =
+  let a = [| 5; 3; 100000; 0; 3; 70000; 1 |] in
+  U.Intsort.sort a;
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 3; 5; 70000; 100000 |] a
+
+let test_intsort_len_prefix () =
+  let a = [| 9; 4; 2; 77; 77; 77 |] in
+  U.Intsort.sort ~len:3 a;
+  Alcotest.(check (array int)) "prefix sorted, tail untouched"
+    [| 2; 4; 9; 77; 77; 77 |] a
+
+let test_intsort_negative () =
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Intsort.sort: negative key") (fun () ->
+      U.Intsort.sort [| 1; -1 |])
+
+let prop_intsort_matches_stdlib =
+  QCheck.Test.make ~name:"intsort: agrees with stdlib sort" ~count:300
+    QCheck.(list (int_bound 1_000_000))
+    (fun xs ->
+      let a = Array.of_list xs and b = Array.of_list xs in
+      U.Intsort.sort a;
+      Array.sort compare b;
+      a = b)
+
+let prop_merge_runs_counts =
+  (* Splitting a multiset across buffers and merging must reproduce
+     the run-length encoding of the sorted whole. *)
+  QCheck.Test.make ~name:"intsort: merge_runs equals single-buffer RLE" ~count:200
+    QCheck.(pair (list (int_bound 50)) (int_range 1 4))
+    (fun (xs, k) ->
+      let whole = Array.of_list xs in
+      U.Intsort.sort whole;
+      let expected = ref [] in
+      U.Intsort.merge_runs
+        [| (whole, Array.length whole) |]
+        (fun key c -> expected := (key, c) :: !expected);
+      (* Round-robin split, each bucket sorted independently. *)
+      let buckets = Array.init k (fun _ -> ref []) in
+      List.iteri (fun i x -> buckets.(i mod k) := x :: !(buckets.(i mod k))) xs;
+      let bufs =
+        Array.map
+          (fun b ->
+            let a = Array.of_list !b in
+            U.Intsort.sort a;
+            (a, Array.length a))
+          buckets
+      in
+      let got = ref [] in
+      U.Intsort.merge_runs bufs (fun key c -> got := (key, c) :: !got);
+      !got = !expected)
+
 let () =
   Alcotest.run "hp_util"
     [
@@ -598,6 +652,14 @@ let () =
           Alcotest.test_case "sampling" `Quick test_prng_sample;
           Alcotest.test_case "powerlaw" `Quick test_prng_powerlaw;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "intsort",
+        [
+          Alcotest.test_case "known" `Quick test_intsort_known;
+          Alcotest.test_case "len prefix" `Quick test_intsort_len_prefix;
+          Alcotest.test_case "negative rejected" `Quick test_intsort_negative;
+          Th.prop prop_intsort_matches_stdlib;
+          Th.prop prop_merge_runs_counts;
         ] );
       ( "sorted",
         [

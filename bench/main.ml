@@ -9,7 +9,10 @@
      --check-path  fail if the E21 path-kernel speedup regressed >2x
                    against bench/path_baseline.json
      --check-core  fail if the E22 core-peel speedup regressed >2x
-                   against bench/core_baseline.json *)
+                   against bench/core_baseline.json
+     --check-snap  fail if the E23 mmap snapshot load is not at least
+                   10x faster than the text parse on the largest
+                   instance *)
 
 module H = Hp_hypergraph.Hypergraph
 module HP = Hp_hypergraph.Hypergraph_path
@@ -36,6 +39,11 @@ let check_path = Array.exists (( = ) "--check-path") Sys.argv
    bench/core_baseline.json — CSR overlap kernel vs the retired
    hashtable kernel on the same host. *)
 let check_core = Array.exists (( = ) "--check-core") Sys.argv
+
+(* --check-snap: the E23 guard is an absolute ratio, not a baseline
+   file — the snapshot store's reason to exist is that mapping beats
+   re-parsing by an order of magnitude. *)
+let check_snap = Array.exists (( = ) "--check-snap") Sys.argv
 
 let section title = Printf.printf "\n== %s ==\n" title
 
@@ -1343,6 +1351,198 @@ let core_bench () =
       rows
   end
 
+(* E23: binary snapshot store.  Text parse vs pack vs mmap load for   *)
+(* every instance (largest last), with the mmap'd hypergraph checked  *)
+(* structurally identical to the parsed one, plus a warm-start pass   *)
+(* over a real server: first STATS after a restart, cold (no cache    *)
+(* file) vs warm (cache restored).  Lands in                          *)
+(* _artifacts/BENCH_snapshot.json; --check-snap guards the mmap       *)
+(* speedup on the largest instance.                                   *)
+
+type snap_row = {
+  sname : string;
+  snv : int;
+  sne : int;
+  sinc : int;
+  text_bytes : int;
+  snap_bytes : int;
+  parse_s : float;
+  pack_s : float;
+  mmap_s : float;
+  sspeedup : float;
+}
+
+let write_snapshot_json rows ~cold_s ~warm_s =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_snapshot.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"schema\":1,\"loads\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc
+            "\n  {\"name\":\"%s\",\"vertices\":%d,\"hyperedges\":%d,\
+             \"incidence\":%d,\"text_bytes\":%d,\"snap_bytes\":%d,\
+             \"parse_s\":%.6f,\"pack_s\":%.6f,\"mmap_s\":%.6f,\
+             \"speedup\":%.4f}"
+            r.sname r.snv r.sne r.sinc r.text_bytes r.snap_bytes r.parse_s
+            r.pack_s r.mmap_s r.sspeedup)
+        rows;
+      Printf.fprintf oc
+        "\n],\"first_query\":{\"cold_s\":%.6f,\"warm_s\":%.6f}}\n" cold_s
+        warm_s);
+  Printf.printf "[wrote %s]\n" path
+
+(* First STATS latency over a real in-process server: one life that
+   computes and saves the cache, then a restarted life whose first
+   query is answered from the restored cache.  The cold number is the
+   first life's first query. *)
+let snapshot_warm_bench dir data =
+  let module Server = Hp_server.Server in
+  let module Client = Hp_server.Client in
+  let module P = Hp_server.Protocol in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let cache_file = Filename.concat dir "cache.bin" in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      workers = 2;
+      cache_file = Some cache_file;
+    }
+  in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "E23 FAIL: %s\n" s; exit 1) fmt
+  in
+  let life f =
+    match Server.start config with
+    | Error msg -> fail "server start: %s" msg
+    | Ok t -> Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f ())
+  in
+  let first_stats () =
+    let outcome =
+      Client.with_connection ~socket_path (fun c ->
+          match Client.request c (P.Load data) with
+          | Ok (P.Ok kvs) ->
+            let digest = List.assoc "digest" kvs in
+            let (), elapsed =
+              time (fun () ->
+                  match
+                    Client.request c
+                      (P.Analyze { dataset = digest; analysis = P.Stats })
+                  with
+                  | Ok (P.Ok kvs) ->
+                    if not (List.mem_assoc "cached" kvs) then
+                      fail "STATS reply lacks cached marker"
+                  | Ok (P.Err { message; _ }) -> fail "STATS: %s" message
+                  | Error msg -> fail "STATS transport: %s" msg)
+            in
+            Ok elapsed
+          | Ok (P.Err { message; _ }) -> fail "LOAD: %s" message
+          | Error msg -> fail "LOAD transport: %s" msg)
+    in
+    match outcome with Ok s -> s | Error msg -> fail "connect: %s" msg
+  in
+  let cold_s = ref 0.0 and warm_s = ref 0.0 in
+  life (fun () -> cold_s := first_stats ());
+  life (fun () -> warm_s := first_stats ());
+  (!cold_s, !warm_s)
+
+let snapshot_bench () =
+  section "E23: binary snapshot store — mmap load vs text parse (extension)";
+  let module Snap = Hp_snapshot.Snapshot in
+  let module HIO = Hp_hypergraph.Hypergraph_io in
+  let suite = MM.synthetic_suite () in
+  (* Largest instance last, so the guarded row is the one where the
+     parse cost actually hurts.  fidapm11-like stays in --quick runs:
+     the guard is defined on the largest example, so it must be
+     present even in CI's quick pass. *)
+  let instances =
+    [ ("cellzome", yeast);
+      ("stk21-like", MM.to_hypergraph (List.assoc "stk21-like" suite));
+      ("utm5940-like", MM.to_hypergraph (List.assoc "utm5940-like" suite));
+      ("fidapm11-like", MM.to_hypergraph (List.assoc "fidapm11-like" suite)) ]
+  in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "E23 FAIL: %s\n" s; exit 1) fmt
+  in
+  let dir = Filename.temp_dir "hyperprot" "snapbench" in
+  let rows =
+    List.map
+      (fun (name, h) ->
+        let text = Filename.concat dir (name ^ ".hg") in
+        let snap = Snap.sibling_path text in
+        HIO.write text h;
+        (* Normalize: text ids are assigned by first appearance, so
+           parse once and compare everything against that parse. *)
+        let reference = HIO.read text in
+        let _, parse_s = best_of 5 (fun () -> HIO.read text) in
+        let info, pack_s = time (fun () -> Snap.pack reference snap) in
+        let mapped, mmap_s =
+          best_of 9 (fun () ->
+              match Snap.read snap with
+              | Ok (h, _) -> h
+              | Error e -> fail "%s: %s" snap (Snap.error_to_string e))
+        in
+        if not (H.equal_structure reference mapped) then
+          fail "%s: mmap'd hypergraph differs from the text parse" name;
+        let dp = HC.decompose reference and dm = HC.decompose mapped in
+        if
+          dp.HC.vertex_core <> dm.HC.vertex_core
+          || dp.HC.edge_core <> dm.HC.edge_core
+          || dp.HC.max_core <> dm.HC.max_core
+        then fail "%s: decompose differs between parse and mmap" name;
+        let speedup = parse_s /. mmap_s in
+        record_kernel ("snapshot:" ^ name) mmap_s
+          [ ("parse_s", Printf.sprintf "%.6f" parse_s);
+            ("speedup", Printf.sprintf "%.2f" speedup) ];
+        {
+          sname = name;
+          snv = H.n_vertices h;
+          sne = H.n_edges h;
+          sinc = H.total_incidence h;
+          text_bytes = (Unix.stat text).Unix.st_size;
+          snap_bytes = info.Snap.bytes;
+          parse_s; pack_s; mmap_s;
+          sspeedup = speedup;
+        })
+      instances
+  in
+  print_endline
+    (table
+       ~header:[ "dataset"; "|E|"; "text parse"; "pack"; "mmap load"; "speedup" ]
+       (List.map
+          (fun r ->
+            [ r.sname; fi r.sinc; U.Table.fmt_time r.parse_s;
+              U.Table.fmt_time r.pack_s; U.Table.fmt_time r.mmap_s;
+              ff ~digits:1 r.sspeedup ^ "x" ])
+          rows));
+  print_endline
+    "(mmap'd hypergraphs verified structurally identical to the text\n\
+    \ parse, with equal core decompositions, on every instance)";
+  let cold_s, warm_s =
+    snapshot_warm_bench dir (Filename.concat dir "cellzome.hg")
+  in
+  Printf.printf
+    "first STATS after start: cold %s, warm (restored cache) %s\n"
+    (U.Table.fmt_time cold_s) (U.Table.fmt_time warm_s);
+  write_snapshot_json rows ~cold_s ~warm_s;
+  if check_snap then begin
+    let largest = List.nth rows (List.length rows - 1) in
+    if largest.sspeedup < 10.0 then begin
+      Printf.eprintf
+        "E23 guard: %s mmap load only %.1fx faster than the text parse \
+         (need >= 10x)\n"
+        largest.sname largest.sspeedup;
+      exit 1
+    end
+    else
+      Printf.printf "guard ok: %s mmap %.1fx over text parse\n" largest.sname
+        largest.sspeedup
+  end
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -1370,6 +1570,7 @@ let () =
   kernel_profile ();
   path_bench ();
   core_bench ();
+  snapshot_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

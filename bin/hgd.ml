@@ -9,7 +9,8 @@ module Server = Hp_server.Server
 open Cmdliner
 
 let serve socket workers cache timeout domains preload queue_limit
-    shed_watermark max_file_bytes failpoints stats_samples log_level quiet =
+    shed_watermark max_file_bytes failpoints stats_samples cache_file
+    log_level quiet =
   (match Hp_util.Log.level_of_string log_level with
   | Ok l -> Hp_util.Log.set_level l
   | Error msg -> Printf.eprintf "hgd: %s, keeping info\n%!" msg);
@@ -26,6 +27,7 @@ let serve socket workers cache timeout domains preload queue_limit
       max_file_bytes;
       failpoints;
       stats_samples;
+      cache_file = (if cache_file = "" then None else Some cache_file);
     }
   in
   match Server.start config with
@@ -91,6 +93,12 @@ let stats_samples_arg =
          ~doc:"Estimate STATS path metrics from N sampled BFS sources \
                instead of the exact all-pairs sweep (0 = exact).")
 
+let cache_file_arg =
+  Arg.(value & opt string "" & info [ "cache-file" ] ~docv:"FILE"
+         ~doc:"Persist the result cache here on shutdown and restore it on \
+               startup, so a restarted daemon answers repeated queries warm \
+               (empty = memory-only).")
+
 let log_level_arg =
   let env = Cmd.Env.info "HGD_LOG_LEVEL" in
   Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -106,6 +114,6 @@ let () =
       Term.(const serve $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
             $ domains_arg $ preload_arg $ queue_limit_arg $ shed_watermark_arg
             $ max_file_bytes_arg $ failpoints_arg $ stats_samples_arg
-            $ log_level_arg $ quiet_arg)
+            $ cache_file_arg $ log_level_arg $ quiet_arg)
   in
   exit (Cmd.eval' cmd)

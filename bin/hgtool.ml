@@ -6,6 +6,9 @@
      kcore        k-core / core decomposition of a .hg or .mtx file
      cover        greedy (multi)cover bait selection
      export-pajek Figure-3 style .net/.clu export
+     pack         write a dataset as a binary .hgsnap snapshot
+     unpack       write a .hgsnap snapshot back out as a .hg text file
+     verify-snap  deep-check a snapshot (framing, checksums, identity)
      serve        run the resident analysis server (hgd) in the foreground
      query        send one request to a running server
      metrics      fetch server counters/histograms (table or Prometheus)
@@ -16,6 +19,7 @@ module H = Hp_hypergraph.Hypergraph
 module HIO = Hp_hypergraph.Hypergraph_io
 module HP = Hp_hypergraph.Hypergraph_path
 module HC = Hp_hypergraph.Hypergraph_core
+module Snap = Hp_snapshot.Snapshot
 open Cmdliner
 
 (* A malformed or unreadable input must exit non-zero with a one-line
@@ -23,7 +27,11 @@ open Cmdliner
    never an exception backtrace. *)
 let load path =
   match
-    if Filename.check_suffix path ".mtx" then
+    if Filename.check_suffix path Snap.file_extension then
+      match Snap.read path with
+      | Ok (h, _) -> h
+      | Error e -> failwith (Snap.error_to_string e)
+    else if Filename.check_suffix path ".mtx" then
       Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.read path)
     else HIO.read path
   with
@@ -36,7 +44,10 @@ let load path =
     exit 1
 
 let input_arg =
-  let doc = "Input hypergraph: .hg (membership lists) or .mtx (MatrixMarket)." in
+  let doc =
+    "Input hypergraph: .hg (membership lists), .mtx (MatrixMarket), or \
+     .hgsnap (binary snapshot)."
+  in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let seed_arg =
@@ -351,6 +362,84 @@ let dual_cmd =
     (Cmd.info "dual" ~doc:"Write the dual hypergraph (complexes become vertices).")
     Term.(const run $ input_arg $ output)
 
+(* pack *)
+let pack_cmd =
+  let run path output =
+    let h = load path in
+    let output =
+      match output with Some o -> o | None -> Snap.sibling_path path
+    in
+    match Snap.pack h output with
+    | info ->
+      Printf.printf "wrote %s: %d bytes, identity %s\n" output info.Snap.bytes
+        info.Snap.identity
+    | exception Sys_error msg ->
+      Printf.eprintf "hgtool: pack: %s\n" msg;
+      exit 1
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path; the input's sibling $(i,.hgsnap) when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Write a dataset as a binary snapshot the server can mmap \
+             without re-parsing.")
+    Term.(const run $ input_arg $ output)
+
+(* unpack *)
+let unpack_cmd =
+  let run path output =
+    if not (Filename.check_suffix path Snap.file_extension) then begin
+      Printf.eprintf "hgtool: unpack: %s: expected a %s file\n" path
+        Snap.file_extension;
+      exit 1
+    end;
+    match Snap.read path with
+    | Error e ->
+      Printf.eprintf "hgtool: unpack: %s: %s\n" path (Snap.error_to_string e);
+      exit 1
+    | Ok (h, _) ->
+      let output =
+        match output with
+        | Some o -> o
+        | None -> Filename.remove_extension path ^ ".hg"
+      in
+      HIO.write output h;
+      Printf.printf "wrote %s: %d proteins, %d complexes, |E| = %d\n" output
+        (H.n_vertices h) (H.n_edges h) (H.total_incidence h)
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output path; the snapshot's sibling $(i,.hg) when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "unpack" ~doc:"Write a binary snapshot back out as a .hg text file.")
+    Term.(const run $ input_arg $ output)
+
+(* verify-snap *)
+let verify_snap_cmd =
+  let run path =
+    match Snap.verify path with
+    | Error e ->
+      Printf.eprintf "hgtool: verify-snap: %s: %s\n" path
+        (Snap.error_to_string e);
+      exit 1
+    | Ok snap ->
+      Printf.printf "%s: ok\nidentity: %s\nvertices: %d\nhyperedges: %d\nincidence: %d\nfile bytes: %d\n"
+        path snap.Snap.identity snap.Snap.n_vertices snap.Snap.n_edges
+        snap.Snap.incidence snap.Snap.file_bytes;
+      List.iter
+        (fun (name, off, len) ->
+          Printf.printf "section %-16s offset %-10d %d bytes\n" name off len)
+        snap.Snap.sections
+  in
+  Cmd.v
+    (Cmd.info "verify-snap"
+       ~doc:"Deep-check a snapshot: framing, section checksums, CSR \
+             invariants, and the content identity digest.")
+    Term.(const run $ input_arg)
+
 (* serve *)
 let socket_arg =
   Arg.(value & opt string "hgd.sock" & info [ "s"; "socket" ] ~docv:"PATH"
@@ -358,7 +447,8 @@ let socket_arg =
 
 let serve_cmd =
   let run socket workers cache timeout domains preload queue_limit
-      shed_watermark max_file_bytes failpoints stats_samples log_level =
+      shed_watermark max_file_bytes failpoints stats_samples cache_file
+      log_level =
     (match Hp_util.Log.level_of_string log_level with
     | Ok l -> Hp_util.Log.set_level l
     | Error msg -> Printf.eprintf "hgtool: serve: %s, keeping info\n%!" msg);
@@ -375,6 +465,7 @@ let serve_cmd =
         max_file_bytes;
         failpoints;
         stats_samples;
+        cache_file = (if cache_file = "" then None else Some cache_file);
       }
     in
     match Hp_server.Server.start config with
@@ -432,6 +523,12 @@ let serve_cmd =
            ~doc:"Estimate STATS path metrics from N sampled BFS sources \
                  (0 = exact).")
   in
+  let cache_file =
+    Arg.(value & opt string "" & info [ "cache-file" ] ~docv:"FILE"
+           ~doc:"Persist the result cache here on shutdown and restore it \
+                 on startup, so a restarted server answers repeated \
+                 queries warm (empty = memory-only).")
+  in
   let log_level =
     let env = Cmd.Env.info "HGD_LOG_LEVEL" in
     Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -441,7 +538,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the resident analysis server in the foreground.")
     Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
           $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints
-          $ stats_samples $ log_level)
+          $ stats_samples $ cache_file $ log_level)
 
 (* Shared plumbing for the one-shot observability commands: send a
    single request, fail loudly on transport or server errors, hand the
@@ -665,5 +762,6 @@ let () =
           [
             generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
             components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
+            pack_cmd; unpack_cmd; verify_snap_cmd;
             serve_cmd; query_cmd; metrics_cmd; trace_cmd;
           ]))

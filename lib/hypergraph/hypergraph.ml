@@ -6,8 +6,11 @@ type t = {
   vadj : int array array;       (* vertex id -> sorted incident edge ids *)
   vertex_names : string array option;
   edge_names : string array option;
-  vertex_index : (string, int) Hashtbl.t option;
-  edge_index : (string, int) Hashtbl.t option;
+  (* Name-to-id indexes are built on first lookup: constructing them
+     eagerly costs more than everything else a snapshot load does, and
+     most kernel work never queries by name. *)
+  vertex_index : (string, int) Hashtbl.t option Lazy.t;
+  edge_index : (string, int) Hashtbl.t option Lazy.t;
 }
 
 let build_index = function
@@ -59,8 +62,93 @@ let of_arrays ?vertex_names ?edge_names ~n_vertices members =
     vadj;
     vertex_names;
     edge_names;
-    vertex_index = build_index vertex_names;
-    edge_index = build_index edge_names;
+    vertex_index = lazy (build_index vertex_names);
+    edge_index = lazy (build_index edge_names);
+  }
+
+(* Constructor for loaders that already hold both incidence directions
+   (the snapshot store).  Skips the sort of [of_arrays] but still
+   refuses malformed input: member rows must be strictly increasing and
+   in range, and [vadj] must be exactly the reverse incidence —
+   verified with a cursor sweep in O(|E|), the same order the arrays
+   would take to rebuild. *)
+let of_csr_exn ?(rows_validated = false) ?vertex_names ?edge_names ~n_vertices
+    ~edges ~vadj () =
+  if n_vertices < 0 then invalid_arg "Hypergraph: negative vertex count";
+  (match vertex_names with
+  | Some names when Array.length names <> n_vertices ->
+    invalid_arg "Hypergraph: vertex_names length mismatch"
+  | Some _ | None -> ());
+  (match edge_names with
+  | Some names when Array.length names <> Array.length edges ->
+    invalid_arg "Hypergraph: edge_names length mismatch"
+  | Some _ | None -> ());
+  if Array.length vadj <> n_vertices then
+    invalid_arg "Hypergraph: vadj length mismatch";
+  (* Explicit loops: this runs on every snapshot load, so avoid the
+     closure and double-bounds-check overhead of the iterator forms.
+     The range-and-monotonicity pass is branchless — [v - prev - 1]
+     goes negative when the row stops strictly increasing (which also
+     catches any v < 0, since prev starts at -1 and a first negative
+     member trips it immediately), [n_vertices - 1 - v] when v
+     escapes the vertex range; a row whose sign accumulator stays
+     non-negative is valid, and the rare flagged row is rescanned for
+     the precise diagnostic. *)
+  let check_row_precise ms =
+    let p = ref (-1) in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= n_vertices then
+          invalid_arg "Hypergraph: member vertex out of range";
+        if v <= !p then
+          invalid_arg "Hypergraph: members not strictly increasing";
+        p := v)
+      ms
+  in
+  let ne = Array.length edges in
+  (* [rows_validated] callers (the snapshot loader) already ran this
+     exact check while extracting the rows; the cursor sweep below
+     still works unconditionally because it only indexes through
+     values pass 1 vouched for — so it must not be skipped. *)
+  if not rows_validated then
+    for e = 0 to ne - 1 do
+      let ms = Array.unsafe_get edges e in
+      let len = Array.length ms in
+      let rec scan i prev flags =
+        if i = len then flags
+        else
+          let v = Array.unsafe_get ms i in
+          scan (i + 1) v (flags lor (v - prev - 1) lor (n_vertices - 1 - v))
+      in
+      if scan 0 (-1) 0 < 0 then check_row_precise ms
+    done;
+  let cursor = Array.make n_vertices 0 in
+  for e = 0 to ne - 1 do
+    let ms = Array.unsafe_get edges e in
+    for i = 0 to Array.length ms - 1 do
+      (* v < n_vertices was established by the pass above, so it
+         indexes cursor and vadj (length n_vertices) safely. *)
+      let v = Array.unsafe_get ms i in
+      let row = Array.unsafe_get vadj v in
+      let c = Array.unsafe_get cursor v in
+      if c >= Array.length row || Array.unsafe_get row c <> e then
+        invalid_arg "Hypergraph: vadj disagrees with incidence";
+      Array.unsafe_set cursor v (c + 1)
+    done
+  done;
+  Array.iteri
+    (fun v c ->
+      if c <> Array.length vadj.(v) then
+        invalid_arg "Hypergraph: vadj disagrees with incidence")
+    cursor;
+  {
+    nv = n_vertices;
+    edges;
+    vadj;
+    vertex_names;
+    edge_names;
+    vertex_index = lazy (build_index vertex_names);
+    edge_index = lazy (build_index edge_names);
   }
 
 let create ?vertex_names ?edge_names ~n_vertices members =
@@ -119,6 +207,10 @@ let vertex_degree2 h v =
     h.vadj.(v);
   Hashtbl.length seen
 
+let vertex_names_opt h = h.vertex_names
+
+let edge_names_opt h = h.edge_names
+
 let vertex_name h v =
   match h.vertex_names with
   | Some names -> names.(v)
@@ -130,12 +222,12 @@ let edge_name h e =
   | None -> "e" ^ string_of_int e
 
 let vertex_of_name h name =
-  match h.vertex_index with
+  match Lazy.force h.vertex_index with
   | Some idx -> Hashtbl.find_opt idx name
   | None -> None
 
 let edge_of_name h name =
-  match h.edge_index with
+  match Lazy.force h.edge_index with
   | Some idx -> Hashtbl.find_opt idx name
   | None -> None
 

@@ -35,6 +35,30 @@ val of_arrays :
   int array array ->
   t
 
+val of_csr_exn :
+  ?rows_validated:bool ->
+  ?vertex_names:string array ->
+  ?edge_names:string array ->
+  n_vertices:int ->
+  edges:int array array ->
+  vadj:int array array ->
+  unit ->
+  t
+(** Adopt both incidence directions as given, without sorting: every
+    [edges] row must be strictly increasing and in range, and [vadj]
+    must be exactly the reverse incidence of [edges] (row [v] lists, in
+    increasing order, the edges containing [v]).  Everything is
+    verified in O(|E|); [Invalid_argument] names the violated
+    invariant.  This is the fast path for loaders whose on-disk format
+    already stores canonical CSR (see {!Hp_snapshot.Snapshot}).
+
+    [rows_validated] (default [false]) promises that every [edges] row
+    is already known to be strictly increasing with values in
+    [0, n_vertices), and skips that pass; the [vadj]-consistency sweep
+    still runs.  Only pass [true] when the caller itself performed the
+    check — the sweep indexes by member vertex without bounds checks on
+    the strength of that promise. *)
+
 (** {1 Sizes and degrees} *)
 
 val n_vertices : t -> int
@@ -91,6 +115,12 @@ val edge_name : t -> int -> string
 val vertex_of_name : t -> string -> int option
 
 val edge_of_name : t -> string -> int option
+
+val vertex_names_opt : t -> string array option
+(** The stored name array, if names were provided (shared; do not
+    mutate). *)
+
+val edge_names_opt : t -> string array option
 
 (** {1 Derived hypergraphs} *)
 

@@ -1,9 +1,16 @@
+module Snapshot = Hp_snapshot.Snapshot
+module Log = Hp_util.Log
+
+type source = Text | Snapshot_file of string
+
 type entry = {
   digest : string;
   path : string;
   hypergraph : Hp_hypergraph.Hypergraph.t;
   bytes : int;
   loaded_at : float;
+  source : source;
+  fallback : bool;
 }
 
 type t = {
@@ -25,7 +32,9 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 (* The size gate runs before the bytes are pulled into memory, so a
-   multi-GB file answers [ERR io_error] instead of OOM-ing the daemon. *)
+   multi-GB file answers [ERR io_error] instead of OOM-ing the daemon.
+   The digest is computed in the same pass as the read — a dataset is
+   never read twice to learn its identity. *)
 let read_file ~max_bytes path =
   Hp_util.Fault.point "registry.read";
   let ic = open_in_bin path in
@@ -34,21 +43,97 @@ let read_file ~max_bytes path =
       if max_bytes > 0 && len > max_bytes then
         Error
           (Printf.sprintf "%s: file exceeds %d bytes (%d)" path max_bytes len)
-      else Ok (really_input_string ic len))
+      else begin
+        let ctx = Hp_util.Md5.init () in
+        let buf = Buffer.create (max len 64) in
+        let chunk = Bytes.create 65536 in
+        let remaining = ref len in
+        while !remaining > 0 do
+          let n = input ic chunk 0 (min !remaining (Bytes.length chunk)) in
+          if n = 0 then remaining := 0 (* file shrank mid-read; digest what we saw *)
+          else begin
+            Hp_util.Md5.feed ctx chunk ~pos:0 ~len:n;
+            Buffer.add_subbytes buf chunk 0 n;
+            remaining := !remaining - n
+          end
+        done;
+        Ok (Buffer.contents buf, Hp_util.Md5.hex ctx)
+      end)
 
 let parse_content ~path content =
   if Filename.check_suffix path ".mtx" then
     Hp_data.Matrix_market.to_hypergraph (Hp_data.Matrix_market.parse content)
   else Hp_hypergraph.Hypergraph_io.of_string content
 
-let load t path =
+(* Publish a freshly built entry, unless a concurrent load of the same
+   content won the race; keeping the resident entry keeps ids stable. *)
+let publish t entry =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table entry.digest with
+      | Some existing -> Ok (existing, false)
+      | None ->
+        Hashtbl.add t.table entry.digest entry;
+        Ok (entry, true))
+
+let is_snapshot path = Filename.check_suffix path Snapshot.file_extension
+
+(* The snapshot preferred over re-parsing [path]: its conventional
+   sibling, when present and at least as new as the text file.  A
+   stale sibling (text file edited after the pack) is ignored, not an
+   error — the text file is the source of truth. *)
+let preferred_snapshot path =
+  if is_snapshot path then None
+  else begin
+    let snap = Snapshot.sibling_path path in
+    match ((Unix.stat snap).Unix.st_mtime, (Unix.stat path).Unix.st_mtime) with
+    | snap_t, path_t when snap_t >= path_t -> Some snap
+    | _ -> None
+    | exception Unix.Unix_error _ -> None
+  end
+
+let load_snapshot t ~given_path snap_path ~fallback_allowed =
+  let size =
+    match (Unix.stat snap_path).Unix.st_size with
+    | size -> size
+    | exception Unix.Unix_error _ -> 0
+  in
+  if t.max_file_bytes > 0 && size > t.max_file_bytes then
+    if fallback_allowed then Error `Fall_back
+    else
+      Error
+        (`Fail
+          (Read_failed
+             (Printf.sprintf "%s: file exceeds %d bytes (%d)" snap_path
+                t.max_file_bytes size)))
+  else
+    match Snapshot.read snap_path with
+    | Ok (hypergraph, snap) ->
+      publish t
+        {
+          digest = snap.Snapshot.identity;
+          path = given_path;
+          hypergraph;
+          bytes = snap.Snapshot.file_bytes;
+          loaded_at = Unix.gettimeofday ();
+          source = Snapshot_file snap_path;
+          fallback = false;
+        }
+    | Error (Snapshot.Io msg) ->
+      if fallback_allowed then Error `Fall_back
+      else Error (`Fail (Read_failed msg))
+    | Error e ->
+      if fallback_allowed then Error `Fall_back
+      else
+        Error
+          (`Fail (Parse_failed (snap_path ^ ": " ^ Snapshot.error_to_string e)))
+
+let load_text t path ~fallback =
   match read_file ~max_bytes:t.max_file_bytes path with
   | exception Sys_error msg -> Error (Read_failed msg)
   | exception Hp_util.Fault.Injected name ->
     Error (Read_failed (Printf.sprintf "%s: injected fault %s" path name))
   | Error msg -> Error (Read_failed msg)
-  | Ok content ->
-    let digest = Digest.to_hex (Digest.string content) in
+  | Ok (content, digest) ->
     (match locked t (fun () -> Hashtbl.find_opt t.table digest) with
     | Some entry -> Ok (entry, false)
     | None ->
@@ -57,23 +142,37 @@ let load t path =
       | exception Invalid_argument msg ->
         Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
       | hypergraph ->
-        let entry =
+        publish t
           {
             digest;
             path;
             hypergraph;
             bytes = String.length content;
             loaded_at = Unix.gettimeofday ();
-          }
-        in
-        locked t (fun () ->
-            (* A concurrent load of the same content may have won the
-               race; keep the resident entry so ids stay stable. *)
-            match Hashtbl.find_opt t.table digest with
-            | Some existing -> Ok (existing, false)
-            | None ->
-              Hashtbl.add t.table digest entry;
-              Ok (entry, true))))
+            source = Text;
+            fallback;
+          }))
+
+let load t path =
+  if is_snapshot path then
+    match load_snapshot t ~given_path:path path ~fallback_allowed:false with
+    | Ok _ as ok -> ok
+    | Error (`Fail e) -> Error e
+    | Error `Fall_back -> assert false
+  else
+    match preferred_snapshot path with
+    | None -> load_text t path ~fallback:false
+    | Some snap ->
+      (match load_snapshot t ~given_path:path snap ~fallback_allowed:true with
+      | Ok _ as ok -> ok
+      | Error (`Fail _) -> assert false
+      | Error `Fall_back ->
+        (* A sibling existed but could not be trusted; fall back to the
+           text parse and mark the entry so the server can count it. *)
+        Log.warn ~comp:"registry"
+          ~fields:[ ("snapshot", snap); ("dataset", path) ]
+          "snapshot rejected, reparsing text";
+        load_text t path ~fallback:true)
 
 let resolve_locked t key =
   match Hashtbl.find_opt t.table key with

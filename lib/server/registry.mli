@@ -1,28 +1,46 @@
 (** Resident datasets, keyed by content digest.
 
-    [load] reads a [.hg] or [.mtx] file once, digests its bytes (MD5,
-    hex), parses it, and keeps the hypergraph resident; loading a file
-    whose content is already resident is a no-op that returns the
-    existing entry, so the digest is a stable identity for the result
-    cache no matter how many paths or reloads point at it.
+    [load] reads a [.hg] or [.mtx] file once — digesting the bytes
+    (MD5, hex) in the same pass as the read — parses it, and keeps the
+    hypergraph resident; loading a file whose content is already
+    resident is a no-op that returns the existing entry, so the digest
+    is a stable identity for the result cache no matter how many paths
+    or reloads point at it.
+
+    Snapshot preference: a [.hgsnap] path is mmap-loaded through
+    {!Hp_snapshot.Snapshot} directly, and a text path whose sibling
+    snapshot ([dataset.hgsnap] next to [dataset.hg], at least as new
+    as it) exists loads from the snapshot instead of re-parsing.  A
+    sibling that fails validation is logged, recorded as [fallback],
+    and the text file is parsed as if it had no sibling — corruption
+    degrades to a slow load, never an outage.  Snapshot-loaded entries
+    carry the snapshot identity digest from the header (the MD5 of the
+    CSR payloads), which differs from the digest of the equivalent
+    text file's bytes: the two encodings are distinct cache keys.
 
     All operations are serialized by an internal mutex and safe to call
     from concurrent worker domains. *)
 
+type source =
+  | Text                     (** Parsed from the dataset file's bytes. *)
+  | Snapshot_file of string  (** Mapped from the named [.hgsnap]. *)
+
 type entry = {
-  digest : string;  (** MD5 of the file bytes, lowercase hex. *)
+  digest : string;  (** MD5 identity, lowercase hex (see above). *)
   path : string;    (** Path given at first load. *)
   hypergraph : Hp_hypergraph.Hypergraph.t;
-  bytes : int;      (** Size of the source file. *)
+  bytes : int;      (** Size of the file actually loaded. *)
   loaded_at : float;
+  source : source;
+  fallback : bool;  (** A sibling snapshot existed but was rejected. *)
 }
 
 type t
 
 val create : ?max_file_bytes:int -> unit -> t
 (** [max_file_bytes] (default 0 = unlimited) rejects dataset files
-    larger than the cap with [Read_failed] before reading them into
-    memory, so a runaway input cannot OOM the daemon. *)
+    larger than the cap with [Read_failed] before reading (or mapping)
+    them, so a runaway input cannot OOM the daemon. *)
 
 type load_error =
   | Read_failed of string   (** I/O: missing file, permissions, ... *)
@@ -30,7 +48,7 @@ type load_error =
 
 val load : t -> string -> (entry * bool, load_error) result
 (** [load t path] returns the resident entry and whether this call
-    parsed it fresh ([true]) or found it by digest ([false]). *)
+    loaded it fresh ([true]) or found it by digest ([false]). *)
 
 val find : t -> string -> [ `Found of entry | `Ambiguous | `Missing ]
 (** Exact digest, or a digest prefix of at least 4 characters that

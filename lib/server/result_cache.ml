@@ -46,3 +46,129 @@ let clear t =
 let length t = locked t (fun () -> Hp_util.Lru.length t.lru)
 
 let capacity t = Hp_util.Lru.capacity t.lru
+
+(* Warm-start persistence.  The on-disk form is a length-prefixed dump
+   of the LRU bindings, most recent first, sealed with a trailing
+   Binary.hash64 over everything before it; restore replays the dump
+   least-recent-first so the reconstructed recency order matches the
+   saved one.  A cache file is advisory: restore treats any defect as
+   "start cold" and reports it, never raises. *)
+
+module B = Hp_util.Binary
+
+let cache_magic = "HGCACHE\n"
+let cache_version = 1
+
+let add_u64 buf v =
+  let scratch = Bytes.create 8 in
+  B.set_int_le scratch ~pos:0 v;
+  Buffer.add_bytes buf scratch
+
+let add_string buf s =
+  add_u64 buf (String.length s);
+  Buffer.add_string buf s
+
+let save t path =
+  let bindings = locked t (fun () -> Hp_util.Lru.to_list t.lru) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf cache_magic;
+  add_u64 buf cache_version;
+  add_u64 buf (List.length bindings);
+  List.iter
+    (fun (k, pairs) ->
+      add_string buf k;
+      add_u64 buf (List.length pairs);
+      List.iter
+        (fun (pk, pv) ->
+          add_string buf pk;
+          add_string buf pv)
+        pairs)
+    bindings;
+  add_u64 buf (B.hash64_string B.hash64_seed (Buffer.contents buf) land max_int);
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        Buffer.output_buffer oc buf);
+    Sys.rename tmp path
+  with
+  | () -> Ok (List.length bindings)
+  | exception Sys_error msg -> Error msg
+
+exception Bad of string
+
+let restore t path =
+  if not (Sys.file_exists path) then Ok 0
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          let len = in_channel_length ic in
+          really_input_string ic len)
+    with
+    | exception Sys_error msg -> Error msg
+    | content ->
+      let len = String.length content in
+      let bytes = Bytes.unsafe_of_string content in
+      let u64 pos what =
+        if pos < 0 || pos + 8 > len - 8 then
+          raise (Bad (Printf.sprintf "truncated at %s" what))
+        else
+          match B.get_int_le bytes ~pos with
+          | Some v -> v
+          | None -> raise (Bad (Printf.sprintf "oversized %s" what))
+      in
+      let cursor = ref (String.length cache_magic) in
+      let next what =
+        let v = u64 !cursor what in
+        cursor := !cursor + 8;
+        v
+      in
+      let next_string what =
+        let n = next (what ^ " length") in
+        if n > len - 8 - !cursor then
+          raise (Bad (Printf.sprintf "truncated at %s" what));
+        let s = String.sub content !cursor n in
+        cursor := !cursor + n;
+        s
+      in
+      (match
+         if len < String.length cache_magic + 24 then raise (Bad "truncated file");
+         if String.sub content 0 (String.length cache_magic) <> cache_magic then
+           raise (Bad "bad magic");
+         let stored =
+           match B.get_int_le bytes ~pos:(len - 8) with
+           | Some v -> v
+           | None -> raise (Bad "bad checksum field")
+         in
+         let computed =
+           B.hash64 B.hash64_seed bytes ~pos:0 ~len:(len - 8) land max_int
+         in
+         if stored <> computed then raise (Bad "checksum mismatch");
+         let version = next "version" in
+         if version <> cache_version then
+           raise (Bad (Printf.sprintf "unsupported version %d" version));
+         let count = next "entry count" in
+         let entries =
+           List.init count (fun _ ->
+               let k = next_string "key" in
+               let pairs =
+                 List.init
+                   (next "pair count")
+                   (fun _ ->
+                     let pk = next_string "pair key" in
+                     let pv = next_string "pair value" in
+                     (pk, pv))
+               in
+               (k, pairs))
+         in
+         if !cursor <> len - 8 then raise (Bad "trailing garbage");
+         entries
+       with
+      | exception Bad msg -> Error (path ^ ": " ^ msg)
+      | entries ->
+        locked t (fun () ->
+            List.iter
+              (fun (k, pairs) -> ignore (Hp_util.Lru.set t.lru k pairs))
+              (List.rev entries);
+            Ok (Hp_util.Lru.length t.lru)))

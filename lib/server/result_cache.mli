@@ -33,3 +33,24 @@ val clear : t -> int
 val length : t -> int
 
 val capacity : t -> int
+
+(** {1 Warm-start persistence}
+
+    The cache can be dumped to a checksummed binary file on shutdown
+    and replayed on startup, so a restarted server answers its first
+    repeated queries from cache instead of recomputing them.  Cached
+    payloads are keyed by content digest, so a stale file is harmless:
+    entries for datasets that changed on disk simply never match. *)
+
+val save : t -> string -> (int, string) result
+(** [save t path] atomically writes every cached binding (temp file +
+    rename); returns how many were written. *)
+
+val restore : t -> string -> (int, string) result
+(** [restore t path] replays a file written by [save], preserving the
+    saved recency order and respecting the current capacity (when the
+    file holds more entries than fit, the most recent ones win).
+    A missing file restores zero entries; a corrupt one (bad magic,
+    version skew, truncation, checksum mismatch) is reported as
+    [Error] and leaves the cache as it was — a damaged cache file
+    costs warmth, not availability. *)

@@ -17,6 +17,7 @@ type config = {
   max_file_bytes : int;
   failpoints : string;
   stats_samples : int;
+  cache_file : string option;
 }
 
 let default_config ~socket_path =
@@ -32,6 +33,7 @@ let default_config ~socket_path =
     max_file_bytes = 1 lsl 30;
     failpoints = "";
     stats_samples = 0;
+    cache_file = None;
   }
 
 type t = {
@@ -203,25 +205,45 @@ let compute_payload ~domains ~deadline ~samples ~metrics h :
 
 (* ---------- request dispatch ---------- *)
 
+(* Load provenance: where the resident bytes actually came from — the
+   text parse, or an mmap'd sibling snapshot — plus whether a sibling
+   snapshot had to be rejected. *)
+let source_kvs (e : Registry.entry) =
+  match e.source with
+  | Registry.Text ->
+    ("source", "text")
+    :: (if e.fallback then [ ("snapshot_fallback", "true") ] else [])
+  | Registry.Snapshot_file snap -> [ ("source", "snapshot"); ("snapshot", snap) ]
+
 let entry_summary (e : Registry.entry) =
-  Printf.sprintf "path=%s vertices=%d hyperedges=%d incidence=%d bytes=%d"
+  Printf.sprintf "path=%s vertices=%d hyperedges=%d incidence=%d bytes=%d source=%s"
     e.path (H.n_vertices e.hypergraph) (H.n_edges e.hypergraph)
     (H.total_incidence e.hypergraph) e.bytes
+    (match e.source with
+    | Registry.Text -> if e.fallback then "text(fallback)" else "text"
+    | Registry.Snapshot_file snap -> "snapshot:" ^ snap)
 
 let load_reply t path : P.reply =
   match Registry.load t.registry path with
   | Ok (entry, fresh) ->
-    if fresh then Metrics.incr t.metrics "datasets_loaded";
+    if fresh then begin
+      Metrics.incr t.metrics "datasets_loaded";
+      (match entry.source with
+      | Registry.Snapshot_file _ -> Metrics.incr t.metrics "snapshot_loads"
+      | Registry.Text -> ());
+      if entry.fallback then Metrics.incr t.metrics "snapshot_fallbacks"
+    end;
     P.Ok
-      [
-        ("digest", entry.digest);
-        ("path", entry.path);
-        ("vertices", string_of_int (H.n_vertices entry.hypergraph));
-        ("hyperedges", string_of_int (H.n_edges entry.hypergraph));
-        ("incidence", string_of_int (H.total_incidence entry.hypergraph));
-        ("bytes", string_of_int entry.bytes);
-        ("fresh", string_of_bool fresh);
-      ]
+      ([
+         ("digest", entry.digest);
+         ("path", entry.path);
+         ("vertices", string_of_int (H.n_vertices entry.hypergraph));
+         ("hyperedges", string_of_int (H.n_edges entry.hypergraph));
+         ("incidence", string_of_int (H.total_incidence entry.hypergraph));
+         ("bytes", string_of_int entry.bytes);
+         ("fresh", string_of_bool fresh);
+       ]
+      @ source_kvs entry)
   | Error (Read_failed msg) ->
     Metrics.incr t.metrics "io_errors";
     P.err P.Io_error msg
@@ -763,6 +785,23 @@ let start config =
       finalized = false;
     }
   in
+  (* Warm start: replay the previous run's result cache before the
+     first connection is accepted.  A missing or damaged file only
+     means a cold cache. *)
+  Option.iter
+    (fun path ->
+      match Result_cache.restore t.cache path with
+      | Ok n ->
+        Metrics.incr metrics ~by:n "cache_restored";
+        if n > 0 then
+          Log.info ~comp:"server"
+            ~fields:[ ("cache_file", path); ("entries", string_of_int n) ]
+            "result cache restored"
+      | Error msg ->
+        Log.warn ~comp:"server"
+          ~fields:[ ("cache_file", path); ("error", msg) ]
+          "result cache restore failed; starting cold")
+    config.cache_file;
   t.pool <-
     Some
       (Worker.create ~workers:config.workers ~max_pending:config.queue_limit
@@ -798,6 +837,20 @@ let wait t =
         Option.iter Domain.join t.accept_domain;
         Option.iter Worker.shutdown t.pool;
         (try Unix.unlink t.config.socket_path with _ -> ());
+        (* Workers are drained: the cache is quiescent, dump it for the
+           next run. *)
+        Option.iter
+          (fun path ->
+            match Result_cache.save t.cache path with
+            | Ok n ->
+              Log.info ~comp:"server"
+                ~fields:[ ("cache_file", path); ("entries", string_of_int n) ]
+                "result cache saved"
+            | Error msg ->
+              Log.warn ~comp:"server"
+                ~fields:[ ("cache_file", path); ("error", msg) ]
+                "result cache save failed")
+          t.config.cache_file;
         t.finalized <- true;
         Log.info ~comp:"server"
           ~fields:

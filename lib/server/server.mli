@@ -48,13 +48,19 @@ type config = {
       diameter and average path from this many sampled BFS sources
       (deterministic seed, so the cached result is reproducible)
       instead of the exact all-pairs sweep.  0 = exact. *)
+  cache_file : string option;
+  (** Warm-start file for the result cache: restored (if present and
+      valid) before the first connection is accepted, saved on clean
+      shutdown after the workers drain.  Restored entries are counted
+      under [cache_restored]; a corrupt file logs a warning and starts
+      cold.  [None] (the default) keeps the cache memory-only. *)
 }
 
 val default_config : socket_path:string -> config
 (** Workers from {!Hp_util.Parallel.recommended_domains}, 128 cache
     entries, 30 s timeout, single-domain kernels, no preload, queue
     limit 128, shed watermark 64, 1 GiB file cap, no failpoints,
-    exact path sweeps ([stats_samples = 0]). *)
+    exact path sweeps ([stats_samples = 0]), no cache file. *)
 
 type t
 

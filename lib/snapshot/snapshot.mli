@@ -1,0 +1,105 @@
+(** Binary snapshot store: the hypergraph's CSR arrays in an mmap-able
+    on-disk format (DESIGN.md §11).
+
+    A [.hgsnap] file is a fixed header (magic, format version, flags,
+    vertex/edge/incidence counts, MD5 identity), a section table, and
+    then the incidence arrays as little-endian payloads — u64 words
+    for CSR offsets, u32 for the (much larger) member/adjacency value
+    sections — each 8-byte aligned so the reader can hand the kernels
+    [Bigarray.Array1] views straight out of [Unix.map_file]; loading
+    costs page faults, not parsing.  Optional name sections carry
+    vertex/edge labels as offset-indexed blobs.
+
+    Robustness contract: every load validates framing, per-section
+    checksums and structural invariants before any value is trusted;
+    truncation, foreign bytes, version skew and corruption all come
+    back as typed {!error}s, never exceptions.  The identity digest in
+    the header is the MD5 of the section payloads, so it names the
+    logical dataset independently of table layout — note it therefore
+    differs from the registry's digest of the equivalent text file.
+
+    Forward compatibility: readers reject files whose major [version]
+    they do not know ({!Version_skew}), and ignore section kinds they
+    do not recognize as long as the mandatory four CSR sections are
+    present, so future writers may append new sections without
+    breaking old readers. *)
+
+type error =
+  | Io of string
+    (** The file could not be opened, statted, or mapped. *)
+  | Truncated of { what : string; expected : int; got : int }
+    (** The file ends before [what] (sizes in bytes). *)
+  | Bad_magic
+    (** Leading bytes are not the snapshot magic — not a snapshot. *)
+  | Version_skew of { found : int }
+    (** A snapshot, but from an incompatible format revision. *)
+  | Digest_mismatch of string
+    (** Checksum failure in the named section (or ["header"]). *)
+  | Malformed of string
+    (** Framing or structural invariant violated; the message says
+        which. *)
+
+val error_to_string : error -> string
+
+type i64_array =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i32_array =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  path : string;
+  identity : string;       (** MD5 of the section payloads, hex. *)
+  n_vertices : int;
+  n_edges : int;
+  incidence : int;         (** |E|, the total membership count. *)
+  file_bytes : int;
+  edge_off : i64_array;    (** [n_edges + 1] CSR offsets into [edge_members]. *)
+  edge_members : i32_array;(** Member vertices, strictly increasing per edge. *)
+  vertex_off : i64_array;  (** [n_vertices + 1] CSR offsets into [vertex_adj]. *)
+  vertex_adj : i32_array;  (** Incident edges, strictly increasing per vertex. *)
+  vertex_names : string array option;
+  edge_names : string array option;
+  sections : (string * int * int) list;
+    (** (name, byte offset, byte length) of each payload, table order. *)
+}
+(** A validated snapshot: counts and checksums verified, array views
+    backed by the read-only mapping (empty sections are zero-length
+    arrays, not mappings).  Mutating the views is forbidden. *)
+
+type pack_info = { identity : string; bytes : int }
+
+val pack : Hp_hypergraph.Hypergraph.t -> string -> pack_info
+(** Write a snapshot of the hypergraph.  Goes through a temp file in
+    the target directory and renames into place, so a crashed pack
+    never leaves a half-written [.hgsnap].  Raises [Sys_error] /
+    [Unix.Unix_error] on I/O failure, and [Invalid_argument] on a
+    hypergraph with more than [2^31] vertices or edges (ids must fit
+    the u32 value sections). *)
+
+val load : string -> (t, error) result
+(** Map the file read-only and validate framing, bounds and the
+    per-section checksums.  Does not re-verify the MD5 identity (see
+    {!verify}) and does not check CSR invariants that only matter for
+    materialization (see {!to_hypergraph}); it never raises. *)
+
+val to_hypergraph : t -> (Hp_hypergraph.Hypergraph.t, error) result
+(** Materialize the mapped arrays into the heap representation the
+    kernels consume, verifying the CSR structural invariants
+    (monotone offsets, strictly increasing rows, adjacency consistent
+    with incidence) on the way.  [Malformed] on any violation. *)
+
+val read : string -> (Hp_hypergraph.Hypergraph.t * t, error) result
+(** [load] then [to_hypergraph]. *)
+
+val verify : string -> (t, error) result
+(** Deep check for [hgtool verify-snap]: everything [read] checks,
+    plus recomputing the MD5 identity over the section payloads and
+    comparing it against the header. *)
+
+val file_extension : string
+(** [".hgsnap"], including the dot. *)
+
+val sibling_path : string -> string
+(** The snapshot path conventionally paired with a dataset file:
+    extension replaced by {!file_extension}. *)

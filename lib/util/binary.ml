@@ -1,0 +1,100 @@
+let check name b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg
+      (Printf.sprintf "Binary.%s: range [%d, %d) outside buffer of %d bytes"
+         name pos (pos + len) (Bytes.length b))
+
+let set_i64_le b ~pos v =
+  check "set_i64_le" b ~pos ~len:8;
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+    Bytes.unsafe_set b (pos + i) (Char.unsafe_chr byte)
+  done
+
+let get_i64_le b ~pos =
+  check "get_i64_le" b ~pos ~len:8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code (Bytes.unsafe_get b (pos + i))))
+  done;
+  !v
+
+let set_int_le b ~pos v =
+  if v < 0 then invalid_arg "Binary.set_int_le: negative value";
+  set_i64_le b ~pos (Int64.of_int v)
+
+let set_u32_le b ~pos v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg "Binary.set_u32_le: value outside [0, 2^32)";
+  check "set_u32_le" b ~pos ~len:4;
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let get_u32_le b ~pos =
+  check "get_u32_le" b ~pos ~len:4;
+  Char.code (Bytes.unsafe_get b pos)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 3)) lsl 24)
+
+let int_of_i64 v =
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then None
+  else Some (Int64.to_int v)
+
+let get_int_le b ~pos = int_of_i64 (get_i64_le b ~pos)
+
+(* FNV-1a offset basis 0xcbf29ce484222325, truncated into the native
+   int; the multiply wraps modulo 2^63 which is the whole point. *)
+let hash64_seed = Int64.to_int 0xcbf29ce484222325L
+let hash64_prime = 0x100000001b3
+
+let hash64_byte acc byte = (acc lxor (byte land 0xff)) * hash64_prime
+
+let hash64 acc b ~pos ~len =
+  check "hash64" b ~pos ~len;
+  let h = ref acc in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * hash64_prime
+  done;
+  !h
+
+let hash64_string acc s =
+  hash64 acc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+(* Word-folding variant for bulk payloads: one serial multiply per
+   little-endian 64-bit word instead of eight.  The high half is
+   pre-mixed with its own (per-word independent, so pipelined)
+   multiply so every one of the 64 input bits lands in the
+   accumulator; multiplication by the odd prime is invertible mod
+   2^63, so no high bit is silently dropped. *)
+let hash64_words acc b ~pos ~len =
+  check "hash64_words" b ~pos ~len;
+  if len land 7 <> 0 then
+    invalid_arg "Binary.hash64_words: length is not a multiple of 8";
+  let h = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i < stop do
+    let p = !i in
+    let lo =
+      Char.code (Bytes.unsafe_get b p)
+      lor (Char.code (Bytes.unsafe_get b (p + 1)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get b (p + 2)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (p + 3)) lsl 24)
+    in
+    let hi =
+      Char.code (Bytes.unsafe_get b (p + 4))
+      lor (Char.code (Bytes.unsafe_get b (p + 5)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get b (p + 6)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get b (p + 7)) lsl 24)
+    in
+    h := (!h lxor (lo lxor (hi * hash64_prime))) * hash64_prime;
+    i := p + 8
+  done;
+  !h
+
+let hash64_word acc ~lo ~hi =
+  (acc lxor (lo lxor (hi * hash64_prime))) * hash64_prime

@@ -1,0 +1,71 @@
+(** Endian-safe fixed-width integer serialization.
+
+    The snapshot store and the cache persistence layer write
+    little-endian 64-bit fields; these helpers centralize the byte
+    fiddling behind bounds-checked accessors so no call site indexes
+    raw bytes by hand.  All accessors raise [Invalid_argument] when the
+    8-byte window [pos, pos+8) falls outside the buffer.
+
+    [hash64] is a cheap integrity checksum for framing and section
+    payloads: FNV-1a folded into OCaml's native (63-bit) int, so the
+    hot loop runs on unboxed arithmetic.  It is not standard 64-bit
+    FNV-1a and must only be compared against values produced by this
+    module (which is all the on-disk formats here need). *)
+
+val set_i64_le : Bytes.t -> pos:int -> int64 -> unit
+(** Write [v] as 8 little-endian bytes at [pos]. *)
+
+val get_i64_le : Bytes.t -> pos:int -> int64
+(** Read 8 little-endian bytes at [pos]. *)
+
+val set_int_le : Bytes.t -> pos:int -> int -> unit
+(** [set_int_le b ~pos v] writes a non-negative OCaml int as a
+    little-endian u64.  Raises [Invalid_argument] when [v < 0]. *)
+
+val set_u32_le : Bytes.t -> pos:int -> int -> unit
+(** Write a value in [0, 2^32) as 4 little-endian bytes — the narrow
+    encoding the snapshot store uses for incidence values, which halves
+    the bytes it must map and verify.  Raises [Invalid_argument] when
+    the value does not fit. *)
+
+val get_u32_le : Bytes.t -> pos:int -> int
+(** Read 4 little-endian bytes as an int in [0, 2^32); total on 64-bit
+    hosts (where OCaml ints hold 63 bits). *)
+
+val get_int_le : Bytes.t -> pos:int -> int option
+(** Read a u64 field back as an OCaml int; [None] when the stored
+    value is negative or exceeds [max_int] (i.e. it cannot have been
+    written by [set_int_le] on this platform). *)
+
+val int_of_i64 : int64 -> int option
+(** Checked narrowing: [Some v] iff the value is in [0, max_int]. *)
+
+val hash64_seed : int
+(** Initial accumulator for [hash64] chains. *)
+
+val hash64 : int -> Bytes.t -> pos:int -> len:int -> int
+(** [hash64 acc b ~pos ~len] folds the byte range into the running
+    checksum; chain calls to hash discontiguous regions.  Raises
+    [Invalid_argument] when the range falls outside the buffer. *)
+
+val hash64_byte : int -> int -> int
+(** [hash64_byte acc byte] folds a single byte (low 8 bits) into the
+    checksum — the building block for hashing buffers that are not
+    [Bytes], e.g. mapped bigarrays. *)
+
+val hash64_string : int -> string -> int
+(** [hash64] over a whole string. *)
+
+val hash64_words : int -> Bytes.t -> pos:int -> len:int -> int
+(** Word-folding checksum over an 8-byte-aligned range: one serial
+    multiply per little-endian 64-bit word instead of one per byte,
+    which is what makes verifying multi-megabyte snapshot sections
+    cheap next to an mmap.  Incompatible with [hash64] — the two must
+    never be compared.  Raises [Invalid_argument] when the range falls
+    outside the buffer or [len] is not a multiple of 8. *)
+
+val hash64_word : int -> lo:int -> hi:int -> int
+(** [hash64_word acc ~lo ~hi] folds one 64-bit word given as two
+    32-bit little-endian halves — the building block behind
+    [hash64_words] for hashing buffers that are not [Bytes], e.g.
+    mapped bigarrays. *)

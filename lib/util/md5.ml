@@ -1,0 +1,156 @@
+(* RFC 1321, on native ints masked to 32 bits. *)
+
+let k =
+  [|
+    0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee;
+    0xf57c0faf; 0x4787c62a; 0xa8304613; 0xfd469501;
+    0x698098d8; 0x8b44f7af; 0xffff5bb1; 0x895cd7be;
+    0x6b901122; 0xfd987193; 0xa679438e; 0x49b40821;
+    0xf61e2562; 0xc040b340; 0x265e5a51; 0xe9b6c7aa;
+    0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8;
+    0x21e1cde6; 0xc33707d6; 0xf4d50d87; 0x455a14ed;
+    0xa9e3e905; 0xfcefa3f8; 0x676f02d9; 0x8d2a4c8a;
+    0xfffa3942; 0x8771f681; 0x6d9d6122; 0xfde5380c;
+    0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70;
+    0x289b7ec6; 0xeaa127fa; 0xd4ef3085; 0x04881d05;
+    0xd9d4d039; 0xe6db99e5; 0x1fa27cf8; 0xc4ac5665;
+    0xf4292244; 0x432aff97; 0xab9423a7; 0xfc93a039;
+    0x655b59c3; 0x8f0ccc92; 0xffeff47d; 0x85845dd1;
+    0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1;
+    0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
+  |]
+
+let shifts =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+type t = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  block : Bytes.t;        (* 64-byte staging buffer *)
+  mutable block_len : int;
+  mutable total : int;    (* bytes absorbed so far *)
+  mutable result : string option;
+}
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
+    block = Bytes.create 64;
+    block_len = 0;
+    total = 0;
+    result = None;
+  }
+
+let mask = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let word b pos =
+  Char.code (Bytes.unsafe_get b pos)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 3)) lsl 24)
+
+(* One 64-byte block starting at [pos]. *)
+let compress t buf pos =
+  let a = ref t.a and b = ref t.b and c = ref t.c and d = ref t.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then ((!b land !c) lor (lnot !b land !d), i)
+      else if i < 32 then ((!d land !b) lor (lnot !d land !c), (5 * i + 1) land 15)
+      else if i < 48 then (!b lxor !c lxor !d, (3 * i + 5) land 15)
+      else (!c lxor (!b lor (lnot !d land mask)), 7 * i land 15)
+    in
+    let f = (f + !a + k.(i) + word buf (pos + 4 * g)) land mask in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := (!b + rotl f shifts.(i)) land mask
+  done;
+  t.a <- (t.a + !a) land mask;
+  t.b <- (t.b + !b) land mask;
+  t.c <- (t.c + !c) land mask;
+  t.d <- (t.d + !d) land mask
+
+let feed t buf ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length buf - len then
+    invalid_arg "Md5.feed: range outside buffer";
+  if t.result <> None then invalid_arg "Md5.feed: context already finalized";
+  t.total <- t.total + len;
+  let pos = ref pos and len = ref len in
+  (* Top up a partial staging block first. *)
+  if t.block_len > 0 then begin
+    let take = min !len (64 - t.block_len) in
+    Bytes.blit buf !pos t.block t.block_len take;
+    t.block_len <- t.block_len + take;
+    pos := !pos + take;
+    len := !len - take;
+    if t.block_len = 64 then begin
+      compress t t.block 0;
+      t.block_len <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress t buf !pos;
+    pos := !pos + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit buf !pos t.block 0 !len;
+    t.block_len <- !len
+  end
+
+let feed_string t s =
+  feed t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let digest t =
+  match t.result with
+  | Some r -> r
+  | None ->
+    let total = t.total in
+    let pad_len =
+      let rem = (t.block_len + 1) mod 64 in
+      1 + (if rem <= 56 then 56 - rem else 120 - rem)
+    in
+    let tail = Bytes.make (pad_len + 8) '\000' in
+    Bytes.set tail 0 '\x80';
+    (* Message length in bits, little-endian, modulo 2^64. *)
+    Binary.set_i64_le tail ~pos:pad_len (Int64.mul (Int64.of_int total) 8L);
+    feed t tail ~pos:0 ~len:(Bytes.length tail);
+    t.total <- total;
+    assert (t.block_len = 0);
+    let out = Bytes.create 16 in
+    let put pos v =
+      Bytes.set out pos (Char.chr (v land 0xff));
+      Bytes.set out (pos + 1) (Char.chr ((v lsr 8) land 0xff));
+      Bytes.set out (pos + 2) (Char.chr ((v lsr 16) land 0xff));
+      Bytes.set out (pos + 3) (Char.chr ((v lsr 24) land 0xff))
+    in
+    put 0 t.a;
+    put 4 t.b;
+    put 8 t.c;
+    put 12 t.d;
+    let r = Bytes.to_string out in
+    t.result <- Some r;
+    r
+
+let to_hex raw =
+  let buf = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buf
+
+let hex t = to_hex (digest t)
+
+let string s =
+  let t = init () in
+  feed_string t s;
+  hex t

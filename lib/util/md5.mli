@@ -1,0 +1,36 @@
+(** Incremental MD5 (RFC 1321).
+
+    The stdlib [Digest] only hashes a value it can see whole, which
+    forces callers to hold an entire file in memory just to learn its
+    identity.  This context-based implementation digests data as it
+    streams past — the registry hashes a dataset in the same pass that
+    reads it, and the snapshot writer hashes sections as it emits them.
+
+    Produces exactly the same 16-byte digests as [Digest.string]
+    (property-tested against it), so identities recorded before this
+    module existed remain valid. *)
+
+type t
+(** A running digest context.  Not thread-safe. *)
+
+val init : unit -> t
+
+val feed : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Absorb a byte range.  Raises [Invalid_argument] when the range
+    falls outside the buffer, or when the context is finalized. *)
+
+val feed_string : t -> string -> unit
+
+val digest : t -> string
+(** Finalize and return the raw 16-byte digest.  The context cannot be
+    fed afterwards; calling [digest] again returns the same value. *)
+
+val hex : t -> string
+(** [digest] rendered as 32 lowercase hex characters (the registry's
+    identity format). *)
+
+val to_hex : string -> string
+(** Render a raw digest as lowercase hex. *)
+
+val string : string -> string
+(** One-shot convenience: hex digest of a whole string. *)

@@ -8,6 +8,9 @@ module Server = Hp_server.Server
 module Client = Hp_server.Client
 module Registry = Hp_server.Registry
 module Metrics = Hp_server.Metrics
+module Result_cache = Hp_server.Result_cache
+module Snap = Hp_snapshot.Snapshot
+module HIO = Hp_hypergraph.Hypergraph_io
 
 let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -198,6 +201,151 @@ let test_registry_identity () =
       (String.length msg >= String.length bad
       && String.sub msg 0 (String.length bad) = bad)
   | _ -> Alcotest.fail "malformed file should be Parse_failed"
+
+(* A text path with a valid sibling snapshot loads from the snapshot; a
+   corrupt sibling is rejected and falls back to the text parse; a
+   stale sibling (text edited after the pack) is ignored outright. *)
+let test_registry_snapshot_preference () =
+  let dir = Filename.temp_dir "hgd" "regsnap" in
+  let path = Filename.concat dir "data.hg" in
+  write_file path tiny_hg;
+  let expect_load r p =
+    match Registry.load r p with
+    | Ok (e, fresh) ->
+      checkb "load is fresh" true fresh;
+      e
+    | Error (Registry.Read_failed m | Registry.Parse_failed m) ->
+      Alcotest.failf "load %s: %s" p m
+  in
+  (* No sibling yet: plain text load. *)
+  let e = expect_load (Registry.create ()) path in
+  checkb "text source" true (e.Registry.source = Registry.Text);
+  checkb "no fallback" false e.Registry.fallback;
+  let text_digest = e.Registry.digest in
+  (* Pack the sibling (mtime >= the text file's): now preferred. *)
+  let snap = Snap.sibling_path path in
+  let info = Snap.pack (HIO.of_string tiny_hg) snap in
+  let e = expect_load (Registry.create ()) path in
+  checkb "snapshot source" true (e.Registry.source = Registry.Snapshot_file snap);
+  checks "snapshot identity as digest" info.Snap.identity e.Registry.digest;
+  checkb "identity differs from text digest" true
+    (e.Registry.digest <> text_digest);
+  checkb "no fallback" false e.Registry.fallback;
+  (* Stale sibling: make the text file strictly newer; it wins. *)
+  let future = Unix.gettimeofday () +. 3600.0 in
+  Unix.utimes path future future;
+  let e = expect_load (Registry.create ()) path in
+  checkb "stale sibling ignored" true (e.Registry.source = Registry.Text);
+  checkb "stale sibling is not a fallback" false e.Registry.fallback;
+  Unix.utimes snap (future +. 1.0) (future +. 1.0);
+  (* Corrupt sibling: degrade to the text parse, marked as fallback. *)
+  let bytes =
+    let ic = open_in_bin snap in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let corrupt = Bytes.of_string bytes in
+  let mid = Bytes.length corrupt / 2 in
+  Bytes.set corrupt mid (Char.chr (Char.code (Bytes.get corrupt mid) lxor 0x40));
+  write_file snap (Bytes.to_string corrupt);
+  (* Rewriting reset the sibling's mtime; keep it ahead of the text
+     file so it is still the preferred load. *)
+  Unix.utimes snap (future +. 1.0) (future +. 1.0);
+  let e = expect_load (Registry.create ()) path in
+  checkb "fallback to text" true (e.Registry.source = Registry.Text);
+  checkb "fallback recorded" true e.Registry.fallback;
+  checks "text digest on fallback" text_digest e.Registry.digest;
+  (* Corruption on a direct .hgsnap load is an error, not a fallback. *)
+  (match Registry.load (Registry.create ()) snap with
+  | Error (Registry.Parse_failed msg) ->
+    checkb "names the snapshot" true
+      (String.length msg >= String.length snap
+      && String.sub msg 0 (String.length snap) = snap)
+  | _ -> Alcotest.fail "corrupt direct snapshot load should be Parse_failed");
+  (* A healthy direct .hgsnap load works. *)
+  write_file snap bytes;
+  let e = expect_load (Registry.create ()) snap in
+  checkb "direct snapshot source" true
+    (e.Registry.source = Registry.Snapshot_file snap)
+
+(* ---------- result cache persistence ---------- *)
+
+let test_cache_persistence () =
+  let dir = Filename.temp_dir "hgd" "cache" in
+  let file = Filename.concat dir "cache.bin" in
+  let fresh capacity = Result_cache.create ~capacity ~metrics:(Metrics.create ()) () in
+  let payload i =
+    [ ("k", string_of_int i); ("weird", "tab\there newline\nthere \xff") ]
+  in
+  (* Missing file: a cold start, not an error. *)
+  (match Result_cache.restore (fresh 8) file with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "restore of missing file returned %d entries" n
+  | Error msg -> Alcotest.failf "restore of missing file: %s" msg);
+  let c = fresh 4 in
+  for i = 1 to 5 do
+    Result_cache.add c (Printf.sprintf "digest%d stats" i) (payload i)
+  done;
+  (* Capacity 4: entry 1 was evicted before the save. *)
+  (match Result_cache.save c file with
+  | Ok 4 -> ()
+  | Ok n -> Alcotest.failf "saved %d entries, expected 4" n
+  | Error msg -> Alcotest.failf "save: %s" msg);
+  let c2 = fresh 8 in
+  (match Result_cache.restore c2 file with
+  | Ok 4 -> ()
+  | Ok n -> Alcotest.failf "restored %d entries, expected 4" n
+  | Error msg -> Alcotest.failf "restore: %s" msg);
+  for i = 2 to 5 do
+    checkb
+      (Printf.sprintf "entry %d survives the round trip" i)
+      true
+      (Result_cache.find c2 (Printf.sprintf "digest%d stats" i) = Some (payload i))
+  done;
+  (* Restoring into a smaller cache keeps the most recently used. *)
+  let c3 = fresh 2 in
+  (match Result_cache.restore c3 file with
+  | Ok 2 -> ()
+  | Ok n -> Alcotest.failf "restored %d entries into capacity 2" n
+  | Error msg -> Alcotest.failf "restore small: %s" msg);
+  checkb "most recent kept" true
+    (Result_cache.find c3 "digest5 stats" = Some (payload 5));
+  checkb "second most recent kept" true
+    (Result_cache.find c3 "digest4 stats" = Some (payload 4));
+  checkb "older dropped" true (Result_cache.find c3 "digest3 stats" = None);
+  (* Any corruption fails the checksum and leaves the cache untouched. *)
+  let bytes =
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  List.iter
+    (fun pos ->
+      let corrupt = Bytes.of_string bytes in
+      Bytes.set corrupt pos (Char.chr (Char.code (Bytes.get corrupt pos) lxor 1));
+      write_file file (Bytes.to_string corrupt);
+      let c = fresh 8 in
+      (match Result_cache.restore c file with
+      | Error _ -> ()
+      | Ok n -> Alcotest.failf "corrupt restore (byte %d) returned Ok %d" pos n);
+      check "corrupt restore leaves cache empty" 0 (Result_cache.length c))
+    [ 0; 9; 20; String.length bytes / 2; String.length bytes - 1 ];
+  List.iter
+    (fun keep ->
+      write_file file (String.sub bytes 0 keep);
+      match Result_cache.restore (fresh 8) file with
+      | Error _ -> ()
+      | Ok n -> Alcotest.failf "truncated restore (%d bytes) returned Ok %d" keep n)
+    [ 5; 8; 31; String.length bytes - 1 ];
+  (* An empty cache round-trips too. *)
+  (match Result_cache.save (fresh 4) file with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "empty save wrote %d entries" n
+  | Error msg -> Alcotest.failf "empty save: %s" msg);
+  match Result_cache.restore (fresh 4) file with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "empty restore returned %d entries" n
+  | Error msg -> Alcotest.failf "empty restore: %s" msg
 
 (* ---------- metrics ---------- *)
 
@@ -636,6 +784,74 @@ let test_shutdown_verb () =
       in
       poll 50)
 
+(* Full warm-restart cycle: life 1 computes and saves the cache on
+   shutdown; life 2 restores it and answers the same query cached on
+   its very first request; life 3 starts from a truncated cache file
+   and must come up cold but healthy. *)
+let test_warm_restart () =
+  let dir = Filename.temp_dir "hgd" "warm" in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let cache_file = Filename.concat dir "cache.bin" in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      workers = 2;
+      cache_capacity = 16;
+      cache_file = Some cache_file;
+    }
+  in
+  let data = Filename.concat dir "tiny.hg" in
+  write_file data tiny_hg;
+  ignore (Snap.pack (HIO.of_string tiny_hg) (Snap.sibling_path data));
+  let life f =
+    match Server.start config with
+    | Error msg -> Alcotest.failf "server start failed: %s" msg
+    | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          let c = connect socket_path in
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c))
+  in
+  let digest = ref "" in
+  life (fun c ->
+      let loaded = expect_ok "load" (Client.request c (P.Load data)) in
+      checks "sibling snapshot used" "snapshot" (List.assoc "source" loaded);
+      digest := List.assoc "digest" loaded;
+      let stats =
+        expect_ok "first stats"
+          (Client.request c (P.Analyze { dataset = !digest; analysis = P.Stats }))
+      in
+      checks "cold in first life" "false" (List.assoc "cached" stats));
+  checkb "cache file written on shutdown" true (Sys.file_exists cache_file);
+  life (fun c ->
+      let loaded = expect_ok "reload" (Client.request c (P.Load data)) in
+      checks "same digest across restarts" !digest (List.assoc "digest" loaded);
+      let stats =
+        expect_ok "first stats after restart"
+          (Client.request c (P.Analyze { dataset = !digest; analysis = P.Stats }))
+      in
+      checks "warm after restart" "true" (List.assoc "cached" stats);
+      let metrics = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checkb "restored entries counted" true
+        (int_of_string (List.assoc "cache_restored" metrics) >= 1);
+      checkb "snapshot loads counted" true
+        (int_of_string (List.assoc "snapshot_loads" metrics) >= 1));
+  (* Truncate the cache file: the daemon must start cold, not fail. *)
+  let full =
+    let ic = open_in_bin cache_file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  write_file cache_file (String.sub full 0 (String.length full / 2));
+  life (fun c ->
+      ignore (expect_ok "load after corrupt cache" (Client.request c (P.Load data)));
+      let stats =
+        expect_ok "stats after corrupt cache"
+          (Client.request c (P.Analyze { dataset = !digest; analysis = P.Stats }))
+      in
+      checks "cold after corrupt cache file" "false" (List.assoc "cached" stats))
+
 let () =
   Alcotest.run "hp_server"
     [
@@ -649,7 +865,13 @@ let () =
           Th.prop prop_reply_roundtrip;
         ] );
       ( "registry",
-        [ Alcotest.test_case "content identity" `Quick test_registry_identity ] );
+        [
+          Alcotest.test_case "content identity" `Quick test_registry_identity;
+          Alcotest.test_case "snapshot preference and fallback" `Quick
+            test_registry_snapshot_preference;
+        ] );
+      ( "result cache",
+        [ Alcotest.test_case "save and restore" `Quick test_cache_persistence ] );
       ( "metrics",
         [
           Alcotest.test_case "counters and latency" `Quick test_metrics_counters;
@@ -665,5 +887,7 @@ let () =
           Alcotest.test_case "batched pipelined queries" `Quick test_batch;
           Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
           Alcotest.test_case "shutdown verb" `Quick test_shutdown_verb;
+          Alcotest.test_case "warm restart from cache file" `Quick
+            test_warm_restart;
         ] );
     ]

@@ -627,6 +627,117 @@ let prop_merge_runs_counts =
       U.Intsort.merge_runs bufs (fun key c -> got := (key, c) :: !got);
       !got = !expected)
 
+(* Binary *)
+
+let test_binary_known () =
+  let b = Bytes.make 16 '\xff' in
+  U.Binary.set_i64_le b ~pos:4 0x0102030405060708L;
+  Alcotest.(check string) "little-endian layout"
+    "\x08\x07\x06\x05\x04\x03\x02\x01"
+    (Bytes.sub_string b 4 8);
+  Alcotest.(check int64) "round trip" 0x0102030405060708L
+    (U.Binary.get_i64_le b ~pos:4);
+  U.Binary.set_int_le b ~pos:0 max_int;
+  Alcotest.(check (option int)) "int round trip" (Some max_int)
+    (U.Binary.get_int_le b ~pos:0);
+  U.Binary.set_i64_le b ~pos:0 Int64.min_int;
+  Alcotest.(check (option int)) "out-of-range i64 refused" None
+    (U.Binary.get_int_le b ~pos:0)
+
+let test_binary_bounds () =
+  let b = Bytes.create 8 in
+  let oob name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  oob "get past end" (fun () -> U.Binary.get_i64_le b ~pos:1);
+  oob "get negative" (fun () -> U.Binary.get_i64_le b ~pos:(-1));
+  oob "set past end" (fun () -> U.Binary.set_i64_le b ~pos:8 0L);
+  oob "set negative int" (fun () -> U.Binary.set_int_le b ~pos:0 (-1));
+  oob "hash64 range" (fun () -> U.Binary.hash64 U.Binary.hash64_seed b ~pos:4 ~len:5)
+
+let prop_binary_vs_stdlib =
+  (* The hand-rolled byte fiddling must agree with the stdlib codec in
+     both directions, at every alignment. *)
+  QCheck.Test.make ~name:"binary: i64 LE agrees with Bytes.get/set_int64_le"
+    ~count:500
+    QCheck.(pair int64 (int_bound 8))
+    (fun (v, pos) ->
+      let ours = Bytes.make 16 '\x5a' and ref_ = Bytes.make 16 '\x5a' in
+      U.Binary.set_i64_le ours ~pos v;
+      Bytes.set_int64_le ref_ pos v;
+      Bytes.equal ours ref_
+      && U.Binary.get_i64_le ours ~pos = Bytes.get_int64_le ref_ pos)
+
+let prop_binary_int_round_trip =
+  QCheck.Test.make ~name:"binary: non-negative int round-trips" ~count:500
+    QCheck.(int_bound max_int)
+    (fun v ->
+      let b = Bytes.create 8 in
+      U.Binary.set_int_le b ~pos:0 v;
+      U.Binary.get_int_le b ~pos:0 = Some v)
+
+let prop_hash64_chain =
+  (* Chaining over a split must equal hashing the concatenation, and
+     the checksum must notice any single-byte flip. *)
+  QCheck.Test.make ~name:"binary: hash64 chains and separates" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_range 1 64)) (int_bound 63))
+    (fun (s, at) ->
+      let at = at mod String.length s in
+      let whole = U.Binary.hash64_string U.Binary.hash64_seed s in
+      let left = U.Binary.hash64_string U.Binary.hash64_seed (String.sub s 0 at) in
+      let chained =
+        U.Binary.hash64 left (Bytes.of_string s) ~pos:at ~len:(String.length s - at)
+      in
+      let flipped = Bytes.of_string s in
+      Bytes.set flipped at (Char.chr (Char.code s.[at] lxor 1));
+      whole = chained
+      && whole <> U.Binary.hash64_string U.Binary.hash64_seed (Bytes.to_string flipped))
+
+(* Md5 *)
+
+let test_md5_rfc_vectors () =
+  (* RFC 1321 appendix A.5. *)
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (U.Md5.string input))
+    [
+      ("", "d41d8cd98f00b204e9800998ecf8427e");
+      ("a", "0cc175b9c0f1b6a831c399e269772661");
+      ("abc", "900150983cd24fb0d6963f7d28e17f72");
+      ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+      ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+      ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+        "57edf4a22be3c955ac49da2e2107b67a" );
+    ]
+
+let test_md5_finalized () =
+  let t = U.Md5.init () in
+  U.Md5.feed_string t "abc";
+  Alcotest.(check string) "idempotent digest" (U.Md5.hex t) (U.Md5.hex t);
+  Alcotest.check_raises "feed after digest"
+    (Invalid_argument "Md5.feed: context already finalized") (fun () ->
+      U.Md5.feed_string t "more")
+
+let prop_md5_matches_digest =
+  (* Any chunking of any string must reproduce the stdlib digest. *)
+  QCheck.Test.make ~name:"md5: chunked feed matches Digest.string" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (list (int_range 1 97)))
+    (fun (s, cuts) ->
+      let t = U.Md5.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun step ->
+          let n = min step (String.length s - !pos) in
+          if n > 0 then begin
+            U.Md5.feed t (Bytes.unsafe_of_string s) ~pos:!pos ~len:n;
+            pos := !pos + n
+          end)
+        cuts;
+      U.Md5.feed_string t (String.sub s !pos (String.length s - !pos));
+      U.Md5.hex t = Digest.to_hex (Digest.string s))
+
 let () =
   Alcotest.run "hp_util"
     [
@@ -710,5 +821,19 @@ let () =
         [
           Alcotest.test_case "json rendering" `Quick test_log_render;
           Alcotest.test_case "threshold and ring" `Quick test_log_levels_and_ring;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "known layout" `Quick test_binary_known;
+          Alcotest.test_case "bounds" `Quick test_binary_bounds;
+          Th.prop prop_binary_vs_stdlib;
+          Th.prop prop_binary_int_round_trip;
+          Th.prop prop_hash64_chain;
+        ] );
+      ( "md5",
+        [
+          Alcotest.test_case "rfc vectors" `Quick test_md5_rfc_vectors;
+          Alcotest.test_case "finalized context" `Quick test_md5_finalized;
+          Th.prop prop_md5_matches_digest;
         ] );
     ]

@@ -1543,6 +1543,180 @@ let snapshot_bench () =
         largest.sspeedup
   end
 
+(* ------------------------------------------------------------------ *)
+(* E24: WAL recovery cost vs writes-since-checkpoint (extension).     *)
+(* Builds a mutation log of n records over the cellzome base through  *)
+(* the registry itself (append-before-apply, sync=Never so the curve  *)
+(* measures replay, not fsync), then times a fresh registry's load —  *)
+(* base resolution + log fold — for each n.  A final checkpoint       *)
+(* compacts the largest log and shows recovery collapsing back to a   *)
+(* snapshot load.  _artifacts/BENCH_wal.json.                         *)
+
+type wal_row = {
+  wwrites : int;
+  wbytes : int;      (* on-disk .hgwal size *)
+  wappend_s : float; (* whole burst, through Registry.mutate *)
+  wrecover_s : float;
+  wreplayed : int;
+}
+
+let write_wal_json rows ~ckpt_pack_s ~ckpt_recover_s =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_wal.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"schema\":1,\"recovery\":[";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc
+            "\n  {\"writes\":%d,\"wal_bytes\":%d,\"append_s\":%.6f,\
+             \"recover_s\":%.6f,\"replayed\":%d}"
+            r.wwrites r.wbytes r.wappend_s r.wrecover_s r.wreplayed)
+        rows;
+      Printf.fprintf oc
+        "\n],\"checkpoint\":{\"pack_s\":%.6f,\"recover_s\":%.6f}}\n"
+        ckpt_pack_s ckpt_recover_s);
+  Printf.printf "[wrote %s]\n" path
+
+let wal_bench () =
+  section "E24: WAL recovery — replay cost vs writes-since-checkpoint (extension)";
+  let module Registry = Hp_server.Registry in
+  let module W = Hp_wal.Wal in
+  let module HIO = Hp_hypergraph.Hypergraph_io in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "E24 FAIL: %s\n" s; exit 1) fmt
+  in
+  let dir = Filename.temp_dir "hyperprot" "walbench" in
+  let counts = if quick then [ 0; 100; 1000 ] else [ 0; 100; 1000; 10000 ] in
+  let nv0 = H.n_vertices yeast in
+  (* Alternating adds keep every op valid against the base alone, so
+     the log length is the only variable in the curve. *)
+  let op i =
+    if i mod 2 = 0 then W.Add_vertex { name = Printf.sprintf "w%d" i }
+    else
+      W.Add_edge
+        {
+          name = Printf.sprintf "we%d" i;
+          members = [| i mod nv0; (i * 7) mod nv0; ((i * 13) + 3) mod nv0 |];
+        }
+  in
+  let load_fresh data =
+    let reg = Registry.create () in
+    match Registry.load reg data with
+    | Ok (e, _) -> e
+    | Error (Registry.Read_failed m | Registry.Parse_failed m) ->
+      fail "%s: recovery load: %s" data m
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let data = Filename.concat dir (Printf.sprintf "wal%d.hg" n) in
+        HIO.write data yeast;
+        (* One throwaway load learns the handle; the log itself is
+           built through the raw writer (epoch stamps base+1..base+n),
+           so the append column is WAL framing + write cost, not the
+           registry's state republication. *)
+        let digest =
+          let reg = Registry.create () in
+          match Registry.load reg data with
+          | Ok (e, _) -> e.Registry.digest
+          | Error (Registry.Read_failed m | Registry.Parse_failed m) ->
+            fail "load: %s" m
+        in
+        let wal_path = W.sibling_path data in
+        let wappend_s =
+          if n = 0 then 0.0
+          else begin
+            let w =
+              match
+                W.create ~path:wal_path ~handle:digest ~base_identity:digest
+                  ~base_epoch:0 ~sync:W.Never
+              with
+              | Ok w -> w
+              | Error e -> fail "wal create: %s" (W.error_to_string e)
+            in
+            let (), s =
+              time (fun () ->
+                  for i = 0 to n - 1 do
+                    match W.append w { W.epoch = i + 1; op = op i } with
+                    | Ok () -> ()
+                    | Error e -> fail "append %d: %s" i (W.error_to_string e)
+                  done;
+                  W.close w)
+            in
+            s
+          end
+        in
+        let wbytes =
+          if Sys.file_exists wal_path then (Unix.stat wal_path).Unix.st_size
+          else 0
+        in
+        let entry, wrecover_s = best_of 5 (fun () -> load_fresh data) in
+        let wreplayed =
+          match entry.Registry.recovery with
+          | Some r -> r.Registry.replayed
+          | None -> 0
+        in
+        if wreplayed <> n then fail "%d writes: replayed %d" n wreplayed;
+        if entry.Registry.state.Registry.epoch <> n then
+          fail "%d writes: recovered epoch %d" n
+            entry.Registry.state.Registry.epoch;
+        record_kernel
+          (Printf.sprintf "wal-recover:%d" n)
+          wrecover_s
+          [ ("wal_bytes", fi wbytes); ("replayed", fi wreplayed) ];
+        { wwrites = n; wbytes; wappend_s; wrecover_s; wreplayed })
+      counts
+  in
+  (* Checkpoint the deepest log and show the curve collapsing: the
+     same dataset recovers from the snapshot with zero records to
+     fold. *)
+  let deepest = List.nth counts (List.length counts - 1) in
+  let data = Filename.concat dir (Printf.sprintf "wal%d.hg" deepest) in
+  let reg = Registry.create () in
+  let digest =
+    match Registry.load reg data with
+    | Ok (e, _) -> e.Registry.digest
+    | Error (Registry.Read_failed m | Registry.Parse_failed m) ->
+      fail "checkpoint load: %s" m
+  in
+  let info, ckpt_pack_s =
+    time (fun () ->
+        match Registry.checkpoint reg digest with
+        | Ok info -> info
+        | Error (`Io m) -> fail "checkpoint: %s" m
+        | Error (`Missing | `Ambiguous) -> fail "checkpoint: lost handle")
+  in
+  if info.Registry.records_folded <> deepest then
+    fail "checkpoint folded %d of %d records" info.Registry.records_folded
+      deepest;
+  ignore (Registry.evict reg digest);
+  let entry, ckpt_recover_s = best_of 5 (fun () -> load_fresh data) in
+  (match entry.Registry.recovery with
+  | Some r when r.Registry.replayed = 0 -> ()
+  | Some r -> fail "post-checkpoint recovery replayed %d" r.Registry.replayed
+  | None -> fail "post-checkpoint recovery lost its WAL");
+  if entry.Registry.state.Registry.epoch <> deepest then
+    fail "post-checkpoint epoch %d" entry.Registry.state.Registry.epoch;
+  print_endline
+    (table
+       ~header:[ "writes since ckpt"; "wal bytes"; "append"; "recover"; "replayed" ]
+       (List.map
+          (fun r ->
+            [ fi r.wwrites; fi r.wbytes; U.Table.fmt_time r.wappend_s;
+              U.Table.fmt_time r.wrecover_s; fi r.wreplayed ])
+          rows));
+  Printf.printf
+    "checkpoint at %d writes: pack %s, recovery afterwards %s (0 records \
+     folded at load)\n"
+    deepest
+    (U.Table.fmt_time ckpt_pack_s)
+    (U.Table.fmt_time ckpt_recover_s);
+  write_wal_json rows ~ckpt_pack_s ~ckpt_recover_s
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -1571,6 +1745,7 @@ let () =
   path_bench ();
   core_bench ();
   snapshot_bench ();
+  wal_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

@@ -10,7 +10,7 @@ open Cmdliner
 
 let serve socket workers cache timeout domains preload queue_limit
     shed_watermark max_file_bytes failpoints stats_samples cache_file
-    log_level quiet =
+    wal_sync wal_checkpoint_every log_level quiet =
   (match Hp_util.Log.level_of_string log_level with
   | Ok l -> Hp_util.Log.set_level l
   | Error msg -> Printf.eprintf "hgd: %s, keeping info\n%!" msg);
@@ -28,6 +28,8 @@ let serve socket workers cache timeout domains preload queue_limit
       failpoints;
       stats_samples;
       cache_file = (if cache_file = "" then None else Some cache_file);
+      wal_sync;
+      wal_checkpoint_every;
     }
   in
   match Server.start config with
@@ -99,6 +101,30 @@ let cache_file_arg =
                startup, so a restarted daemon answers repeated queries warm \
                (empty = memory-only).")
 
+let wal_sync_conv =
+  let parse s =
+    Result.map_error
+      (fun m -> `Msg m)
+      (Hp_wal.Wal.sync_policy_of_string s)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Hp_wal.Wal.sync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let wal_sync_arg =
+  Arg.(value & opt wal_sync_conv Hp_wal.Wal.Batch
+       & info [ "wal-sync" ] ~docv:"POLICY"
+           ~doc:"fsync policy for write-ahead-log appends: $(i,always) \
+                 (every mutation power-loss durable), $(i,batch) \
+                 (periodic; the default), or $(i,never) (OS-paced).")
+
+let wal_checkpoint_arg =
+  Arg.(value & opt int 0 & info [ "wal-checkpoint-every" ] ~docv:"N"
+         ~doc:"Compact a dataset's write-ahead log into a fresh sibling \
+               snapshot after every N mutations (0 = only on an explicit \
+               CHECKPOINT request).")
+
 let log_level_arg =
   let env = Cmd.Env.info "HGD_LOG_LEVEL" in
   Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -114,6 +140,7 @@ let () =
       Term.(const serve $ socket_arg $ workers_arg $ cache_arg $ timeout_arg
             $ domains_arg $ preload_arg $ queue_limit_arg $ shed_watermark_arg
             $ max_file_bytes_arg $ failpoints_arg $ stats_samples_arg
-            $ cache_file_arg $ log_level_arg $ quiet_arg)
+            $ cache_file_arg $ wal_sync_arg $ wal_checkpoint_arg
+            $ log_level_arg $ quiet_arg)
   in
   exit (Cmd.eval' cmd)

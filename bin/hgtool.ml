@@ -9,18 +9,29 @@
      pack         write a dataset as a binary .hgsnap snapshot
      unpack       write a .hgsnap snapshot back out as a .hg text file
      verify-snap  deep-check a snapshot (framing, checksums, identity)
+     wal-dump     decode a .hgwal write-ahead log (header + records)
+     checkpoint   compact a dataset's WAL into a fresh sibling snapshot
      serve        run the resident analysis server (hgd) in the foreground
      query        send one request to a running server
      metrics      fetch server counters/histograms (table or Prometheus)
      trace        show the slowest recent requests with per-stage timings
-*)
+
+   File-inspection commands (verify-snap, wal-dump, checkpoint) follow
+   the exit-code table in README.md: 0 = ok, 1 = I/O or usage error,
+   2 = corrupt or invalid content. *)
 
 module H = Hp_hypergraph.Hypergraph
 module HIO = Hp_hypergraph.Hypergraph_io
 module HP = Hp_hypergraph.Hypergraph_path
 module HC = Hp_hypergraph.Hypergraph_core
 module Snap = Hp_snapshot.Snapshot
+module Wal = Hp_wal.Wal
 open Cmdliner
+
+(* README exit-code table: corruption is distinguishable from a missing
+   file in scripts without parsing stderr. *)
+let exit_io = 1
+let exit_corrupt = 2
 
 (* A malformed or unreadable input must exit non-zero with a one-line
    diagnostic naming the file (and line, when the parser knows it) —
@@ -421,10 +432,13 @@ let unpack_cmd =
 let verify_snap_cmd =
   let run path =
     match Snap.verify path with
+    | Error (Snap.Io msg) ->
+      Printf.eprintf "hgtool: verify-snap: %s\n" msg;
+      exit exit_io
     | Error e ->
       Printf.eprintf "hgtool: verify-snap: %s: %s\n" path
         (Snap.error_to_string e);
-      exit 1
+      exit exit_corrupt
     | Ok snap ->
       Printf.printf "%s: ok\nidentity: %s\nvertices: %d\nhyperedges: %d\nincidence: %d\nfile bytes: %d\n"
         path snap.Snap.identity snap.Snap.n_vertices snap.Snap.n_edges
@@ -434,11 +448,103 @@ let verify_snap_cmd =
           Printf.printf "section %-16s offset %-10d %d bytes\n" name off len)
         snap.Snap.sections
   in
+  (* [string], not [file]: a missing path must reach [Snap.verify] and
+     exit 1 per the README table, not die in cmdliner's converter. *)
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Snapshot (.hgsnap) to verify.")
+  in
   Cmd.v
     (Cmd.info "verify-snap"
        ~doc:"Deep-check a snapshot: framing, section checksums, CSR \
-             invariants, and the content identity digest.")
-    Term.(const run $ input_arg)
+             invariants, and the content identity digest.  Exits 1 on \
+             I/O failure, 2 on corrupt content.")
+    Term.(const run $ input)
+
+(* wal-dump *)
+let wal_dump_cmd =
+  let run path =
+    match Wal.read path with
+    | Error (Wal.Io msg) ->
+      Printf.eprintf "hgtool: wal-dump: %s\n" msg;
+      exit exit_io
+    | Error e ->
+      Printf.eprintf "hgtool: wal-dump: %s: %s\n" path (Wal.error_to_string e);
+      exit exit_corrupt
+    | Ok log ->
+      Printf.printf
+        "%s: ok\nhandle: %s\nbase identity: %s\nbase epoch: %d\nrecords: %d\nvalid bytes: %d\n"
+        path log.Wal.handle log.Wal.base_identity log.Wal.base_epoch
+        (Array.length log.Wal.records)
+        log.Wal.valid_bytes;
+      if log.Wal.torn_bytes > 0 then
+        Printf.printf "torn tail: %d bytes (recovery truncates them)\n"
+          log.Wal.torn_bytes;
+      Array.iter
+        (fun (r : Wal.record) ->
+          match r.op with
+          | Wal.Add_vertex { name } ->
+            Printf.printf "epoch %-6d addvertex %s\n" r.epoch name
+          | Wal.Add_edge { name; members } ->
+            Printf.printf "epoch %-6d addedge %s%s\n" r.epoch name
+              (Array.fold_left
+                 (fun acc v -> acc ^ " " ^ string_of_int v)
+                 "" members)
+          | Wal.Del_edge { edge } ->
+            Printf.printf "epoch %-6d deledge %d\n" r.epoch edge)
+        log.Wal.records
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Write-ahead log (.hgwal) to decode.")
+  in
+  Cmd.v
+    (Cmd.info "wal-dump"
+       ~doc:"Decode a write-ahead log: header, then one line per record. \
+             A torn tail is reported and tolerated (recovery truncates \
+             it); mid-log corruption exits 2, I/O failure exits 1.")
+    Term.(const run $ input)
+
+(* checkpoint *)
+let checkpoint_cmd =
+  let run path =
+    let module R = Hp_server.Registry in
+    let reg = R.create () in
+    match R.load reg path with
+    | Error (R.Read_failed msg) ->
+      Printf.eprintf "hgtool: checkpoint: %s\n" msg;
+      exit exit_io
+    | Error (R.Parse_failed msg) ->
+      Printf.eprintf "hgtool: checkpoint: %s\n" msg;
+      exit exit_corrupt
+    | Ok (entry, _) -> (
+      match R.checkpoint reg entry.R.digest with
+      | Error (`Missing | `Ambiguous) ->
+        Printf.eprintf "hgtool: checkpoint: %s: dataset vanished mid-run\n" path;
+        exit exit_io
+      | Error (`Io msg) ->
+        Printf.eprintf "hgtool: checkpoint: %s\n" msg;
+        exit exit_io
+      | Ok info ->
+        Printf.printf
+          "wrote %s: %d bytes, identity %s\nepoch: %d\nrecords folded: %d\n"
+          info.R.snapshot_path info.R.snapshot_bytes info.R.snapshot_identity
+          info.R.at_epoch info.R.records_folded;
+        (* Closes the fresh WAL writer so the log header is flushed. *)
+        ignore (R.evict reg entry.R.digest))
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Dataset (.hg, .mtx, or .hgsnap); its sibling .hgwal, if \
+                 any, is replayed first and then compacted away.")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Compact a dataset's write-ahead log into a fresh sibling \
+             snapshot, exactly as the server's CHECKPOINT verb does, so \
+             recovery cost drops to zero.  Exits 1 on I/O failure, 2 on \
+             corrupt input.")
+    Term.(const run $ input)
 
 (* serve *)
 let socket_arg =
@@ -448,7 +554,7 @@ let socket_arg =
 let serve_cmd =
   let run socket workers cache timeout domains preload queue_limit
       shed_watermark max_file_bytes failpoints stats_samples cache_file
-      log_level =
+      wal_sync wal_checkpoint_every log_level =
     (match Hp_util.Log.level_of_string log_level with
     | Ok l -> Hp_util.Log.set_level l
     | Error msg -> Printf.eprintf "hgtool: serve: %s, keeping info\n%!" msg);
@@ -466,6 +572,8 @@ let serve_cmd =
         failpoints;
         stats_samples;
         cache_file = (if cache_file = "" then None else Some cache_file);
+        wal_sync;
+        wal_checkpoint_every;
       }
     in
     match Hp_server.Server.start config with
@@ -529,6 +637,22 @@ let serve_cmd =
                  on startup, so a restarted server answers repeated \
                  queries warm (empty = memory-only).")
   in
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          Result.map_error (fun m -> `Msg m) (Wal.sync_policy_of_string s)),
+        fun ppf p -> Format.pp_print_string ppf (Wal.sync_policy_to_string p) )
+  in
+  let wal_sync =
+    Arg.(value & opt policy_conv Wal.Batch & info [ "wal-sync" ] ~docv:"POLICY"
+           ~doc:"fsync policy for write-ahead-log appends: $(i,always), \
+                 $(i,batch) (default), or $(i,never).")
+  in
+  let wal_checkpoint_every =
+    Arg.(value & opt int 0 & info [ "wal-checkpoint-every" ] ~docv:"N"
+           ~doc:"Compact a dataset's WAL into a fresh sibling snapshot \
+                 after every N mutations (0 = manual CHECKPOINT only).")
+  in
   let log_level =
     let env = Cmd.Env.info "HGD_LOG_LEVEL" in
     Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -538,7 +662,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the resident analysis server in the foreground.")
     Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
           $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints
-          $ stats_samples $ cache_file $ log_level)
+          $ stats_samples $ cache_file $ wal_sync $ wal_checkpoint_every
+          $ log_level)
 
 (* Shared plumbing for the one-shot observability commands: send a
    single request, fail loudly on transport or server errors, hand the
@@ -750,8 +875,9 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one request (LOAD, STATS, KCORE, COVER, STORAGE, POWERLAW, \
-             DATASETS, METRICS, TRACE, EVICT, PING, SHUTDOWN) to a running \
-             server, or a pipelined batch with $(b,--batch).")
+             ADDVERTEX, ADDEDGE, DELEDGE, CHECKPOINT, DATASETS, METRICS, \
+             TRACE, EVICT, PING, SHUTDOWN) to a running server, or a \
+             pipelined batch with $(b,--batch).")
     Term.(const run $ socket_arg $ retries $ timeout $ batch $ words)
 
 let () =
@@ -762,6 +888,6 @@ let () =
           [
             generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
             components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
-            pack_cmd; unpack_cmd; verify_snap_cmd;
+            pack_cmd; unpack_cmd; verify_snap_cmd; wal_dump_cmd; checkpoint_cmd;
             serve_cmd; query_cmd; metrics_cmd; trace_cmd;
           ]))

@@ -166,7 +166,8 @@ let prom_float v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
-let prometheus ?(namespace = "hgd") ~gauges ~extra_counters frozen =
+let prometheus ?(namespace = "hgd") ?(labeled_gauges = []) ~gauges
+    ~extra_counters frozen =
   let buf = ref [] in
   let line l = buf := l :: !buf in
   let simple mtype (name, value) =
@@ -177,6 +178,24 @@ let prometheus ?(namespace = "hgd") ~gauges ~extra_counters frozen =
   List.iter (fun (k, v) -> simple "counter" (k, float_of_int v)) frozen.f_counters;
   List.iter (fun (k, v) -> simple "counter" (k, float_of_int v)) extra_counters;
   List.iter (simple "gauge") gauges;
+  (* One TYPE line per metric name, however many label sets follow.
+     OCaml's %S escapes the backslash/quote/newline set Prometheus
+     label values require. *)
+  let typed = Hashtbl.create 4 in
+  List.iter
+    (fun (name, labels, value) ->
+      let n = prom_name namespace name in
+      if not (Hashtbl.mem typed n) then begin
+        Hashtbl.add typed n ();
+        line (Printf.sprintf "# TYPE %s gauge" n)
+      end;
+      let rendered =
+        labels
+        |> List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v)
+        |> String.concat ","
+      in
+      line (Printf.sprintf "%s{%s} %s" n rendered (prom_float value)))
+    labeled_gauges;
   List.iter
     (fun (name, h) ->
       let n = prom_name namespace (name ^ "_seconds") in

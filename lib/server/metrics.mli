@@ -62,6 +62,7 @@ val freeze : t -> frozen
 
 val prometheus :
   ?namespace:string ->
+  ?labeled_gauges:(string * (string * string) list * float) list ->
   gauges:(string * float) list ->
   extra_counters:(string * int) list ->
   frozen -> string list
@@ -69,5 +70,10 @@ val prometheus :
     newline per line): every frozen counter and [extra_counters] as
     [counter] metrics, [gauges] as [gauge] metrics, every histogram as
     a [histogram] with cumulative [le] buckets in seconds, [+Inf],
-    [_sum] and [_count].  Metric names are prefixed with [namespace]
-    (default ["hgd"]) and sanitized to the Prometheus charset. *)
+    [_sum] and [_count].  [labeled_gauges] are
+    [(name, labels, value)] triples — e.g. per-dataset epochs as
+    [("dataset_epoch", [("dataset", digest)], e)] — emitted with one
+    TYPE line per distinct name and label values escaped.  Metric
+    names are prefixed with [namespace] (default ["hgd"]) and
+    sanitized to the Prometheus charset; label keys are used as
+    given. *)

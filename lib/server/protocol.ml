@@ -12,6 +12,10 @@ type metrics_format = Table | Prometheus
 type request =
   | Load of string
   | Analyze of { dataset : string; analysis : analysis }
+  | Add_vertex of { dataset : string; name : string }
+  | Add_edge of { dataset : string; name : string; members : int list }
+  | Del_edge of { dataset : string; edge : int }
+  | Checkpoint of string
   | Datasets
   | Metrics of metrics_format
   | Trace of int option
@@ -113,6 +117,28 @@ let parse_request line =
     | "STORAGE", _ -> Result.Error "STORAGE takes exactly one dataset"
     | "POWERLAW", [ ds ] -> Result.Ok (Analyze { dataset = ds; analysis = Powerlaw })
     | "POWERLAW", _ -> Result.Error "POWERLAW takes exactly one dataset"
+    | "ADDVERTEX", [ ds; name ] -> Result.Ok (Add_vertex { dataset = ds; name })
+    | "ADDVERTEX", _ -> Result.Error "ADDVERTEX takes a dataset and a vertex name"
+    | "ADDEDGE", ds :: name :: members ->
+      let* members =
+        List.fold_left
+          (fun acc m ->
+            let* acc = acc in
+            let* v = int_arg "ADDEDGE" m in
+            if v < 0 then Result.Error "ADDEDGE: member ids must be >= 0"
+            else Result.Ok (v :: acc))
+          (Result.Ok []) members
+      in
+      Result.Ok (Add_edge { dataset = ds; name; members = List.rev members })
+    | "ADDEDGE", _ ->
+      Result.Error "ADDEDGE takes a dataset, an edge name, and member vertex ids"
+    | "DELEDGE", [ ds; e ] ->
+      let* e = int_arg "DELEDGE" e in
+      if e < 0 then Result.Error "DELEDGE: edge id must be >= 0"
+      else Result.Ok (Del_edge { dataset = ds; edge = e })
+    | "DELEDGE", _ -> Result.Error "DELEDGE takes a dataset and an edge id"
+    | "CHECKPOINT", [ ds ] -> Result.Ok (Checkpoint ds)
+    | "CHECKPOINT", _ -> Result.Error "CHECKPOINT takes exactly one dataset"
     | "DATASETS", [] -> Result.Ok Datasets
     | "METRICS", [] -> Result.Ok (Metrics Table)
     | "METRICS", [ fmt ] ->
@@ -156,6 +182,14 @@ let request_line = function
   | Analyze { dataset; analysis } ->
     let verb, args = analysis_args analysis in
     String.concat " " (verb :: dataset :: args)
+  | Add_vertex { dataset; name } ->
+    String.concat " " [ "ADDVERTEX"; dataset; name ]
+  | Add_edge { dataset; name; members } ->
+    String.concat " "
+      ("ADDEDGE" :: dataset :: name :: List.map string_of_int members)
+  | Del_edge { dataset; edge } ->
+    String.concat " " [ "DELEDGE"; dataset; string_of_int edge ]
+  | Checkpoint ds -> "CHECKPOINT " ^ ds
   | Datasets -> "DATASETS"
   | Metrics Table -> "METRICS"
   | Metrics Prometheus -> "METRICS prom"

@@ -11,6 +11,10 @@
     COVER <dataset> [uniform|degree|degree2] [r]
     STORAGE <dataset>
     POWERLAW <dataset>
+    ADDVERTEX <dataset> <name>
+    ADDEDGE <dataset> <name> [<vertex-id> ...]
+    DELEDGE <dataset> <edge-id>
+    CHECKPOINT <dataset>
     DATASETS
     METRICS [table|prom]
     TRACE [n]
@@ -21,7 +25,16 @@
     v}
 
     [<dataset>] is a content digest as returned by [LOAD] (an
-    unambiguous prefix of at least 4 hex digits is accepted).
+    unambiguous prefix of at least 4 hex digits is accepted).  The
+    digest is the dataset's {e handle}: it stays stable across
+    mutations; the per-dataset [epoch] counter in mutation replies is
+    what names a specific state.
+
+    Mutation verbs ([ADDVERTEX]/[ADDEDGE]/[DELEDGE]) bump the
+    dataset's epoch; each is appended to the dataset's write-ahead log
+    before it is applied, so an acknowledged mutation survives a
+    crash.  [CHECKPOINT] compacts log and state into a fresh sibling
+    snapshot.
 
     A reply is either
 
@@ -62,6 +75,16 @@ type metrics_format =
 type request =
   | Load of string
   | Analyze of { dataset : string; analysis : analysis }
+  | Add_vertex of { dataset : string; name : string }
+      (** Append a vertex under the dataset's next epoch.  Names are
+          single tokens (no spaces). *)
+  | Add_edge of { dataset : string; name : string; members : int list }
+      (** Append a hyperedge over existing vertex ids; an empty member
+          list is legal. *)
+  | Del_edge of { dataset : string; edge : int }
+      (** Delete a hyperedge by current dense id; later ids shift down. *)
+  | Checkpoint of string
+      (** Compact the dataset's WAL into a fresh sibling snapshot. *)
   | Datasets
   | Metrics of metrics_format
   | Trace of int option

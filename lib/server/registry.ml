@@ -1,31 +1,61 @@
 module Snapshot = Hp_snapshot.Snapshot
+module Wal = Hp_wal.Wal
+module Live = Hp_wal.Live
 module Log = Hp_util.Log
+module H = Hp_hypergraph.Hypergraph
 
 type source = Text | Snapshot_file of string
+
+type state = { epoch : int; hypergraph : H.t }
+
+type recovery = { replayed : int; torn_bytes : int; healed_skew : bool }
 
 type entry = {
   digest : string;
   path : string;
-  hypergraph : Hp_hypergraph.Hypergraph.t;
   bytes : int;
   loaded_at : float;
   source : source;
   fallback : bool;
+  recovery : recovery option;
+  mutable state : state;
+      (* Readers snapshot the whole pair with one field read, so a
+         concurrent mutation can never pair an old hypergraph with a
+         new epoch (or vice versa). *)
+  mutable live : Live.t option;
+  mutable wal : Wal.writer option;
+  mutable wal_records : int;  (* records in the current log file *)
+  mutable wal_base_identity : string;
+  mutable wal_base_epoch : int;
+      (* The base the *next* created WAL folds over: kept ahead of the
+         writer so a checkpoint whose log swap fails can still create
+         a sound WAL on the following mutation. *)
 }
 
 type t = {
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
   max_file_bytes : int;  (* 0 = unlimited *)
+  wal_sync : Wal.sync_policy;
+  checkpoint_every : int;  (* 0 = manual checkpoints only *)
 }
 
 type load_error =
   | Read_failed of string
   | Parse_failed of string
 
-let create ?(max_file_bytes = 0) () =
+let create ?(max_file_bytes = 0) ?(wal_sync = Wal.Batch) ?(checkpoint_every = 0)
+    () =
   if max_file_bytes < 0 then invalid_arg "Registry.create: max_file_bytes < 0";
-  { mutex = Mutex.create (); table = Hashtbl.create 16; max_file_bytes }
+  if checkpoint_every < 0 then
+    invalid_arg "Registry.create: checkpoint_every < 0";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    max_file_bytes;
+    wal_sync;
+    checkpoint_every;
+  }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -66,21 +96,26 @@ let parse_content ~path content =
   else Hp_hypergraph.Hypergraph_io.of_string content
 
 (* Publish a freshly built entry, unless a concurrent load of the same
-   content won the race; keeping the resident entry keeps ids stable. *)
-let publish t entry =
+   content won the race; keeping the resident entry keeps ids stable.
+   The loser's WAL writer (if it opened one) is closed — the winner's
+   fd is the one that matters. *)
+let publish t candidate =
   locked t (fun () ->
-      match Hashtbl.find_opt t.table entry.digest with
-      | Some existing -> Ok (existing, false)
+      match Hashtbl.find_opt t.table candidate.digest with
+      | Some existing ->
+        Option.iter Wal.close candidate.wal;
+        Ok (existing, false)
       | None ->
-        Hashtbl.add t.table entry.digest entry;
-        Ok (entry, true))
+        Hashtbl.add t.table candidate.digest candidate;
+        Ok (candidate, true))
 
 let is_snapshot path = Filename.check_suffix path Snapshot.file_extension
 
 (* The snapshot preferred over re-parsing [path]: its conventional
    sibling, when present and at least as new as the text file.  A
    stale sibling (text file edited after the pack) is ignored, not an
-   error — the text file is the source of truth. *)
+   error — the text file is the source of truth.  (Only consulted when
+   no WAL exists; a WAL pins its base by identity, not mtime.) *)
 let preferred_snapshot path =
   if is_snapshot path then None
   else begin
@@ -90,6 +125,23 @@ let preferred_snapshot path =
     | _ -> None
     | exception Unix.Unix_error _ -> None
   end
+
+let fresh_entry ~digest ~path ~hypergraph ~bytes ~source ~fallback =
+  {
+    digest;
+    path;
+    bytes;
+    loaded_at = Unix.gettimeofday ();
+    source;
+    fallback;
+    recovery = None;
+    state = { epoch = 0; hypergraph };
+    live = None;
+    wal = None;
+    wal_records = 0;
+    wal_base_identity = digest;
+    wal_base_epoch = 0;
+  }
 
 let load_snapshot t ~given_path snap_path ~fallback_allowed =
   let size =
@@ -109,15 +161,9 @@ let load_snapshot t ~given_path snap_path ~fallback_allowed =
     match Snapshot.read snap_path with
     | Ok (hypergraph, snap) ->
       publish t
-        {
-          digest = snap.Snapshot.identity;
-          path = given_path;
-          hypergraph;
-          bytes = snap.Snapshot.file_bytes;
-          loaded_at = Unix.gettimeofday ();
-          source = Snapshot_file snap_path;
-          fallback = false;
-        }
+        (fresh_entry ~digest:snap.Snapshot.identity ~path:given_path ~hypergraph
+           ~bytes:snap.Snapshot.file_bytes ~source:(Snapshot_file snap_path)
+           ~fallback:false)
     | Error (Snapshot.Io msg) ->
       if fallback_allowed then Error `Fall_back
       else Error (`Fail (Read_failed msg))
@@ -143,18 +189,191 @@ let load_text t path ~fallback =
         Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
       | hypergraph ->
         publish t
+          (fresh_entry ~digest ~path ~hypergraph ~bytes:(String.length content)
+             ~source:Text ~fallback)))
+
+(* ---------------------------------------------------------------- *)
+(* WAL recovery                                                     *)
+
+let wal_error_to_load wal_path = function
+  | Wal.Io msg -> Read_failed msg
+  | e -> Parse_failed (wal_path ^ ": " ^ Wal.error_to_string e)
+
+(* A dataset with a sibling [.hgwal] recovers by folding the log over
+   its base.  Base resolution precedence (DESIGN.md §12):
+
+   1. a sibling snapshot whose identity equals the log's
+      [base_identity] — the normal post-checkpoint shape;
+   2. the text file whose byte digest equals [base_identity] — the
+      pre-first-checkpoint shape;
+   3. a snapshot that loads cleanly but names a *different* identity:
+      checkpoint/log skew.  That shape only arises from a crash
+      between the checkpoint's snapshot rename and its WAL reset — a
+      window in which no mutation can be acknowledged — so the
+      snapshot already contains every logged record.  Heal: adopt the
+      snapshot at [base_epoch + record count] and start a fresh log.
+   4. otherwise [Base_skew], a typed error naming what was tried. *)
+let load_with_wal t ~path ~wal_path (log : Wal.log) =
+  match locked t (fun () -> Hashtbl.find_opt t.table log.Wal.handle) with
+  | Some entry -> Ok (entry, false)
+  | None ->
+    let snap_path =
+      if is_snapshot path then path else Snapshot.sibling_path path
+    in
+    let snap_candidate =
+      if Sys.file_exists snap_path then
+        match Snapshot.read snap_path with
+        | Ok (h, s) -> `Loaded (h, s)
+        | Error e -> `Rejected (Snapshot.error_to_string e)
+      else `Absent
+    in
+    let resolved =
+      match snap_candidate with
+      | `Loaded (h, s) when s.Snapshot.identity = log.Wal.base_identity ->
+        Ok (`Base (h, Snapshot_file snap_path, s.Snapshot.file_bytes))
+      | _ -> (
+        let tried = ref [] in
+        (match snap_candidate with
+        | `Loaded (_, s) ->
+          tried := Printf.sprintf "snapshot %s" s.Snapshot.identity :: !tried
+        | `Rejected msg ->
+          tried := Printf.sprintf "snapshot unreadable (%s)" msg :: !tried
+        | `Absent -> ());
+        let text =
+          if is_snapshot path then `Absent
+          else
+            match read_file ~max_bytes:t.max_file_bytes path with
+            | exception Sys_error msg -> `Unreadable msg
+            | exception Hp_util.Fault.Injected name ->
+              `Unreadable (Printf.sprintf "injected fault %s" name)
+            | Error msg -> `Unreadable msg
+            | Ok (content, digest) -> `Read (content, digest)
+        in
+        match text with
+        | `Read (content, digest) when digest = log.Wal.base_identity -> (
+          match parse_content ~path content with
+          | exception Failure msg ->
+            Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
+          | exception Invalid_argument msg ->
+            Error (Parse_failed (Printf.sprintf "%s: %s" path msg))
+          | h -> Ok (`Base (h, Text, String.length content)))
+        | text -> (
+          (match text with
+          | `Read (_, digest) ->
+            tried := Printf.sprintf "text %s" digest :: !tried
+          | `Unreadable msg ->
+            tried := Printf.sprintf "text unreadable (%s)" msg :: !tried
+          | `Absent -> ());
+          match snap_candidate with
+          | `Loaded (h, s) -> Ok (`Heal (h, s))
+          | `Rejected _ | `Absent ->
+            Error
+              (Parse_failed
+                 (wal_path ^ ": "
+                 ^ Wal.error_to_string
+                     (Wal.Base_skew
+                        {
+                          base = log.Wal.base_identity;
+                          tried = List.rev !tried;
+                        })))))
+    in
+    (match resolved with
+    | Error _ as e -> e
+    | Ok (`Heal (hypergraph, s)) -> (
+      let epoch = log.Wal.base_epoch + Array.length log.Wal.records in
+      Log.warn ~comp:"registry"
+        ~fields:[ ("wal", wal_path); ("snapshot", snap_path); ("dataset", path) ]
+        "checkpoint/log skew healed: adopting snapshot, retiring log";
+      match
+        Wal.create ~path:wal_path ~handle:log.Wal.handle
+          ~base_identity:s.Snapshot.identity ~base_epoch:epoch ~sync:t.wal_sync
+      with
+      | Error e -> Error (wal_error_to_load wal_path e)
+      | Ok w ->
+        publish t
           {
-            digest;
+            digest = log.Wal.handle;
             path;
-            hypergraph;
-            bytes = String.length content;
+            bytes = s.Snapshot.file_bytes;
             loaded_at = Unix.gettimeofday ();
-            source = Text;
-            fallback;
-          }))
+            source = Snapshot_file snap_path;
+            fallback = false;
+            recovery =
+              Some
+                {
+                  replayed = 0;
+                  torn_bytes = log.Wal.torn_bytes;
+                  healed_skew = true;
+                };
+            state = { epoch; hypergraph };
+            live = None;
+            wal = Some w;
+            wal_records = 0;
+            wal_base_identity = s.Snapshot.identity;
+            wal_base_epoch = epoch;
+          })
+    | Ok (`Base (base_h, source, bytes)) -> (
+      let live = Live.of_hypergraph base_h in
+      let n = Array.length log.Wal.records in
+      let rec replay i =
+        if i >= n then Ok ()
+        else
+          match Live.apply live log.Wal.records.(i).Wal.op with
+          | Ok _ -> replay (i + 1)
+          | Error msg ->
+            Error
+              (Parse_failed
+                 (Printf.sprintf "%s: record %d does not apply: %s" wal_path i
+                    msg))
+      in
+      match replay 0 with
+      | Error _ as e -> e
+      | Ok () -> (
+        if log.Wal.torn_bytes > 0 then
+          Log.warn ~comp:"registry"
+            ~fields:
+              [
+                ("wal", wal_path);
+                ("torn_bytes", string_of_int log.Wal.torn_bytes);
+              ]
+            "torn WAL tail truncated on recovery";
+        match
+          Wal.open_append ~path:wal_path ~valid_bytes:log.Wal.valid_bytes
+            ~sync:t.wal_sync
+        with
+        | Error e -> Error (wal_error_to_load wal_path e)
+        | Ok w ->
+          let hypergraph = if n = 0 then base_h else Live.to_hypergraph live in
+          publish t
+            {
+              digest = log.Wal.handle;
+              path;
+              bytes;
+              loaded_at = Unix.gettimeofday ();
+              source;
+              fallback = false;
+              recovery =
+                Some
+                  {
+                    replayed = n;
+                    torn_bytes = log.Wal.torn_bytes;
+                    healed_skew = false;
+                  };
+              state = { epoch = log.Wal.base_epoch + n; hypergraph };
+              live = Some live;
+              wal = Some w;
+              wal_records = n;
+              wal_base_identity = log.Wal.base_identity;
+              wal_base_epoch = log.Wal.base_epoch;
+            })))
 
 let load t path =
-  if is_snapshot path then
+  let wal_path = Wal.sibling_path path in
+  if Sys.file_exists wal_path then
+    match Wal.read wal_path with
+    | Error e -> Error (wal_error_to_load wal_path e)
+    | Ok log -> load_with_wal t ~path ~wal_path log
+  else if is_snapshot path then
     match load_snapshot t ~given_path:path path ~fallback_allowed:false with
     | Ok _ as ok -> ok
     | Error (`Fail e) -> Error e
@@ -201,6 +420,8 @@ let evict t key =
   locked t (fun () ->
       match resolve_locked t key with
       | `Found entry ->
+        Option.iter Wal.close entry.wal;
+        entry.wal <- None;
         Hashtbl.remove t.table entry.digest;
         Some entry
       | `Ambiguous | `Missing -> None)
@@ -208,3 +429,150 @@ let evict t key =
 let list t =
   locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
   |> List.sort (fun a b -> compare a.loaded_at b.loaded_at)
+
+let sync_wals t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ e -> Option.iter Wal.flush e.wal) t.table)
+
+(* ---------------------------------------------------------------- *)
+(* Mutation                                                         *)
+
+type applied = {
+  epoch : int;
+  assigned : int option;
+  n_vertices : int;
+  n_edges : int;
+  checkpointed : bool;
+}
+
+type checkpoint_info = {
+  snapshot_path : string;
+  snapshot_identity : string;
+  snapshot_bytes : int;
+  at_epoch : int;
+  records_folded : int;
+}
+
+let wal_path_of entry = Wal.sibling_path entry.path
+
+let ensure_live entry =
+  match entry.live with
+  | Some l -> l
+  | None ->
+    let l = Live.of_hypergraph entry.state.hypergraph in
+    entry.live <- Some l;
+    l
+
+let ensure_writer t entry =
+  match entry.wal with
+  | Some w -> Ok w
+  | None -> (
+    match
+      Wal.create ~path:(wal_path_of entry) ~handle:entry.digest
+        ~base_identity:entry.wal_base_identity
+        ~base_epoch:entry.wal_base_epoch ~sync:t.wal_sync
+    with
+    | Ok w ->
+      entry.wal <- Some w;
+      entry.wal_records <- 0;
+      Ok w
+    | Error e -> Error (`Io (Wal.error_to_string e)))
+
+(* Pack the current state, then swap in a fresh log over it.  Both
+   steps are atomic renames; [wal.swap] sits in the crash window
+   between them — the exact skew shape [load_with_wal] heals.  The
+   entry's [wal_base_*] fields are advanced *before* the swap so that
+   even a failed swap leaves the next [ensure_writer] folding over the
+   snapshot that is already on disk. *)
+let checkpoint_locked t entry =
+  let { epoch; hypergraph } = entry.state in
+  let snap_path =
+    if is_snapshot entry.path then entry.path
+    else Snapshot.sibling_path entry.path
+  in
+  let folded = entry.wal_records in
+  match Snapshot.pack hypergraph snap_path with
+  | exception Sys_error msg -> Error (`Io msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error (`Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+  | exception Invalid_argument msg -> Error (`Io msg)
+  | exception Hp_util.Fault.Injected name ->
+    Error (`Io (Printf.sprintf "injected fault %s" name))
+  | info -> (
+    entry.wal_base_identity <- info.Snapshot.identity;
+    entry.wal_base_epoch <- epoch;
+    Option.iter Wal.close entry.wal;
+    entry.wal <- None;
+    match
+      Hp_util.Fault.point "wal.swap";
+      Wal.create ~path:(wal_path_of entry) ~handle:entry.digest
+        ~base_identity:info.Snapshot.identity ~base_epoch:epoch
+        ~sync:t.wal_sync
+    with
+    | exception Hp_util.Fault.Injected name ->
+      Error (`Io (Printf.sprintf "injected fault %s" name))
+    | Error e -> Error (`Io (Wal.error_to_string e))
+    | Ok w ->
+      entry.wal <- Some w;
+      entry.wal_records <- 0;
+      Ok
+        {
+          snapshot_path = snap_path;
+          snapshot_identity = info.Snapshot.identity;
+          snapshot_bytes = info.Snapshot.bytes;
+          at_epoch = epoch;
+          records_folded = folded;
+        })
+
+let checkpoint t key =
+  locked t (fun () ->
+      match resolve_locked t key with
+      | `Missing -> Error `Missing
+      | `Ambiguous -> Error `Ambiguous
+      | `Found entry -> (
+        match checkpoint_locked t entry with
+        | Ok _ as ok -> ok
+        | Error (`Io msg) -> Error (`Io msg)))
+
+let mutate t key op =
+  locked t (fun () ->
+      match resolve_locked t key with
+      | `Missing -> Error `Missing
+      | `Ambiguous -> Error `Ambiguous
+      | `Found entry -> (
+        let live = ensure_live entry in
+        match Live.validate live op with
+        | Error msg -> Error (`Invalid msg)
+        | Ok () -> (
+          match ensure_writer t entry with
+          | Error (`Io msg) -> Error (`Io msg)
+          | Ok w -> (
+            let epoch = entry.state.epoch + 1 in
+            (* WAL before apply: if the append fails the op was never
+               acknowledged and the in-memory state is untouched. *)
+            match Wal.append w { Wal.epoch; op } with
+            | Error e -> Error (`Io (Wal.error_to_string e))
+            | Ok () ->
+              let assigned = Live.apply_exn live op in
+              entry.wal_records <- entry.wal_records + 1;
+              entry.state <- { epoch; hypergraph = Live.to_hypergraph live };
+              let checkpointed =
+                t.checkpoint_every > 0
+                && entry.wal_records >= t.checkpoint_every
+                &&
+                match checkpoint_locked t entry with
+                | Ok _ -> true
+                | Error (`Io msg) ->
+                  Log.warn ~comp:"registry"
+                    ~fields:[ ("dataset", entry.digest); ("error", msg) ]
+                    "auto-checkpoint failed; log keeps growing";
+                  false
+              in
+              Ok
+                {
+                  epoch;
+                  assigned;
+                  n_vertices = H.n_vertices entry.state.hypergraph;
+                  n_edges = H.n_edges entry.state.hypergraph;
+                  checkpointed;
+                }))))

@@ -11,7 +11,12 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let key ~digest ~analysis = digest ^ " " ^ Protocol.analysis_key analysis
+(* The dataset part of a key is "<handle>@<epoch>": mutations bump the
+   epoch, so entries computed against an older state simply stop
+   matching — invalidation by key construction, no flushes.  Stale
+   epochs age out of the LRU like any other cold entry. *)
+let key ~digest ~epoch ~analysis =
+  Printf.sprintf "%s@%d %s" digest epoch (Protocol.analysis_key analysis)
 
 let find t k =
   let hit = locked t (fun () -> Hp_util.Lru.find t.lru k) in
@@ -23,7 +28,12 @@ let add t k payload =
   if Option.is_some evicted then Metrics.incr t.metrics "cache_evictions"
 
 let dataset_of_key k =
-  match String.index_opt k ' ' with
+  let k =
+    match String.index_opt k ' ' with
+    | Some i -> String.sub k 0 i
+    | None -> k
+  in
+  match String.index_opt k '@' with
   | Some i -> String.sub k 0 i
   | None -> k
 
@@ -57,7 +67,11 @@ let capacity t = Hp_util.Lru.capacity t.lru
 module B = Hp_util.Binary
 
 let cache_magic = "HGCACHE\n"
-let cache_version = 1
+
+(* v2: keys carry the dataset epoch ("<digest>@<epoch> <analysis>").
+   v1 files would restore cleanly but their epoch-less keys could
+   never be hit again, so they are refused instead of limping. *)
+let cache_version = 2
 
 let add_u64 buf v =
   let scratch = Bytes.create 8 in
@@ -107,6 +121,8 @@ let restore t path =
           really_input_string ic len)
     with
     | exception Sys_error msg -> Error msg
+    | exception End_of_file -> Error (path ^ ": file shrank mid-read")
+    | exception e -> Error (path ^ ": " ^ Printexc.to_string e)
     | content ->
       let len = String.length content in
       let bytes = Bytes.unsafe_of_string content in
@@ -166,6 +182,10 @@ let restore t path =
          entries
        with
       | exception Bad msg -> Error (path ^ ": " ^ msg)
+      (* A corrupt file must cost warmth, never availability: any
+         other escape from the decoder (however exotic the byte
+         pattern that found it) degrades to a cold start too. *)
+      | exception e -> Error (path ^ ": " ^ Printexc.to_string e)
       | entries ->
         locked t (fun () ->
             List.iter

@@ -1,9 +1,12 @@
 (** Content-addressed memo of analysis replies.
 
-    Keys are ["<dataset digest> <canonical analysis key>"] (see
-    {!Protocol.analysis_key}), values are finished reply payloads;
-    identical queries against identical bytes are served without
-    recomputation, whatever path the dataset was loaded from.  Bounded
+    Keys are ["<dataset digest>@<epoch> <canonical analysis key>"]
+    (see {!Protocol.analysis_key}), values are finished reply
+    payloads; identical queries against identical state are served
+    without recomputation, whatever path the dataset was loaded from.
+    Mutations bump the dataset's epoch, so entries computed against an
+    older state stop matching by construction — stale results are
+    invalidated per-epoch, never by flushing the cache.  Bounded
     by an LRU entry budget ({!Hp_util.Lru}); hits, misses and
     evictions are counted in the server {!Metrics} under
     [cache_hits] / [cache_misses] / [cache_evictions].
@@ -17,7 +20,7 @@ type t
 
 val create : capacity:int -> metrics:Metrics.t -> unit -> t
 
-val key : digest:string -> analysis:Protocol.analysis -> string
+val key : digest:string -> epoch:int -> analysis:Protocol.analysis -> string
 
 val find : t -> string -> (string * string) list option
 (** Counts a hit or a miss. *)
@@ -51,6 +54,7 @@ val restore : t -> string -> (int, string) result
     saved recency order and respecting the current capacity (when the
     file holds more entries than fit, the most recent ones win).
     A missing file restores zero entries; a corrupt one (bad magic,
-    version skew, truncation, checksum mismatch) is reported as
-    [Error] and leaves the cache as it was — a damaged cache file
-    costs warmth, not availability. *)
+    version skew, truncation, bit flips, checksum mismatch, a file
+    shrinking mid-read) is reported as [Error] and leaves the cache as
+    it was — [restore] never raises; a damaged cache file costs
+    warmth, not availability. *)

@@ -18,6 +18,8 @@ type config = {
   failpoints : string;
   stats_samples : int;
   cache_file : string option;
+  wal_sync : Hp_wal.Wal.sync_policy;
+  wal_checkpoint_every : int;
 }
 
 let default_config ~socket_path =
@@ -34,6 +36,8 @@ let default_config ~socket_path =
     failpoints = "";
     stats_samples = 0;
     cache_file = None;
+    wal_sync = Hp_wal.Wal.Batch;
+    wal_checkpoint_every = 0;
   }
 
 type t = {
@@ -216,34 +220,63 @@ let source_kvs (e : Registry.entry) =
   | Registry.Snapshot_file snap -> [ ("source", "snapshot"); ("snapshot", snap) ]
 
 let entry_summary (e : Registry.entry) =
-  Printf.sprintf "path=%s vertices=%d hyperedges=%d incidence=%d bytes=%d source=%s"
-    e.path (H.n_vertices e.hypergraph) (H.n_edges e.hypergraph)
-    (H.total_incidence e.hypergraph) e.bytes
+  let st = e.Registry.state in
+  Printf.sprintf
+    "path=%s epoch=%d vertices=%d hyperedges=%d incidence=%d bytes=%d source=%s"
+    e.path st.Registry.epoch
+    (H.n_vertices st.Registry.hypergraph)
+    (H.n_edges st.Registry.hypergraph)
+    (H.total_incidence st.Registry.hypergraph)
+    e.bytes
     (match e.source with
     | Registry.Text -> if e.fallback then "text(fallback)" else "text"
     | Registry.Snapshot_file snap -> "snapshot:" ^ snap)
 
+let recovery_kvs (e : Registry.entry) =
+  match e.recovery with
+  | None -> []
+  | Some r ->
+    [
+      ("wal_replayed", string_of_int r.Registry.replayed);
+      ("wal_torn_bytes", string_of_int r.Registry.torn_bytes);
+      ("wal_healed_skew", string_of_bool r.Registry.healed_skew);
+    ]
+
+(* Shared by protocol LOAD and --preload, so recovery counters move no
+   matter which door the dataset came in through. *)
+let count_load_metrics metrics (entry : Registry.entry) fresh =
+  if fresh then begin
+    Metrics.incr metrics "datasets_loaded";
+    (match entry.Registry.source with
+    | Registry.Snapshot_file _ -> Metrics.incr metrics "snapshot_loads"
+    | Registry.Text -> ());
+    if entry.Registry.fallback then Metrics.incr metrics "snapshot_fallbacks";
+    match entry.Registry.recovery with
+    | None -> ()
+    | Some r ->
+      Metrics.incr metrics "wal_recoveries";
+      Metrics.incr metrics ~by:r.Registry.replayed "wal_replayed_total";
+      if r.Registry.torn_bytes > 0 then Metrics.incr metrics "wal_torn_tails";
+      if r.Registry.healed_skew then Metrics.incr metrics "wal_skew_heals"
+  end
+
 let load_reply t path : P.reply =
   match Registry.load t.registry path with
   | Ok (entry, fresh) ->
-    if fresh then begin
-      Metrics.incr t.metrics "datasets_loaded";
-      (match entry.source with
-      | Registry.Snapshot_file _ -> Metrics.incr t.metrics "snapshot_loads"
-      | Registry.Text -> ());
-      if entry.fallback then Metrics.incr t.metrics "snapshot_fallbacks"
-    end;
+    count_load_metrics t.metrics entry fresh;
+    let st = entry.Registry.state in
     P.Ok
       ([
          ("digest", entry.digest);
          ("path", entry.path);
-         ("vertices", string_of_int (H.n_vertices entry.hypergraph));
-         ("hyperedges", string_of_int (H.n_edges entry.hypergraph));
-         ("incidence", string_of_int (H.total_incidence entry.hypergraph));
+         ("epoch", string_of_int st.Registry.epoch);
+         ("vertices", string_of_int (H.n_vertices st.Registry.hypergraph));
+         ("hyperedges", string_of_int (H.n_edges st.Registry.hypergraph));
+         ("incidence", string_of_int (H.total_incidence st.Registry.hypergraph));
          ("bytes", string_of_int entry.bytes);
          ("fresh", string_of_bool fresh);
        ]
-      @ source_kvs entry)
+      @ source_kvs entry @ recovery_kvs entry)
   | Error (Read_failed msg) ->
     Metrics.incr t.metrics "io_errors";
     P.err P.Io_error msg
@@ -266,7 +299,13 @@ let analyze_reply t ~t0 ~tr dataset analysis : P.reply =
   | `Ambiguous ->
     P.err P.Unknown_dataset (Printf.sprintf "ambiguous digest prefix %S" dataset)
   | `Found entry ->
-    let key = Result_cache.key ~digest:entry.digest ~analysis in
+    (* One field read gives a consistent epoch/hypergraph pair even if
+       a mutation lands mid-request; the reply is then simply for the
+       epoch it names. *)
+    let st = entry.Registry.state in
+    let key =
+      Result_cache.key ~digest:entry.digest ~epoch:st.Registry.epoch ~analysis
+    in
     (match Trace.timed tr Trace.Cache (fun () -> Result_cache.find t.cache key) with
     | Some payload ->
       Trace.set_cached tr true;
@@ -291,7 +330,7 @@ let analyze_reply t ~t0 ~tr dataset analysis : P.reply =
           Trace.timed tr Trace.Compute (fun () ->
               compute_payload ~domains:t.config.compute_domains ~deadline
                 ~samples:t.config.stats_samples ~metrics:t.metrics
-                entry.hypergraph analysis)
+                st.Registry.hypergraph analysis)
         with
         | payload ->
           Trace.timed tr Trace.Cache (fun () -> Result_cache.add t.cache key payload);
@@ -316,6 +355,61 @@ let analyze_reply t ~t0 ~tr dataset analysis : P.reply =
           Metrics.incr t.metrics "compute_errors";
           P.err P.Internal (Printexc.to_string e)
       end)
+
+let unknown_dataset_reply ds kind =
+  match kind with
+  | `Missing -> P.err P.Unknown_dataset (Printf.sprintf "no resident dataset %S" ds)
+  | `Ambiguous ->
+    P.err P.Unknown_dataset (Printf.sprintf "ambiguous digest prefix %S" ds)
+
+let mutate_reply t dataset (op : Hp_wal.Wal.op) : P.reply =
+  match Registry.mutate t.registry dataset op with
+  | Ok a ->
+    Metrics.incr t.metrics "mutations_total";
+    Metrics.incr t.metrics "wal_records_appended";
+    if a.Registry.checkpointed then Metrics.incr t.metrics "wal_checkpoints";
+    P.Ok
+      ([ ("epoch", string_of_int a.Registry.epoch) ]
+      @ (match a.Registry.assigned with
+        | Some id -> [ ("assigned", string_of_int id) ]
+        | None -> [])
+      @ [
+          ("vertices", string_of_int a.Registry.n_vertices);
+          ("hyperedges", string_of_int a.Registry.n_edges);
+          ("checkpointed", string_of_bool a.Registry.checkpointed);
+        ])
+  | Error ((`Missing | `Ambiguous) as kind) -> unknown_dataset_reply dataset kind
+  | Error (`Invalid msg) ->
+    Metrics.incr t.metrics "mutation_rejects";
+    P.err P.Bad_request msg
+  | Error (`Io msg) ->
+    Metrics.incr t.metrics "io_errors";
+    P.err P.Io_error msg
+
+let checkpoint_reply t dataset : P.reply =
+  match Registry.checkpoint t.registry dataset with
+  | Ok info ->
+    Metrics.incr t.metrics "wal_checkpoints";
+    P.Ok
+      [
+        ("snapshot", info.Registry.snapshot_path);
+        ("identity", info.Registry.snapshot_identity);
+        ("bytes", string_of_int info.Registry.snapshot_bytes);
+        ("epoch", string_of_int info.Registry.at_epoch);
+        ("records_folded", string_of_int info.Registry.records_folded);
+      ]
+  | Error ((`Missing | `Ambiguous) as kind) -> unknown_dataset_reply dataset kind
+  | Error (`Io msg) ->
+    Metrics.incr t.metrics "io_errors";
+    P.err P.Io_error msg
+
+(* Per-dataset epoch gauges: the handle names the series, the value is
+   the mutation count the dataset has absorbed. *)
+let epoch_gauges t =
+  List.map
+    (fun (e : Registry.entry) ->
+      (e.Registry.digest, float_of_int e.Registry.state.Registry.epoch))
+    (Registry.list t.registry)
 
 (* Point-in-time values the Metrics store does not own, appended to
    both exposition formats. *)
@@ -348,13 +442,25 @@ let metrics_reply t (fmt : P.metrics_format) : P.reply =
           ("queue_pending", string_of_int (queue_depth t));
           ("queue_limit", string_of_int t.config.queue_limit);
           ("uptime_s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
-        ])
+        ]
+      @ List.map
+          (fun (digest, epoch) ->
+            (* Table form flattens the label into the key; the digest
+               prefix is what DATASETS/EVICT accept anyway. *)
+            ( "dataset_epoch_" ^ String.sub digest 0 (min 12 (String.length digest)),
+              string_of_int (int_of_float epoch) ))
+          (epoch_gauges t))
   | P.Prometheus ->
     (* One exposition line per payload value, keyed by line number, so
        the reply stays inside the tab-separated framing; the client
        reassembles by printing values in order. *)
     let lines =
       Metrics.prometheus ~gauges:(server_gauges t)
+        ~labeled_gauges:
+          (List.map
+             (fun (digest, epoch) ->
+               ("dataset_epoch", [ ("dataset", digest) ], epoch))
+             (epoch_gauges t))
         ~extra_counters:[ ("worker_restarts", restarts) ]
         (Metrics.freeze t.metrics)
     in
@@ -389,6 +495,10 @@ let verb_counter : P.request -> string = function
   | P.Analyze { analysis = P.Cover _; _ } -> "requests_cover"
   | P.Analyze { analysis = P.Storage; _ } -> "requests_storage"
   | P.Analyze { analysis = P.Powerlaw; _ } -> "requests_powerlaw"
+  | P.Add_vertex _ -> "requests_addvertex"
+  | P.Add_edge _ -> "requests_addedge"
+  | P.Del_edge _ -> "requests_deledge"
+  | P.Checkpoint _ -> "requests_checkpoint"
   | P.Datasets -> "requests_datasets"
   | P.Metrics _ -> "requests_metrics"
   | P.Trace _ -> "requests_trace"
@@ -403,6 +513,15 @@ let handle_request t ~t0 ~tr (req : P.request) : P.reply * [ `Continue | `Stop ]
   | P.Load path -> (load_reply t path, `Continue)
   | P.Analyze { dataset; analysis } ->
     (analyze_reply t ~t0 ~tr dataset analysis, `Continue)
+  | P.Add_vertex { dataset; name } ->
+    (mutate_reply t dataset (Hp_wal.Wal.Add_vertex { name }), `Continue)
+  | P.Add_edge { dataset; name; members } ->
+    ( mutate_reply t dataset
+        (Hp_wal.Wal.Add_edge { name; members = Array.of_list members }),
+      `Continue )
+  | P.Del_edge { dataset; edge } ->
+    (mutate_reply t dataset (Hp_wal.Wal.Del_edge { edge }), `Continue)
+  | P.Checkpoint dataset -> (checkpoint_reply t dataset, `Continue)
   | P.Datasets ->
     let entries = Registry.list t.registry in
     (P.Ok (List.map (fun e -> (e.Registry.digest, entry_summary e)) entries), `Continue)
@@ -718,6 +837,10 @@ let start config =
     if config.max_file_bytes >= 0 then Ok () else Error "max file bytes must be >= 0"
   in
   let* () =
+    if config.wal_checkpoint_every >= 0 then Ok ()
+    else Error "wal checkpoint interval must be >= 0"
+  in
+  let* () =
     if config.failpoints = "" then Ok ()
     else
       match Hp_util.Fault.configure config.failpoints with
@@ -727,13 +850,19 @@ let start config =
   (* A client vanishing mid-reply must surface as EPIPE, not kill the
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
-  let registry = Registry.create ~max_file_bytes:config.max_file_bytes () in
+  let metrics = Metrics.create () in
+  let registry =
+    Registry.create ~max_file_bytes:config.max_file_bytes
+      ~wal_sync:config.wal_sync ~checkpoint_every:config.wal_checkpoint_every ()
+  in
   let* () =
     List.fold_left
       (fun acc path ->
         let* () = acc in
         match Registry.load registry path with
-        | Ok _ -> Ok ()
+        | Ok (entry, fresh) ->
+          count_load_metrics metrics entry fresh;
+          Ok ()
         | Error (Registry.Read_failed msg | Registry.Parse_failed msg) -> Error msg)
       (Ok ()) config.preload
   in
@@ -768,7 +897,6 @@ let start config =
         (Printf.sprintf "cannot bind %s: %s" config.socket_path
            (Unix.error_message err))
   in
-  let metrics = Metrics.create () in
   let t =
     {
       config;
@@ -836,6 +964,9 @@ let wait t =
       if not t.finalized then begin
         Option.iter Domain.join t.accept_domain;
         Option.iter Worker.shutdown t.pool;
+        (* Workers are drained: no more appends are coming, so make
+           every Batch/Never-policy WAL tail durable before exit. *)
+        Registry.sync_wals t.registry;
         (try Unix.unlink t.config.socket_path with _ -> ());
         (* Workers are drained: the cache is quiescent, dump it for the
            next run. *)

@@ -54,13 +54,25 @@ type config = {
       shutdown after the workers drain.  Restored entries are counted
       under [cache_restored]; a corrupt file logs a warning and starts
       cold.  [None] (the default) keeps the cache memory-only. *)
+  wal_sync : Hp_wal.Wal.sync_policy;
+  (** fsync policy for WAL appends ([--wal-sync]): [Always] makes
+      every acknowledged mutation power-loss durable, [Batch] (the
+      default) fsyncs every {!Hp_wal.Wal.batch_every} appends and on
+      shutdown, [Never] leaves flushing to the OS.  All three survive
+      a process kill (the write itself is synchronous); the policy
+      only governs what an OS/power failure can take. *)
+  wal_checkpoint_every : int;
+  (** Auto-compact a dataset's WAL into a fresh sibling snapshot after
+      this many records ([--wal-checkpoint-every]); 0 (the default)
+      compacts only on explicit [CHECKPOINT]. *)
 }
 
 val default_config : socket_path:string -> config
 (** Workers from {!Hp_util.Parallel.recommended_domains}, 128 cache
     entries, 30 s timeout, single-domain kernels, no preload, queue
     limit 128, shed watermark 64, 1 GiB file cap, no failpoints,
-    exact path sweeps ([stats_samples = 0]), no cache file. *)
+    exact path sweeps ([stats_samples = 0]), no cache file, [Batch]
+    WAL sync, manual checkpoints only. *)
 
 type t
 

@@ -38,6 +38,12 @@ let pop t =
   t.data.(t.len) <- t.dummy;
   x
 
+let remove t i =
+  check t i;
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1;
+  t.data.(t.len) <- t.dummy
+
 let clear t =
   Array.fill t.data 0 t.len t.dummy;
   t.len <- 0

@@ -28,6 +28,11 @@ val pop : 'a t -> 'a
 (** Remove and return the last element.  Raises [Invalid_argument] on an
     empty array. *)
 
+val remove : 'a t -> int -> unit
+(** [remove t i] deletes the element at [i], shifting everything after
+    it one slot left (O(n - i)).  Raises [Invalid_argument] when [i]
+    is out of bounds. *)
+
 val clear : 'a t -> unit
 (** Reset the length to zero.  The backing store is kept but overwritten
     with the dummy so no stale values are retained. *)

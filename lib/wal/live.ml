@@ -1,0 +1,67 @@
+module H = Hp_hypergraph.Hypergraph
+module D = Hp_util.Dynarray
+
+type t = {
+  mutable nv : int;
+  vnames : string D.t;
+  edges : int array D.t;  (* sorted, deduplicated member arrays *)
+  enames : string D.t;
+}
+
+let of_hypergraph h =
+  let nv = H.n_vertices h in
+  let vnames = D.create ~capacity:(max 16 nv) ~dummy:"" () in
+  for v = 0 to nv - 1 do
+    D.push vnames (H.vertex_name h v)
+  done;
+  let ne = H.n_edges h in
+  let edges = D.create ~capacity:(max 16 ne) ~dummy:[||] () in
+  let enames = D.create ~capacity:(max 16 ne) ~dummy:"" () in
+  for e = 0 to ne - 1 do
+    D.push edges (Array.copy (H.edge_members h e));
+    D.push enames (H.edge_name h e)
+  done;
+  { nv; vnames; edges; enames }
+
+let n_vertices t = t.nv
+
+let n_edges t = D.length t.edges
+
+let validate t (op : Wal.op) =
+  match op with
+  | Wal.Add_vertex _ -> Ok ()
+  | Wal.Add_edge { members; _ } ->
+    if Array.for_all (fun v -> v >= 0 && v < t.nv) members then Ok ()
+    else
+      Error
+        (Printf.sprintf "member vertex out of range [0, %d)" t.nv)
+  | Wal.Del_edge { edge } ->
+    let ne = D.length t.edges in
+    if edge >= 0 && edge < ne then Ok ()
+    else Error (Printf.sprintf "edge %d out of range [0, %d)" edge ne)
+
+let apply_exn t (op : Wal.op) =
+  match op with
+  | Wal.Add_vertex { name } ->
+    D.push t.vnames name;
+    t.nv <- t.nv + 1;
+    Some (t.nv - 1)
+  | Wal.Add_edge { name; members } ->
+    D.push t.edges (Hp_util.Sorted.of_array members);
+    D.push t.enames name;
+    Some (D.length t.edges - 1)
+  | Wal.Del_edge { edge } ->
+    D.remove t.edges edge;
+    D.remove t.enames edge;
+    None
+
+let apply t op =
+  match validate t op with
+  | Error _ as e -> e
+  | Ok () -> Ok (apply_exn t op)
+
+let to_hypergraph t =
+  H.of_arrays
+    ~vertex_names:(D.to_array t.vnames)
+    ~edge_names:(D.to_array t.enames)
+    ~n_vertices:t.nv (D.to_array t.edges)

@@ -1,0 +1,37 @@
+(** Live mutable dataset state: the dense vertex/edge lists a
+    registered hypergraph becomes once mutation traffic starts.
+
+    The structure mirrors the on-wire ops exactly — vertices and
+    hyperedges are appended at the next dense id, [Del_edge] shifts
+    later edges down — so folding the same op sequence over the same
+    base always reconstructs the same state, whether the ops come from
+    a client connection or a WAL replay.  Names are always
+    materialized (defaulting to ["v<i>"] / ["e<i>"] when the base had
+    none), so a checkpoint snapshot is self-describing.
+
+    Not thread-safe; the registry serializes access under its mutex. *)
+
+type t
+
+val of_hypergraph : Hp_hypergraph.Hypergraph.t -> t
+(** Copies the member arrays; the source hypergraph is not aliased. *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val validate : t -> Wal.op -> (unit, string) result
+(** Check an op against the current state: member vertices in range
+    for [Add_edge], edge id in range for [Del_edge].  The message is
+    client-facing. *)
+
+val apply_exn : t -> Wal.op -> int option
+(** Apply a {!validate}d op; returns the assigned dense id for adds,
+    [None] for deletes.  Behaviour on an invalid op is unspecified
+    (may raise [Invalid_argument]). *)
+
+val apply : t -> Wal.op -> (int option, string) result
+(** [validate] then [apply_exn]. *)
+
+val to_hypergraph : t -> Hp_hypergraph.Hypergraph.t
+(** Materialize the current state (fresh arrays each call). *)

@@ -1,0 +1,398 @@
+module B = Hp_util.Binary
+module Fault = Hp_util.Fault
+
+type op =
+  | Add_vertex of { name : string }
+  | Add_edge of { name : string; members : int array }
+  | Del_edge of { edge : int }
+
+type record = { epoch : int; op : op }
+
+type sync_policy = Always | Batch | Never
+
+let batch_every = 32
+
+let sync_policy_of_string = function
+  | "always" -> Ok Always
+  | "batch" -> Ok Batch
+  | "never" -> Ok Never
+  | s -> Error (Printf.sprintf "unknown sync policy %S (always|batch|never)" s)
+
+let sync_policy_to_string = function
+  | Always -> "always"
+  | Batch -> "batch"
+  | Never -> "never"
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Version_skew of { found : int }
+  | Bad_header of string
+  | Bad_checksum of { index : int }
+  | Bad_record of { index : int; what : string }
+  | Epoch_gap of { index : int; expected : int; got : int }
+  | Base_skew of { base : string; tried : string list }
+
+let error_to_string = function
+  | Io msg -> "i/o error: " ^ msg
+  | Bad_magic -> "not a WAL file (bad magic)"
+  | Version_skew { found } -> Printf.sprintf "unsupported WAL version %d" found
+  | Bad_header what -> "damaged header: " ^ what
+  | Bad_checksum { index } ->
+    Printf.sprintf "record %d: checksum mismatch" index
+  | Bad_record { index; what } -> Printf.sprintf "record %d: %s" index what
+  | Epoch_gap { index; expected; got } ->
+    Printf.sprintf "record %d: epoch gap (expected %d, got %d)" index expected
+      got
+  | Base_skew { base; tried } ->
+    Printf.sprintf "checkpoint/log skew: no base matches %s (tried: %s)" base
+      (if tried = [] then "none" else String.concat ", " tried)
+
+type log = {
+  handle : string;
+  base_identity : string;
+  base_epoch : int;
+  records : record array;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let file_extension = ".hgwal"
+
+let sibling_path path = Filename.remove_extension path ^ file_extension
+
+let wal_magic = "HGWAL\r\n\000"
+
+let wal_version = 1
+
+(* Caps on decoded fields: a record declaring a name or member list
+   beyond these is corrupt, not merely large, so the reader refuses it
+   before allocating. *)
+let max_name_bytes = 1 lsl 16
+
+let max_members = 1 lsl 26
+
+(* ---------- encoding ---------- *)
+
+let buf_u64 buf v =
+  let s = Bytes.create 8 in
+  B.set_int_le s ~pos:0 v;
+  Buffer.add_bytes buf s
+
+let buf_u32 buf v =
+  let s = Bytes.create 4 in
+  B.set_u32_le s ~pos:0 v;
+  Buffer.add_bytes buf s
+
+let tag_add_vertex = '\001'
+
+let tag_add_edge = '\002'
+
+let tag_del_edge = '\003'
+
+let encode_payload { epoch; op } =
+  let buf = Buffer.create 64 in
+  buf_u64 buf epoch;
+  (match op with
+  | Add_vertex { name } ->
+    Buffer.add_char buf tag_add_vertex;
+    buf_u32 buf (String.length name);
+    Buffer.add_string buf name
+  | Add_edge { name; members } ->
+    Buffer.add_char buf tag_add_edge;
+    buf_u32 buf (String.length name);
+    Buffer.add_string buf name;
+    buf_u32 buf (Array.length members);
+    Array.iter (buf_u32 buf) members
+  | Del_edge { edge } ->
+    Buffer.add_char buf tag_del_edge;
+    buf_u32 buf edge);
+  Buffer.contents buf
+
+(* Frame: u64 payload length, u64 FNV-64 checksum over the payload
+   (masked into [0, max_int] so it round-trips through get_int_le),
+   then the payload. *)
+let frame_record r =
+  let payload = encode_payload r in
+  let n = String.length payload in
+  let b = Bytes.create (16 + n) in
+  B.set_int_le b ~pos:0 n;
+  Bytes.blit_string payload 0 b 16 n;
+  let sum = B.hash64 B.hash64_seed b ~pos:16 ~len:n land max_int in
+  B.set_int_le b ~pos:8 sum;
+  Bytes.unsafe_to_string b
+
+let encode_header ~handle ~base_identity ~base_epoch =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf wal_magic;
+  buf_u64 buf wal_version;
+  buf_u64 buf base_epoch;
+  buf_u64 buf (String.length handle);
+  Buffer.add_string buf handle;
+  buf_u64 buf (String.length base_identity);
+  Buffer.add_string buf base_identity;
+  let body = Buffer.contents buf in
+  let sum = B.hash64_string B.hash64_seed body land max_int in
+  let tail = Bytes.create 8 in
+  B.set_int_le tail ~pos:0 sum;
+  body ^ Bytes.to_string tail
+
+(* ---------- decoding ---------- *)
+
+exception Reject of error
+
+let decode_payload ~index ~expected_epoch payload =
+  let len = String.length payload in
+  let b = Bytes.unsafe_of_string payload in
+  let bad what = raise (Reject (Bad_record { index; what })) in
+  if len < 9 then bad "payload shorter than epoch + tag";
+  let epoch =
+    match B.get_int_le b ~pos:0 with
+    | Some e -> e
+    | None -> bad "oversized epoch"
+  in
+  if epoch <> expected_epoch then
+    raise (Reject (Epoch_gap { index; expected = expected_epoch; got = epoch }));
+  let cursor = ref 9 in
+  let u32 what =
+    if !cursor + 4 > len then bad ("truncated " ^ what);
+    let v = B.get_u32_le b ~pos:!cursor in
+    cursor := !cursor + 4;
+    v
+  in
+  let str what cap =
+    let n = u32 (what ^ " length") in
+    if n > cap then bad ("oversized " ^ what);
+    if !cursor + n > len then bad ("truncated " ^ what);
+    let s = String.sub payload !cursor n in
+    cursor := !cursor + n;
+    s
+  in
+  let op =
+    match payload.[8] with
+    | c when c = tag_add_vertex ->
+      Add_vertex { name = str "vertex name" max_name_bytes }
+    | c when c = tag_add_edge ->
+      let name = str "edge name" max_name_bytes in
+      let count = u32 "member count" in
+      if count > max_members then bad "oversized member list";
+      if !cursor + (4 * count) > len then bad "truncated member list";
+      let members =
+        Array.init count (fun i -> B.get_u32_le b ~pos:(!cursor + (4 * i)))
+      in
+      cursor := !cursor + (4 * count);
+      Add_edge { name; members }
+    | c when c = tag_del_edge -> Del_edge { edge = u32 "edge id" }
+    | c -> bad (Printf.sprintf "unknown op tag %d" (Char.code c))
+  in
+  if !cursor <> len then bad "trailing bytes";
+  { epoch; op }
+
+let decode_header content =
+  let len = String.length content in
+  let b = Bytes.unsafe_of_string content in
+  let magic_len = String.length wal_magic in
+  if len < magic_len then raise (Reject (Bad_header "truncated magic"));
+  if String.sub content 0 magic_len <> wal_magic then raise (Reject Bad_magic);
+  let cursor = ref magic_len in
+  let u64 what =
+    if !cursor + 8 > len then raise (Reject (Bad_header ("truncated " ^ what)));
+    let v =
+      match B.get_int_le b ~pos:!cursor with
+      | Some v -> v
+      | None -> raise (Reject (Bad_header ("oversized " ^ what)))
+    in
+    cursor := !cursor + 8;
+    v
+  in
+  let version = u64 "version" in
+  if version <> wal_version then raise (Reject (Version_skew { found = version }));
+  let base_epoch = u64 "base epoch" in
+  let str what =
+    let n = u64 (what ^ " length") in
+    if n > max_name_bytes then raise (Reject (Bad_header ("oversized " ^ what)));
+    if !cursor + n > len then raise (Reject (Bad_header ("truncated " ^ what)));
+    let s = String.sub content !cursor n in
+    cursor := !cursor + n;
+    s
+  in
+  let handle = str "handle" in
+  let base_identity = str "base identity" in
+  let body_len = !cursor in
+  if body_len + 8 > len then raise (Reject (Bad_header "truncated checksum"));
+  let stored =
+    match B.get_int_le b ~pos:body_len with
+    | Some v -> v
+    | None -> raise (Reject (Bad_header "bad checksum field"))
+  in
+  let computed = B.hash64 B.hash64_seed b ~pos:0 ~len:body_len land max_int in
+  if stored <> computed then raise (Reject (Bad_header "checksum mismatch"));
+  (handle, base_identity, base_epoch, body_len + 8)
+
+(* Records parse until the file ends or a defect stops the scan.  A
+   frame that cannot be completed from the remaining bytes — too short
+   for the length/checksum words, a length word that does not decode,
+   or a declared payload running past end-of-file — is a torn tail:
+   the valid prefix stands and the caller truncates the rest.  A
+   complete frame that fails its checksum, epoch chain, or op decoding
+   is mid-log corruption and rejects the whole log. *)
+let parse_records content ~pos ~base_epoch =
+  let len = String.length content in
+  let b = Bytes.unsafe_of_string content in
+  let records = ref [] in
+  let valid = ref pos in
+  let index = ref 0 in
+  let torn = ref false in
+  (try
+     while (not !torn) && !valid < len do
+       let p = !valid in
+       if len - p < 16 then torn := true
+       else begin
+         match B.get_int_le b ~pos:p with
+         | None -> torn := true
+         | Some n when n > len - p - 16 -> torn := true
+         | Some n ->
+           let stored = B.get_int_le b ~pos:(p + 8) in
+           let computed =
+             B.hash64 B.hash64_seed b ~pos:(p + 16) ~len:n land max_int
+           in
+           if stored <> Some computed then
+             raise (Reject (Bad_checksum { index = !index }));
+           let payload = String.sub content (p + 16) n in
+           let r =
+             decode_payload ~index:!index
+               ~expected_epoch:(base_epoch + !index + 1)
+               payload
+           in
+           records := r :: !records;
+           incr index;
+           valid := p + 16 + n
+       end
+     done;
+     Ok ()
+   with Reject e -> Error e)
+  |> Result.map (fun () ->
+         (Array.of_list (List.rev !records), !valid, len - !valid))
+
+let read path =
+  match Fault.point "wal.read" with
+  | exception Fault.Injected name ->
+    Error (Io (Printf.sprintf "%s: injected fault %s" path name))
+  | () ->
+    (match
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     with
+    | exception Sys_error msg -> Error (Io msg)
+    | exception End_of_file -> Error (Io (path ^ ": file shrank mid-read"))
+    | content ->
+      (match decode_header content with
+      | exception Reject e -> Error e
+      | handle, base_identity, base_epoch, header_len ->
+        (match parse_records content ~pos:header_len ~base_epoch with
+        | Error e -> Error e
+        | Ok (records, valid_bytes, torn_bytes) ->
+          Ok { handle; base_identity; base_epoch; records; valid_bytes; torn_bytes })))
+
+(* ---------- writer ---------- *)
+
+type writer = {
+  fd : Unix.file_descr;
+  path : string;
+  sync : sync_policy;
+  mutable unsynced : int;
+  mutable closed : bool;
+}
+
+let writer_path w = w.path
+
+let write_fully fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < Bytes.length b then begin
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let io_error e =
+  match e with
+  | Unix.Unix_error (err, fn, arg) ->
+    Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+  | Sys_error msg -> Io msg
+  | Fault.Injected name -> Io ("injected fault " ^ name)
+  | e -> Io (Printexc.to_string e)
+
+let create ~path ~handle ~base_identity ~base_epoch ~sync =
+  match
+    Fault.point "wal.create";
+    let tmp = path ^ ".tmp" in
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+    (try
+       write_fully fd (encode_header ~handle ~base_identity ~base_epoch);
+       Unix.fsync fd;
+       Sys.rename tmp path;
+       fd
+     with e ->
+       (try Unix.close fd with _ -> ());
+       (try Sys.remove tmp with _ -> ());
+       raise e)
+  with
+  | fd -> Ok { fd; path; sync; unsynced = 0; closed = false }
+  | exception ((Unix.Unix_error _ | Sys_error _ | Fault.Injected _) as e) ->
+    Error (io_error e)
+
+let open_append ~path ~valid_bytes ~sync =
+  match
+    let fd = Unix.openfile path [ O_WRONLY; O_CLOEXEC ] 0o644 in
+    (try
+       Unix.ftruncate fd valid_bytes;
+       ignore (Unix.lseek fd 0 SEEK_END);
+       fd
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e)
+  with
+  | fd -> Ok { fd; path; sync; unsynced = 0; closed = false }
+  | exception ((Unix.Unix_error _ | Sys_error _) as e) -> Error (io_error e)
+
+let do_sync w =
+  Unix.fsync w.fd;
+  w.unsynced <- 0
+
+let append w r =
+  if w.closed then Error (Io "writer is closed")
+  else
+    match
+      Fault.point "wal.append";
+      let fr = frame_record r in
+      if Fault.fires "wal.append.torn" then begin
+        (* Model a crash mid-write: half the frame reaches the file,
+           then the append fails.  Recovery must truncate this tail. *)
+        write_fully w.fd (String.sub fr 0 (String.length fr / 2));
+        raise (Fault.Injected "wal.append.torn")
+      end;
+      write_fully w.fd fr;
+      w.unsynced <- w.unsynced + 1;
+      (match w.sync with
+      | Always -> do_sync w
+      | Batch -> if w.unsynced >= batch_every then do_sync w
+      | Never -> ())
+    with
+    | () -> Ok ()
+    | exception ((Unix.Unix_error _ | Sys_error _ | Fault.Injected _) as e) ->
+      Error (io_error e)
+
+let flush w =
+  if not w.closed then try do_sync w with Unix.Unix_error _ | Sys_error _ -> ()
+
+let close w =
+  if not w.closed then begin
+    flush w;
+    w.closed <- true;
+    try Unix.close w.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,131 @@
+(** Per-dataset write-ahead log: the durability substrate for live
+    hyperedge mutations (DESIGN.md §12).
+
+    A [.hgwal] file is a checksummed header naming the dataset
+    {e handle} (its content digest at epoch 0, the registry key that
+    stays stable across mutations) and the {e base identity} (the
+    digest of the state the log folds over: the text file's MD5 or a
+    checkpoint snapshot's identity), followed by append-only records.
+    Each record is framed as
+
+    {v
+    u64 payload length | u64 FNV-64 checksum | payload
+    v}
+
+    where the payload carries a monotone epoch stamp (base_epoch + 1,
+    +2, ... — gaps are corruption) and one mutation op.  Every record
+    is put on the wire with a single [write], so a crash leaves either
+    a complete record or a torn tail, never an interleaving.
+
+    Robustness contract: {!read} never raises.  A half-written final
+    record (frame runs past end-of-file, or the length word itself is
+    torn) is {e torn-tail} — the parsed prefix is returned with
+    [torn_bytes > 0] and recovery truncates it away.  A complete frame
+    whose checksum, epoch, or op encoding is wrong is mid-log
+    corruption and comes back as a typed {!error}; so do a damaged
+    header, version skew, and foreign bytes.  Checkpoint/log skew
+    ({!Base_skew}) is detected by the registry when no loadable base
+    matches [base_identity].
+
+    Failpoints: [wal.create], [wal.append] (fail the append),
+    [wal.append.torn] (write half a frame then fail — a synthetic torn
+    tail), [wal.read]; the registry adds [wal.swap] between the
+    checkpoint's snapshot rename and the log reset. *)
+
+type op =
+  | Add_vertex of { name : string }
+      (** Append a vertex; it gets the next dense id. *)
+  | Add_edge of { name : string; members : int array }
+      (** Append a hyperedge over existing vertex ids (duplicates
+          collapse, order irrelevant); it gets the next dense id.
+          Empty member lists are legal (the model keeps empty
+          hyperedges). *)
+  | Del_edge of { edge : int }
+      (** Delete the hyperedge at this {e current} dense id; every
+          later edge shifts down by one.  Deterministic, so replay
+          folds to the same state. *)
+
+type record = { epoch : int; op : op }
+
+type sync_policy =
+  | Always  (** fsync after every append. *)
+  | Batch   (** fsync every {!batch_every} appends and on flush/close. *)
+  | Never   (** leave flushing to the OS. *)
+
+val batch_every : int
+
+val sync_policy_of_string : string -> (sync_policy, string) result
+
+val sync_policy_to_string : sync_policy -> string
+
+type error =
+  | Io of string                 (** open/read/write/rename failure. *)
+  | Bad_magic                    (** not a WAL file. *)
+  | Version_skew of { found : int }
+  | Bad_header of string         (** truncated or checksum-damaged header. *)
+  | Bad_checksum of { index : int }
+      (** Record [index] (0-based) is fully framed but its payload
+          does not match its checksum. *)
+  | Bad_record of { index : int; what : string }
+      (** Record [index] passes the checksum but does not decode. *)
+  | Epoch_gap of { index : int; expected : int; got : int }
+      (** Record [index] breaks the monotone epoch chain. *)
+  | Base_skew of { base : string; tried : string list }
+      (** No loadable base matches the header's [base_identity];
+          raised by the registry's recovery, carried here so every
+          WAL failure renders through one function. *)
+
+val error_to_string : error -> string
+
+type log = {
+  handle : string;         (** Registry key at epoch 0. *)
+  base_identity : string;  (** Identity of the state the log folds over. *)
+  base_epoch : int;        (** Epoch of that base state. *)
+  records : record array;  (** Valid records, file order. *)
+  valid_bytes : int;       (** Prefix length covering header + records. *)
+  torn_bytes : int;        (** Bytes past the valid prefix (0 = clean). *)
+}
+
+val read : string -> (log, error) result
+(** Parse a WAL file.  Never raises; torn tails are reported in the
+    [Ok] branch (see the module contract above). *)
+
+type writer
+
+val create :
+  path:string ->
+  handle:string ->
+  base_identity:string ->
+  base_epoch:int ->
+  sync:sync_policy ->
+  (writer, error) result
+(** Start a fresh (empty) log: the header is written and fsynced to a
+    temp file which is renamed over [path], so an existing log is
+    replaced atomically or not at all. *)
+
+val open_append :
+  path:string -> valid_bytes:int -> sync:sync_policy -> (writer, error) result
+(** Reopen an existing log for appending, truncating it to
+    [valid_bytes] first — this is how recovery drops a torn tail. *)
+
+val append : writer -> record -> (unit, error) result
+(** Frame, checksum, and write one record (single [write] call), then
+    fsync per the policy.  On [Error] nothing should be considered
+    durable and the caller must not apply the op. *)
+
+val flush : writer -> unit
+(** fsync now, whatever the policy (best-effort; swallows EIO on a
+    closed race). *)
+
+val close : writer -> unit
+(** Flush and close.  Idempotent. *)
+
+val writer_path : writer -> string
+
+val file_extension : string
+(** [".hgwal"], including the dot. *)
+
+val sibling_path : string -> string
+(** The WAL conventionally paired with a dataset file: extension
+    replaced by {!file_extension} (shared by [x.hg], [x.mtx] and
+    [x.hgsnap]). *)

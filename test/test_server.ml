@@ -50,7 +50,17 @@ let test_parse_requests () =
   ok "PING" P.Ping;
   ok "SHUTDOWN" P.Shutdown;
   ok "BATCH 1" (P.Batch 1);
-  ok "batch 1024" (P.Batch P.max_batch_items)
+  ok "batch 1024" (P.Batch P.max_batch_items);
+  ok "ADDVERTEX abcd1234 p53"
+    (P.Add_vertex { dataset = "abcd1234"; name = "p53" });
+  ok "addvertex abcd1234 p53"
+    (P.Add_vertex { dataset = "abcd1234"; name = "p53" });
+  ok "ADDEDGE abcd1234 cplx 0 5 2"
+    (P.Add_edge { dataset = "abcd1234"; name = "cplx"; members = [ 0; 5; 2 ] });
+  ok "ADDEDGE abcd1234 lonely"
+    (P.Add_edge { dataset = "abcd1234"; name = "lonely"; members = [] });
+  ok "DELEDGE abcd1234 3" (P.Del_edge { dataset = "abcd1234"; edge = 3 });
+  ok "CHECKPOINT abcd1234" (P.Checkpoint "abcd1234")
 
 let test_parse_rejects () =
   let bad line =
@@ -81,7 +91,20 @@ let test_parse_rejects () =
   bad "BATCH -2";
   bad "BATCH notanint";
   bad ("BATCH " ^ string_of_int (P.max_batch_items + 1));
-  bad "BATCH 1 2"
+  bad "BATCH 1 2";
+  bad "ADDVERTEX";
+  bad "ADDVERTEX ds";
+  bad "ADDVERTEX ds a b";
+  bad "ADDEDGE";
+  bad "ADDEDGE ds";
+  bad "ADDEDGE ds name notanint";
+  bad "ADDEDGE ds name -1";
+  bad "DELEDGE ds";
+  bad "DELEDGE ds -1";
+  bad "DELEDGE ds notanint";
+  bad "DELEDGE ds 1 2";
+  bad "CHECKPOINT";
+  bad "CHECKPOINT a b"
 
 let request_gen =
   QCheck.Gen.(
@@ -108,6 +131,17 @@ let request_gen =
         return P.Ping;
         return P.Shutdown;
         map (fun n -> P.Batch n) (int_range 1 P.max_batch_items);
+        map2
+          (fun ds n -> P.Add_vertex { dataset = ds; name = "v" ^ string_of_int n })
+          dataset (int_range 0 99);
+        map3
+          (fun ds n members ->
+            P.Add_edge { dataset = ds; name = "e" ^ string_of_int n; members })
+          dataset (int_range 0 99)
+          (list_size (int_range 0 4) (int_range 0 50));
+        map2 (fun ds e -> P.Del_edge { dataset = ds; edge = e }) dataset
+          (int_range 0 99);
+        map (fun ds -> P.Checkpoint ds) dataset;
       ])
 
 let request_print r = P.request_line r
@@ -852,6 +886,125 @@ let test_warm_restart () =
       in
       checks "cold after corrupt cache file" "false" (List.assoc "cached" stats))
 
+(* Live mutation end to end, across restarts: epochs in replies and
+   metrics, epoch-keyed cache invalidation, WAL recovery counters
+   moving over mutate -> restart -> recover, and CHECKPOINT bounding
+   the next recovery's replay. *)
+let test_mutation_durability () =
+  let dir = Filename.temp_dir "hgd" "mutate" in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let config =
+    { (Server.default_config ~socket_path) with workers = 2; cache_capacity = 16 }
+  in
+  let data = Filename.concat dir "tiny.hg" in
+  write_file data tiny_hg;
+  let life f =
+    match Server.start config with
+    | Error msg -> Alcotest.failf "server start failed: %s" msg
+    | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          let c = connect socket_path in
+          Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c))
+  in
+  let digest = ref "" in
+  let epoch_key () = "dataset_epoch_" ^ String.sub !digest 0 12 in
+  let stats c what =
+    expect_ok what
+      (Client.request c (P.Analyze { dataset = !digest; analysis = P.Stats }))
+  in
+  life (fun c ->
+      let loaded = expect_ok "load" (Client.request c (P.Load data)) in
+      digest := List.assoc "digest" loaded;
+      checks "epoch starts at zero" "0" (List.assoc "epoch" loaded);
+      (* Cache a result at epoch 0, then mutate: the epoch-qualified
+         key makes the stale entry unreachable without any flush. *)
+      checks "cold at epoch 0" "false" (List.assoc "cached" (stats c "stats"));
+      checks "warm at epoch 0" "true" (List.assoc "cached" (stats c "stats"));
+      let mv =
+        expect_ok "addvertex"
+          (Client.request c (P.Add_vertex { dataset = !digest; name = "p53" }))
+      in
+      checks "mutation epoch" "1" (List.assoc "epoch" mv);
+      checks "assigned dense id" "5" (List.assoc "assigned" mv);
+      checks "vertex count" "6" (List.assoc "vertices" mv);
+      checks "not checkpointed" "false" (List.assoc "checkpointed" mv);
+      let me =
+        expect_ok "addedge"
+          (Client.request c
+             (P.Add_edge { dataset = !digest; name = "c4"; members = [ 0; 5 ] }))
+      in
+      checks "second epoch" "2" (List.assoc "epoch" me);
+      checks "edge count" "4" (List.assoc "hyperedges" me);
+      let fresh = stats c "stats after mutation" in
+      checks "mutation invalidates by epoch" "false" (List.assoc "cached" fresh);
+      checks "sees the new vertex" "6" (List.assoc "vertices" fresh);
+      (* Invalid ops are client errors that move nothing. *)
+      expect_err "member out of range" P.Bad_request
+        (Client.request c
+           (P.Add_edge { dataset = !digest; name = "x"; members = [ 99 ] }));
+      expect_err "edge out of range" P.Bad_request
+        (Client.request c (P.Del_edge { dataset = !digest; edge = 99 }));
+      expect_err "unknown dataset" P.Unknown_dataset
+        (Client.request c
+           (P.Add_vertex { dataset = "feedfacedeadbeef"; name = "x" }));
+      let m = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checkb "appends counted" true
+        (int_of_string (List.assoc "wal_records_appended" m) >= 2);
+      checkb "mutations counted" true
+        (int_of_string (List.assoc "mutations_total" m) >= 2);
+      checkb "rejects counted" true
+        (int_of_string (List.assoc "mutation_rejects" m) >= 2);
+      checks "per-dataset epoch gauge" "2" (List.assoc (epoch_key ()) m);
+      let prom =
+        expect_ok "metrics prom" (Client.request c (P.Metrics P.Prometheus))
+      in
+      let prom_lines = List.map snd prom in
+      List.iter check_prom_line prom_lines;
+      checkb "labeled epoch gauge" true
+        (List.mem
+           (Printf.sprintf "hgd_dataset_epoch{dataset=%S} 2" !digest)
+           prom_lines));
+  (* Life 2: the acknowledged mutations survived the restart. *)
+  life (fun c ->
+      let loaded = expect_ok "reload" (Client.request c (P.Load data)) in
+      checks "handle survives recovery" !digest (List.assoc "digest" loaded);
+      checks "epoch recovered" "2" (List.assoc "epoch" loaded);
+      checks "replay counted in reply" "2" (List.assoc "wal_replayed" loaded);
+      checks "clean tail" "0" (List.assoc "wal_torn_bytes" loaded);
+      let s = stats c "stats after recovery" in
+      checks "recovered state answers" "6" (List.assoc "vertices" s);
+      let m = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checkb "recovery counted" true
+        (int_of_string (List.assoc "wal_recoveries" m) >= 1);
+      checkb "replayed records counted" true
+        (int_of_string (List.assoc "wal_replayed_total" m) >= 2);
+      checks "epoch gauge after recovery" "2" (List.assoc (epoch_key ()) m);
+      (* CHECKPOINT compacts; the epoch does not move. *)
+      let cp =
+        expect_ok "checkpoint" (Client.request c (P.Checkpoint !digest))
+      in
+      checks "checkpoint epoch" "2" (List.assoc "epoch" cp);
+      checks "records folded" "2" (List.assoc "records_folded" cp);
+      checkb "snapshot on disk" true (Sys.file_exists (List.assoc "snapshot" cp));
+      let m = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checkb "checkpoint counted" true
+        (int_of_string (List.assoc "wal_checkpoints" m) >= 1));
+  (* Life 3: recovery now folds over the checkpoint, replaying
+     nothing. *)
+  life (fun c ->
+      let loaded = expect_ok "reload" (Client.request c (P.Load data)) in
+      checks "handle survives the checkpoint" !digest (List.assoc "digest" loaded);
+      checks "epoch preserved" "2" (List.assoc "epoch" loaded);
+      checks "bounded replay" "0" (List.assoc "wal_replayed" loaded);
+      checks "checkpoint is the base" "snapshot" (List.assoc "source" loaded);
+      ignore
+        (expect_ok "still mutable"
+           (Client.request c (P.Add_vertex { dataset = !digest; name = "brca1" })));
+      let m = expect_ok "metrics" (Client.request c (P.Metrics P.Table)) in
+      checks "epoch gauge keeps counting" "3" (List.assoc (epoch_key ()) m))
+
 let () =
   Alcotest.run "hp_server"
     [
@@ -889,5 +1042,7 @@ let () =
           Alcotest.test_case "shutdown verb" `Quick test_shutdown_verb;
           Alcotest.test_case "warm restart from cache file" `Quick
             test_warm_restart;
+          Alcotest.test_case "mutation durability across restarts" `Quick
+            test_mutation_durability;
         ] );
     ]

@@ -12,7 +12,10 @@
                    against bench/core_baseline.json
      --check-snap  fail if the E23 mmap snapshot load is not at least
                    10x faster than the text parse on the largest
-                   instance *)
+                   instance
+     --check-inc   fail if the E25 incrementally maintained k-core
+                   decomposition is not at least 5x faster than
+                   re-peeling after every mutation *)
 
 module H = Hp_hypergraph.Hypergraph
 module HP = Hp_hypergraph.Hypergraph_path
@@ -44,6 +47,11 @@ let check_core = Array.exists (( = ) "--check-core") Sys.argv
    file — the snapshot store's reason to exist is that mapping beats
    re-parsing by an order of magnitude. *)
 let check_snap = Array.exists (( = ) "--check-snap") Sys.argv
+
+(* --check-inc: like E23, an absolute same-host ratio — incremental
+   repair exists to beat the per-mutation full re-peel on workloads
+   whose mutations stay local. *)
+let check_inc = Array.exists (( = ) "--check-inc") Sys.argv
 
 let section title = Printf.printf "\n== %s ==\n" title
 
@@ -1717,6 +1725,149 @@ let wal_bench () =
     (U.Table.fmt_time ckpt_recover_s);
   write_wal_json rows ~ckpt_pack_s ~ckpt_recover_s
 
+(* E25: incremental k-core maintenance vs per-mutation re-peel        *)
+(* (extension).  A dataset of many small overlap components takes a   *)
+(* burst of component-local mutations; the maintained decomposition   *)
+(* (Hypergraph_maintain) repairs only the touched component while the *)
+(* oracle re-peels everything after every op.  Both sides walk the    *)
+(* same precomputed state sequence, so the timings isolate repair vs  *)
+(* re-peel cost.  _artifacts/BENCH_kcore_inc.json; --check-inc guards *)
+(* the speedup ratio.                                                 *)
+
+let write_inc_json ~ncomp ~nv ~ne ~ops ~initial_s ~inc_s ~repeel_s ~speedup
+    ~(stats : Hp_hypergraph.Hypergraph_maintain.stats) =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_kcore_inc.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"schema\":1,\"components\":%d,\"vertices\":%d,\"hyperedges\":%d,\n\
+        \ \"ops\":%d,\"initial_peel_s\":%.6f,\"incremental_s\":%.6f,\n\
+        \ \"repeel_s\":%.6f,\"speedup\":%.2f,\"incremental_repairs\":%d,\n\
+        \ \"full_repeels\":%d,\"repair_visited\":%d}\n"
+        ncomp nv ne ops initial_s inc_s repeel_s speedup
+        stats.Hp_hypergraph.Hypergraph_maintain.incremental_repairs
+        stats.Hp_hypergraph.Hypergraph_maintain.full_repeels
+        stats.Hp_hypergraph.Hypergraph_maintain.repair_visited);
+  Printf.printf "[wrote %s]\n" path
+
+let inc_bench () =
+  section
+    "E25: incremental k-core maintenance vs per-mutation re-peel (extension)";
+  let module HM = Hp_hypergraph.Hypergraph_maintain in
+  let module W = Hp_wal.Wal in
+  let module L = Hp_wal.Live in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "E25 FAIL: %s\n" s; exit 1) fmt
+  in
+  (* Many copies of the 3-complex triangle, each its own overlap
+     component: the shape where the mutation stream stays local and a
+     full re-peel does maximal wasted work. *)
+  let ncomp = if quick then 500 else 2000 in
+  let n_ops = if quick then 100 else 300 in
+  let members =
+    List.concat
+      (List.init ncomp (fun c ->
+           let b = 6 * c in
+           [
+             [ b; b + 1; b + 2; b + 3 ];
+             [ b; b + 1; b + 4; b + 5 ];
+             [ b + 2; b + 3; b + 4; b + 5 ];
+           ]))
+  in
+  let h0 = H.create ~n_vertices:(6 * ncomp) members in
+  let rng = U.Prng.create 2025 in
+  (* Valid-by-construction schedule of component-local edge adds with
+     interleaved deletes, as in the differential suite. *)
+  let live = L.of_hypergraph h0 in
+  let ne = ref (H.n_edges h0) in
+  let schedule =
+    List.init n_ops (fun i ->
+        let op =
+          if i mod 4 = 3 && !ne > 0 then begin
+            decr ne;
+            W.Del_edge { edge = U.Prng.int rng (!ne + 1) }
+          end
+          else begin
+            let b = 6 * U.Prng.int rng ncomp in
+            incr ne;
+            W.Add_edge
+              {
+                name = Printf.sprintf "x%d" i;
+                members = [| b + U.Prng.int rng 6; b + U.Prng.int rng 6 |];
+              }
+          end
+        in
+        (match L.apply live op with
+        | Ok _ -> ()
+        | Error m -> fail "schedule op %d invalid: %s" i m);
+        (op, L.to_hypergraph live))
+  in
+  let maint, initial_s = time (fun () -> HM.create h0) in
+  let (), inc_s =
+    time (fun () ->
+        List.iter
+          (fun (op, after) ->
+            ignore
+              (match op with
+              | W.Add_vertex _ -> HM.add_vertex maint ~after
+              | W.Add_edge _ -> HM.add_edge maint ~after
+              | W.Del_edge { edge } -> HM.del_edge maint ~after ~edge))
+          schedule)
+  in
+  let last, repeel_s =
+    time (fun () ->
+        List.fold_left
+          (fun _ (_, after) -> Some (HC.decompose ~domains:1 after))
+          None schedule)
+  in
+  (match last with
+  | Some d ->
+    let got = HM.decomposition maint in
+    if
+      d.HC.vertex_core <> got.HC.vertex_core
+      || d.HC.edge_core <> got.HC.edge_core
+    then fail "maintained decomposition diverged from the re-peel oracle"
+  | None -> fail "empty schedule");
+  let speedup = repeel_s /. inc_s in
+  let stats = HM.stats maint in
+  record_kernel "kcore-inc:maintained" inc_s
+    [
+      ("ops", fi n_ops);
+      ("incremental_repairs", fi stats.HM.incremental_repairs);
+      ("full_repeels", fi stats.HM.full_repeels);
+    ];
+  record_kernel "kcore-inc:repeel" repeel_s [ ("ops", fi n_ops) ];
+  print_endline
+    (table
+       ~header:[ "strategy"; "total"; "per op"; "speedup" ]
+       [
+         [
+           "re-peel every op"; U.Table.fmt_time repeel_s;
+           U.Table.fmt_time (repeel_s /. float_of_int n_ops); "1.0";
+         ];
+         [
+           "maintained"; U.Table.fmt_time inc_s;
+           U.Table.fmt_time (inc_s /. float_of_int n_ops); ff speedup;
+         ];
+       ]);
+  Printf.printf
+    "%d components, %d ops: initial peel %s, then %d incremental repairs / %d \
+     re-peels (%d visited)\n"
+    ncomp n_ops (U.Table.fmt_time initial_s) stats.HM.incremental_repairs
+    stats.HM.full_repeels stats.HM.repair_visited;
+  write_inc_json ~ncomp ~nv:(H.n_vertices h0) ~ne:(H.n_edges h0) ~ops:n_ops
+    ~initial_s ~inc_s ~repeel_s ~speedup ~stats;
+  if check_inc && speedup < 5.0 then begin
+    Printf.eprintf
+      "E25 guard: maintained decomposition only %.1fx faster than re-peeling \
+       every mutation (threshold 5.0x)\n"
+      speedup;
+    exit 1
+  end
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -1746,6 +1897,7 @@ let () =
   core_bench ();
   snapshot_bench ();
   wal_bench ();
+  inc_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

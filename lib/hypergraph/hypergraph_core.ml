@@ -552,37 +552,84 @@ let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
 
 let decompose = decompose_onepass
 
-let max_core ?(strategy = Overlap) ?(domains = 1) ?(deadline = U.Deadline.never) h =
-  (* The decomposition already knows the maximum core: vertices with
-     [vertex_core = max_core] and edges deleted at that level ARE the
-     core (when the one-pass level first reaches max_core, the alive
-     structure is exactly the maximum core, and restricting a
-     surviving edge to surviving vertices reproduces its alive member
-     set).  Build the subhypergraph from those id sets instead of
-     re-peeling the input from scratch. *)
-  let d, st = decompose_onepass_state ~strategy ~domains ~deadline h in
-  let kmax = d.max_core in
+let core_of_decomposition h (d : decomposition) k =
+  (* The decomposition already knows every core: vertices with
+     [vertex_core >= k] and edges deleted at level >= k ARE the k-core
+     (when the one-pass level first reaches k, the alive structure is
+     exactly the k-core, and restricting a surviving edge to surviving
+     vertices reproduces its alive member set).  Build the
+     subhypergraph from those id sets instead of re-peeling.
+
+     Edge identity: which original hyperedge survives the peel to
+     claim a given core member-set depends on deletion order (two
+     hyperedges can shrink to the same restriction).  Canonicalize by
+     re-mapping each surviving restriction to the smallest original
+     hyperedge id whose restriction to the core vertex set equals it —
+     a choice independent of any peel order. *)
+  if k < 0 then invalid_arg "Hypergraph_core.core_of_decomposition: negative k";
   let nv = H.n_vertices h and m = H.n_edges h in
   let vkeep = U.Dynarray.create ~dummy:0 () in
-  Array.iteri (fun v c -> if c >= kmax then U.Dynarray.push vkeep v) d.vertex_core;
+  Array.iteri (fun v c -> if c >= k then U.Dynarray.push vkeep v) d.vertex_core;
+  let vkeep = U.Dynarray.to_array vkeep in
+  let incore = Array.make nv false in
+  Array.iter (fun v -> incore.(v) <- true) vkeep;
+  let restrict e =
+    let members = H.edge_members h e in
+    let cnt = ref 0 in
+    Array.iter (fun v -> if incore.(v) then incr cnt) members;
+    if !cnt = Array.length members then members
+    else begin
+      let r = Array.make !cnt 0 and i = ref 0 in
+      Array.iter
+        (fun v ->
+          if incore.(v) then begin
+            r.(!i) <- v;
+            incr i
+          end)
+        members;
+      r
+    end
+  in
+  (* Smallest original hyperedge per non-empty restriction (ids are
+     scanned ascending, so first write wins). *)
+  let reps = Hashtbl.create (2 * m) in
+  for e = 0 to m - 1 do
+    let r = restrict e in
+    if Array.length r > 0 && not (Hashtbl.mem reps r) then Hashtbl.add reps r e
+  done;
+  let alive = ref 0 in
   let ekeep = U.Dynarray.create ~dummy:0 () in
-  Array.iteri (fun e c -> if c >= kmax then U.Dynarray.push ekeep e) d.edge_core;
-  let vkeep = U.Dynarray.to_array vkeep and ekeep = U.Dynarray.to_array ekeep in
+  Array.iteri
+    (fun e c ->
+      if c >= k then begin
+        incr alive;
+        let r = restrict e in
+        (* A surviving empty restriction only happens for the 0-core's
+           sole-empty-hyperedge special case; it represents itself. *)
+        let rep = if Array.length r = 0 then e else Hashtbl.find reps r in
+        U.Dynarray.push ekeep rep
+      end)
+    d.edge_core;
+  let ekeep = U.Sorted.of_array (U.Dynarray.to_array ekeep) in
   let core, _, _ = H.sub h ~vertices:vkeep ~edges:ekeep in
-  ( kmax,
-    {
-      core;
-      vertex_ids = vkeep;
-      edge_ids = ekeep;
-      stats =
-        {
-          vertices_deleted = nv - Array.length vkeep;
-          edges_deleted = m - Array.length ekeep;
-          maximality_checks = st.checks;
-          (* The one-pass sweep has no FIFO cascade structure. *)
-          peel_rounds = 0;
-        };
-    } )
+  {
+    core;
+    vertex_ids = vkeep;
+    edge_ids = ekeep;
+    stats =
+      {
+        vertices_deleted = nv - Array.length vkeep;
+        edges_deleted = m - !alive;
+        maximality_checks = 0;
+        (* Assembled from the arrays: no FIFO cascade structure. *)
+        peel_rounds = 0;
+      };
+  }
+
+let max_core ?(strategy = Overlap) ?(domains = 1) ?(deadline = U.Deadline.never) h =
+  let d, st = decompose_onepass_state ~strategy ~domains ~deadline h in
+  let r = core_of_decomposition h d d.max_core in
+  (d.max_core, { r with stats = { r.stats with maximality_checks = st.checks } })
 
 let core_profile d =
   (* Single pass: histogram the core numbers, then suffix-sum so level

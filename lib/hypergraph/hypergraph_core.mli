@@ -23,9 +23,13 @@
 
     Uniqueness caveat: the k-core is unique as a SET SYSTEM, but when
     two hyperedges shrink to the same restriction during peeling,
-    either original may represent the surviving set — edge identity in
-    the result depends on deletion order (vertex core numbers and the
-    multiset of edge core levels do not).
+    either original may survive the peel — so raw peel output
+    ([k_core]) has deletion-order-dependent edge identity (vertex core
+    numbers and the multiset of edge core levels do not).
+    [max_core] and [core_of_decomposition] canonicalize: every
+    surviving member-set is represented by the smallest original
+    hyperedge id whose restriction to the core vertex set equals it,
+    independent of peel order.
 
     Every driver accepts a cooperative [?deadline]
     ({!Hp_util.Deadline}): the peeling loop checks it each iteration
@@ -122,12 +126,26 @@ val max_core :
   int * result
 (** The maximum core and its index: the k-core for the largest k such
     that the core still has vertices.  Built directly from the
-    one-pass decomposition's [vertex_core]/[edge_core] arrays — no
-    second peel — so [stats] reports the decomposition's counters:
-    [maximality_checks] is the sweep's total, and [peel_rounds] is 0
-    (the minimum-degree sweep has no FIFO cascade structure).  Edge
-    identity in the result is subject to the uniqueness caveat
-    above. *)
+    one-pass decomposition's [vertex_core]/[edge_core] arrays via
+    {!core_of_decomposition} — no second peel — so [stats] reports the
+    decomposition's counters: [maximality_checks] is the sweep's
+    total, and [peel_rounds] is 0 (the minimum-degree sweep has no
+    FIFO cascade structure).  Edge identity is canonical per the
+    uniqueness caveat above: duplicate member-sets are represented by
+    the smallest original hyperedge id. *)
+
+val core_of_decomposition : Hypergraph.t -> decomposition -> int -> result
+(** [core_of_decomposition h d k] assembles the k-core of [h] from an
+    already-computed decomposition without re-peeling: vertices with
+    [vertex_core >= k], hyperedges with [edge_core >= k], and a
+    canonical edge identity — each surviving member-set is represented
+    by the smallest original hyperedge id whose restriction to the
+    core vertex set equals it.  [stats] counts only what the id sets
+    imply ([maximality_checks] and [peel_rounds] are 0).  This is the
+    serving path for incrementally maintained decompositions
+    ({!Hypergraph_maintain}): O(vertices + total member size) per
+    query instead of a full peel.  Raises [Invalid_argument] for
+    negative [k]. *)
 
 val core_profile : decomposition -> (int * int * int) array
 (** Per level k = 0 .. max_core: [(k, vertices in the k-core, edges in

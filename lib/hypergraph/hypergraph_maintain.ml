@@ -1,0 +1,182 @@
+(* Incremental maintenance of the k-core decomposition across the
+   mutation stream (DESIGN.md section 13).
+
+   Core numbers are a per-overlap-component property: the peel's
+   cascade travels only through shared vertices, so a mutation can
+   change [vertex_core]/[edge_core] only inside the overlap-connected
+   component(s) it touches.  The repair therefore collects the touched
+   region with a budget-bounded BFS over the incidence structure,
+   re-peels just that region as a subhypergraph, and splices the
+   resulting levels back into fresh copies of the maintained arrays.
+
+   Bit-identity with the full one-pass sweep rests on the sweep being
+   component-local: [Hypergraph.sub] renumbers ids monotonically, the
+   bucket queue preserves the relative order of same-component
+   vertices under interleaving, the CSR slices stay sorted, and the
+   level clamp sees the same level at every same-component event.  The
+   one global rule is [Hypergraph_reduce]'s empty-hyperedge handling
+   (an empty hyperedge survives only when it is the sole hyperedge of
+   the WHOLE hypergraph), so any empty hyperedge anywhere forces the
+   full re-peel path.  The differential suite (test_kcore_inc.ml)
+   asserts the equivalence after every mutation of randomized
+   schedules. *)
+
+module U = Hp_util
+module H = Hypergraph
+module HC = Hypergraph_core
+
+type stats = {
+  mutable incremental_repairs : int;
+  mutable repair_visited : int;
+  mutable full_repeels : int;
+}
+
+type outcome = Incremental of int | Repeel
+
+type t = {
+  budget : int;
+  mutable h : H.t;
+  mutable dec : HC.decomposition;
+  mutable empty_edges : int;
+  stats : stats;
+}
+
+let count_empty h =
+  let c = ref 0 in
+  for e = 0 to H.n_edges h - 1 do
+    if H.edge_size h e = 0 then incr c
+  done;
+  !c
+
+let create ?(budget = 4096) h =
+  {
+    budget;
+    h;
+    dec = HC.decompose ~domains:1 h;
+    empty_edges = count_empty h;
+    stats = { incremental_repairs = 0; repair_visited = 0; full_repeels = 0 };
+  }
+
+let decomposition t = t.dec
+let hypergraph t = t.h
+let stats t = t.stats
+let budget t = t.budget
+
+let repeel t after =
+  t.dec <- HC.decompose ~domains:1 after;
+  t.h <- after;
+  t.empty_edges <- count_empty after;
+  t.stats.full_repeels <- t.stats.full_repeels + 1;
+  Repeel
+
+exception Blown
+
+(* The overlap-connected region reachable from [seed] (a hyperedge id
+   of [h]), as sorted vertex and hyperedge id arrays, or [None] once
+   more than [budget] distinct vertices + hyperedges have been
+   visited. *)
+let region h ~budget ~seed =
+  let vseen = Hashtbl.create 64 and eseen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let visits = ref 0 in
+  let visit_edge e =
+    if not (Hashtbl.mem eseen e) then begin
+      Hashtbl.replace eseen e ();
+      incr visits;
+      if !visits > budget then raise Blown;
+      Queue.add e q
+    end
+  in
+  match
+    visit_edge seed;
+    while not (Queue.is_empty q) do
+      let e = Queue.take q in
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem vseen v) then begin
+            Hashtbl.replace vseen v ();
+            incr visits;
+            if !visits > budget then raise Blown;
+            Array.iter visit_edge (H.vertex_edges h v)
+          end)
+        (H.edge_members h e)
+    done
+  with
+  | () ->
+    let collect seen =
+      let buf = U.Dynarray.create ~dummy:0 () in
+      Hashtbl.iter (fun i () -> U.Dynarray.push buf i) seen;
+      U.Sorted.of_array (U.Dynarray.to_array buf)
+    in
+    Some (collect vseen, collect eseen)
+  | exception Blown -> None
+
+(* Re-peel the region [vs]/[es] of [after] and splice its levels over
+   [vc]/[ec] (fresh arrays already holding the unaffected entries). *)
+let splice t after ~vs ~es ~vc ~ec =
+  let sub, vmap, emap = H.sub after ~vertices:vs ~edges:es in
+  let ld = HC.decompose ~domains:1 sub in
+  Array.iteri (fun i v -> vc.(v) <- ld.HC.vertex_core.(i)) vmap;
+  Array.iteri (fun i e -> ec.(e) <- ld.HC.edge_core.(i)) emap;
+  let mc = Array.fold_left max 0 vc in
+  t.dec <- { HC.vertex_core = vc; edge_core = ec; max_core = mc };
+  t.h <- after;
+  let visited = Array.length vs + Array.length es in
+  t.stats.incremental_repairs <- t.stats.incremental_repairs + 1;
+  t.stats.repair_visited <- t.stats.repair_visited + visited;
+  Incremental visited
+
+let add_vertex t ~after =
+  (* An appended vertex is isolated: its own component, core 0,
+     nothing else reachable. *)
+  let d = t.dec in
+  let vc = Array.append d.HC.vertex_core [| 0 |] in
+  t.dec <- { d with HC.vertex_core = vc };
+  t.h <- after;
+  t.stats.incremental_repairs <- t.stats.incremental_repairs + 1;
+  t.stats.repair_visited <- t.stats.repair_visited + 1;
+  Incremental 1
+
+let add_edge t ~after =
+  let e = H.n_edges after - 1 in
+  if H.edge_size after e = 0 || t.empty_edges > 0 then repeel t after
+  else
+    (* Core numbers can change only inside the inserted hyperedge's
+       component of the NEW hypergraph (the union of the old
+       components of its members, now joined). *)
+    match region after ~budget:t.budget ~seed:e with
+    | None -> repeel t after
+    | Some (vs, es) ->
+      let old = t.dec.HC.edge_core in
+      let ne = Array.length old in
+      let ec = Array.make (ne + 1) (-1) in
+      Array.blit old 0 ec 0 ne;
+      splice t after ~vs ~es ~vc:(Array.copy t.dec.HC.vertex_core) ~ec
+
+let del_edge t ~after ~edge =
+  if t.empty_edges > 0 then repeel t after
+  else
+    (* Everything the deletion can change — including hyperedges that
+       were non-maximal inside the deleted one and now resurface — is
+       inside the deleted hyperedge's component of the OLD
+       hypergraph. *)
+    match region t.h ~budget:t.budget ~seed:edge with
+    | None -> repeel t after
+    | Some (vs, es) ->
+      let old = t.dec.HC.edge_core in
+      let ne = Array.length old in
+      (* Deletion shifts later hyperedge ids down by one, both in the
+         maintained array and in the region's id set. *)
+      let ec = Array.make (ne - 1) (-1) in
+      for f = 0 to ne - 1 do
+        if f <> edge then ec.(if f > edge then f - 1 else f) <- old.(f)
+      done;
+      let es' =
+        let buf = U.Dynarray.create ~dummy:0 () in
+        Array.iter
+          (fun f ->
+            if f <> edge then U.Dynarray.push buf (if f > edge then f - 1 else f))
+          es;
+        U.Dynarray.to_array buf
+      in
+      splice t after ~vs ~es:es' ~vc:(Array.copy t.dec.HC.vertex_core) ~ec

@@ -1,0 +1,62 @@
+(** Incremental maintenance of {!Hypergraph_core.decomposition} across
+    a mutation stream (DESIGN.md section 13).
+
+    A maintainer owns the current hypergraph and its decomposition.
+    Each mutation repairs the decomposition instead of re-peeling:
+    core numbers are a per-overlap-component property, so the repair
+    re-peels only the overlap-connected region touched by the mutation
+    — collected by a budget-bounded BFS over the incidence structure —
+    and splices the result into fresh copies of the maintained arrays.
+    When the region exceeds the budget, or when an empty hyperedge
+    exists anywhere (its survival is a whole-hypergraph property in
+    {!Hypergraph_reduce}), the maintainer falls back to a full
+    re-peel.
+
+    The maintained decomposition is bit-identical to
+    [Hypergraph_core.decompose ~domains:1] of the current hypergraph
+    after every mutation (differential-tested across randomized
+    schedules in test_kcore_inc.ml).  Published {!decomposition}
+    records are immutable: every repair installs fresh arrays, so a
+    reader holding a snapshot is never affected by later mutations. *)
+
+type t
+
+type stats = {
+  mutable incremental_repairs : int;
+      (** Mutations absorbed by a bounded region repair. *)
+  mutable repair_visited : int;
+      (** Total vertices + hyperedges visited across all repairs. *)
+  mutable full_repeels : int;
+      (** Mutations that fell back to a full re-peel (budget blown or
+          empty-hyperedge special case). *)
+}
+
+type outcome = Incremental of int  (** region size visited *) | Repeel
+
+val create : ?budget:int -> Hypergraph.t -> t
+(** Full initial peel.  [budget] (default 4096) bounds the vertices +
+    hyperedges a repair may visit before falling back to a re-peel. *)
+
+val decomposition : t -> Hypergraph_core.decomposition
+(** The current decomposition — an immutable snapshot record. *)
+
+val hypergraph : t -> Hypergraph.t
+(** The hypergraph the current decomposition describes. *)
+
+val stats : t -> stats
+
+val budget : t -> int
+
+val add_vertex : t -> after:Hypergraph.t -> outcome
+(** The mutated hypergraph [after] must be the maintainer's current
+    hypergraph with exactly one (isolated) vertex appended; O(1)
+    repair plus the array copy. *)
+
+val add_edge : t -> after:Hypergraph.t -> outcome
+(** [after] = current hypergraph with exactly one hyperedge appended
+    (members over existing vertices). *)
+
+val del_edge : t -> after:Hypergraph.t -> edge:int -> outcome
+(** [after] = current hypergraph with hyperedge [edge] removed and
+    later hyperedge ids shifted down by one (the WAL replay state's
+    deletion semantics). *)

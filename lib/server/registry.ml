@@ -3,10 +3,15 @@ module Wal = Hp_wal.Wal
 module Live = Hp_wal.Live
 module Log = Hp_util.Log
 module H = Hp_hypergraph.Hypergraph
+module HM = Hp_hypergraph.Hypergraph_maintain
 
 type source = Text | Snapshot_file of string
 
-type state = { epoch : int; hypergraph : H.t }
+type state = {
+  epoch : int;
+  hypergraph : H.t;
+  cores : Hp_hypergraph.Hypergraph_core.decomposition option;
+}
 
 type recovery = { replayed : int; torn_bytes : int; healed_skew : bool }
 
@@ -23,6 +28,10 @@ type entry = {
          concurrent mutation can never pair an old hypergraph with a
          new epoch (or vice versa). *)
   mutable live : Live.t option;
+  mutable maint : HM.t option;
+      (* Incrementally maintained core decomposition; created together
+         with [live] and advanced inside [mutate], so it exists exactly
+         for the datasets paying the mutation path. *)
   mutable wal : Wal.writer option;
   mutable wal_records : int;  (* records in the current log file *)
   mutable wal_base_identity : string;
@@ -135,8 +144,9 @@ let fresh_entry ~digest ~path ~hypergraph ~bytes ~source ~fallback =
     source;
     fallback;
     recovery = None;
-    state = { epoch = 0; hypergraph };
+    state = { epoch = 0; hypergraph; cores = None };
     live = None;
+    maint = None;
     wal = None;
     wal_records = 0;
     wal_base_identity = digest;
@@ -305,8 +315,9 @@ let load_with_wal t ~path ~wal_path (log : Wal.log) =
                   torn_bytes = log.Wal.torn_bytes;
                   healed_skew = true;
                 };
-            state = { epoch; hypergraph };
+            state = { epoch; hypergraph; cores = None };
             live = None;
+            maint = None;
             wal = Some w;
             wal_records = 0;
             wal_base_identity = s.Snapshot.identity;
@@ -344,6 +355,11 @@ let load_with_wal t ~path ~wal_path (log : Wal.log) =
         | Error e -> Error (wal_error_to_load wal_path e)
         | Ok w ->
           let hypergraph = if n = 0 then base_h else Live.to_hypergraph live in
+          (* The dataset was mutated before the restart, so rebuild
+             the maintained decomposition now: the first KCORE after
+             recovery is served warm, and subsequent mutations repair
+             instead of re-peeling. *)
+          let maint = HM.create hypergraph in
           publish t
             {
               digest = log.Wal.handle;
@@ -359,8 +375,14 @@ let load_with_wal t ~path ~wal_path (log : Wal.log) =
                     torn_bytes = log.Wal.torn_bytes;
                     healed_skew = false;
                   };
-              state = { epoch = log.Wal.base_epoch + n; hypergraph };
+              state =
+                {
+                  epoch = log.Wal.base_epoch + n;
+                  hypergraph;
+                  cores = Some (HM.decomposition maint);
+                };
               live = Some live;
+              maint = Some maint;
               wal = Some w;
               wal_records = n;
               wal_base_identity = log.Wal.base_identity;
@@ -443,6 +465,7 @@ type applied = {
   n_vertices : int;
   n_edges : int;
   checkpointed : bool;
+  repair : HM.outcome;
 }
 
 type checkpoint_info = {
@@ -462,6 +485,16 @@ let ensure_live entry =
     let l = Live.of_hypergraph entry.state.hypergraph in
     entry.live <- Some l;
     l
+
+let ensure_maintained entry =
+  match entry.maint with
+  | Some m -> m
+  | None ->
+    (* First mutation of this dataset: pay one full peel, then every
+       subsequent mutation repairs incrementally. *)
+    let m = HM.create entry.state.hypergraph in
+    entry.maint <- Some m;
+    m
 
 let ensure_writer t entry =
   match entry.wal with
@@ -485,7 +518,7 @@ let ensure_writer t entry =
    even a failed swap leaves the next [ensure_writer] folding over the
    snapshot that is already on disk. *)
 let checkpoint_locked t entry =
-  let { epoch; hypergraph } = entry.state in
+  let { epoch; hypergraph; _ } = entry.state in
   let snap_path =
     if is_snapshot entry.path then entry.path
     else Snapshot.sibling_path entry.path
@@ -553,9 +586,22 @@ let mutate t key op =
             match Wal.append w { Wal.epoch; op } with
             | Error e -> Error (`Io (Wal.error_to_string e))
             | Ok () ->
+              (* Build the maintainer from the pre-mutation state, so
+                 its first full peel and this op's repair both happen
+                 under the registry lock of this mutation. *)
+              let maint = ensure_maintained entry in
               let assigned = Live.apply_exn live op in
               entry.wal_records <- entry.wal_records + 1;
-              entry.state <- { epoch; hypergraph = Live.to_hypergraph live };
+              let hypergraph = Live.to_hypergraph live in
+              let repair =
+                match op with
+                | Wal.Add_vertex _ -> HM.add_vertex maint ~after:hypergraph
+                | Wal.Add_edge _ -> HM.add_edge maint ~after:hypergraph
+                | Wal.Del_edge { edge } ->
+                  HM.del_edge maint ~after:hypergraph ~edge
+              in
+              entry.state <-
+                { epoch; hypergraph; cores = Some (HM.decomposition maint) };
               let checkpointed =
                 t.checkpoint_every > 0
                 && entry.wal_records >= t.checkpoint_every
@@ -575,4 +621,5 @@ let mutate t key op =
                   n_vertices = H.n_vertices entry.state.hypergraph;
                   n_edges = H.n_edges entry.state.hypergraph;
                   checkpointed;
+                  repair;
                 }))))

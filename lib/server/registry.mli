@@ -49,8 +49,23 @@
 
     All operations are serialized by an internal mutex and safe to call
     from concurrent worker domains.  Readers should take
-    [entry.state] with a single field read: the [{epoch; hypergraph}]
-    pair is replaced wholesale by mutations, never updated in place. *)
+    [entry.state] with a single field read: the
+    [{epoch; hypergraph; cores}] record is replaced wholesale by
+    mutations, never updated in place.
+
+    {2 Maintained core decomposition}
+
+    Every mutation also advances an incrementally maintained k-core
+    decomposition ({!Hp_hypergraph.Hypergraph_maintain}): instead of
+    re-peeling the whole hypergraph per KCORE query, the mutation
+    repairs only the overlap-connected region it touched (with a full
+    re-peel fallback when the region outgrows the repair budget).  The
+    result is published in [state.cores], bit-identical to a fresh
+    [decompose ~domains:1] of [state.hypergraph].  [cores] is [None]
+    only for never-mutated datasets — queries on those compute (and
+    the server caches) on demand; after WAL recovery of a mutated
+    dataset it is rebuilt eagerly so KCORE answers never regress to
+    stale state. *)
 
 type source =
   | Text                     (** Parsed from the dataset file's bytes. *)
@@ -59,6 +74,10 @@ type source =
 type state = {
   epoch : int;  (** Mutations applied since epoch 0; monotone. *)
   hypergraph : Hp_hypergraph.Hypergraph.t;
+  cores : Hp_hypergraph.Hypergraph_core.decomposition option;
+      (** Maintained core decomposition of [hypergraph]; [None] until
+          the dataset is first mutated (see above).  Immutable
+          snapshot — repairs install fresh records, never mutate. *)
 }
 
 type recovery = {
@@ -78,6 +97,8 @@ type entry = {
       (** Present iff the entry was recovered through a WAL. *)
   mutable state : state;
   mutable live : Hp_wal.Live.t option;      (* registry-internal *)
+  mutable maint : Hp_hypergraph.Hypergraph_maintain.t option;
+                                            (* registry-internal *)
   mutable wal : Hp_wal.Wal.writer option;   (* registry-internal *)
   mutable wal_records : int;                (* registry-internal *)
   mutable wal_base_identity : string;       (* registry-internal *)
@@ -128,6 +149,9 @@ type applied = {
   n_vertices : int;
   n_edges : int;
   checkpointed : bool;   (** An auto-checkpoint ran after the apply. *)
+  repair : Hp_hypergraph.Hypergraph_maintain.outcome;
+      (** How the maintained decomposition absorbed this mutation
+          (bounded incremental repair vs. full re-peel). *)
 }
 
 val mutate :

@@ -127,13 +127,22 @@ let stats_payload ~domains ~deadline ~samples ~metrics h =
   @ sweep_lines
   @ powerlaw_lines (Hp_stats.Degree_dist.vertex_histogram h)
 
-let kcore_payload ~domains ~deadline ~metrics h k =
+let kcore_payload ~domains ~deadline ~metrics ~cores h k =
   let result, k =
-    match k with
-    | Some k -> (HC.k_core ~domains ~deadline h k, k)
-    | None ->
-      let k, r = HC.max_core ~domains ~deadline h in
-      (r, k)
+    match cores with
+    | Some dec ->
+      (* The mutation stream maintains this decomposition incrementally
+         (Hypergraph_maintain), so the core is assembled from its
+         arrays without re-peeling. *)
+      let k = match k with Some k -> k | None -> dec.HC.max_core in
+      Metrics.incr metrics "kcore_served_maintained";
+      (HC.core_of_decomposition h dec k, k)
+    | None -> (
+      match k with
+      | Some k -> (HC.k_core ~domains ~deadline h k, k)
+      | None ->
+        let k, r = HC.max_core ~domains ~deadline h in
+        (r, k))
   in
   (* Kernel profiling stats used to be computed and dropped here; they
      now feed the kernel_* gauges behind METRICS. *)
@@ -199,10 +208,10 @@ let powerlaw_payload h =
     @ ks
   | exception Invalid_argument _ -> ls
 
-let compute_payload ~domains ~deadline ~samples ~metrics h :
+let compute_payload ~domains ~deadline ~samples ~metrics ~cores h :
     P.analysis -> (string * string) list = function
   | P.Stats -> stats_payload ~domains ~deadline ~samples ~metrics h
-  | P.Kcore k -> kcore_payload ~domains ~deadline ~metrics h k
+  | P.Kcore k -> kcore_payload ~domains ~deadline ~metrics ~cores h k
   | P.Cover { weighting; r } -> cover_payload h weighting r
   | P.Storage -> storage_payload h
   | P.Powerlaw -> powerlaw_payload h
@@ -330,7 +339,7 @@ let analyze_reply t ~t0 ~tr dataset analysis : P.reply =
           Trace.timed tr Trace.Compute (fun () ->
               compute_payload ~domains:t.config.compute_domains ~deadline
                 ~samples:t.config.stats_samples ~metrics:t.metrics
-                st.Registry.hypergraph analysis)
+                ~cores:st.Registry.cores st.Registry.hypergraph analysis)
         with
         | payload ->
           Trace.timed tr Trace.Cache (fun () -> Result_cache.add t.cache key payload);
@@ -368,6 +377,12 @@ let mutate_reply t dataset (op : Hp_wal.Wal.op) : P.reply =
     Metrics.incr t.metrics "mutations_total";
     Metrics.incr t.metrics "wal_records_appended";
     if a.Registry.checkpointed then Metrics.incr t.metrics "wal_checkpoints";
+    (match a.Registry.repair with
+    | Hp_hypergraph.Hypergraph_maintain.Incremental visited ->
+      Metrics.incr t.metrics "kcore_incremental_repairs";
+      Metrics.incr t.metrics ~by:visited "kcore_repair_visited"
+    | Hp_hypergraph.Hypergraph_maintain.Repeel ->
+      Metrics.incr t.metrics "kcore_full_repeels");
     P.Ok
       ([ ("epoch", string_of_int a.Registry.epoch) ]
       @ (match a.Registry.assigned with

@@ -4,6 +4,7 @@ module D = Hp_util.Dynarray
 type t = {
   mutable nv : int;
   vnames : string D.t;
+  vindex : (string, int) Hashtbl.t;  (* name -> id, for duplicate checks *)
   edges : int array D.t;  (* sorted, deduplicated member arrays *)
   enames : string D.t;
 }
@@ -11,8 +12,11 @@ type t = {
 let of_hypergraph h =
   let nv = H.n_vertices h in
   let vnames = D.create ~capacity:(max 16 nv) ~dummy:"" () in
+  let vindex = Hashtbl.create (max 16 nv) in
   for v = 0 to nv - 1 do
-    D.push vnames (H.vertex_name h v)
+    D.push vnames (H.vertex_name h v);
+    if not (Hashtbl.mem vindex (H.vertex_name h v)) then
+      Hashtbl.add vindex (H.vertex_name h v) v
   done;
   let ne = H.n_edges h in
   let edges = D.create ~capacity:(max 16 ne) ~dummy:[||] () in
@@ -21,7 +25,7 @@ let of_hypergraph h =
     D.push edges (Array.copy (H.edge_members h e));
     D.push enames (H.edge_name h e)
   done;
-  { nv; vnames; edges; enames }
+  { nv; vnames; vindex; edges; enames }
 
 let n_vertices t = t.nv
 
@@ -29,7 +33,16 @@ let n_edges t = D.length t.edges
 
 let validate t (op : Wal.op) =
   match op with
-  | Wal.Add_vertex _ -> Ok ()
+  | Wal.Add_vertex { name } ->
+    (* Vertex names are the dataset's external identity: the text
+       format, snapshot-vs-text replica comparisons and the KCORE
+       payload all address vertices by name, and [Hypergraph_io]
+       collapses equal names on parse.  Accepting a duplicate here
+       would create a state no text round trip can represent. *)
+    if name = "" then Error "empty vertex name"
+    else if Hashtbl.mem t.vindex name then
+      Error (Printf.sprintf "duplicate vertex name %S" name)
+    else Ok ()
   | Wal.Add_edge { members; _ } ->
     if Array.for_all (fun v -> v >= 0 && v < t.nv) members then Ok ()
     else
@@ -44,6 +57,7 @@ let apply_exn t (op : Wal.op) =
   match op with
   | Wal.Add_vertex { name } ->
     D.push t.vnames name;
+    if not (Hashtbl.mem t.vindex name) then Hashtbl.add t.vindex name (t.nv);
     t.nv <- t.nv + 1;
     Some (t.nv - 1)
   | Wal.Add_edge { name; members } ->

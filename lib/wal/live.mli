@@ -21,9 +21,12 @@ val n_vertices : t -> int
 val n_edges : t -> int
 
 val validate : t -> Wal.op -> (unit, string) result
-(** Check an op against the current state: member vertices in range
-    for [Add_edge], edge id in range for [Del_edge].  The message is
-    client-facing. *)
+(** Check an op against the current state: non-empty, not-yet-taken
+    name for [Add_vertex] (vertex names are external identity — the
+    text format collapses equal names on parse, so a duplicate would
+    create a state no text round trip can represent), member vertices
+    in range for [Add_edge], edge id in range for [Del_edge].  The
+    message is client-facing. *)
 
 val apply_exn : t -> Wal.op -> int option
 (** Apply a {!validate}d op; returns the assigned dense id for adds,

@@ -403,6 +403,71 @@ let prop_max_core_matches_kcore =
       && r.stats.vertices_deleted = r2.stats.vertices_deleted
       && r.stats.edges_deleted = r2.stats.edges_deleted)
 
+let test_max_core_canonical_edges () =
+  (* Regression for order-dependent edge identity: e0 and e1 both
+     shrink to {a, b} when their pendant vertex is peeled, and
+     whichever is popped first is deleted as newly non-maximal — so
+     the RAW peel's surviving id depends on bucket-queue order.  The
+     canonicalized [max_core] must name the smallest original id whose
+     restriction to the core equals the surviving member set, in both
+     pendant orientations. *)
+  let a = 0 and b = 1 and c = 2 and p = 3 and q = 4 in
+  let variant pendants =
+    let e0, e1 = pendants in
+    let h =
+      H.create ~n_vertices:5 [ [ a; b; e0 ]; [ a; b; e1 ]; [ b; c ]; [ a; c ] ]
+    in
+    let k, r = C.max_core h in
+    check "max core index" 2 k;
+    Alcotest.(check (array int)) "core vertices" [| a; b; c |] r.vertex_ids;
+    Alcotest.(check (array int)) "canonical edge ids" [| 0; 2; 3 |] r.edge_ids
+  in
+  variant (p, q);
+  variant (q, p)
+
+let test_max_core_duplicate_complexes () =
+  (* Literal duplicate complexes in the input: reduction keeps the
+     smallest id of each duplicate pair, and the canonical core ids
+     must reference those, never the dropped twins. *)
+  let h =
+    H.create ~n_vertices:6
+      [
+        [ 0; 1; 2; 3 ]; [ 0; 1; 2; 3 ];
+        [ 0; 1; 4; 5 ]; [ 0; 1; 4; 5 ];
+        [ 2; 3; 4; 5 ]; [ 2; 3; 4; 5 ];
+      ]
+  in
+  let k, r = C.max_core h in
+  check "max core index" 2 k;
+  check "core vertices" 6 (H.n_vertices r.core);
+  Alcotest.(check (array int)) "first of each pair" [| 0; 2; 4 |] r.edge_ids
+
+let test_core_of_decomposition_negative_k () =
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Hypergraph_core.core_of_decomposition: negative k")
+    (fun () -> ignore (C.core_of_decomposition (tri ()) (C.decompose (tri ())) (-1)))
+
+let prop_core_of_decomposition_matches_kcore =
+  (* Assembling any level from the decomposition arrays — the serving
+     path for maintained decompositions — must agree with a direct
+     peel at that level: same vertices, same set system, same
+     deletion counts. *)
+  QCheck.Test.make ~name:"core_of_decomposition equals k_core at every level"
+    ~count:100
+    QCheck.(pair (Th.arbitrary_hypergraph ()) (int_range 0 4))
+    (fun (h, k) ->
+      let d = C.decompose h in
+      let a = C.core_of_decomposition h d k in
+      let b = C.k_core h k in
+      let edge_sets core =
+        List.sort compare
+          (List.init (H.n_edges core) (fun e -> H.edge_members core e))
+      in
+      a.vertex_ids = b.vertex_ids
+      && edge_sets a.core = edge_sets b.core
+      && a.stats.vertices_deleted = b.stats.vertices_deleted
+      && a.stats.edges_deleted = b.stats.edges_deleted)
+
 let () =
   Alcotest.run "hp_hypergraph_core"
     [
@@ -449,5 +514,12 @@ let () =
           Alcotest.test_case "peel_rounds deadline" `Quick test_peel_rounds_deadline;
           Th.prop prop_max_core_nonempty;
           Th.prop prop_max_core_matches_kcore;
+          Alcotest.test_case "canonical edge identity" `Quick
+            test_max_core_canonical_edges;
+          Alcotest.test_case "duplicate complexes" `Quick
+            test_max_core_duplicate_complexes;
+          Alcotest.test_case "core_of_decomposition negative k" `Quick
+            test_core_of_decomposition_negative_k;
+          Th.prop prop_core_of_decomposition_matches_kcore;
         ] );
     ]

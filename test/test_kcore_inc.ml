@@ -1,0 +1,208 @@
+(* Differential suite for incremental k-core maintenance
+   (Hypergraph_maintain): replay randomized mutation schedules through
+   a maintainer and assert, after EVERY mutation, that the maintained
+   decomposition is bit-identical to a full one-pass re-peel of the
+   current hypergraph.  Three schedule families:
+
+   - default budget: small graphs, so every repair should stay
+     incremental unless an empty hyperedge forces the global fallback;
+   - adversarial budget (1): every edge op must blow the repair
+     frontier and fall back to a full re-peel;
+   - empty-hyperedge schedules: empty edges are a whole-hypergraph
+     property in Hypergraph_reduce, so their presence must force the
+     re-peel path until they are deleted again.
+
+   The generator is the WAL crash suite's: valid by construction, so
+   every prefix is a reachable server state. *)
+
+module W = Hp_wal.Wal
+module L = Hp_wal.Live
+module H = Hp_hypergraph.Hypergraph
+module HIO = Hp_hypergraph.Hypergraph_io
+module HC = Hp_hypergraph.Hypergraph_core
+module HM = Hp_hypergraph.Hypergraph_maintain
+module Prng = Hp_util.Prng
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let base_text = "# inc base\nc1: a b c\nc2: b c d\nc3: c d e\n"
+
+let gen_ops rng ~nv0 ~ne0 ?(empty_every = 0) n =
+  let nv = ref nv0 and ne = ref ne0 in
+  List.init n (fun i ->
+      let pick = Prng.int rng 10 in
+      if empty_every > 0 && i mod empty_every = empty_every - 1 then begin
+        incr ne;
+        W.Add_edge { name = Printf.sprintf "e%d" i; members = [||] }
+      end
+      else if pick < 4 then begin
+        incr nv;
+        W.Add_vertex { name = Printf.sprintf "v%d" i }
+      end
+      else if pick < 8 || !ne = 0 then begin
+        let k = 1 + Prng.int rng 4 in
+        let members = Array.init k (fun _ -> Prng.int rng !nv) in
+        incr ne;
+        W.Add_edge { name = Printf.sprintf "e%d" i; members }
+      end
+      else begin
+        decr ne;
+        W.Del_edge { edge = Prng.int rng (!ne + 1) }
+      end)
+
+let assert_maintained name maint after =
+  let got = HM.decomposition maint in
+  let want = HC.decompose ~domains:1 after in
+  checkb (name ^ ": hypergraph") true
+    (H.equal_structure (HM.hypergraph maint) after);
+  check (name ^ ": max core") want.HC.max_core got.HC.max_core;
+  Alcotest.(check (array int))
+    (name ^ ": vertex cores") want.HC.vertex_core got.HC.vertex_core;
+  Alcotest.(check (array int))
+    (name ^ ": edge cores") want.HC.edge_core got.HC.edge_core
+
+(* Replay [ops] through one maintainer, checking bit-identity after
+   every mutation; returns the maintainer for stats assertions. *)
+let replay ?budget name ops =
+  let base = HIO.of_string base_text in
+  let live = L.of_hypergraph base in
+  let maint = HM.create ?budget base in
+  assert_maintained (name ^ " op -1") maint base;
+  List.iteri
+    (fun i op ->
+      (match L.apply live op with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s op %d: %s" name i m);
+      let after = L.to_hypergraph live in
+      (match op with
+      | W.Add_vertex _ -> ignore (HM.add_vertex maint ~after)
+      | W.Add_edge _ -> ignore (HM.add_edge maint ~after)
+      | W.Del_edge { edge } -> ignore (HM.del_edge maint ~after ~edge));
+      assert_maintained (Printf.sprintf "%s op %d" name i) maint after)
+    ops;
+  maint
+
+let test_randomized_schedules () =
+  let inc = ref 0 and repeels = ref 0 in
+  for i = 0 to 99 do
+    let rng = Prng.create (0x14C0 + i) in
+    let n = 16 + Prng.int rng 17 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
+    let maint = replay (Printf.sprintf "schedule %d" i) ops in
+    let s = HM.stats maint in
+    inc := !inc + s.HM.incremental_repairs;
+    repeels := !repeels + s.HM.full_repeels
+  done;
+  Printf.printf "randomized schedules: %d incremental, %d re-peels\n%!" !inc
+    !repeels;
+  (* The graphs are far smaller than the default budget: the only
+     legitimate fallbacks are empty-edge ones, and this family never
+     generates empty hyperedges. *)
+  checkb "repairs happened" true (!inc > 0);
+  check "no fallback below budget" 0 !repeels
+
+let test_adversarial_budget () =
+  (* Budget 1: the seed hyperedge alone exhausts the frontier, so
+     every ADDEDGE/DELEDGE must fall back to a full re-peel — and the
+     answers must not care. *)
+  let repeels = ref 0 and edge_ops = ref 0 in
+  for i = 0 to 19 do
+    let rng = Prng.create (0xB1DE + i) in
+    let n = 12 + Prng.int rng 9 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
+    let maint = replay ~budget:1 (Printf.sprintf "budget-1 %d" i) ops in
+    edge_ops :=
+      !edge_ops
+      + List.length
+          (List.filter (function W.Add_vertex _ -> false | _ -> true) ops);
+    repeels := !repeels + (HM.stats maint).HM.full_repeels
+  done;
+  check "every edge op re-peeled" !edge_ops !repeels
+
+let test_empty_edge_schedules () =
+  (* An empty hyperedge's survival is decided against the WHOLE
+     hypergraph, so schedules that keep inserting them must force the
+     re-peel path — and stay correct throughout. *)
+  let repeels = ref 0 in
+  for i = 0 to 9 do
+    let rng = Prng.create (0xE4417 + i) in
+    let n = 12 + Prng.int rng 9 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 ~empty_every:4 n in
+    let maint = replay (Printf.sprintf "empty-edge %d" i) ops in
+    repeels := !repeels + (HM.stats maint).HM.full_repeels
+  done;
+  checkb "empty edges forced re-peels" true (!repeels > 0)
+
+let test_isolating_delete () =
+  (* DELEDGE of the last hyperedge containing a vertex: the vertex
+     survives at degree 0 and every maintained answer must match a
+     fresh parse of the equivalent dataset. *)
+  let base = HIO.of_string "only: a b\nc2: b c\n" in
+  let live = L.of_hypergraph base in
+  let maint = HM.create base in
+  (match L.apply live (W.Del_edge { edge = 0 }) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let after = L.to_hypergraph live in
+  ignore (HM.del_edge maint ~after ~edge:0);
+  assert_maintained "isolating delete" maint after;
+  check "vertex a survives" 3 (H.n_vertices after);
+  check "degree 0" 0 (H.vertex_degree after 0);
+  let fresh = HIO.of_string "c2: b c\nvertex a\n" in
+  let da = HC.decompose ~domains:1 fresh in
+  let dm = HM.decomposition maint in
+  check "max core matches fresh parse" da.HC.max_core dm.HC.max_core;
+  (* Same multiset of core numbers; ids differ (parse orders vertices
+     by first mention). *)
+  let sorted a = List.sort compare (Array.to_list a) in
+  checkb "vertex core multiset" true
+    (sorted da.HC.vertex_core = sorted dm.HC.vertex_core)
+
+let test_grow_from_empty () =
+  (* A maintainer over the empty hypergraph, grown one op at a time —
+     the ADDVERTEX fast path and first-edge transitions. *)
+  let base = H.create ~n_vertices:0 [] in
+  let live = L.of_hypergraph base in
+  let maint = HM.create base in
+  let ops =
+    [
+      W.Add_vertex { name = "a" };
+      W.Add_vertex { name = "b" };
+      W.Add_edge { name = "e0"; members = [| 0; 1 |] };
+      W.Add_vertex { name = "c" };
+      W.Add_edge { name = "e1"; members = [| 1; 2 |] };
+      W.Add_edge { name = "e2"; members = [| 0; 2 |] };
+      W.Del_edge { edge = 1 };
+    ]
+  in
+  List.iteri
+    (fun i op ->
+      (match L.apply live op with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "grow op %d: %s" i m);
+      let after = L.to_hypergraph live in
+      (match op with
+      | W.Add_vertex _ -> ignore (HM.add_vertex maint ~after)
+      | W.Add_edge _ -> ignore (HM.add_edge maint ~after)
+      | W.Del_edge { edge } -> ignore (HM.del_edge maint ~after ~edge));
+      assert_maintained (Printf.sprintf "grow op %d" i) maint after)
+    ops;
+  let s = HM.stats maint in
+  checkb "all incremental" true (s.HM.full_repeels = 0)
+
+let () =
+  Alcotest.run "hp_kcore_inc"
+    [
+      ( "incremental maintenance",
+        [
+          Alcotest.test_case "100 randomized schedules" `Slow
+            test_randomized_schedules;
+          Alcotest.test_case "adversarial budget forces re-peel" `Quick
+            test_adversarial_budget;
+          Alcotest.test_case "empty hyperedges force re-peel" `Quick
+            test_empty_edge_schedules;
+          Alcotest.test_case "isolating delete" `Quick test_isolating_delete;
+          Alcotest.test_case "grow from empty" `Quick test_grow_from_empty;
+        ] );
+    ]

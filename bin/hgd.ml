@@ -8,12 +8,28 @@
 module Server = Hp_server.Server
 open Cmdliner
 
+let parse_bind what spec =
+  if spec = "" then Ok None
+  else
+    match Hp_server.Netaddr.parse_hostport spec with
+    | Ok hp -> Ok (Some hp)
+    | Error msg -> Error (Printf.sprintf "--%s %s" what msg)
+
 let serve socket workers cache timeout domains preload queue_limit
     shed_watermark max_file_bytes failpoints stats_samples cache_file
-    wal_sync wal_checkpoint_every log_level quiet =
+    wal_sync wal_checkpoint_every tcp http log_level quiet =
   (match Hp_util.Log.level_of_string log_level with
   | Ok l -> Hp_util.Log.set_level l
   | Error msg -> Printf.eprintf "hgd: %s, keeping info\n%!" msg);
+  let ( let* ) r f =
+    match r with
+    | Ok v -> f v
+    | Error msg ->
+      Hp_util.Log.error ~comp:"hgd" ~fields:[ ("error", msg) ] "start failed";
+      1
+  in
+  let* tcp = parse_bind "tcp" tcp in
+  let* http = parse_bind "http" http in
   let config =
     {
       Server.socket_path = socket;
@@ -30,6 +46,8 @@ let serve socket workers cache timeout domains preload queue_limit
       cache_file = (if cache_file = "" then None else Some cache_file);
       wal_sync;
       wal_checkpoint_every;
+      tcp;
+      http;
     }
   in
   match Server.start config with
@@ -37,9 +55,16 @@ let serve socket workers cache timeout domains preload queue_limit
     Hp_util.Log.error ~comp:"hgd" ~fields:[ ("error", msg) ] "start failed";
     1
   | Ok t ->
-    if not quiet then
+    if not quiet then begin
       Printf.printf "hgd: listening on %s (%d workers, %d cache entries)\n%!"
         socket workers cache;
+      Option.iter
+        (fun p -> Printf.printf "hgd: tcp protocol on port %d\n%!" p)
+        (Server.tcp_port t);
+      Option.iter
+        (fun p -> Printf.printf "hgd: http /metrics + /healthz on port %d\n%!" p)
+        (Server.http_port t)
+    end;
     let stop_signal _ = Server.request_stop t in
     ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop_signal));
     ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal));
@@ -125,6 +150,19 @@ let wal_checkpoint_arg =
                snapshot after every N mutations (0 = only on an explicit \
                CHECKPOINT request).")
 
+let tcp_arg =
+  Arg.(value & opt string "" & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Also serve the protocol over TCP via the nonblocking event \
+               loop (e.g. $(i,127.0.0.1:7070), $(i,:7070) for all \
+               interfaces, port 0 for an ephemeral port).  The same port \
+               answers HTTP $(i,GET /metrics) and $(i,GET /healthz).")
+
+let http_arg =
+  Arg.(value & opt string "" & info [ "http" ] ~docv:"HOST:PORT"
+         ~doc:"Dedicated HTTP port for $(i,GET /metrics) (Prometheus text) \
+               and $(i,GET /healthz), for scrapers kept away from the \
+               protocol port.")
+
 let log_level_arg =
   let env = Cmd.Env.info "HGD_LOG_LEVEL" in
   Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -141,6 +179,6 @@ let () =
             $ domains_arg $ preload_arg $ queue_limit_arg $ shed_watermark_arg
             $ max_file_bytes_arg $ failpoints_arg $ stats_samples_arg
             $ cache_file_arg $ wal_sync_arg $ wal_checkpoint_arg
-            $ log_level_arg $ quiet_arg)
+            $ tcp_arg $ http_arg $ log_level_arg $ quiet_arg)
   in
   exit (Cmd.eval' cmd)

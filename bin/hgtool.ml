@@ -554,10 +554,21 @@ let socket_arg =
 let serve_cmd =
   let run socket workers cache timeout domains preload queue_limit
       shed_watermark max_file_bytes failpoints stats_samples cache_file
-      wal_sync wal_checkpoint_every log_level =
+      wal_sync wal_checkpoint_every tcp http log_level =
     (match Hp_util.Log.level_of_string log_level with
     | Ok l -> Hp_util.Log.set_level l
     | Error msg -> Printf.eprintf "hgtool: serve: %s, keeping info\n%!" msg);
+    let parse_bind what spec =
+      if spec = "" then None
+      else
+        match Hp_server.Netaddr.parse_hostport spec with
+        | Ok hp -> Some hp
+        | Error msg ->
+          Printf.eprintf "hgtool: serve: --%s %s\n" what msg;
+          exit 1
+    in
+    let tcp = parse_bind "tcp" tcp in
+    let http = parse_bind "http" http in
     let config =
       {
         Hp_server.Server.socket_path = socket;
@@ -574,6 +585,8 @@ let serve_cmd =
         cache_file = (if cache_file = "" then None else Some cache_file);
         wal_sync;
         wal_checkpoint_every;
+        tcp;
+        http;
       }
     in
     match Hp_server.Server.start config with
@@ -583,6 +596,12 @@ let serve_cmd =
     | Ok t ->
       Printf.printf "hgtool: serving on %s (%d workers, %d cache entries)\n%!"
         socket workers cache;
+      Option.iter
+        (fun p -> Printf.printf "hgtool: tcp protocol on port %d\n%!" p)
+        (Hp_server.Server.tcp_port t);
+      Option.iter
+        (fun p -> Printf.printf "hgtool: http /metrics + /healthz on port %d\n%!" p)
+        (Hp_server.Server.http_port t);
       let stop_signal _ = Hp_server.Server.request_stop t in
       ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop_signal));
       ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop_signal));
@@ -653,6 +672,17 @@ let serve_cmd =
            ~doc:"Compact a dataset's WAL into a fresh sibling snapshot \
                  after every N mutations (0 = manual CHECKPOINT only).")
   in
+  let tcp =
+    Arg.(value & opt string "" & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Also serve the protocol over TCP via the nonblocking event \
+                 loop (port 0 = ephemeral); the same port answers HTTP \
+                 $(i,GET /metrics) and $(i,GET /healthz).")
+  in
+  let http =
+    Arg.(value & opt string "" & info [ "http" ] ~docv:"HOST:PORT"
+           ~doc:"Dedicated HTTP port for $(i,GET /metrics) and \
+                 $(i,GET /healthz).")
+  in
   let log_level =
     let env = Cmd.Env.info "HGD_LOG_LEVEL" in
     Arg.(value & opt string "info" & info [ "log-level" ] ~env ~docv:"LEVEL"
@@ -663,14 +693,30 @@ let serve_cmd =
     Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
           $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints
           $ stats_samples $ cache_file $ wal_sync $ wal_checkpoint_every
-          $ log_level)
+          $ tcp $ http $ log_level)
+
+(* The one-shot commands and `query` target the Unix socket by
+   default; --tcp HOST:PORT aims them at a TCP server instead — same
+   protocol, so everything downstream is transport-blind. *)
+let tcp_target_arg =
+  Arg.(value & opt string "" & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Target a server over TCP instead of the Unix socket.")
+
+let resolve_addr ~what ~socket ~tcp =
+  if tcp = "" then Hp_server.Client.Unix_path socket
+  else
+    match Hp_server.Netaddr.parse_hostport tcp with
+    | Ok (host, port) -> Hp_server.Client.Tcp { host; port }
+    | Error msg ->
+      Printf.eprintf "hgtool: %s: --tcp %s\n" what msg;
+      exit 1
 
 (* Shared plumbing for the one-shot observability commands: send a
    single request, fail loudly on transport or server errors, hand the
    payload to the renderer. *)
-let one_shot ~what ~socket req render =
+let one_shot ~what ~addr req render =
   match
-    Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+    Hp_server.Client.with_connection_addr addr (fun c ->
         Hp_server.Client.request c req)
   with
   | Error msg ->
@@ -685,7 +731,8 @@ let one_shot ~what ~socket req render =
 
 (* metrics *)
 let metrics_cmd =
-  let run socket format =
+  let run socket tcp format =
+    let addr = resolve_addr ~what:"metrics" ~socket ~tcp in
     let fmt =
       match String.lowercase_ascii format with
       | "table" | "text" -> Hp_server.Protocol.Table
@@ -694,7 +741,7 @@ let metrics_cmd =
         Printf.eprintf "hgtool: metrics: unknown format %S (table or prom)\n" other;
         exit 1
     in
-    one_shot ~what:"metrics" ~socket (Hp_server.Protocol.Metrics fmt) (fun kvs ->
+    one_shot ~what:"metrics" ~addr (Hp_server.Protocol.Metrics fmt) (fun kvs ->
         match fmt with
         | Hp_server.Protocol.Prometheus ->
           (* The exposition lines arrive keyed by line number, already
@@ -714,12 +761,13 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Fetch a running server's counters and latency histograms.")
-    Term.(const run $ socket_arg $ format)
+    Term.(const run $ socket_arg $ tcp_target_arg $ format)
 
 (* trace *)
 let trace_cmd =
-  let run socket n =
-    one_shot ~what:"trace" ~socket (Hp_server.Protocol.Trace n) (fun kvs ->
+  let run socket tcp n =
+    let addr = resolve_addr ~what:"trace" ~socket ~tcp in
+    one_shot ~what:"trace" ~addr (Hp_server.Protocol.Trace n) (fun kvs ->
         let count =
           match List.assoc_opt "count" kvs with
           | Some c -> (try int_of_string c with _ -> 0)
@@ -748,7 +796,7 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Show the slowest recent requests with per-stage timings \
              (queue, parse, cache, compute, write).")
-    Term.(const run $ socket_arg $ n)
+    Term.(const run $ socket_arg $ tcp_target_arg $ n)
 
 (* query *)
 let print_reply_stdout = function
@@ -768,7 +816,7 @@ let print_reply_stdout = function
 (* One request line per stdin line, shipped as a single pipelined
    BATCH; items are printed as they stream back, separated by their
    "item <i>" header so the output stays machine-splittable. *)
-let run_batch_query socket =
+let run_batch_query addr =
   let lines = ref [] in
   (try
      while true do
@@ -782,7 +830,7 @@ let run_batch_query socket =
     exit 1
   end;
   let outcome =
-    Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+    Hp_server.Client.with_connection_addr addr (fun c ->
         Hp_server.Client.batch_lines c lines)
   in
   match outcome with
@@ -806,7 +854,8 @@ let run_batch_query socket =
     if not !all_ok then exit 1
 
 let query_cmd =
-  let run socket retries timeout batch words =
+  let run socket tcp retries timeout batch words =
+    let addr = resolve_addr ~what:"query" ~socket ~tcp in
     if batch then begin
       if words <> [] then begin
         Printf.eprintf
@@ -814,7 +863,7 @@ let query_cmd =
            positional request\n";
         exit 1
       end;
-      run_batch_query socket;
+      run_batch_query addr;
       exit 0
     end;
     if words = [] then begin
@@ -832,9 +881,9 @@ let query_cmd =
         let policy =
           { Hp_server.Client.default_policy with retries; timeout }
         in
-        Hp_server.Client.call ~policy ~socket_path:socket req
+        Hp_server.Client.call_addr ~policy ~addr req
       | Error _ ->
-        Hp_server.Client.with_connection ~socket_path:socket (fun c ->
+        Hp_server.Client.with_connection_addr addr (fun c ->
             Hp_server.Client.request_line c line)
     in
     match outcome with
@@ -878,7 +927,190 @@ let query_cmd =
              ADDVERTEX, ADDEDGE, DELEDGE, CHECKPOINT, DATASETS, METRICS, \
              TRACE, EVICT, PING, SHUTDOWN) to a running server, or a \
              pipelined batch with $(b,--batch).")
-    Term.(const run $ socket_arg $ retries $ timeout $ batch $ words)
+    Term.(const run $ socket_arg $ tcp_target_arg $ retries $ timeout $ batch
+          $ words)
+
+(* loadgen *)
+let loadgen_cmd =
+  let module S = Hp_server.Server in
+  let module L = Hp_server.Loadgen in
+  let module C = Hp_server.Client in
+  let iso8601 t =
+    let tm = Unix.gmtime t in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let print_phase (p : L.phase) =
+    Printf.printf
+      "%-8s %3d conns  %6d ok  %4d failed  %7.1f req/s  p50 %.2f ms  p99 %.2f ms  max %.2f ms\n"
+      p.L.label p.L.connections p.L.requests p.L.failures p.L.throughput_rps
+      p.L.latency.L.p50_ms p.L.latency.L.p99_ms p.L.latency.L.max_ms
+  in
+  let finish ~out ~check_tcp report =
+    print_phase report.L.single;
+    print_phase report.L.loaded;
+    Printf.printf "scaleup: %.2fx\n%!" report.L.scaleup;
+    if out <> "" then begin
+      let dir = Filename.dirname out in
+      if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out out in
+      output_string oc (L.to_json ~generated_at:(iso8601 (Unix.time ())) report);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" out
+    end;
+    if check_tcp then begin
+      let baseline_file = Filename.concat "bench" "tcp_baseline.json" in
+      let baseline =
+        match In_channel.with_open_text baseline_file In_channel.input_all with
+        | s -> s
+        | exception Sys_error msg ->
+          Printf.eprintf "hgtool: loadgen: --check-tcp: %s\n" msg;
+          exit 1
+      in
+      match L.check ~baseline report with
+      | Ok () -> Printf.printf "tcp loadgen guard: ok\n%!"
+      | Error msg ->
+        Printf.eprintf "hgtool: loadgen: %s\n" msg;
+        exit 1
+    end
+  in
+  let run tcp self_host connections requests dataset stalled seed out check_tcp =
+    let measure ~host ~port ~dataset ~cleanup =
+      let cfg =
+        {
+          (L.default_config ~host ~port) with
+          L.connections;
+          requests_per_conn = requests;
+          dataset;
+          stalled;
+          seed;
+        }
+      in
+      let outcome = L.run cfg in
+      cleanup ();
+      match outcome with
+      | Error msg ->
+        Printf.eprintf "hgtool: loadgen: %s\n" msg;
+        exit 1
+      | Ok report -> finish ~out ~check_tcp report
+    in
+    if self_host then begin
+      (* Spin a private in-process server on an ephemeral TCP port:
+         what the tcp-load CI job runs, and a one-command smoke test
+         locally.  Admission control is opened wide — the guard wants
+         zero failures, so the server must never answer ERR busy. *)
+      let socket = Filename.temp_file "hgd-loadgen" ".sock" in
+      (try Sys.remove socket with Sys_error _ -> ());
+      let config =
+        {
+          (S.default_config ~socket_path:socket) with
+          S.queue_limit = 4096;
+          shed_watermark = 0;
+          request_timeout = 60.0;
+          tcp = Some ("127.0.0.1", 0);
+        }
+      in
+      match S.start config with
+      | Error msg ->
+        Printf.eprintf "hgtool: loadgen: self-host: %s\n" msg;
+        exit 1
+      | Ok t ->
+        let port =
+          match S.tcp_port t with
+          | Some p -> p
+          | None ->
+            Printf.eprintf "hgtool: loadgen: self-host: no TCP port bound\n";
+            exit 1
+        in
+        let digest =
+          match dataset with
+          | "" -> None
+          | file -> (
+            (* LOAD over the TCP path itself; the digest keys the
+               analysis mix. *)
+            match
+              C.with_connection_addr (C.Tcp { host = "127.0.0.1"; port })
+                (fun c -> C.request c (Hp_server.Protocol.Load file))
+            with
+            | Ok (Hp_server.Protocol.Ok kvs) -> List.assoc_opt "digest" kvs
+            | Ok (Hp_server.Protocol.Err { message; _ }) ->
+              Printf.eprintf "hgtool: loadgen: LOAD %s: %s\n" file message;
+              S.stop t;
+              exit 1
+            | Error msg ->
+              Printf.eprintf "hgtool: loadgen: LOAD %s: %s\n" file msg;
+              S.stop t;
+              exit 1)
+        in
+        measure ~host:"127.0.0.1" ~port ~dataset:digest
+          ~cleanup:(fun () -> S.stop t)
+    end
+    else
+      match tcp with
+      | "" ->
+        Printf.eprintf
+          "hgtool: loadgen: need --tcp HOST:PORT or --self-host\n";
+        exit 1
+      | spec -> (
+        match Hp_server.Netaddr.parse_hostport spec with
+        | Error msg ->
+          Printf.eprintf "hgtool: loadgen: --tcp %s\n" msg;
+          exit 1
+        | Ok (host, port) ->
+          measure ~host ~port
+            ~dataset:(if dataset = "" then None else Some dataset)
+            ~cleanup:(fun () -> ()))
+  in
+  let connections =
+    Arg.(value & opt int 64 & info [ "c"; "connections" ] ~docv:"N"
+           ~doc:"Concurrent client connections in the loaded phase.")
+  in
+  let requests =
+    Arg.(value & opt int 50 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Requests issued per connection.")
+  in
+  let dataset =
+    Arg.(value & opt string "" & info [ "dataset" ] ~docv:"ARG"
+           ~doc:"Aim KCORE/STATS/POWERLAW at this dataset: a resident \
+                 digest with $(b,--tcp), a file to LOAD with \
+                 $(b,--self-host).  Empty keeps the mix to \
+                 PING/DATASETS/batches.")
+  in
+  let stalled =
+    Arg.(value & opt int 0 & info [ "stalled" ] ~docv:"N"
+           ~doc:"Extra connections that send half a request line and hold \
+                 the socket for the whole loaded phase (head-of-line \
+                 blocking pressure; excluded from throughput).")
+  in
+  let seed =
+    Arg.(value & opt int 0x10ad & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Workload-mix PRNG seed.")
+  in
+  let self_host =
+    Arg.(value & flag & info [ "self-host" ]
+           ~doc:"Start a private in-process server on an ephemeral port and \
+                 load-test that, instead of targeting $(b,--tcp).")
+  in
+  let out =
+    Arg.(value & opt string "_artifacts/BENCH_tcp.json" & info [ "o"; "out" ]
+           ~docv:"FILE"
+           ~doc:"Write the JSON report here (empty = stdout summary only).")
+  in
+  let check_tcp =
+    Arg.(value & flag & info [ "check-tcp" ]
+           ~doc:"CI guard: fail unless every request succeeded and the \
+                 measured concurrency scaleup is at least half the \
+                 committed baseline in bench/tcp_baseline.json.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a server's TCP front end with many concurrent clients \
+             running a mixed KCORE/STATS/BATCH/PING workload; report \
+             throughput and latency percentiles, and optionally guard \
+             them against the committed baseline.")
+    Term.(const run $ tcp_target_arg $ self_host $ connections $ requests
+          $ dataset $ stalled $ seed $ out $ check_tcp)
 
 let () =
   let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in
@@ -889,5 +1121,5 @@ let () =
             generate_cmd; stats_cmd; kcore_cmd; cover_cmd; export_cmd;
             components_cmd; powerlaw_cmd; mm_generate_cmd; reliability_cmd; dual_cmd;
             pack_cmd; unpack_cmd; verify_snap_cmd; wal_dump_cmd; checkpoint_cmd;
-            serve_cmd; query_cmd; metrics_cmd; trace_cmd;
+            serve_cmd; query_cmd; metrics_cmd; trace_cmd; loadgen_cmd;
           ]))

@@ -1,21 +1,33 @@
 type t = { fd : Unix.file_descr; mutable pending : string }
 
-let connect ~socket_path =
-  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () -> Ok { fd; pending = "" }
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with _ -> ());
-    let detail =
-      match err with
-      | ECONNREFUSED ->
-        (* The file exists but nobody is listening: a daemon died
-           without unlinking.  A restarting hgd replaces it. *)
-        "stale socket — no server listening (restart hgd to replace it)"
-      | ENOENT -> "no such socket — is hgd running?"
-      | _ -> Unix.error_message err
-    in
-    Error (Printf.sprintf "cannot connect to %s: %s" socket_path detail)
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let connect_addr addr =
+  match addr with
+  | Tcp { host; port } ->
+    Result.map (fun fd -> { fd; pending = "" }) (Netaddr.connect ~host ~port)
+  | Unix_path socket_path -> (
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> Ok { fd; pending = "" }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      let detail =
+        match err with
+        | ECONNREFUSED ->
+          (* The file exists but nobody is listening: a daemon died
+             without unlinking.  A restarting hgd replaces it. *)
+          "stale socket — no server listening (restart hgd to replace it)"
+        | ENOENT -> "no such socket — is hgd running?"
+        | _ -> Unix.error_message err
+      in
+      Error (Printf.sprintf "cannot connect to %s: %s" socket_path detail))
+
+let connect ~socket_path = connect_addr (Unix_path socket_path)
 
 let close t = try Unix.close t.fd with _ -> ()
 
@@ -42,7 +54,20 @@ let rec read_line t =
     else begin
       let buf = Bytes.create 4096 in
       match Unix.read t.fd buf 0 (Bytes.length buf) with
-      | 0 -> Error "connection closed by server"
+      | 0 ->
+        if t.pending = "" then Error "connection closed by server"
+        else begin
+          (* EOF with an unterminated tail buffered: the server (or the
+             path to it) died mid-reply.  The old behaviour silently
+             dropped those bytes; surface them as a distinct error so
+             callers can tell a torn reply from a clean close.  The
+             "truncated reply" prefix is part of the contract. *)
+          let n = String.length t.pending in
+          t.pending <- "";
+          Error
+            (Printf.sprintf
+               "truncated reply: connection closed with %d unterminated bytes" n)
+        end
       | n ->
         t.pending <- t.pending ^ Bytes.sub_string buf 0 n;
         read_line t
@@ -52,16 +77,33 @@ let rec read_line t =
       | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
     end
 
+(* Cumulative stall budget for a request write: past this, a wedged
+   server is reported instead of blocking forever. *)
+let write_stall_budget = 30.0
+
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
-  let rec go off =
+  let rec go off stalled =
     if off < Bytes.length b then begin
       match Unix.write fd b off (Bytes.length b - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | n -> go (off + n) 0.0
+      | exception Unix.Unix_error (EINTR, _, _) -> go off stalled
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        (* SO_SNDTIMEO expiry or a nonblocking fd: EAGAIN means the
+           socket buffer is full, not that the write failed — wait for
+           writability and resume, up to a stall budget. *)
+        if stalled >= write_stall_budget then
+          raise
+            (Unix.Unix_error (Unix.EAGAIN, "write", "request stalled past budget"))
+        else begin
+          (match Unix.select [] [ fd ] [] 0.25 with
+          | _ -> ()
+          | exception Unix.Unix_error (EINTR, _, _) -> ());
+          go off (stalled +. 0.25)
+        end
     end
   in
-  go 0
+  go 0 0.0
 
 let read_reply_after t header =
   let ( let* ) = Result.bind in
@@ -97,6 +139,11 @@ let request_line t line =
     | Error _ -> Error (Unix.error_message err))
 
 let request t req = request_line t (Protocol.request_line req)
+
+(* Ship bytes verbatim with no terminator and read nothing back: the
+   partial-frame tests and the load generator's stalled clients need
+   to leave half a request sitting in the server's line buffer. *)
+let send_raw t s = write_all t.fd s
 
 (* ---------- pipelined batches ---------- *)
 
@@ -160,10 +207,12 @@ let batch_lines t lines =
 
 let batch t reqs = batch_lines t (List.map Protocol.request_line reqs)
 
-let with_connection ~socket_path f =
-  match connect ~socket_path with
+let with_connection_addr addr f =
+  match connect_addr addr with
   | Error _ as e -> e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let with_connection ~socket_path f = with_connection_addr (Unix_path socket_path) f
 
 (* ---------- retrying calls ---------- *)
 
@@ -182,18 +231,30 @@ let retry_delay_ms ~policy ~prng ~attempt ~hint_ms =
   if attempt < 1 then invalid_arg "Client.retry_delay_ms: attempt < 1";
   let exp = min (attempt - 1) 20 in
   let ceiling = min (policy.base_delay_ms * (1 lsl exp)) policy.max_delay_ms in
-  (* Equal jitter: half the step is fixed, half uniform, so a herd of
-     rejected clients spreads out instead of re-colliding. *)
-  let half = ceiling / 2 in
-  let jittered =
-    half + int_of_float (Hp_util.Prng.float prng *. float_of_int (ceiling - half + 1))
-  in
-  match hint_ms with Some h -> max h jittered | None -> jittered
+  (* Equal jitter over [ceiling/2, ceiling], lifted — not clamped — by
+     the server's retry_after_ms hint.  The previous scheme took
+     [max hint jittered], which collapses to exactly [hint] whenever
+     the hint dominates: every rejected client in a herd slept the
+     same server-quoted delay and re-collided.  Instead the hint
+     floors the *window*, so jitter survives:
 
-let call ?(policy = default_policy) ~socket_path req =
+      lo = max hint (ceiling/2)
+      hi = min (max ceiling (hint + ceiling/2)) (hint + max_delay_ms)
+      delay uniform in [lo, hi]
+
+     Invariants (unit-tested): hint <= delay <= hint + max_delay_ms;
+     without a hint this is the plain equal-jitter schedule; the
+     window never degenerates while ceiling >= 2. *)
+  let hint = match hint_ms with Some h -> max 0 h | None -> 0 in
+  let lo = max hint (ceiling / 2) in
+  let hi = min (max ceiling (hint + (ceiling / 2))) (hint + policy.max_delay_ms) in
+  let hi = max hi lo in
+  lo + int_of_float (Hp_util.Prng.float prng *. float_of_int (hi - lo + 1))
+
+let call_addr ?(policy = default_policy) ~addr req =
   let prng = Hp_util.Prng.create policy.seed in
   let attempt_once () =
-    match connect ~socket_path with
+    match connect_addr addr with
     | Error msg -> `Transport msg
     | Ok t ->
       Fun.protect
@@ -226,3 +287,5 @@ let call ?(policy = default_policy) ~socket_path req =
       end
   in
   go 1
+
+let call ?policy ~socket_path req = call_addr ?policy ~addr:(Unix_path socket_path) req

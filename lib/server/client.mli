@@ -1,12 +1,24 @@
-(** Blocking client for the hgd socket protocol; used by
-    [hgtool query] and the integration tests. *)
+(** Blocking client for the hgd protocol, over a Unix-domain socket or
+    TCP; used by [hgtool query], the load generator, and the
+    integration tests. *)
 
 type t
 
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+(** Where the server lives.  The protocol is byte-identical over both
+    transports. *)
+
+val addr_to_string : addr -> string
+
+val connect_addr : addr -> (t, string) result
+(** TCP connects set [TCP_NODELAY] (request lines are tiny; Nagle only
+    adds latency) and diagnose ECONNREFUSED. *)
+
 val connect : socket_path:string -> (t, string) result
-(** A connect refused on an existing socket file is reported as a
-    stale socket — the footprint of a daemon that died without
-    unlinking (a restarting hgd replaces the file itself). *)
+(** [connect_addr (Unix_path socket_path)].  A connect refused on an
+    existing socket file is reported as a stale socket — the footprint
+    of a daemon that died without unlinking (a restarting hgd replaces
+    the file itself). *)
 
 val close : t -> unit
 
@@ -19,14 +31,27 @@ val request : t -> Protocol.request -> (Protocol.reply, string) result
 (** Send one request and read its full reply.  [Error] only on a
     transport or framing failure; a server-side [ERR] arrives as
     [Ok (Err _)].  Reply lines beyond {!Protocol.max_line_bytes} are a
-    framing error, bounding client memory against a corrupt stream. *)
+    framing error, bounding client memory against a corrupt stream.
+    A connection that closes mid-line yields an error starting with
+    ["truncated reply"] (stable prefix), distinguishing a torn reply
+    from a clean ["connection closed by server"]; write-side stalls
+    past a 30 s cumulative budget surface as an EAGAIN transport
+    error instead of blocking forever. *)
 
 val request_line : t -> string -> (Protocol.reply, string) result
 (** Send a raw line verbatim — deliberately malformed lines included,
     which is what the protocol-hardening tests need. *)
 
+val send_raw : t -> string -> unit
+(** Write bytes verbatim — no newline appended, no reply read.  For
+    partial-frame tests and stalled-client load generation; raises
+    [Unix.Unix_error] on a transport failure. *)
+
 val with_connection :
   socket_path:string -> (t -> ('a, string) result) -> ('a, string) result
+
+val with_connection_addr :
+  addr -> (t -> ('a, string) result) -> ('a, string) result
 
 (** {2 Pipelined batches}
 
@@ -78,9 +103,14 @@ val retry_delay_ms :
   hint_ms:int option ->
   int
 (** The delay [call] sleeps after failed attempt [attempt] (1-based):
-    equal-jitter exponential backoff, never below the server's
-    [hint_ms].  Exposed so tests can check the schedule without
-    sleeping. *)
+    equal-jitter exponential backoff with the server's [hint_ms]
+    composed in as a floor on the jitter {e window}, not a clamp on
+    the drawn value — so a herd of rejected clients still spreads out
+    when the hint dominates the backoff step.  Contract:
+    [hint <= delay <= hint + max_delay_ms] always; with no hint this
+    is plain equal jitter over [[ceiling/2, ceiling]] where
+    [ceiling = min (base * 2^(attempt-1)) max_delay_ms].  Exposed so
+    tests can check the schedule without sleeping. *)
 
 val call :
   ?policy:retry_policy ->
@@ -92,3 +122,10 @@ val call :
     A final [ERR busy] is returned as [Ok (Err _)]; a final transport
     failure as [Error] naming the attempt count.  Errors the server
     answers (timeout, bad request, ...) are never retried. *)
+
+val call_addr :
+  ?policy:retry_policy ->
+  addr:addr ->
+  Protocol.request ->
+  (Protocol.reply, string) result
+(** [call] over either transport. *)

@@ -1,0 +1,98 @@
+/* Thin epoll bindings for the event loop.
+ *
+ * The OCaml side (Poller) treats this as an optional accelerator: if
+ * hgd_epoll_create reports failure the loop falls back to
+ * Unix.select, so non-Linux hosts build and run unchanged.
+ *
+ * Conventions shared with poller.ml:
+ *   - fds travel as plain ints (Unix.file_descr is an int on Unix);
+ *   - interest/readiness is a bitmask: 1 = readable, 2 = writable;
+ *   - hgd_epoll_wait fills a caller-provided int array with
+ *     (fd, flags) pairs and returns the pair count, 0 on EINTR,
+ *     -1 on hard failure.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/signals.h>
+#include <string.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <errno.h>
+#include <unistd.h>
+
+CAMLprim value hgd_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(epoll_create1(EPOLL_CLOEXEC));
+}
+
+CAMLprim value hgd_epoll_ctl(value vep, value vop, value vfd, value vflags)
+{
+  struct epoll_event ev;
+  int op;
+  memset(&ev, 0, sizeof ev);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (Int_val(vflags) & 1) ev.events |= EPOLLIN;
+  if (Int_val(vflags) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev) < 0)
+    return Val_int(-errno);
+  return Val_int(0);
+}
+
+#define HGD_EPOLL_MAX 256
+
+CAMLprim value hgd_epoll_wait(value vep, value vtimeout, value vout)
+{
+  CAMLparam3(vep, vtimeout, vout);
+  struct epoll_event evs[HGD_EPOLL_MAX];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout);
+  int cap = (int)(Wosize_val(vout) / 2);
+  int n, i;
+  if (cap > HGD_EPOLL_MAX) cap = HGD_EPOLL_MAX;
+  caml_enter_blocking_section();
+  n = epoll_wait(ep, evs, cap, timeout);
+  caml_leave_blocking_section();
+  if (n < 0)
+    CAMLreturn(Val_int(errno == EINTR ? 0 : -1));
+  for (i = 0; i < n; i++) {
+    int flags = 0;
+    /* HUP/ERR wake both directions so the read path can observe EOF
+     * and the write path can observe the broken pipe. */
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) flags |= 2;
+    Field(vout, 2 * i) = Val_int(evs[i].data.fd);
+    Field(vout, 2 * i + 1) = Val_int(flags);
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__: epoll unavailable, Poller falls back to select. */
+
+CAMLprim value hgd_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value hgd_epoll_ctl(value vep, value vop, value vfd, value vflags)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vflags;
+  return Val_int(-1);
+}
+
+CAMLprim value hgd_epoll_wait(value vep, value vtimeout, value vout)
+{
+  (void)vep; (void)vtimeout; (void)vout;
+  return Val_int(-1);
+}
+
+#endif

@@ -1,0 +1,31 @@
+type request = { meth : string; path : string }
+
+let parse_request_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ meth; target; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+    let path =
+      match String.index_opt target '?' with
+      | Some i -> String.sub target 0 i
+      | None -> target
+    in
+    Some { meth; path }
+  | _ -> None
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let response ?(content_type = "text/plain; charset=utf-8") ?(head_only = false)
+    ~status body =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (reason_phrase status) content_type (String.length body)
+    (if head_only then "" else body)

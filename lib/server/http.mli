@@ -1,0 +1,23 @@
+(** Minimal HTTP/1.1 responder for the scrape endpoints.
+
+    hgd is not a web server: it answers exactly [GET /metrics] and
+    [GET /healthz] (plus [HEAD]), one request per connection,
+    [Connection: close].  The event loop hands over the raw request
+    head (request line + header lines, terminator stripped) and writes
+    back whatever byte string this module builds. *)
+
+type request = { meth : string; path : string }
+
+(** Parse ["GET /metrics HTTP/1.1"].  [None] on anything that is not a
+    three-token HTTP request line.  The path is returned with any
+    query string stripped. *)
+val parse_request_line : string -> request option
+
+(** Build a full response (status line, headers, body).  [head_only]
+    keeps the headers — including the true [Content-Length] — but
+    drops the body, as HEAD requires. *)
+val response :
+  ?content_type:string -> ?head_only:bool -> status:int -> string -> string
+
+(** Content type of the Prometheus text exposition format. *)
+val prometheus_content_type : string

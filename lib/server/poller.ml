@@ -1,0 +1,122 @@
+let read = 1
+let write = 2
+
+(* Unix.file_descr is an int on Unix; the stubs traffic in ints. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+external epoll_create : unit -> int = "hgd_epoll_create"
+external epoll_ctl : int -> int -> int -> int -> int = "hgd_epoll_ctl"
+external epoll_wait : int -> int -> int array -> int = "hgd_epoll_wait"
+
+type backend =
+  | Epoll of { ep : int; out : int array }
+  | Select
+
+type t = {
+  backend : backend;
+  (* fd -> interest mask.  The select backend polls from this table;
+     the epoll backend keeps it as a mirror so [modify] after [remove]
+     fails loudly in both.  Guarded by [mu]: mutations come from
+     worker threads while the loop thread reads it. *)
+  interest : (int, int) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let backend t = match t.backend with Epoll _ -> "epoll" | Select -> "select"
+
+let create ?(backend = `Auto) () =
+  let forced_select =
+    backend = `Select || Sys.getenv_opt "HGD_EVENT_BACKEND" = Some "select"
+  in
+  let b =
+    if forced_select then Select
+    else
+      match epoll_create () with
+      | ep when ep >= 0 -> Epoll { ep; out = Array.make 512 0 }
+      | _ -> Select
+  in
+  { backend = b; interest = Hashtbl.create 64; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let ctl_exn what r =
+  if r < 0 then
+    failwith (Printf.sprintf "Poller.%s: epoll_ctl failed (errno %d)" what (-r))
+
+let add t fd mask =
+  locked t (fun () ->
+      Hashtbl.replace t.interest (fd_int fd) mask;
+      match t.backend with
+      | Epoll { ep; _ } -> ctl_exn "add" (epoll_ctl ep 0 (fd_int fd) mask)
+      | Select -> ())
+
+let modify t fd mask =
+  locked t (fun () ->
+      if Hashtbl.mem t.interest (fd_int fd) then begin
+        Hashtbl.replace t.interest (fd_int fd) mask;
+        match t.backend with
+        | Epoll { ep; _ } -> ctl_exn "modify" (epoll_ctl ep 1 (fd_int fd) mask)
+        | Select -> ()
+      end)
+
+let remove t fd =
+  locked t (fun () ->
+      if Hashtbl.mem t.interest (fd_int fd) then begin
+        Hashtbl.remove t.interest (fd_int fd);
+        match t.backend with
+        | Epoll { ep; _ } ->
+          (* The fd may already be closed (EBADF) — removal is best
+             effort; a closed fd left epoll's set on its own. *)
+          ignore (epoll_ctl ep 2 (fd_int fd) 0)
+        | Select -> ()
+      end)
+
+let wait t ~timeout_ms =
+  match t.backend with
+  | Epoll { ep; out } -> (
+    match epoll_wait ep timeout_ms out with
+    | n when n > 0 ->
+      let rec collect i acc =
+        if i < 0 then acc
+        else collect (i - 1) ((fd_of_int out.(2 * i), out.((2 * i) + 1)) :: acc)
+      in
+      collect (n - 1) []
+    | _ -> [])
+  | Select ->
+    let readers, writers =
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun fd mask (rs, ws) ->
+              ( (if mask land read <> 0 then fd_of_int fd :: rs else rs),
+                if mask land write <> 0 then fd_of_int fd :: ws else ws ))
+            t.interest ([], []))
+    in
+    let timeout = if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0 in
+    (match Unix.select readers writers [] timeout with
+    | rs, ws, _ ->
+      (* Merge per-fd readiness so each fd appears once, like epoll. *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun fd ->
+          let k = fd_int fd in
+          Hashtbl.replace tbl k (read lor (try Hashtbl.find tbl k with Not_found -> 0)))
+        rs;
+      List.iter
+        (fun fd ->
+          let k = fd_int fd in
+          Hashtbl.replace tbl k (write lor (try Hashtbl.find tbl k with Not_found -> 0)))
+        ws;
+      Hashtbl.fold (fun fd mask acc -> (fd_of_int fd, mask) :: acc) tbl []
+    | exception Unix.Unix_error (EINTR, _, _) -> []
+    | exception Unix.Unix_error (EBADF, _, _) ->
+      (* A registered fd was closed behind our back (connection torn
+         down between rounds); the loop's own close path removes it on
+         the next pass.  Report nothing this round. *)
+      [])
+
+let close t =
+  match t.backend with
+  | Epoll { ep; _ } -> ( try Unix.close (fd_of_int ep) with _ -> ())
+  | Select -> ()

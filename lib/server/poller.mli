@@ -1,0 +1,43 @@
+(** Readiness polling behind one interface: Linux [epoll] via C stubs
+    when available, [Unix.select] everywhere else.
+
+    The event loop is the only intended consumer.  Interest is
+    level-triggered in both backends: a readable fd keeps reporting
+    readable until drained, a writable fd until the kernel buffer
+    fills, so the loop never needs edge-triggered bookkeeping.
+
+    Thread-safety: [add]/[modify]/[remove] may be called from any
+    thread while another thread is blocked in [wait].  With the epoll
+    backend the kernel picks the change up immediately; with the
+    select backend it is observed at the next [wait] round (the loop
+    bounds rounds with a timeout, so the latency is capped). *)
+
+type t
+
+(** Interest / readiness bitmask: [read lor write]. *)
+val read : int
+
+val write : int
+
+(** [create ()] prefers epoll and silently falls back to select.
+    [~backend:`Select] forces the fallback (used by tests, and by the
+    [HGD_EVENT_BACKEND=select] escape hatch). *)
+val create : ?backend:[ `Auto | `Select ] -> unit -> t
+
+(** ["epoll"] or ["select"] — surfaced in logs and tests. *)
+val backend : t -> string
+
+(** Register a new fd with the given interest mask.  Re-adding a
+    registered fd is an error with epoll; use [modify]. *)
+val add : t -> Unix.file_descr -> int -> unit
+
+val modify : t -> Unix.file_descr -> int -> unit
+
+(** Forget an fd.  Safe to call for an fd that was never added. *)
+val remove : t -> Unix.file_descr -> unit
+
+(** Block up to [timeout_ms] (-1 = forever) and return ready
+    [(fd, readiness)] pairs.  Returns [[]] on timeout or EINTR. *)
+val wait : t -> timeout_ms:int -> (Unix.file_descr * int) list
+
+val close : t -> unit

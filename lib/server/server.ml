@@ -20,6 +20,8 @@ type config = {
   cache_file : string option;
   wal_sync : Hp_wal.Wal.sync_policy;
   wal_checkpoint_every : int;
+  tcp : (string * int) option;
+  http : (string * int) option;
 }
 
 let default_config ~socket_path =
@@ -38,7 +40,25 @@ let default_config ~socket_path =
     cache_file = None;
     wal_sync = Hp_wal.Wal.Batch;
     wal_checkpoint_every = 0;
+    tcp = None;
+    http = None;
   }
+
+(* A worker job is either a whole blocking Unix-socket connection (the
+   worker owns its read loop until the client leaves), or one
+   already-framed request off a TCP connection (the event loop owns
+   the socket; the worker only computes and hands bytes back).  Both
+   carry the timestamp they were queued at so the worker can measure
+   the queue wait. *)
+type job =
+  | Conn of Unix.file_descr * float
+  | Parsed of parsed_job
+
+and parsed_job = {
+  pconn : Event_loop.conn;
+  payload : Event_loop.payload;
+  enqueued_at : float;
+}
 
 type t = {
   config : config;
@@ -47,17 +67,20 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   listen_fd : Unix.file_descr;
+  tcp_port : int option;
+  http_port : int option;
   started_at : float;
   stopping : bool Atomic.t;
-  (* Jobs carry the accept timestamp so the worker that picks the
-     connection up can measure the queue wait. *)
-  mutable pool : (Unix.file_descr * float) Worker.t option;
+  mutable pool : job Worker.t option;
   mutable accept_domain : unit Domain.t option;
+  mutable event_loop : Event_loop.t option;
   finalize_mutex : Mutex.t;
   mutable finalized : bool;
 }
 
 let socket_path t = t.config.socket_path
+let tcp_port t = t.tcp_port
+let http_port t = t.http_port
 
 (* ---------- analysis payloads ---------- *)
 
@@ -439,6 +462,25 @@ let server_gauges t =
     ("queue_limit", float_of_int t.config.queue_limit);
     ("uptime_seconds", Unix.gettimeofday () -. t.started_at);
   ]
+  @
+  match t.event_loop with
+  | Some loop ->
+    [ ("tcp_open_connections", float_of_int (Event_loop.connections loop)) ]
+  | None -> []
+
+(* The one Prometheus rendering, shared by the protocol's
+   [METRICS prom] and HTTP [GET /metrics]. *)
+let prometheus_lines t =
+  let restarts =
+    match t.pool with Some pool -> Worker.restarts pool | None -> 0
+  in
+  Metrics.prometheus ~gauges:(server_gauges t)
+    ~labeled_gauges:
+      (List.map
+         (fun (digest, epoch) -> ("dataset_epoch", [ ("dataset", digest) ], epoch))
+         (epoch_gauges t))
+    ~extra_counters:[ ("worker_restarts", restarts) ]
+    (Metrics.freeze t.metrics)
 
 let metrics_reply t (fmt : P.metrics_format) : P.reply =
   let restarts =
@@ -469,17 +511,7 @@ let metrics_reply t (fmt : P.metrics_format) : P.reply =
     (* One exposition line per payload value, keyed by line number, so
        the reply stays inside the tab-separated framing; the client
        reassembles by printing values in order. *)
-    let lines =
-      Metrics.prometheus ~gauges:(server_gauges t)
-        ~labeled_gauges:
-          (List.map
-             (fun (digest, epoch) ->
-               ("dataset_epoch", [ ("dataset", digest) ], epoch))
-             (epoch_gauges t))
-        ~extra_counters:[ ("worker_restarts", restarts) ]
-        (Metrics.freeze t.metrics)
-    in
-    P.Ok (List.mapi (fun i l -> (string_of_int i, l)) lines)
+    P.Ok (List.mapi (fun i l -> (string_of_int i, l)) (prometheus_lines t))
 
 let trace_reply t n : P.reply =
   let n = Option.value n ~default:10 in
@@ -613,6 +645,11 @@ let rec read_line t conn =
         if Atomic.get t.stopping then `Eof else read_line t conn
     end
 
+(* How long a blocking reply write may stall on a full socket buffer
+   (cumulative, per reply) before the connection is declared a lost
+   cause and dropped. *)
+let write_stall_budget = 30.0
+
 let write_all fd s =
   Hp_util.Fault.point "server.write";
   (* A truncation fault writes a prefix and then fails, modelling a
@@ -620,18 +657,36 @@ let write_all fd s =
   let truncated = Hp_util.Fault.fires "server.write.trunc" in
   let s = if truncated then String.sub s 0 (String.length s / 2) else s in
   let b = Bytes.unsafe_of_string s in
-  let rec go off =
+  let rec go off stalled =
     if off < Bytes.length b then begin
       match Unix.write fd b off (Bytes.length b - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | n -> go (off + n) 0.0
+      | exception Unix.Unix_error (EINTR, _, _) -> go off stalled
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        (* A nonblocking fd or an expired SO_SNDTIMEO: wait for
+           writability in slices and keep going, up to a stall budget —
+           EAGAIN is backpressure, not an I/O failure.  Past the
+           budget the client is not consuming; give up on it (the
+           caller accounts the connection, not the process). *)
+        if stalled >= write_stall_budget then
+          raise
+            (Unix.Unix_error (Unix.EAGAIN, "write", "reply stalled past budget"))
+        else begin
+          (match Unix.select [] [ fd ] [] 0.25 with
+          | _ -> ()
+          | exception Unix.Unix_error (EINTR, _, _) -> ());
+          go off (stalled +. 0.25)
+        end
     end
   in
-  go 0;
+  go 0 0.0;
   if truncated then raise (Hp_util.Fault.Injected "server.write.trunc")
 
 let initiate_stop t =
   if not (Atomic.exchange t.stopping true) then begin
+    (* Stop taking new TCP connections right away; established ones
+       are drained when [wait] stops the loop after the workers. *)
+    Option.iter Event_loop.quiesce t.event_loop;
     (* Nudge the accept loop out of its blocking accept. *)
     try
       let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
@@ -641,6 +696,66 @@ let initiate_stop t =
           try Unix.connect fd (Unix.ADDR_UNIX t.config.socket_path) with _ -> ())
     with _ -> ()
   end
+
+(* Answer one already-parsed request line: compute the reply, hand the
+   bytes to [write] behind [prefix] (the ITEM tag for batched items,
+   "" otherwise) and account metrics/trace.  Shared by both
+   transports: the Unix path's [write] is a blocking [write_all] that
+   may raise, the TCP path's is [Event_loop.send], which never does.
+   Service time is observed after [write] returns, so serialization
+   and (for the blocking path) write time are part of the request
+   latency; a failed write is still a finished — and accounted —
+   request. *)
+let answer_parsed t ~tr ~t0 ~prefix ~write parsed : [ `Continue | `Stop | `Close ]
+    =
+  let reply, control =
+    match parsed with
+    | Error msg ->
+      Metrics.incr t.metrics "bad_requests";
+      (P.err P.Bad_request msg, `Continue)
+    | Ok req -> (
+      try handle_request t ~t0 ~tr req
+      with
+      | Hp_util.Fault.Killed _ as e -> raise e
+      | e ->
+        Metrics.incr t.metrics "compute_errors";
+        (P.err P.Internal (Printexc.to_string e), `Continue))
+  in
+  let status =
+    match reply with
+    | P.Err { code; _ } ->
+      Metrics.incr t.metrics "responses_err";
+      "err-" ^ P.error_code_to_string code
+    | P.Ok _ -> "ok"
+  in
+  let account status =
+    Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
+    let r = Trace.finish t.trace tr ~status in
+    if Log.enabled Log.Debug then
+      Log.debug ~comp:"server"
+        ~fields:
+          [
+            ("trace", string_of_int r.Trace.id);
+            ("status", r.status);
+            ("cached", string_of_bool r.cached);
+            ("total_us", string_of_int r.total_us);
+            ("queue_us", string_of_int r.queue_us);
+            ("parse_us", string_of_int r.parse_us);
+            ("cache_us", string_of_int r.cache_us);
+            ("compute_us", string_of_int r.compute_us);
+            ("write_us", string_of_int r.write_us);
+            ("request", r.request);
+          ]
+        "request"
+  in
+  (match
+     Trace.timed tr Trace.Write (fun () -> write (prefix ^ P.encode_reply reply))
+   with
+  | () -> account status
+  | exception e ->
+    account "write-error";
+    raise e);
+  (control :> [ `Continue | `Stop | `Close ])
 
 let serve_connection t (fd, accepted_at) =
   Metrics.incr t.metrics "connections";
@@ -652,62 +767,8 @@ let serve_connection t (fd, accepted_at) =
   let pending_queue_us = ref (max 0 (int_of_float (queue_wait *. 1e6))) in
   (try Unix.setsockopt_float fd SO_RCVTIMEO 0.25 with _ -> ());
   let conn = { fd; pending = "" } in
-  (* Answer one already-parsed request line: compute the reply, put it
-     on the wire behind [prefix] (the ITEM tag for batched items, ""
-     otherwise) and account metrics/trace.  Service time is observed
-     after the reply is on the wire, so serialization and write time
-     are part of the request latency; a failed write is still a
-     finished — and accounted — request. *)
-  let answer ~tr ~t0 ~prefix parsed : [ `Continue | `Stop | `Close ] =
-    let reply, control =
-      match parsed with
-      | Error msg ->
-        Metrics.incr t.metrics "bad_requests";
-        (P.err P.Bad_request msg, `Continue)
-      | Ok req -> (
-        try handle_request t ~t0 ~tr req
-        with
-        | Hp_util.Fault.Killed _ as e -> raise e
-        | e ->
-          Metrics.incr t.metrics "compute_errors";
-          (P.err P.Internal (Printexc.to_string e), `Continue))
-    in
-    let status =
-      match reply with
-      | P.Err { code; _ } ->
-        Metrics.incr t.metrics "responses_err";
-        "err-" ^ P.error_code_to_string code
-      | P.Ok _ -> "ok"
-    in
-    let account status =
-      Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
-      let r = Trace.finish t.trace tr ~status in
-      if Log.enabled Log.Debug then
-        Log.debug ~comp:"server"
-          ~fields:
-            [
-              ("trace", string_of_int r.Trace.id);
-              ("status", r.status);
-              ("cached", string_of_bool r.cached);
-              ("total_us", string_of_int r.total_us);
-              ("queue_us", string_of_int r.queue_us);
-              ("parse_us", string_of_int r.parse_us);
-              ("cache_us", string_of_int r.cache_us);
-              ("compute_us", string_of_int r.compute_us);
-              ("write_us", string_of_int r.write_us);
-              ("request", r.request);
-            ]
-          "request"
-    in
-    (match
-       Trace.timed tr Trace.Write (fun () ->
-           write_all fd (prefix ^ P.encode_reply reply))
-     with
-    | () -> account status
-    | exception e ->
-      account "write-error";
-      raise e);
-    (control :> [ `Continue | `Stop | `Close ])
+  let answer ~tr ~t0 ~prefix parsed =
+    answer_parsed t ~tr ~t0 ~prefix ~write:(write_all fd) parsed
   in
   (* A BATCH header was read: consume its n item lines and answer each
      in order, flushing every sub-reply as soon as it is computed so
@@ -793,7 +854,136 @@ let serve_connection t (fd, accepted_at) =
     ~finally:(fun () -> try Unix.close fd with _ -> ())
     (fun () ->
       Hp_util.Fault.point "worker.job";
-      try loop () with Unix.Unix_error _ -> ())
+      try loop () with
+      | Unix.Unix_error ((EPIPE | ECONNRESET | ESHUTDOWN), _, _) ->
+        (* The peer vanished with a reply owed.  SIGPIPE is ignored at
+           startup, so the write surfaced as EPIPE; account it and
+           keep the worker alive. *)
+        Metrics.incr t.metrics "client_disconnects"
+      | Unix.Unix_error _ -> ())
+
+(* One framed TCP request, computed on a worker while the event loop
+   keeps the socket: replies go back through [Event_loop.send] (which
+   buffers without blocking) and [finish] releases the connection for
+   its next pipelined frame.  Whatever happens — including a lethal
+   failpoint killing the domain — the connection must be released, or
+   it would hang in-flight forever. *)
+let serve_parsed t (job : parsed_job) =
+  match t.event_loop with
+  | None -> ()
+  | Some loop ->
+    let conn = job.pconn in
+    let send s = Event_loop.send loop conn s in
+    let queue_wait = Unix.gettimeofday () -. job.enqueued_at in
+    Metrics.observe t.metrics "queue_wait" queue_wait;
+    let queue_us = max 0 (int_of_float (queue_wait *. 1e6)) in
+    let body () =
+      Hp_util.Fault.point "worker.job";
+      match job.payload with
+      | Event_loop.Single line ->
+        let t0 = Unix.gettimeofday () in
+        Metrics.incr t.metrics "requests_total";
+        let tr = Trace.start t.trace ~queue_us ~request:line () in
+        let parsed =
+          Trace.timed tr Trace.Parse (fun () -> P.parse_request line)
+        in
+        answer_parsed t ~tr ~t0 ~prefix:"" ~write:send parsed
+      | Event_loop.Batch { header; n = _; items } ->
+        let header_t0 = Unix.gettimeofday () in
+        Metrics.incr t.metrics "requests_total";
+        Metrics.incr t.metrics (verb_counter (P.Batch 0));
+        Metrics.incr t.metrics "batch_requests";
+        let header_tr = Trace.start t.trace ~queue_us ~request:header () in
+        let rec go i = function
+          | [] -> `Continue
+          | line :: rest -> (
+            let t0 = Unix.gettimeofday () in
+            Metrics.incr t.metrics "requests_total";
+            Metrics.incr t.metrics "batch_items";
+            let tr = Trace.start t.trace ~queue_us:0 ~request:line () in
+            let parsed =
+              Trace.timed tr Trace.Parse (fun () ->
+                  match P.parse_request line with
+                  | Result.Ok P.Shutdown ->
+                    Result.Error "SHUTDOWN is not allowed inside BATCH"
+                  | Result.Ok (P.Batch _) ->
+                    Result.Error "nested BATCH is not allowed"
+                  | r -> r)
+            in
+            match
+              answer_parsed t ~tr ~t0
+                ~prefix:(P.item_line i ^ "\n")
+                ~write:send parsed
+            with
+            | `Continue -> go (i + 1) rest
+            | (`Stop | `Close) as c -> c)
+        in
+        let control = go 0 items in
+        Metrics.observe_latency t.metrics (Unix.gettimeofday () -. header_t0);
+        ignore
+          (Trace.finish t.trace header_tr
+             ~status:(match control with `Continue -> "ok" | _ -> "aborted"));
+        control
+    in
+    (match body () with
+    | `Continue -> Event_loop.finish loop conn ~close:false
+    | `Close -> Event_loop.finish loop conn ~close:true
+    | `Stop ->
+      Event_loop.finish loop conn ~close:true;
+      initiate_stop t
+    | exception e ->
+      Event_loop.finish loop conn ~close:true;
+      raise e)
+
+(* Admission decision for a framed TCP request; runs on the loop
+   domain, so it only queues and returns.  Unlike the Unix path, a
+   busy rejection answers on the existing connection and keeps it open
+   — reconnecting through a full queue would only add load. *)
+let on_loop_request t pconn payload : Event_loop.verdict =
+  if Atomic.get t.stopping then Event_loop.Close_now
+  else
+    match t.pool with
+    | None -> Event_loop.Close_now
+    | Some pool -> (
+      let job = Parsed { pconn; payload; enqueued_at = Unix.gettimeofday () } in
+      match Worker.submit pool job with
+      | `Accepted -> Event_loop.Dispatched
+      | `Stopping -> Event_loop.Close_now
+      | `Busy depth ->
+        Metrics.incr t.metrics "busy_rejections";
+        Event_loop.Reply_now
+          (P.encode_reply
+             (P.err
+                ~retry_after_ms:(retry_hint_ms depth)
+                P.Busy
+                (Printf.sprintf "job queue full (%d pending)" depth))))
+
+(* The scrape endpoints.  Deliberately tiny: two GET paths, answered
+   on the loop domain from in-memory state (no dataset work, no
+   workers), one request per connection. *)
+let http_response t ~peer:_ lines =
+  let bad () = Http.response ~status:400 "bad request\n" in
+  match lines with
+  | [] -> bad ()
+  | request_line :: _ -> (
+    match Http.parse_request_line request_line with
+    | None -> bad ()
+    | Some { Http.meth; path } ->
+      if meth <> "GET" && meth <> "HEAD" then
+        Http.response ~status:405 "method not allowed\n"
+      else begin
+        let head_only = meth = "HEAD" in
+        match path with
+        | "/healthz" ->
+          if Atomic.get t.stopping then
+            Http.response ~head_only ~status:503 "stopping\n"
+          else Http.response ~head_only ~status:200 "ok\n"
+        | "/metrics" ->
+          let body = String.concat "\n" (prometheus_lines t) ^ "\n" in
+          Http.response ~content_type:Http.prometheus_content_type ~head_only
+            ~status:200 body
+        | _ -> Http.response ~head_only ~status:404 "not found\n"
+      end)
 
 let accept_loop t =
   let rec go () =
@@ -806,7 +996,7 @@ let accept_loop t =
           match t.pool with
           | None -> Unix.close fd
           | Some pool -> (
-            match Worker.submit pool (fd, Unix.gettimeofday ()) with
+            match Worker.submit pool (Conn (fd, Unix.gettimeofday ())) with
             | `Accepted -> ()
             | `Stopping -> ( try Unix.close fd with _ -> ())
             | `Busy depth ->
@@ -912,6 +1102,31 @@ let start config =
         (Printf.sprintf "cannot bind %s: %s" config.socket_path
            (Unix.error_message err))
   in
+  let release_unix () =
+    (try Unix.close listen_fd with _ -> ());
+    try Unix.unlink config.socket_path with _ -> ()
+  in
+  let* tcp_listen =
+    match config.tcp with
+    | None -> Ok None
+    | Some (host, port) -> (
+      match Netaddr.bind_listen ~host ~port ~backlog:128 with
+      | Ok (fd, bound) -> Ok (Some (fd, bound))
+      | Error e ->
+        release_unix ();
+        Error e)
+  in
+  let* http_listen =
+    match config.http with
+    | None -> Ok None
+    | Some (host, port) -> (
+      match Netaddr.bind_listen ~host ~port ~backlog:64 with
+      | Ok (fd, bound) -> Ok (Some (fd, bound))
+      | Error e ->
+        release_unix ();
+        Option.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) tcp_listen;
+        Error e)
+  in
   let t =
     {
       config;
@@ -919,11 +1134,14 @@ let start config =
       cache = Result_cache.create ~capacity:config.cache_capacity ~metrics ();
       metrics;
       listen_fd;
+      tcp_port = Option.map snd tcp_listen;
+      http_port = Option.map snd http_listen;
       trace = Trace.create ();
       started_at = Unix.gettimeofday ();
       stopping = Atomic.make false;
       pool = None;
       accept_domain = None;
+      event_loop = None;
       finalize_mutex = Mutex.create ();
       finalized = false;
     }
@@ -954,18 +1172,43 @@ let start config =
            Log.warn ~comp:"worker"
              ~fields:[ ("exn", Printexc.to_string e) ]
              "handler exception captured")
-         (serve_connection t));
+         (fun job ->
+           match job with
+           | Conn (fd, at) -> serve_connection t (fd, at)
+           | Parsed p -> serve_parsed t p));
+  (match (tcp_listen, http_listen) with
+  | None, None -> ()
+  | _ ->
+    let listeners =
+      (match tcp_listen with Some (fd, _) -> [ (fd, `Protocol) ] | None -> [])
+      @ match http_listen with Some (fd, _) -> [ (fd, `Http) ] | None -> []
+    in
+    t.event_loop <-
+      Some
+        (Event_loop.create ~metrics ~on_request:(on_loop_request t)
+           ~on_http:(fun ~peer lines -> http_response t ~peer lines)
+           ~listeners ()));
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
   Log.info ~comp:"server"
     ~fields:
-      [
-        ("socket", config.socket_path);
-        ("workers", string_of_int config.workers);
-        ("queue_limit", string_of_int config.queue_limit);
-        ("cache_capacity", string_of_int config.cache_capacity);
-        ("compute_domains", string_of_int config.compute_domains);
-        ("stats_samples", string_of_int config.stats_samples);
-      ]
+      ([
+         ("socket", config.socket_path);
+         ("workers", string_of_int config.workers);
+         ("queue_limit", string_of_int config.queue_limit);
+         ("cache_capacity", string_of_int config.cache_capacity);
+         ("compute_domains", string_of_int config.compute_domains);
+         ("stats_samples", string_of_int config.stats_samples);
+       ]
+      @ (match (t.tcp_port, config.tcp) with
+        | Some p, Some (host, _) -> [ ("tcp", Printf.sprintf "%s:%d" host p) ]
+        | _ -> [])
+      @ (match (t.http_port, config.http) with
+        | Some p, Some (host, _) -> [ ("http", Printf.sprintf "%s:%d" host p) ]
+        | _ -> [])
+      @
+      match t.event_loop with
+      | Some loop -> [ ("event_backend", Event_loop.backend loop) ]
+      | None -> [])
     "listening";
   Ok t
 
@@ -979,6 +1222,14 @@ let wait t =
       if not t.finalized then begin
         Option.iter Domain.join t.accept_domain;
         Option.iter Worker.shutdown t.pool;
+        (* Workers drained after the loop quiesced: every accepted TCP
+           request has produced its reply bytes; stop the loop so it
+           flushes outboxes and closes the remaining connections. *)
+        Option.iter
+          (fun loop ->
+            Event_loop.stop loop;
+            Event_loop.join loop)
+          t.event_loop;
         (* Workers are drained: no more appends are coming, so make
            every Batch/Never-policy WAL tail durable before exit. *)
         Registry.sync_wals t.registry;

@@ -1,9 +1,17 @@
-(** The hgd daemon: a Unix-domain-socket server holding datasets
-    resident and memoizing analyses.
+(** The hgd daemon: a Unix-domain-socket (and optionally TCP) server
+    holding datasets resident and memoizing analyses.
 
-    Architecture: one accept domain feeds connections to a fixed
-    {!Worker} pool; each worker serves its connection's requests in a
-    read-parse-dispatch-reply loop until the client disconnects.
+    Architecture: one accept domain feeds Unix-socket connections to a
+    fixed {!Worker} pool; each worker serves its connection's requests
+    in a read-parse-dispatch-reply loop until the client disconnects.
+    With [tcp] (and/or [http]) configured, an {!Event_loop} domain
+    additionally multiplexes every TCP connection nonblockingly —
+    framing requests in user space and submitting them to the same
+    worker pool one at a time per connection — so a slow or stalled
+    client costs buffer memory, never a worker or the accept path.
+    The loop also answers HTTP [GET /metrics] (Prometheus text) and
+    [GET /healthz]: on the dedicated [http] port, and on the [tcp]
+    port for any connection whose first line is an HTTP request line.
     Analyses go through the {!Result_cache} (keyed by dataset content
     digest and canonical request), datasets through the {!Registry};
     every request is timed into {!Metrics}.
@@ -65,6 +73,15 @@ type config = {
   (** Auto-compact a dataset's WAL into a fresh sibling snapshot after
       this many records ([--wal-checkpoint-every]); 0 (the default)
       compacts only on explicit [CHECKPOINT]. *)
+  tcp : (string * int) option;
+  (** Also serve the text protocol over TCP on this host/port
+      ([--tcp HOST:PORT]), via the nonblocking event loop.  Port 0
+      binds an ephemeral port, readable back via {!tcp_port}. *)
+  http : (string * int) option;
+  (** Dedicated HTTP port for [GET /metrics] and [GET /healthz]
+      ([--http HOST:PORT]); both are also served on the [tcp] port by
+      first-line sniffing, so this is for deployments that firewall
+      the protocol port away from scrapers. *)
 }
 
 val default_config : socket_path:string -> config
@@ -98,3 +115,10 @@ val run : config -> (unit, string) result
     [hgtool serve]. *)
 
 val socket_path : t -> string
+
+val tcp_port : t -> int option
+(** The bound TCP port, when [config.tcp] was given — the actual
+    kernel-assigned port if 0 was requested. *)
+
+val http_port : t -> int option
+(** Likewise for the dedicated HTTP port. *)

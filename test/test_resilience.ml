@@ -262,6 +262,63 @@ let test_backoff_honors_hint () =
   let d = Client.retry_delay_ms ~policy ~prng ~attempt:1 ~hint_ms:(Some 777) in
   checkb "server hint is a floor" true (d >= 777)
 
+let test_backoff_hint_keeps_jitter () =
+  (* The hint floors the jitter *window*, not the drawn value: a herd
+     of rejected clients quoting the same retry_after_ms must still
+     spread out.  The old [max hint jittered] collapsed every delay to
+     exactly [hint] whenever the hint dominated the backoff step. *)
+  let policy =
+    { Client.default_policy with base_delay_ms = 100; max_delay_ms = 5000 }
+  in
+  let hint = 2000 in
+  let draws =
+    List.init 64 (fun seed ->
+        let prng = Hp_util.Prng.create (seed * 31 + 1) in
+        Client.retry_delay_ms ~policy ~prng ~attempt:1 ~hint_ms:(Some hint))
+  in
+  List.iter
+    (fun d ->
+      checkb
+        (Printf.sprintf "delay %d in [hint, hint + max_delay]" d)
+        true
+        (d >= hint && d <= hint + policy.Client.max_delay_ms))
+    draws;
+  checkb "jitter survives a dominant hint" true
+    (List.length (List.sort_uniq compare draws) > 8)
+
+let test_backoff_busy_schedule () =
+  (* The exact busy -> retry schedule: every attempt respects both the
+     hint floor and the hint + max_delay ceiling, and without a hint
+     the plain equal-jitter window applies. *)
+  let policy =
+    { Client.default_policy with base_delay_ms = 100; max_delay_ms = 5000 }
+  in
+  let prng = Hp_util.Prng.create 42 in
+  for attempt = 1 to 8 do
+    let ceiling = min (100 * (1 lsl (attempt - 1))) 5000 in
+    let hinted =
+      Client.retry_delay_ms ~policy ~prng ~attempt ~hint_ms:(Some 300)
+    in
+    checkb
+      (Printf.sprintf "attempt %d hinted %d in [%d, %d]" attempt hinted
+         (max 300 (ceiling / 2))
+         (300 + 5000))
+      true
+      (hinted >= max 300 (ceiling / 2) && hinted <= 300 + 5000);
+    let plain = Client.retry_delay_ms ~policy ~prng ~attempt ~hint_ms:None in
+    checkb
+      (Printf.sprintf "attempt %d plain %d in [%d, %d]" attempt plain
+         (ceiling / 2) ceiling)
+      true
+      (plain >= ceiling / 2 && plain <= ceiling);
+    (* A nonsensical negative hint degrades to the plain window. *)
+    let negative =
+      Client.retry_delay_ms ~policy ~prng ~attempt ~hint_ms:(Some (-7))
+    in
+    checkb "negative hint clamped" true
+      (negative >= ceiling / 2 && negative <= ceiling)
+  done
+
 let test_client_stale_socket () =
   let dir = Filename.temp_dir "hgd" "stale" in
   let path = Filename.concat dir "stale.sock" in
@@ -506,7 +563,11 @@ let test_chaos_truncated_reply () =
       (match
          Client.with_connection ~socket_path (fun c -> Client.request c P.Ping)
        with
-      | Error _ -> ()
+      | Error msg ->
+        (* Not just any transport error: the torn tail is reported as
+           a typed truncation, distinguishable from a clean close. *)
+        checkb ("typed truncation: " ^ msg) true
+          (contains ~needle:"truncated reply" msg)
       | Ok _ -> Alcotest.fail "truncated reply should be a client-side error");
       (* The worker survives (the write fault is a captured exception)
          and the next request is served whole. *)
@@ -519,6 +580,28 @@ let test_chaos_truncated_reply () =
          exception path finishes accounting; poll rather than assert. *)
       eventually "exception captured" (fun () ->
           metric socket_path "worker_exceptions" >= 1))
+
+let test_chaos_epipe_client_gone () =
+  (* SIGPIPE/EPIPE regression: the client vanishes between request and
+     reply.  The delayed write then hits a dead socket; the worker must
+     account it and move on — not die, and certainly not take the
+     process down via SIGPIPE. *)
+  with_server ~failpoints:"server.write=sleep:150*1" (fun _dir socket_path ->
+      (match Client.connect ~socket_path with
+      | Error msg -> Alcotest.failf "connect: %s" msg
+      | Ok c ->
+        Client.send_raw c "PING\n";
+        Client.close c);
+      eventually "disconnect accounted" (fun () ->
+          metric socket_path "client_disconnects" >= 1);
+      (* The daemon is intact: same worker pool, next client served. *)
+      let pong =
+        expect_ok "after epipe"
+          (Client.with_connection ~socket_path (fun c -> Client.request c P.Ping))
+      in
+      checks "pong" "hgd" (List.assoc "pong" pong);
+      checkb "no worker lost to the dead client" true
+        (metric socket_path "worker_restarts" = 0))
 
 let test_oversized_request_line () =
   with_server (fun _dir socket_path ->
@@ -597,6 +680,10 @@ let () =
         [
           Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
           Alcotest.test_case "backoff honors hint" `Quick test_backoff_honors_hint;
+          Alcotest.test_case "hint floors window, jitter survives" `Quick
+            test_backoff_hint_keeps_jitter;
+          Alcotest.test_case "busy retry schedule bounds" `Quick
+            test_backoff_busy_schedule;
           Alcotest.test_case "stale socket" `Quick test_client_stale_socket;
         ] );
       ( "chaos",
@@ -607,6 +694,8 @@ let () =
           Alcotest.test_case "busy and retry" `Quick test_chaos_busy_and_retry;
           Alcotest.test_case "shed cache-only" `Quick test_chaos_shed_cache_only;
           Alcotest.test_case "truncated reply" `Quick test_chaos_truncated_reply;
+          Alcotest.test_case "client gone before reply" `Quick
+            test_chaos_epipe_client_gone;
           Alcotest.test_case "oversized request" `Quick test_oversized_request_line;
           Alcotest.test_case "dataset size cap" `Quick test_dataset_size_cap;
         ] );

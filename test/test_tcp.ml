@@ -1,0 +1,488 @@
+(* The TCP front end: the epoll/select event loop serving the full
+   protocol concurrently, partial-frame robustness (1-byte-at-a-time
+   clients), stalled connections not blocking anyone, and the HTTP
+   /metrics + /healthz endpoints. *)
+
+module Server = Hp_server.Server
+module Client = Hp_server.Client
+module Netaddr = Hp_server.Netaddr
+module P = Hp_server.Protocol
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let tiny_hg = "# test\nc1: a b c\nc2: b c d\nc3: c d e\n"
+
+let with_tcp_server ?(workers = 2) ?(queue_limit = 256) ?(http = false) f =
+  let dir = Filename.temp_dir "hgd" "tcp" in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      workers;
+      queue_limit;
+      tcp = Some ("127.0.0.1", 0);
+      http = (if http then Some ("127.0.0.1", 0) else None);
+    }
+  in
+  match Server.start config with
+  | Error msg -> Alcotest.failf "server start failed: %s" msg
+  | Ok t ->
+    let port =
+      match Server.tcp_port t with
+      | Some p -> p
+      | None -> Alcotest.fail "no TCP port bound"
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () -> f ~dir ~socket_path ~t ~port)
+
+let tcp_addr port = Client.Tcp { host = "127.0.0.1"; port }
+
+let expect_ok what = function
+  | Ok (P.Ok kvs) -> kvs
+  | Ok (P.Err { code; message; _ }) ->
+    Alcotest.failf "%s: unexpected ERR %s %s" what (P.error_code_to_string code)
+      message
+  | Error msg -> Alcotest.failf "%s: transport error %s" what msg
+
+let load_dataset ~via dir =
+  let data = Filename.concat dir "tiny.hg" in
+  write_file data tiny_hg;
+  let loaded =
+    expect_ok "load"
+      (Client.with_connection_addr via (fun c -> Client.request c (P.Load data)))
+  in
+  List.assoc "digest" loaded
+
+(* ---------- raw-socket helpers (the adversarial clients) ---------- *)
+
+let raw_tcp port =
+  match Netaddr.connect ~host:"127.0.0.1" ~port with
+  | Ok fd -> fd
+  | Error msg -> Alcotest.failf "raw tcp connect: %s" msg
+
+let raw_unix socket_path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  fd
+
+(* One byte per write(2): every request crosses the server's framing
+   in as many fragments as it has bytes. *)
+let send_slow fd s =
+  String.iter
+    (fun ch ->
+      let b = Bytes.make 1 ch in
+      if Unix.write fd b 0 1 <> 1 then Alcotest.fail "short 1-byte write")
+    s
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
+
+(* One byte per read(2), too. *)
+let read_line_slow fd =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match read_byte fd with
+    | None -> None
+    | Some '\n' -> Some (Buffer.contents buf)
+    | Some ch ->
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+(* A full framed reply, reassembled with its newlines so transports
+   can be compared byte-for-byte. *)
+let read_reply_slow fd =
+  match read_line_slow fd with
+  | None -> Alcotest.fail "eof before reply header"
+  | Some header ->
+    let n =
+      if String.length header >= 3 && String.sub header 0 3 = "OK " then
+        match int_of_string_opt (String.sub header 3 (String.length header - 3)) with
+        | Some n -> n
+        | None -> Alcotest.failf "bad OK header %S" header
+      else 0
+    in
+    let body =
+      List.init n (fun i ->
+          match read_line_slow fd with
+          | Some l -> l
+          | None -> Alcotest.failf "eof at reply line %d/%d" i n)
+    in
+    String.concat "\n" ((header :: body) @ [ "" ])
+
+let recv_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ()
+
+let http_get fd request =
+  send_slow fd request;
+  recv_all fd
+
+let status_of response =
+  match String.index_opt response ' ' with
+  | Some sp when String.length response >= sp + 4 ->
+    String.sub response (sp + 1) 3
+  | _ -> Alcotest.failf "unparsable HTTP response %S" response
+
+let body_of response =
+  let rec find i =
+    if i + 3 < String.length response then
+      if String.sub response i 4 = "\r\n\r\n" then
+        String.sub response (i + 4) (String.length response - i - 4)
+      else find (i + 1)
+    else Alcotest.failf "no header/body separator in %S" response
+  in
+  find 0
+
+(* ---------- full protocol over TCP ---------- *)
+
+let test_end_to_end () =
+  with_tcp_server ~http:false (fun ~dir ~socket_path ~t:_ ~port ->
+      let addr = tcp_addr port in
+      let digest = load_dataset ~via:addr dir in
+      Client.with_connection_addr addr (fun c ->
+          (* Analyses compute, then cache. *)
+          let stats1 =
+            expect_ok "stats over tcp"
+              (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats }))
+          in
+          checks "computed" "false" (List.assoc "cached" stats1);
+          let stats2 =
+            expect_ok "stats cached"
+              (Client.request c (P.Analyze { dataset = digest; analysis = P.Stats }))
+          in
+          checks "cached" "true" (List.assoc "cached" stats2);
+          (* Mutations land too: the full verb set rides TCP. *)
+          let added =
+            expect_ok "addvertex over tcp"
+              (Client.request c (P.Add_vertex { dataset = digest; name = "zz" }))
+          in
+          checkb "epoch advanced" true (List.mem_assoc "epoch" added);
+          (* A malformed line is an ERR, and the connection survives it
+             (the Unix path closes only on oversized/transport faults). *)
+          (match Client.request_line c "FROBNICATE all the things" with
+          | Ok (P.Err { code = P.Bad_request; _ }) -> ()
+          | other ->
+            Alcotest.failf "garbage verb: expected ERR bad-request, got %s"
+              (match other with
+              | Ok _ -> "OK/other"
+              | Error m -> "transport " ^ m));
+          let pong = expect_ok "ping after err" (Client.request c P.Ping) in
+          checks "pong" "hgd" (List.assoc "pong" pong);
+          (* Pipelined BATCH over the event loop. *)
+          (match
+             Client.batch c
+               [
+                 P.Ping;
+                 P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) };
+                 P.Datasets;
+               ]
+           with
+          | Ok (Client.Items [ i1; i2; i3 ]) ->
+            List.iter
+              (fun (what, item) ->
+                match item with
+                | Ok (P.Ok _) -> ()
+                | Ok (P.Err { message; _ }) ->
+                  Alcotest.failf "batch %s: ERR %s" what message
+                | Error m -> Alcotest.failf "batch %s: transport %s" what m)
+              [ ("ping", i1); ("kcore", i2); ("datasets", i3) ]
+          | Ok _ -> Alcotest.fail "batch: wrong shape"
+          | Error m -> Alcotest.failf "batch: %s" m);
+          Ok ())
+      |> Result.get_ok;
+      (* The Unix path still works, and its metrics saw the TCP side. *)
+      let metrics =
+        expect_ok "metrics over unix"
+          (Client.with_connection ~socket_path (fun c ->
+               Client.request c (P.Metrics P.Table)))
+      in
+      checkb "tcp connections counted" true
+        (int_of_string (List.assoc "tcp_connections" metrics) >= 1))
+
+(* ---------- partial frames: byte-at-a-time over both transports ---------- *)
+
+let test_partial_frames_identical () =
+  with_tcp_server (fun ~dir ~socket_path ~t:_ ~port ->
+      let digest = load_dataset ~via:(Client.Unix_path socket_path) dir in
+      let req = "KCORE " ^ digest ^ "\n" in
+      (* Warm the cache so both transports serve the same stored
+         reply (PING would differ: its uptime field moves). *)
+      ignore
+        (expect_ok "warm kcore"
+           (Client.with_connection ~socket_path (fun c ->
+                Client.request_line c ("KCORE " ^ digest))));
+      let via_unix =
+        let fd = raw_unix socket_path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            send_slow fd req;
+            read_reply_slow fd)
+      in
+      let via_tcp =
+        let fd = raw_tcp port in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            send_slow fd req;
+            read_reply_slow fd)
+      in
+      checkb "reply non-trivial" true (String.length via_unix > 8);
+      checks "bit-identical across transports" via_unix via_tcp;
+      (* Two requests dribbled down one TCP connection still frame
+         correctly (the second arrives while the first's reply may be
+         in flight). *)
+      let fd = raw_tcp port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          send_slow fd req;
+          let first = read_reply_slow fd in
+          send_slow fd req;
+          let second = read_reply_slow fd in
+          checks "pipelined replies identical" first second;
+          checks "same as unix" via_unix first))
+
+(* ---------- concurrency: 64 clients, none starved ---------- *)
+
+let test_concurrent_64_clients () =
+  with_tcp_server ~workers:2 ~queue_limit:512 (fun ~dir ~socket_path:_ ~t:_ ~port ->
+      let addr = tcp_addr port in
+      let digest = load_dataset ~via:addr dir in
+      ignore
+        (expect_ok "warm"
+           (Client.with_connection_addr addr (fun c ->
+                Client.request c
+                  (P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) }))));
+      let failures = Atomic.make 0 in
+      let incr_failures () = ignore (Atomic.fetch_and_add failures 1) in
+      let worker _i =
+        match Client.connect_addr addr with
+        | Error _ -> Atomic.fetch_and_add failures 10 |> ignore
+        | Ok c ->
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              Client.set_timeout c 30.0;
+              for _ = 1 to 5 do
+                match
+                  Client.request c
+                    (P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) })
+                with
+                | Ok (P.Ok _) -> ()
+                | _ -> incr_failures ()
+              done)
+      in
+      let threads = List.init 64 (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      checki "no failed requests across 64 concurrent clients" 0
+        (Atomic.get failures))
+
+(* ---------- a stalled client must not block anyone ---------- *)
+
+let test_stalled_client_no_blocking () =
+  with_tcp_server (fun ~dir ~socket_path:_ ~t:_ ~port ->
+      let addr = tcp_addr port in
+      let digest = load_dataset ~via:addr dir in
+      ignore
+        (expect_ok "warm"
+           (Client.with_connection_addr addr (fun c ->
+                Client.request c
+                  (P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) }))));
+      (* Two flavours of stall: half a request line, and a batch header
+         whose items never arrive.  Both hold server-side buffers. *)
+      let stalled_line = raw_tcp port in
+      send_slow stalled_line "KCORE deadbee";
+      let stalled_batch = raw_tcp port in
+      send_slow stalled_batch "BATCH 3\nPING\n";
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close stalled_line;
+          Unix.close stalled_batch)
+        (fun () ->
+          (* Other connections make normal progress the whole time. *)
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to 5 do
+            ignore
+              (expect_ok "request beside stalled clients"
+                 (Client.with_connection_addr addr (fun c ->
+                      Client.set_timeout c 10.0;
+                      Client.request c
+                        (P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) }))))
+          done;
+          let elapsed = Unix.gettimeofday () -. t0 in
+          checkb
+            (Printf.sprintf "progress beside stalls took %.1fs" elapsed)
+            true (elapsed < 10.0);
+          (* The stalled line eventually completes and gets its answer:
+             the buffered half-request was preserved intact. *)
+          send_slow stalled_line "f\n";
+          match read_line_slow stalled_line with
+          | Some header ->
+            checkb ("stalled completion answered: " ^ header) true
+              (String.length header >= 3
+              && (String.sub header 0 3 = "OK " || String.sub header 0 3 = "ERR"))
+          | None -> Alcotest.fail "stalled connection lost its buffered bytes"))
+
+(* ---------- HTTP endpoints ---------- *)
+
+let prom_line_ok l =
+  l = ""
+  || String.length l >= 1
+     && (l.[0] = '#'
+        || String.length l > 4
+           && String.sub l 0 4 = "hgd_"
+           && String.contains l ' ')
+
+let test_http_endpoints () =
+  with_tcp_server ~http:true (fun ~dir ~socket_path:_ ~t ~port ->
+      let hport =
+        match Server.http_port t with
+        | Some p -> p
+        | None -> Alcotest.fail "no HTTP port bound"
+      in
+      let addr = tcp_addr port in
+      ignore (load_dataset ~via:addr dir);
+      let get ~port req =
+        let fd = raw_tcp port in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> http_get fd req)
+      in
+      (* Health and metrics on the dedicated port. *)
+      let health = get ~port:hport "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+      checks "healthz status" "200" (status_of health);
+      checks "healthz body" "ok\n" (body_of health);
+      let metrics = get ~port:hport "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" in
+      checks "metrics status" "200" (status_of metrics);
+      checkb "prometheus content type" true
+        (let n = "text/plain; version=0.0.4" in
+         let rec find i =
+           i + String.length n <= String.length metrics
+           && (String.sub metrics i (String.length n) = n || find (i + 1))
+         in
+         find 0);
+      let mbody = body_of metrics in
+      checkb "metrics carry requests_total" true
+        (let n = "hgd_requests_total" in
+         let rec find i =
+           i + String.length n <= String.length mbody
+           && (String.sub mbody i (String.length n) = n || find (i + 1))
+         in
+         find 0);
+      List.iter
+        (fun l -> checkb ("prom line: " ^ l) true (prom_line_ok l))
+        (String.split_on_char '\n' mbody);
+      (* Same endpoints answer on the protocol port by sniffing. *)
+      let sniffed = get ~port "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+      checks "sniffed healthz status" "200" (status_of sniffed);
+      (* Errors: unknown path, bad method, non-HTTP garbage. *)
+      checks "404" "404" (status_of (get ~port:hport "GET /nope HTTP/1.1\r\n\r\n"));
+      checks "405" "405"
+        (status_of (get ~port:hport "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+      checks "400" "400" (status_of (get ~port:hport "how about no\r\n\r\n")))
+
+(* ---------- the portable select backend serves the same traffic ---------- *)
+
+let test_select_backend () =
+  Unix.putenv "HGD_EVENT_BACKEND" "select";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "HGD_EVENT_BACKEND" "")
+    (fun () ->
+      with_tcp_server (fun ~dir ~socket_path:_ ~t:_ ~port ->
+          let addr = tcp_addr port in
+          let digest = load_dataset ~via:addr dir in
+          let kcore =
+            expect_ok "kcore on select backend"
+              (Client.with_connection_addr addr (fun c ->
+                   Client.request c
+                     (P.Analyze { dataset = digest; analysis = P.Kcore (Some 2) })))
+          in
+          checkb "k parses" true (List.mem_assoc "k" kcore);
+          (* Byte-at-a-time and HTTP survive the fallback too. *)
+          let fd = raw_tcp port in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              send_slow fd ("KCORE " ^ digest ^ "\n");
+              checkb "slow reply on select backend" true
+                (String.length (read_reply_slow fd) > 8));
+          let fd = raw_tcp port in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              checks "healthz on select backend" "200"
+                (status_of (http_get fd "GET /healthz HTTP/1.1\r\n\r\n")))))
+
+(* ---------- SHUTDOWN over TCP stops the daemon cleanly ---------- *)
+
+let test_tcp_shutdown () =
+  let dir = Filename.temp_dir "hgd" "tcpshut" in
+  let socket_path = Filename.concat dir "hgd.sock" in
+  let config =
+    {
+      (Server.default_config ~socket_path) with
+      workers = 2;
+      tcp = Some ("127.0.0.1", 0);
+    }
+  in
+  match Server.start config with
+  | Error msg -> Alcotest.failf "server start failed: %s" msg
+  | Ok t ->
+    let port =
+      match Server.tcp_port t with Some p -> p | None -> Alcotest.fail "no port"
+    in
+    let reply =
+      expect_ok "shutdown over tcp"
+        (Client.with_connection_addr (tcp_addr port) (fun c ->
+             Client.request c P.Shutdown))
+    in
+    checks "acknowledged" "true" (List.assoc "shutting_down" reply);
+    (* The reply was written before the loop died, and wait returns. *)
+    Server.wait t;
+    checkb "socket removed" false (Sys.file_exists socket_path);
+    match Client.connect_addr (tcp_addr port) with
+    | Ok c ->
+      Client.close c;
+      Alcotest.fail "TCP port should be closed after shutdown"
+    | Error _ -> ()
+
+let () =
+  Alcotest.run "hp_tcp"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "full protocol end to end" `Quick test_end_to_end;
+          Alcotest.test_case "partial frames, identical replies" `Quick
+            test_partial_frames_identical;
+          Alcotest.test_case "64 concurrent clients" `Quick
+            test_concurrent_64_clients;
+          Alcotest.test_case "stalled client blocks nobody" `Quick
+            test_stalled_client_no_blocking;
+          Alcotest.test_case "shutdown verb over tcp" `Quick test_tcp_shutdown;
+        ] );
+      ( "http",
+        [ Alcotest.test_case "metrics and healthz" `Quick test_http_endpoints ] );
+      ( "select-backend",
+        [ Alcotest.test_case "fallback serves traffic" `Quick test_select_backend ]
+      );
+    ]

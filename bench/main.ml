@@ -15,7 +15,11 @@
                    instance
      --check-inc   fail if the E25 incrementally maintained k-core
                    decomposition is not at least 5x faster than
-                   re-peeling after every mutation *)
+                   re-peeling after every mutation
+     --check-maint fail if the E26 subcore cascade is not at least 5x
+                   faster (median per-mutation) than component-level
+                   re-peel on the giant-component instance, or fell
+                   below half of bench/maint_baseline.json *)
 
 module H = Hp_hypergraph.Hypergraph
 module HP = Hp_hypergraph.Hypergraph_path
@@ -52,6 +56,37 @@ let check_snap = Array.exists (( = ) "--check-snap") Sys.argv
    repair exists to beat the per-mutation full re-peel on workloads
    whose mutations stay local. *)
 let check_inc = Array.exists (( = ) "--check-inc") Sys.argv
+
+(* --check-maint: the E26 guard — the subcore cascade exists to beat
+   component-level re-peel when the mutated component is giant.  An
+   absolute 5x floor plus a half-the-baseline ratio check against
+   bench/maint_baseline.json. *)
+let check_maint = Array.exists (( = ) "--check-maint") Sys.argv
+
+(* Minimal numeric field scrape for committed baseline files — the
+   schema is ours, so a JSON parser buys nothing (same stance as the
+   Loadgen guard). *)
+let scrape_float ~field s =
+  let needle = "\"" ^ field ^ "\":" in
+  let nl = String.length needle in
+  let at = ref None in
+  for i = 0 to String.length s - nl do
+    if !at = None && String.sub s i nl = needle then at := Some (i + nl)
+  done;
+  match !at with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    let len = String.length s in
+    while
+      !stop < len
+      && (match s.[!stop] with
+         | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub s start (!stop - start))
 
 let section title = Printf.printf "\n== %s ==\n" title
 
@@ -1868,6 +1903,229 @@ let inc_bench () =
     exit 1
   end
 
+(* E26: subcore cascade vs component re-peel on a giant overlap        *)
+(* component.  E25's instance (many small components) is the shape     *)
+(* where component-level repair shines; this is the shape where it     *)
+(* drowns: one ring-connected giant component with a small dense       *)
+(* cluster bridged into it.  Mutations land in the cluster, whose      *)
+(* core numbers sit far above the ring's, so the cascade's subcore     *)
+(* floor confines the re-peel to the cluster while the component       *)
+(* strategy re-peels the whole giant component every op.  Per-op       *)
+(* medians, _artifacts/BENCH_maint.json; --check-maint guards the      *)
+(* cascade-vs-component speedup.                                       *)
+
+let write_maint_json ~nv ~ne ~ops ~med_cascade_s ~med_component_s ~med_repeel_s
+    ~speedup_vs_component ~speedup_vs_repeel
+    ~(stats : Hp_hypergraph.Hypergraph_maintain.stats) =
+  if not (Sys.file_exists "_artifacts") then Sys.mkdir "_artifacts" 0o755;
+  let path = Filename.concat "_artifacts" "BENCH_maint.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"schema\":1,\"bench\":\"kcore_maint\",\"vertices\":%d,\
+         \"hyperedges\":%d,\"ops\":%d,\n\
+        \ \"median_cascade_us\":%.2f,\"median_component_us\":%.2f,\
+         \"median_repeel_us\":%.2f,\n\
+        \ \"speedup_vs_component\":%.2f,\"speedup_vs_repeel\":%.2f,\n\
+        \ \"cascade_repairs\":%d,\"component_repairs\":%d,\
+         \"full_repeels\":%d,\"budget_fallbacks\":%d,\"repair_visited\":%d}\n"
+        nv ne ops (med_cascade_s *. 1e6) (med_component_s *. 1e6)
+        (med_repeel_s *. 1e6) speedup_vs_component speedup_vs_repeel
+        stats.Hp_hypergraph.Hypergraph_maintain.cascade_repairs
+        stats.Hp_hypergraph.Hypergraph_maintain.incremental_repairs
+        stats.Hp_hypergraph.Hypergraph_maintain.full_repeels
+        stats.Hp_hypergraph.Hypergraph_maintain.budget_fallbacks
+        stats.Hp_hypergraph.Hypergraph_maintain.repair_visited);
+  Printf.printf "[wrote %s]\n" path
+
+let maint_bench () =
+  section "E26: subcore cascade vs component re-peel on a giant component";
+  let module HM = Hp_hypergraph.Hypergraph_maintain in
+  let module W = Hp_wal.Wal in
+  let module L = Hp_wal.Live in
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "E26 FAIL: %s\n" s; exit 1) fmt
+  in
+  (* Ring of stride-overlapping size-6 complexes: one giant overlap
+     component whose vertices peel out at core 2. *)
+  let nv_ring = if quick then 4002 else 12000 in
+  let stride = 3 and k = 6 in
+  let ring_edges =
+    List.init (nv_ring / stride) (fun c ->
+        List.init k (fun j -> ((c * stride) + j) mod nv_ring))
+  in
+  (* A dense 48-vertex cluster (96 random size-6 complexes) bridged
+     into the ring by one mixed edge: same overlap component, but its
+     core numbers sit far above the ring's, so a cascade repair of a
+     cluster-local mutation never leaves the cluster. *)
+  let m = 48 in
+  let cluster_base = nv_ring in
+  let rng = U.Prng.create 2026 in
+  let cluster_edges =
+    List.init (2 * m) (fun _ ->
+        Array.to_list
+          (Array.map
+             (fun v -> cluster_base + v)
+             (U.Prng.sample_without_replacement rng k m)))
+  in
+  let bridge =
+    [ 0; 1; 2; cluster_base; cluster_base + 1; cluster_base + 2 ]
+  in
+  let h0 =
+    H.create ~n_vertices:(nv_ring + m)
+      (ring_edges @ cluster_edges @ [ bridge ])
+  in
+  let n_ops = if quick then 120 else 240 in
+  (* Cluster-local schedule: small edge adds over cluster vertices,
+     interleaved with deletes of edges this schedule added (tracked
+     through id shifts), so every op's affected subcore is the
+     cluster. *)
+  let live = L.of_hypergraph h0 in
+  let ne = ref (H.n_edges h0) in
+  let tracked = ref [] in
+  let schedule =
+    List.init n_ops (fun i ->
+        let op =
+          match !tracked with
+          | e :: rest when i mod 3 = 2 ->
+            tracked := List.map (fun x -> if x > e then x - 1 else x) rest;
+            decr ne;
+            W.Del_edge { edge = e }
+          | _ ->
+            let members =
+              Array.map
+                (fun v -> cluster_base + v)
+                (U.Prng.sample_without_replacement rng 3 m)
+            in
+            tracked := !ne :: !tracked;
+            incr ne;
+            W.Add_edge { name = Printf.sprintf "y%d" i; members }
+        in
+        (match L.apply live op with
+        | Ok _ -> ()
+        | Error msg -> fail "schedule op %d invalid: %s" i msg);
+        (op, L.to_hypergraph live))
+  in
+  let per_op_times step =
+    List.map
+      (fun (op, after) ->
+        let t0 = Unix.gettimeofday () in
+        step op after;
+        Unix.gettimeofday () -. t0)
+      schedule
+  in
+  let median times =
+    let a = Array.of_list times in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let run_maintained strategy =
+    let maint = HM.create ~strategy h0 in
+    let times =
+      per_op_times (fun op after ->
+          ignore
+            (match op with
+            | W.Add_vertex _ -> HM.add_vertex maint ~after
+            | W.Add_edge _ -> HM.add_edge maint ~after
+            | W.Del_edge { edge } -> HM.del_edge maint ~after ~edge))
+    in
+    (maint, times)
+  in
+  let cascade, cascade_times = run_maintained HM.Subcore in
+  let component, component_times = run_maintained HM.Component in
+  let repeel_times =
+    per_op_times (fun _ after -> ignore (HC.decompose ~domains:1 after))
+  in
+  (* All three strategies must land on the bit-identical decomposition
+     of the final state. *)
+  let _, last = List.nth schedule (n_ops - 1) in
+  let oracle = HC.decompose ~domains:1 last in
+  List.iter
+    (fun (name, got) ->
+      if
+        oracle.HC.vertex_core <> got.HC.vertex_core
+        || oracle.HC.edge_core <> got.HC.edge_core
+      then fail "%s decomposition diverged from the full-peel oracle" name)
+    [
+      ("cascade", HM.decomposition cascade);
+      ("component", HM.decomposition component);
+    ];
+  let med_cascade_s = median cascade_times in
+  let med_component_s = median component_times in
+  let med_repeel_s = median repeel_times in
+  let speedup_vs_component = med_component_s /. med_cascade_s in
+  let speedup_vs_repeel = med_repeel_s /. med_cascade_s in
+  let stats = HM.stats cascade in
+  if stats.HM.cascade_repairs = 0 then
+    fail "no cascade repairs fired on the cluster schedule";
+  if stats.HM.budget_fallbacks > 0 then
+    fail "%d budget fallbacks on a cluster-sized region (budget 4096)"
+      stats.HM.budget_fallbacks;
+  record_kernel "kcore-maint:cascade"
+    (List.fold_left ( +. ) 0.0 cascade_times)
+    [
+      ("ops", fi n_ops);
+      ("cascade_repairs", fi stats.HM.cascade_repairs);
+      ("repair_visited", fi stats.HM.repair_visited);
+    ];
+  record_kernel "kcore-maint:component"
+    (List.fold_left ( +. ) 0.0 component_times)
+    [ ("ops", fi n_ops) ];
+  let fmt_us s = Printf.sprintf "%.1f us" (s *. 1e6) in
+  print_endline
+    (table
+       ~header:[ "strategy"; "median per op"; "speedup" ]
+       [
+         [ "full re-peel"; fmt_us med_repeel_s;
+           ff (med_repeel_s /. med_component_s) ];
+         [ "component re-peel"; fmt_us med_component_s; "1.0" ];
+         [ "subcore cascade"; fmt_us med_cascade_s; ff speedup_vs_component ];
+       ]);
+  Printf.printf
+    "%d vertices (%d-vertex hot cluster), %d ops: %d cascades visiting %d \
+     total, %d component repairs, %d full re-peels\n"
+    (H.n_vertices h0) m n_ops stats.HM.cascade_repairs stats.HM.repair_visited
+    stats.HM.incremental_repairs stats.HM.full_repeels;
+  write_maint_json ~nv:(H.n_vertices h0) ~ne:(H.n_edges h0) ~ops:n_ops
+    ~med_cascade_s ~med_component_s ~med_repeel_s ~speedup_vs_component
+    ~speedup_vs_repeel ~stats;
+  if check_maint then begin
+    if speedup_vs_component < 5.0 then begin
+      Printf.eprintf
+        "E26 guard: cascade only %.1fx faster than component re-peel on the \
+         giant component (floor 5.0x)\n"
+        speedup_vs_component;
+      exit 1
+    end;
+    match
+      In_channel.with_open_text
+        (Filename.concat "bench" "maint_baseline.json")
+        In_channel.input_all
+    with
+    | exception Sys_error msg ->
+      Printf.eprintf "E26 guard: cannot read baseline: %s\n" msg;
+      exit 1
+    | baseline -> (
+      match scrape_float ~field:"speedup_vs_component" baseline with
+      | None ->
+        Printf.eprintf
+          "E26 guard: baseline has no \"speedup_vs_component\" field\n";
+        exit 1
+      | Some want ->
+        if speedup_vs_component < want /. 2.0 then begin
+          Printf.eprintf
+            "E26 guard: cascade speedup %.1fx below half the committed \
+             baseline %.1fx\n"
+            speedup_vs_component want;
+          exit 1
+        end
+        else
+          Printf.printf "E26 guard: ok (%.1fx vs baseline %.1fx)\n"
+            speedup_vs_component want)
+  end
+
 let () =
   Printf.printf
     "hyperprot experiment harness -- reproducing 'A Hypergraph Model for the\n\
@@ -1898,6 +2156,7 @@ let () =
   snapshot_bench ();
   wal_bench ();
   inc_bench ();
+  maint_bench ();
   write_bench_json ();
   if not no_timing then bechamel_pass ();
   print_newline ();

@@ -554,7 +554,7 @@ let socket_arg =
 let serve_cmd =
   let run socket workers cache timeout domains preload queue_limit
       shed_watermark max_file_bytes failpoints stats_samples cache_file
-      wal_sync wal_checkpoint_every tcp http log_level =
+      wal_sync wal_checkpoint_every kcore_budget tcp http log_level =
     (match Hp_util.Log.level_of_string log_level with
     | Ok l -> Hp_util.Log.set_level l
     | Error msg -> Printf.eprintf "hgtool: serve: %s, keeping info\n%!" msg);
@@ -585,6 +585,7 @@ let serve_cmd =
         cache_file = (if cache_file = "" then None else Some cache_file);
         wal_sync;
         wal_checkpoint_every;
+        kcore_budget;
         tcp;
         http;
       }
@@ -672,6 +673,11 @@ let serve_cmd =
            ~doc:"Compact a dataset's WAL into a fresh sibling snapshot \
                  after every N mutations (0 = manual CHECKPOINT only).")
   in
+  let kcore_budget =
+    Arg.(value & opt int 4096 & info [ "kcore-budget" ] ~docv:"N"
+           ~doc:"Visit budget for an incremental k-core repair before it \
+                 falls back to a full re-peel (default 4096, >= 1).")
+  in
   let tcp =
     Arg.(value & opt string "" & info [ "tcp" ] ~docv:"HOST:PORT"
            ~doc:"Also serve the protocol over TCP via the nonblocking event \
@@ -693,7 +699,7 @@ let serve_cmd =
     Term.(const run $ socket_arg $ workers $ cache $ timeout $ domains $ preload
           $ queue_limit $ shed_watermark $ max_file_bytes $ failpoints
           $ stats_samples $ cache_file $ wal_sync $ wal_checkpoint_every
-          $ tcp $ http $ log_level)
+          $ kcore_budget $ tcp $ http $ log_level)
 
 (* The one-shot commands and `query` target the Unix socket by
    default; --tcp HOST:PORT aims them at a TCP server instead — same
@@ -945,7 +951,10 @@ let loadgen_cmd =
     Printf.printf
       "%-8s %3d conns  %6d ok  %4d failed  %7.1f req/s  p50 %.2f ms  p99 %.2f ms  max %.2f ms\n"
       p.L.label p.L.connections p.L.requests p.L.failures p.L.throughput_rps
-      p.L.latency.L.p50_ms p.L.latency.L.p99_ms p.L.latency.L.max_ms
+      p.L.latency.L.p50_ms p.L.latency.L.p99_ms p.L.latency.L.max_ms;
+    if p.L.mutations > 0 || p.L.mutation_races > 0 then
+      Printf.printf "%-8s %d mutations applied, %d lost races\n" ""
+        p.L.mutations p.L.mutation_races
   in
   let finish ~out ~check_tcp report =
     print_phase report.L.single;
@@ -975,7 +984,8 @@ let loadgen_cmd =
         exit 1
     end
   in
-  let run tcp self_host connections requests dataset stalled seed out check_tcp =
+  let run tcp self_host connections requests dataset stalled seed mutate out
+      check_tcp =
     let measure ~host ~port ~dataset ~cleanup =
       let cfg =
         {
@@ -985,6 +995,7 @@ let loadgen_cmd =
           dataset;
           stalled;
           seed;
+          mutate;
         }
       in
       let outcome = L.run cfg in
@@ -1087,6 +1098,15 @@ let loadgen_cmd =
     Arg.(value & opt int 0x10ad & info [ "seed" ] ~docv:"SEED"
            ~doc:"Workload-mix PRNG seed.")
   in
+  let mutate =
+    Arg.(value & opt float 0.0 & info [ "mutate" ] ~docv:"FRAC"
+           ~doc:"Make this fraction of each client's requests \
+                 ADDVERTEX/ADDEDGE/DELEDGE mutations against \
+                 $(b,--dataset), exercising the WAL and incremental \
+                 k-core repair under load.  Mutations rejected by \
+                 write-write races (stale DELEDGE ids) are reported as \
+                 $(i,mutation_races), not failures.  0 = read-only mix.")
+  in
   let self_host =
     Arg.(value & flag & info [ "self-host" ]
            ~doc:"Start a private in-process server on an ephemeral port and \
@@ -1110,7 +1130,7 @@ let loadgen_cmd =
              throughput and latency percentiles, and optionally guard \
              them against the committed baseline.")
     Term.(const run $ tcp_target_arg $ self_host $ connections $ requests
-          $ dataset $ stalled $ seed $ out $ check_tcp)
+          $ dataset $ stalled $ seed $ mutate $ out $ check_tcp)
 
 let () =
   let info = Cmd.info "hgtool" ~doc:"Hypergraph toolkit for protein complex networks." in

@@ -507,6 +507,64 @@ let decompose_iterated ?(strategy = Overlap) ?(domains = 1)
   let max_core = loop 1 r0.core (Array.init nv Fun.id) r0.edge_ids in
   { vertex_core; edge_core; max_core = max max_core 0 }
 
+(* The canonical one-pass drain: pop the (key, id)-lexicographic
+   minimum of key(v) = max(degree(v), level) until the structure is
+   empty.  A lazy {!Hp_util.Int_heap} carries packed [key * nv + id]
+   entries; [key] holds each live vertex's last pushed key, so a
+   popped entry is current exactly when it matches.  Keys are monotone
+   per vertex: a live vertex always satisfies key(v) >= level (an
+   entry keyed below the level would have been consumed before the
+   level rose past it), so re-keying on a degree drop can only lower
+   the key, and the stale higher-keyed entries pop after the vertex is
+   already gone.
+
+   Popping the lexicographic minimum makes the sweep a pure function
+   of the peeling state, and — because the clamp level observed by a
+   re-key equals the key of the same-component pop in progress —
+   component-local: the sweep of any union of overlap components,
+   started at the level floor [level0], reproduces the full sweep's
+   pops, levels and edge-deletion levels restricted to those
+   components.  That is the property the subcore cascade
+   ({!Hypergraph_maintain}) resumes from. *)
+let canonical_drain ~deadline st ~level0 ~vertex_core ~record_edge =
+  let nv = Array.length st.valive in
+  let stride = max nv 1 in
+  let key = Array.make (max nv 1) 0 in
+  let heap = U.Int_heap.create ~capacity:(nv + 16) () in
+  let level = ref level0 in
+  for v = 0 to nv - 1 do
+    if st.valive.(v) then begin
+      let k = max st.vdeg.(v) level0 in
+      key.(v) <- k;
+      U.Int_heap.push heap ((k * stride) + v)
+    end
+  done;
+  st.on_vertex_degree <-
+    (fun w ->
+      (* Degree below the current level cannot lower the core number
+         any further; clamp so the key stays monotone. *)
+      let k = max st.vdeg.(w) !level in
+      if k < key.(w) then begin
+        key.(w) <- k;
+        U.Int_heap.push heap ((k * stride) + w)
+      end);
+  st.on_edge_delete <- (fun f -> record_edge f !level);
+  let continue = ref true in
+  while !continue do
+    match U.Int_heap.pop_min heap with
+    | None -> continue := false
+    | Some packed ->
+      let k = packed / stride and v = packed mod stride in
+      if st.valive.(v) && key.(v) = k then begin
+        U.Deadline.check deadline;
+        U.Fault.point "core.peel";
+        if k > !level then level := k;
+        vertex_core.(v) <- !level;
+        delete_vertex st v
+      end
+  done;
+  !level
+
 (* The one-pass sweep, also returning the peeling state so callers
    ([max_core]) can surface its counters without a second peel. *)
 let decompose_onepass_state ~strategy ~domains ~deadline h =
@@ -516,35 +574,40 @@ let decompose_onepass_state ~strategy ~domains ~deadline h =
   let reduced, emap0 = Hypergraph_reduce.reduce h in
   Array.iter (fun e -> edge_core.(e) <- 0) emap0;
   let st = init ~strategy ~domains reduced in
-  (* Initially-empty hyperedges belong to the 0-core only. *)
+  (* Initially-empty hyperedges belong to the 0-core only (their
+     pre-assigned level 0 stands: the hooks are installed later, inside
+     the drain). *)
   for e = 0 to H.n_edges reduced - 1 do
     if st.edeg.(e) = 0 then delete_edge st e
   done;
-  let maxd = Array.fold_left max 0 st.vdeg in
-  let q = U.Bucket_queue.create ~n:nv ~max_key:maxd in
-  for v = 0 to nv - 1 do
-    U.Bucket_queue.insert q v st.vdeg.(v)
+  let max_core =
+    canonical_drain ~deadline st ~level0:0 ~vertex_core
+      ~record_edge:(fun f lvl -> edge_core.(emap0.(f)) <- lvl)
+  in
+  ({ vertex_core; edge_core; max_core }, st)
+
+let resume_peel ?(strategy = Overlap) ?(domains = 1)
+    ?(deadline = U.Deadline.never) ~level h =
+  if level < 0 then invalid_arg "Hypergraph_core.resume_peel: negative level";
+  let nv = H.n_vertices h and m = H.n_edges h in
+  let vertex_core = Array.make nv level in
+  let edge_core = Array.make m (-1) in
+  let st = init ~strategy ~domains h in
+  (* No reduction pass: the input is a peel boundary — already reduced
+     and containment-free by construction.  Hooks go in BEFORE the
+     degree-0 scan so that a degenerate empty hyperedge records the
+     floor level instead of escaping with -1. *)
+  let level_ref = ref level in
+  st.on_edge_delete <- (fun f -> edge_core.(f) <- !level_ref);
+  for e = 0 to m - 1 do
+    if st.edeg.(e) = 0 then delete_edge st e
   done;
-  let level = ref 0 in
-  st.on_vertex_degree <-
-    (fun w ->
-      if U.Bucket_queue.mem q w then
-        (* Degree below the current level cannot lower the core number
-           any further; clamp so the bucket scan stays monotone. *)
-        U.Bucket_queue.change_key q w (max st.vdeg.(w) !level));
-  st.on_edge_delete <- (fun f -> edge_core.(emap0.(f)) <- !level);
-  let continue = ref true in
-  while !continue do
-    U.Deadline.check deadline;
-    U.Fault.point "core.peel";
-    match U.Bucket_queue.pop_min q with
-    | None -> continue := false
-    | Some (v, d) ->
-      if d > !level then level := d;
-      vertex_core.(v) <- !level;
-      delete_vertex st v
-  done;
-  ({ vertex_core; edge_core; max_core = !level }, st)
+  st.on_edge_delete <- ignore;
+  let max_core =
+    canonical_drain ~deadline st ~level0:level ~vertex_core
+      ~record_edge:(fun f lvl -> edge_core.(f) <- lvl)
+  in
+  { vertex_core; edge_core; max_core }
 
 let decompose_onepass ?(strategy = Overlap) ?(domains = 1)
     ?(deadline = U.Deadline.never) h =

@@ -118,6 +118,25 @@ val decompose_onepass :
     deletion levels.  Agrees with [decompose_iterated] (property-tested)
     at a fraction of the cost for deep cores. *)
 
+val resume_peel :
+  ?strategy:strategy ->
+  ?domains:int ->
+  ?deadline:Hp_util.Deadline.t ->
+  level:int ->
+  Hypergraph.t ->
+  decomposition
+(** Resume the canonical one-pass sweep from a peel boundary: [h] must
+    be (a union of overlap components of) the alive structure of some
+    sweep at the moment its level first reached [level] — vertices and
+    hyperedges that survive to core [level], hyperedges restricted to
+    surviving vertices, no reduction applied (a boundary is already
+    reduced and containment-free).  Every returned core number is
+    >= [level], and — because the sweep pops the (key, id)-minimum and
+    its effects are component-local — the result is bit-identical to
+    the full sweep's values on those components.  This is the repair
+    kernel of the subcore cascade in {!Hypergraph_maintain}.  Raises
+    [Invalid_argument] for negative [level]. *)
+
 val max_core :
   ?strategy:strategy ->
   ?domains:int ->

@@ -1,40 +1,64 @@
 (* Incremental maintenance of the k-core decomposition across the
-   mutation stream (DESIGN.md section 13).
+   mutation stream (DESIGN.md sections 13 and 15).
 
-   Core numbers are a per-overlap-component property: the peel's
-   cascade travels only through shared vertices, so a mutation can
-   change [vertex_core]/[edge_core] only inside the overlap-connected
-   component(s) it touches.  The repair therefore collects the touched
-   region with a budget-bounded BFS over the incidence structure,
-   re-peels just that region as a subhypergraph, and splices the
-   resulting levels back into fresh copies of the maintained arrays.
+   Two repair strategies share the maintainer:
 
-   Bit-identity with the full one-pass sweep rests on the sweep being
-   component-local: [Hypergraph.sub] renumbers ids monotonically, the
-   bucket queue preserves the relative order of same-component
-   vertices under interleaving, the CSR slices stay sorted, and the
-   level clamp sees the same level at every same-component event.  The
-   one global rule is [Hypergraph_reduce]'s empty-hyperedge handling
-   (an empty hyperedge survives only when it is the sole hyperedge of
-   the WHOLE hypergraph), so any empty hyperedge anywhere forces the
-   full re-peel path.  The differential suite (test_kcore_inc.ml)
-   asserts the equivalence after every mutation of randomized
-   schedules. *)
+   - [Subcore] (the default): bound the band of core levels a mutation
+     can disturb by core-number theory, reconstruct the peel boundary
+     at the band floor B (vertices with core >= B, hyperedges with
+     core >= B restricted to those vertices), collect the overlap
+     component(s) of the mutation inside that boundary, and resume the
+     canonical sweep ({!Hypergraph_core.resume_peel}) from level B on
+     just that region.  Levels below B never change, so the repair
+     cost is O(affected subcore), not O(component).
+
+   - [Component]: PR 8's repair — re-peel the whole overlap component
+     touched by the mutation — kept as the differential oracle and as
+     the middle rung of the single-mutation repair ladder
+     (cascade, then component re-peel, then full re-peel).
+
+   The band floor is sound only when the mutation cannot change what
+   the initial reduction does (a new hyperedge swallowed by or
+   swallowing an existing one, a deletion resurfacing a previously
+   non-maximal hyperedge): those cases bail out of the cascade to the
+   component path.  The floor itself caps at every level where the
+   mutated hyperedge could act as a containment witness mid-peel
+   (DESIGN.md section 15 gives the argument).  Bit-identity with the
+   full one-pass sweep remains the invariant, asserted after every
+   mutation by the differential suite (test_kcore_inc.ml).
+
+   [apply_batch] runs the same analysis once for a whole burst of
+   mutations — one band, one region, one resumed sweep — so WAL-replay
+   recovery and ensemble rewiring amortize the repair cost.  The one
+   global rule is unchanged from PR 8: an empty hyperedge's survival
+   is a whole-hypergraph property in [Hypergraph_reduce], so any empty
+   hyperedge anywhere forces the full re-peel path. *)
 
 module U = Hp_util
 module H = Hypergraph
 module HC = Hypergraph_core
 
+type strategy = Subcore | Component
+
+let strategy_to_string = function
+  | Subcore -> "subcore"
+  | Component -> "component"
+
 type stats = {
+  mutable cascade_repairs : int;
   mutable incremental_repairs : int;
   mutable repair_visited : int;
   mutable full_repeels : int;
+  mutable budget_fallbacks : int;
 }
 
-type outcome = Incremental of int | Repeel
+type outcome = Cascade of int | Incremental of int | Repeel
+
+type op = Op_add_vertex | Op_add_edge | Op_del_edge of int
 
 type t = {
   budget : int;
+  strategy : strategy;
   mutable h : H.t;
   mutable dec : HC.decomposition;
   mutable empty_edges : int;
@@ -48,19 +72,28 @@ let count_empty h =
   done;
   !c
 
-let create ?(budget = 4096) h =
+let create ?(budget = 4096) ?(strategy = Subcore) h =
   {
     budget;
+    strategy;
     h;
     dec = HC.decompose ~domains:1 h;
     empty_edges = count_empty h;
-    stats = { incremental_repairs = 0; repair_visited = 0; full_repeels = 0 };
+    stats =
+      {
+        cascade_repairs = 0;
+        incremental_repairs = 0;
+        repair_visited = 0;
+        full_repeels = 0;
+        budget_fallbacks = 0;
+      };
   }
 
 let decomposition t = t.dec
 let hypergraph t = t.h
 let stats t = t.stats
 let budget t = t.budget
+let strategy t = t.strategy
 
 let repeel t after =
   t.dec <- HC.decompose ~domains:1 after;
@@ -71,11 +104,15 @@ let repeel t after =
 
 exception Blown
 
+(* ------------------------------------------------------------------ *)
+(* Component strategy: PR 8's whole-component repair, kept verbatim as
+   the differential oracle and the cascade's structural-bail fallback. *)
+
 (* The overlap-connected region reachable from [seed] (a hyperedge id
    of [h]), as sorted vertex and hyperedge id arrays, or [None] once
    more than [budget] distinct vertices + hyperedges have been
    visited. *)
-let region h ~budget ~seed =
+let component_region h ~budget ~seed =
   let vseen = Hashtbl.create 64 and eseen = Hashtbl.create 64 in
   let q = Queue.create () in
   let visits = ref 0 in
@@ -111,9 +148,10 @@ let region h ~budget ~seed =
     Some (collect vseen, collect eseen)
   | exception Blown -> None
 
-(* Re-peel the region [vs]/[es] of [after] and splice its levels over
-   [vc]/[ec] (fresh arrays already holding the unaffected entries). *)
-let splice t after ~vs ~es ~vc ~ec =
+(* Re-peel the whole region [vs]/[es] of [after] from scratch
+   (reduction included — the region is a full component, not a
+   boundary) and splice its levels over [vc]/[ec]. *)
+let splice_component t after ~vs ~es ~vc ~ec =
   let sub, vmap, emap = H.sub after ~vertices:vs ~edges:es in
   let ld = HC.decompose ~domains:1 sub in
   Array.iteri (fun i v -> vc.(v) <- ld.HC.vertex_core.(i)) vmap;
@@ -126,6 +164,364 @@ let splice t after ~vs ~es ~vc ~ec =
   t.stats.repair_visited <- t.stats.repair_visited + visited;
   Incremental visited
 
+let budget_repeel t after =
+  t.stats.budget_fallbacks <- t.stats.budget_fallbacks + 1;
+  repeel t after
+
+let component_add t ~after ~e =
+  (* Core numbers can change only inside the inserted hyperedge's
+     component of the NEW hypergraph (the union of the old components
+     of its members, now joined). *)
+  match component_region after ~budget:t.budget ~seed:e with
+  | None -> budget_repeel t after
+  | Some (vs, es) ->
+    let old = t.dec.HC.edge_core in
+    let ne = Array.length old in
+    let ec = Array.make (ne + 1) (-1) in
+    Array.blit old 0 ec 0 ne;
+    splice_component t after ~vs ~es ~vc:(Array.copy t.dec.HC.vertex_core) ~ec
+
+let component_del t ~after ~edge =
+  (* Everything the deletion can change — including hyperedges that
+     were non-maximal inside the deleted one and now resurface — is
+     inside the deleted hyperedge's component of the OLD hypergraph. *)
+  match component_region t.h ~budget:t.budget ~seed:edge with
+  | None -> budget_repeel t after
+  | Some (vs, es) ->
+    let old = t.dec.HC.edge_core in
+    let ne = Array.length old in
+    (* Deletion shifts later hyperedge ids down by one, both in the
+       maintained array and in the region's id set. *)
+    let ec = Array.make (ne - 1) (-1) in
+    for f = 0 to ne - 1 do
+      if f <> edge then ec.(if f > edge then f - 1 else f) <- old.(f)
+    done;
+    let es' =
+      let buf = U.Dynarray.create ~dummy:0 () in
+      Array.iter
+        (fun f ->
+          if f <> edge then U.Dynarray.push buf (if f > edge then f - 1 else f))
+        es;
+      U.Dynarray.to_array buf
+    in
+    splice_component t after ~vs ~es:es' ~vc:(Array.copy t.dec.HC.vertex_core) ~ec
+
+(* ------------------------------------------------------------------ *)
+(* Subcore cascade.                                                   *)
+
+(* Epoch-stamped scratch arena (the Hypergraph_path idiom): one per
+   domain, grown monotonically, invalidated by bumping the epoch so
+   repairs never pay an O(n) clear.  Fresh growth is zero-filled and
+   the epoch starts above zero, so stale reads can never alias a live
+   stamp. *)
+type scratch = {
+  mutable vstamp : int array;
+  mutable estamp : int array;
+  mutable epoch : int;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { vstamp = [||]; estamp = [||]; epoch = 0 })
+
+let scratch ~nv ~ne =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.vstamp < nv then s.vstamp <- Array.make (max nv 16) 0;
+  if Array.length s.estamp < ne then s.estamp <- Array.make (max ne 16) 0;
+  s
+
+(* The unified cascade analysis, shared by the single-mutation repairs
+   (as a batch of one) and [apply_batch].  [after] is the maintainer's
+   hypergraph with [ops] applied in order (appends at the end, deletes
+   shifting later ids down).  Returns [`Applied outcome] when the
+   cascade repaired the decomposition, [`Bail] when no sound band
+   floor exists (reduction-level structural change, or the floor
+   reached 0), and [`Blown] when the bounded region exceeded the
+   budget. *)
+let cascade_apply t ~after ~ops =
+  let vc = t.dec.HC.vertex_core and ec = t.dec.HC.edge_core in
+  let nv_old = H.n_vertices t.h and ne_old = H.n_edges t.h in
+  let nv_after = H.n_vertices after and ne_after = H.n_edges after in
+  (* --- replay the op sequence over edge-id origins --- *)
+  let origin = U.Dynarray.create ~capacity:(max 16 ne_after) ~dummy:0 () in
+  for i = 0 to ne_old - 1 do
+    U.Dynarray.push origin i
+  done;
+  let del_old = Array.make (max ne_old 1) false in
+  let n_new = ref 0 and n_new_vertices = ref 0 in
+  let structural = ref false in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_add_vertex -> incr n_new_vertices
+      | Op_add_edge ->
+        U.Dynarray.push origin (-1 - !n_new);
+        incr n_new
+      | Op_del_edge k ->
+        if k < 0 || k >= U.Dynarray.length origin then structural := true
+        else begin
+          let o = U.Dynarray.get origin k in
+          if o >= 0 then del_old.(o) <- true
+          else
+            (* Deleting an edge added earlier in the same batch: the
+               origin bookkeeping could cope, but the add-side caps
+               were computed against a hyperedge that no longer exists
+               — punt to the full re-peel. *)
+            structural := true;
+          U.Dynarray.remove origin k
+        end)
+    ops;
+  let final_origin = U.Dynarray.to_array origin in
+  if
+    !structural
+    || Array.length final_origin <> ne_after
+    || nv_after <> nv_old + !n_new_vertices
+  then `Bail
+  else begin
+    let nsurv = ne_after - !n_new in
+    let doomed = Array.make (max !n_new 1) false in
+    let s = scratch ~nv:(max nv_old nv_after) ~ne:(max ne_old ne_after) in
+    let b = ref max_int in
+    let bail = ref false in
+    (* --- added hyperedges: reduce-level dooming, structural bails,
+       member floor and mid-peel swallow caps --- *)
+    for j = 0 to !n_new - 1 do
+      if not !bail then begin
+        let ef = nsurv + j in
+        let fm = H.edge_members after ef in
+        if Array.length fm = 0 || Array.exists (fun v -> v >= nv_old) fm then
+          (* Empty hyperedges flip the global reduce rule; members
+             created in the same batch have no core number to bound
+             the band with.  Both are full-re-peel territory. *)
+          bail := true
+        else begin
+          (* Doomed at reduce iff some other hyperedge of [after]
+             contains it (with the (size, id) tie-break; containment
+             is transitive, so doomed witnesses are fine). *)
+          let lf = Array.length fm in
+          let is_doomed =
+            Array.exists
+              (fun g ->
+                g <> ef
+                &&
+                let gm = H.edge_members after g in
+                let lg = Array.length gm in
+                (lg > lf || (lg = lf && g < ef)) && U.Sorted.subset fm gm)
+              (H.vertex_edges after fm.(0))
+          in
+          if is_doomed then doomed.(j) <- true
+          else begin
+            (* Band floor: the new hyperedge only adds degree to its
+               members, so nothing below the least member core moves —
+               except where f can swallow a partner g once g's members
+               outside f are all gone (level k_g = max core over
+               g \ f).  Cap at every such feasible level; a partner
+               contained in f outright changes the reduction — bail. *)
+            Array.iter (fun v -> b := min !b vc.(v)) fm;
+            s.epoch <- s.epoch + 1;
+            let ep = s.epoch in
+            Array.iter (fun v -> s.vstamp.(v) <- ep) fm;
+            Array.iter
+              (fun v ->
+                Array.iter
+                  (fun g ->
+                    if g <> ef && g < nsurv && s.estamp.(g) <> ep then begin
+                      s.estamp.(g) <- ep;
+                      let o = final_origin.(g) in
+                      if ec.(o) >= 0 then begin
+                        let gm = H.edge_members after g in
+                        let inside = ref 0 and outside_max = ref (-1) in
+                        Array.iter
+                          (fun w ->
+                            if s.vstamp.(w) = ep then incr inside
+                            else outside_max := max !outside_max vc.(w))
+                          gm;
+                        if !inside = Array.length gm then bail := true
+                        else if ec.(o) >= !outside_max then
+                          b := min !b !outside_max
+                      end
+                    end)
+                  (H.vertex_edges after v))
+              fm
+          end
+        end
+      end
+    done;
+    (* --- deleted hyperedges: resurface bails, member floor with
+       multiplicity, and witness caps --- *)
+    let del_count = Hashtbl.create 16 in
+    if not !bail then
+      for e = 0 to ne_old - 1 do
+        if del_old.(e) && ec.(e) >= 0 then
+          Array.iter
+            (fun v ->
+              let c = Option.value (Hashtbl.find_opt del_count v) ~default:0 in
+              Hashtbl.replace del_count v (c + 1))
+            (H.edge_members t.h e)
+      done;
+    for e = 0 to ne_old - 1 do
+      if (not !bail) && del_old.(e) && ec.(e) >= 0 then begin
+        let em = H.edge_members t.h e in
+        s.epoch <- s.epoch + 1;
+        let ep = s.epoch in
+        Array.iter (fun v -> s.vstamp.(v) <- ep) em;
+        (* Floor: a vertex losing d of its hyperedges can drop at most
+           d levels before the boundary stops being reconstructible. *)
+        Array.iter
+          (fun v ->
+            let d = Option.value (Hashtbl.find_opt del_count v) ~default:0 in
+            b := min !b (vc.(v) - d))
+          em;
+        Array.iter
+          (fun v ->
+            Array.iter
+              (fun g ->
+                if g <> e && s.estamp.(g) <> ep then begin
+                  s.estamp.(g) <- ep;
+                  if not del_old.(g) then begin
+                    let gm = H.edge_members t.h g in
+                    if U.Sorted.subset gm em then
+                      (* g (alive or reduce-doomed) sits inside e:
+                         deleting e can resurface it at reduce. *)
+                      bail := true
+                    else if ec.(g) >= 0 && ec.(g) <= ec.(e) then begin
+                      (* e was a feasible containment witness at g's
+                         death level: every member of g still alive at
+                         level ec(g) lies inside e.  Without e, g may
+                         survive past ec(g) — cap the floor there. *)
+                      let feasible = ref true in
+                      Array.iter
+                        (fun w ->
+                          if vc.(w) >= ec.(g) && s.vstamp.(w) <> ep then
+                            feasible := false)
+                        gm;
+                      if !feasible then b := min !b ec.(g)
+                    end
+                  end
+                end)
+              (H.vertex_edges t.h v))
+          em
+      end
+    done;
+    if !bail then `Bail
+    else begin
+      (* --- seeds: everything whose sweep-from-B can differ --- *)
+      let seed_vs = U.Dynarray.create ~dummy:0 () in
+      let seed_es = U.Dynarray.create ~dummy:0 () in
+      for e = 0 to ne_old - 1 do
+        if del_old.(e) && ec.(e) >= 0 then
+          Array.iter (fun v -> U.Dynarray.push seed_vs v) (H.edge_members t.h e)
+      done;
+      for j = 0 to !n_new - 1 do
+        if not doomed.(j) then U.Dynarray.push seed_es (nsurv + j)
+      done;
+      let ec_final =
+        Array.init ne_after (fun j ->
+            let o = final_origin.(j) in
+            if o >= 0 then ec.(o) else -1)
+      in
+      if U.Dynarray.length seed_vs = 0 && U.Dynarray.length seed_es = 0 then begin
+        (* Only reduce-doomed hyperedges and isolated bookkeeping
+           moved: no core number can change. *)
+        let vc' =
+          if nv_after = nv_old then vc
+          else begin
+            let a = Array.make nv_after 0 in
+            Array.blit vc 0 a 0 nv_old;
+            a
+          end
+        in
+        t.dec <-
+          {
+            HC.vertex_core = vc';
+            edge_core = ec_final;
+            max_core = t.dec.HC.max_core;
+          };
+        t.h <- after;
+        t.stats.cascade_repairs <- t.stats.cascade_repairs + 1;
+        `Applied (Cascade 0)
+      end
+      else if !b <= 0 then `Bail
+      else begin
+        let bf = !b in
+        (* --- region: overlap component(s) of the seeds inside the
+           level-B boundary of the NEW structure --- *)
+        s.epoch <- s.epoch + 1;
+        let ep = s.epoch in
+        let vbuf = U.Dynarray.create ~dummy:0 () in
+        let ebuf = U.Dynarray.create ~dummy:0 () in
+        let vwork = U.Dynarray.create ~dummy:0 () in
+        let ework = U.Dynarray.create ~dummy:0 () in
+        let visits = ref 0 in
+        let in_boundary_e j =
+          let o = final_origin.(j) in
+          if o >= 0 then ec.(o) >= bf else not doomed.(-1 - o)
+        in
+        let push_v v =
+          if s.vstamp.(v) <> ep && v < nv_old && vc.(v) >= bf then begin
+            s.vstamp.(v) <- ep;
+            incr visits;
+            if !visits > t.budget then raise Blown;
+            U.Dynarray.push vbuf v;
+            U.Dynarray.push vwork v
+          end
+        in
+        let push_e e =
+          if s.estamp.(e) <> ep && in_boundary_e e then begin
+            s.estamp.(e) <- ep;
+            incr visits;
+            if !visits > t.budget then raise Blown;
+            U.Dynarray.push ebuf e;
+            U.Dynarray.push ework e
+          end
+        in
+        match
+          for i = 0 to U.Dynarray.length seed_vs - 1 do
+            push_v (U.Dynarray.get seed_vs i)
+          done;
+          for i = 0 to U.Dynarray.length seed_es - 1 do
+            push_e (U.Dynarray.get seed_es i)
+          done;
+          while
+            U.Dynarray.length vwork > 0 || U.Dynarray.length ework > 0
+          do
+            if U.Dynarray.length ework > 0 then begin
+              let e = U.Dynarray.get ework (U.Dynarray.length ework - 1) in
+              U.Dynarray.remove ework (U.Dynarray.length ework - 1);
+              Array.iter push_v (H.edge_members after e)
+            end
+            else begin
+              let v = U.Dynarray.get vwork (U.Dynarray.length vwork - 1) in
+              U.Dynarray.remove vwork (U.Dynarray.length vwork - 1);
+              Array.iter push_e (H.vertex_edges after v)
+            end
+          done
+        with
+        | exception Blown -> `Blown
+        | () ->
+          let vs = U.Sorted.of_array (U.Dynarray.to_array vbuf) in
+          let es = U.Sorted.of_array (U.Dynarray.to_array ebuf) in
+          (* --- resume the canonical sweep from the floor and splice --- *)
+          let sub, vmap, emap = H.sub after ~vertices:vs ~edges:es in
+          let ld = HC.resume_peel ~level:bf sub in
+          let vc' = Array.make nv_after 0 in
+          Array.blit vc 0 vc' 0 nv_old;
+          Array.iteri (fun i v -> vc'.(v) <- ld.HC.vertex_core.(i)) vmap;
+          Array.iteri (fun i g -> ec_final.(g) <- ld.HC.edge_core.(i)) emap;
+          let mc = Array.fold_left max 0 vc' in
+          t.dec <-
+            { HC.vertex_core = vc'; edge_core = ec_final; max_core = mc };
+          t.h <- after;
+          let visited = Array.length vs + Array.length es in
+          t.stats.cascade_repairs <- t.stats.cascade_repairs + 1;
+          t.stats.repair_visited <- t.stats.repair_visited + visited;
+          `Applied (Cascade visited)
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public mutation entry points.                                      *)
+
 let add_vertex t ~after =
   (* An appended vertex is isolated: its own component, core 0,
      nothing else reachable. *)
@@ -137,46 +533,46 @@ let add_vertex t ~after =
   t.stats.repair_visited <- t.stats.repair_visited + 1;
   Incremental 1
 
+(* Single-mutation repair ladder: cascade, then component re-peel on a
+   structural bail, then full re-peel only when a region blows the
+   budget (the component region contains the cascade region, so a
+   blown cascade cannot be rescued by the component path). *)
 let add_edge t ~after =
   let e = H.n_edges after - 1 in
   if H.edge_size after e = 0 || t.empty_edges > 0 then repeel t after
-  else
-    (* Core numbers can change only inside the inserted hyperedge's
-       component of the NEW hypergraph (the union of the old
-       components of its members, now joined). *)
-    match region after ~budget:t.budget ~seed:e with
-    | None -> repeel t after
-    | Some (vs, es) ->
-      let old = t.dec.HC.edge_core in
-      let ne = Array.length old in
-      let ec = Array.make (ne + 1) (-1) in
-      Array.blit old 0 ec 0 ne;
-      splice t after ~vs ~es ~vc:(Array.copy t.dec.HC.vertex_core) ~ec
+  else begin
+    match t.strategy with
+    | Component -> component_add t ~after ~e
+    | Subcore -> (
+      match cascade_apply t ~after ~ops:[ Op_add_edge ] with
+      | `Applied o -> o
+      | `Bail -> component_add t ~after ~e
+      | `Blown -> budget_repeel t after)
+  end
 
 let del_edge t ~after ~edge =
   if t.empty_edges > 0 then repeel t after
-  else
-    (* Everything the deletion can change — including hyperedges that
-       were non-maximal inside the deleted one and now resurface — is
-       inside the deleted hyperedge's component of the OLD
-       hypergraph. *)
-    match region t.h ~budget:t.budget ~seed:edge with
-    | None -> repeel t after
-    | Some (vs, es) ->
-      let old = t.dec.HC.edge_core in
-      let ne = Array.length old in
-      (* Deletion shifts later hyperedge ids down by one, both in the
-         maintained array and in the region's id set. *)
-      let ec = Array.make (ne - 1) (-1) in
-      for f = 0 to ne - 1 do
-        if f <> edge then ec.(if f > edge then f - 1 else f) <- old.(f)
-      done;
-      let es' =
-        let buf = U.Dynarray.create ~dummy:0 () in
-        Array.iter
-          (fun f ->
-            if f <> edge then U.Dynarray.push buf (if f > edge then f - 1 else f))
-          es;
-        U.Dynarray.to_array buf
-      in
-      splice t after ~vs ~es:es' ~vc:(Array.copy t.dec.HC.vertex_core) ~ec
+  else begin
+    match t.strategy with
+    | Component -> component_del t ~after ~edge
+    | Subcore -> (
+      match cascade_apply t ~after ~ops:[ Op_del_edge edge ] with
+      | `Applied o -> o
+      | `Bail -> component_del t ~after ~edge
+      | `Blown -> budget_repeel t after)
+  end
+
+let apply_batch t ~after ~ops =
+  match ops with
+  | [] ->
+    t.h <- after;
+    t.stats.cascade_repairs <- t.stats.cascade_repairs + 1;
+    Cascade 0
+  | _ ->
+    if t.empty_edges > 0 || t.strategy = Component then repeel t after
+    else begin
+      match cascade_apply t ~after ~ops with
+      | `Applied o -> o
+      | `Bail -> repeel t after
+      | `Blown -> budget_repeel t after
+    end

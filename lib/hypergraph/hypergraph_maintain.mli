@@ -1,41 +1,76 @@
 (** Incremental maintenance of {!Hypergraph_core.decomposition} across
-    a mutation stream (DESIGN.md section 13).
+    a mutation stream (DESIGN.md sections 13 and 15).
 
     A maintainer owns the current hypergraph and its decomposition.
-    Each mutation repairs the decomposition instead of re-peeling:
-    core numbers are a per-overlap-component property, so the repair
-    re-peels only the overlap-connected region touched by the mutation
-    — collected by a budget-bounded BFS over the incidence structure —
-    and splices the result into fresh copies of the maintained arrays.
-    When the region exceeds the budget, or when an empty hyperedge
+    Each mutation repairs the decomposition instead of re-peeling.
+    Two strategies:
+
+    - {!Subcore} (default): bound the band of core levels the mutation
+      can disturb, rebuild the peel boundary at the band floor B
+      (vertices with core >= B, hyperedges with core >= B restricted
+      to them), collect the overlap component(s) of the mutation
+      inside that boundary, and resume the canonical sweep from level
+      B on just that region ({!Hypergraph_core.resume_peel}).  Repair
+      cost is O(affected subcore).  Mutations that change what the
+      initial reduction does (containment involving the mutated
+      hyperedge, resurfacing a previously non-maximal hyperedge) have
+      no sound band floor and fall through to the component re-peel.
+    - {!Component}: re-peel the whole overlap component touched by the
+      mutation (PR 8's repair), kept as the differential oracle and as
+      the cascade's structural-bail fallback.
+
+    When a region exceeds the budget, or when an empty hyperedge
     exists anywhere (its survival is a whole-hypergraph property in
     {!Hypergraph_reduce}), the maintainer falls back to a full
-    re-peel.
+    re-peel; a blown budget is additionally counted in
+    [budget_fallbacks].
 
     The maintained decomposition is bit-identical to
     [Hypergraph_core.decompose ~domains:1] of the current hypergraph
-    after every mutation (differential-tested across randomized
-    schedules in test_kcore_inc.ml).  Published {!decomposition}
-    records are immutable: every repair installs fresh arrays, so a
+    after every mutation and after every batch (differential-tested
+    across randomized and adversarial schedules in test_kcore_inc.ml).
+    Published {!decomposition} records are immutable: every repair
+    installs fresh arrays (or shares provably-unchanged ones), so a
     reader holding a snapshot is never affected by later mutations. *)
 
 type t
 
+type strategy =
+  | Subcore    (** band-bounded subcore cascade (the fast default) *)
+  | Component  (** whole-component re-peel (PR 8 oracle) *)
+
+val strategy_to_string : strategy -> string
+
 type stats = {
+  mutable cascade_repairs : int;
+      (** Mutations (or batches) absorbed by a subcore cascade. *)
   mutable incremental_repairs : int;
-      (** Mutations absorbed by a bounded region repair. *)
+      (** Mutations absorbed by a component re-peel (and O(1) vertex
+          appends), PR 8's counter. *)
   mutable repair_visited : int;
       (** Total vertices + hyperedges visited across all repairs. *)
   mutable full_repeels : int;
-      (** Mutations that fell back to a full re-peel (budget blown or
-          empty-hyperedge special case). *)
+      (** Mutations that fell back to a full re-peel (budget blown,
+          batch structural bail, or empty-hyperedge special case). *)
+  mutable budget_fallbacks : int;
+      (** The subset of [full_repeels] forced by a blown region
+          budget. *)
 }
 
-type outcome = Incremental of int  (** region size visited *) | Repeel
+type outcome =
+  | Cascade of int      (** subcore region size visited *)
+  | Incremental of int  (** component region size visited *)
+  | Repeel
 
-val create : ?budget:int -> Hypergraph.t -> t
+(** A mutation shape for {!apply_batch}: the structural effect only —
+    members are recovered from the [after] hypergraph, so callers
+    replaying a WAL or applying a burst need not carry payloads. *)
+type op = Op_add_vertex | Op_add_edge | Op_del_edge of int
+
+val create : ?budget:int -> ?strategy:strategy -> Hypergraph.t -> t
 (** Full initial peel.  [budget] (default 4096) bounds the vertices +
-    hyperedges a repair may visit before falling back to a re-peel. *)
+    hyperedges a repair may visit before falling back to a full
+    re-peel.  [strategy] defaults to {!Subcore}. *)
 
 val decomposition : t -> Hypergraph_core.decomposition
 (** The current decomposition — an immutable snapshot record. *)
@@ -46,6 +81,8 @@ val hypergraph : t -> Hypergraph.t
 val stats : t -> stats
 
 val budget : t -> int
+
+val strategy : t -> strategy
 
 val add_vertex : t -> after:Hypergraph.t -> outcome
 (** The mutated hypergraph [after] must be the maintainer's current
@@ -60,3 +97,13 @@ val del_edge : t -> after:Hypergraph.t -> edge:int -> outcome
 (** [after] = current hypergraph with hyperedge [edge] removed and
     later hyperedge ids shifted down by one (the WAL replay state's
     deletion semantics). *)
+
+val apply_batch : t -> after:Hypergraph.t -> ops:op list -> outcome
+(** Apply a whole burst of mutations with one repair: [after] must be
+    the maintainer's current hypergraph with [ops] applied in order
+    (vertex and hyperedge appends at the end, deletions shifting later
+    hyperedge ids down — Wal_live semantics).  One band, one region,
+    one resumed sweep, so WAL-replay recovery and rewiring bursts
+    amortize the repair cost across the batch.  Structural bails go
+    straight to the full re-peel (no per-op component middle rung),
+    as does any batch under the {!Component} strategy. *)

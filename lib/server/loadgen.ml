@@ -25,6 +25,11 @@ type config = {
          PING-and-batch mix that needs no resident dataset. *)
   stalled : int;
   seed : int;
+  mutate : float;
+      (* Fraction of requests that are ADDVERTEX/ADDEDGE/DELEDGE
+         against [dataset], exercising the WAL + incremental-repair
+         write path under the same concurrency; 0 keeps the mix
+         read-only.  Needs [dataset]. *)
 }
 
 let default_config ~host ~port =
@@ -36,6 +41,7 @@ let default_config ~host ~port =
     dataset = None;
     stalled = 0;
     seed = 0x10ad;
+    mutate = 0.0;
   }
 
 type percentiles = {
@@ -51,6 +57,11 @@ type phase = {
   connections : int;
   requests : int;    (* completed successfully *)
   failures : int;    (* transport errors + ERR replies *)
+  mutations : int;   (* mutation requests acknowledged OK *)
+  mutation_races : int;
+      (* Mutations the server rejected with a protocol ERR — under
+         concurrent writers DELEDGE ids go stale as neighbours shift
+         them, which is expected contention, not a failure. *)
   elapsed_s : float;
   throughput_rps : float;
   latency : percentiles;
@@ -86,10 +97,44 @@ let pick_request prng dataset =
         ]
     | _ -> `One (P.Analyze { dataset = d; analysis = P.Powerlaw }))
 
+(* Per-client mutation state: names are made unique by phase label and
+   client index so ADDVERTEX never collides with a sibling; edge ids
+   handed back in [assigned] are remembered for later DELEDGE.  Other
+   clients' deletes shift ids, so a remembered id can go stale — the
+   server answers ERR, which is accounted as a race, not a failure. *)
+type mut_state = {
+  mutable tracked_edges : int list;  (* ids this client added, newest first *)
+  mutable known_vertices : int;      (* count from the last mutation reply *)
+  mutable next_name : int;
+}
+
+let pick_mutation prng st ~tag dataset =
+  let module P = Protocol in
+  let fresh_name prefix =
+    let n = st.next_name in
+    st.next_name <- n + 1;
+    Printf.sprintf "%s%s%d" prefix tag n
+  in
+  match Hp_util.Prng.int prng 6 with
+  | (0 | 1) when st.tracked_edges <> [] ->
+    let e = List.hd st.tracked_edges in
+    st.tracked_edges <- List.tl st.tracked_edges;
+    `Del (P.Del_edge { dataset; edge = e })
+  | (2 | 3) when st.known_vertices >= 2 ->
+    let k = 2 + Hp_util.Prng.int prng 3 in
+    let members =
+      Array.to_list
+        (Hp_util.Prng.sample_without_replacement prng
+           (min k st.known_vertices) st.known_vertices)
+    in
+    `Add_edge (P.Add_edge { dataset; name = fresh_name "le"; members })
+  | _ -> `Add_vertex (P.Add_vertex { dataset; name = fresh_name "lv" })
+
 (* One client: dial once, run the whole request budget on that
    connection, record per-request latency.  A transport error kills
    the connection, so the remaining budget is counted as failed. *)
-let run_client (cfg : config) ~idx ~out_latencies ~out_failures =
+let run_client (cfg : config) ~tag ~idx ~out_latencies ~out_failures
+    ~out_mutations ~out_races =
   let prng = Hp_util.Prng.create (cfg.seed + (idx * 7919)) in
   let addr = Client.Tcp { host = cfg.host; port = cfg.port } in
   match Client.connect_addr addr with
@@ -99,31 +144,69 @@ let run_client (cfg : config) ~idx ~out_latencies ~out_failures =
       ~finally:(fun () -> Client.close c)
       (fun () ->
         Client.set_timeout c 30.0;
+        let st = { tracked_edges = []; known_vertices = 0; next_name = 0 } in
+        let tag = Printf.sprintf "%s_%d_" tag idx in
         let alive = ref true in
         for _ = 1 to cfg.requests_per_conn do
           if !alive then begin
             let t0 = Unix.gettimeofday () in
+            let mutation =
+              match cfg.dataset with
+              | Some d when Hp_util.Prng.bool prng cfg.mutate ->
+                Some (pick_mutation prng st ~tag d)
+              | _ -> None
+            in
             let outcome =
-              match pick_request prng cfg.dataset with
-              | `One req -> (
+              match mutation with
+              | Some m -> (
+                let req =
+                  match m with
+                  | `Del r | `Add_edge r | `Add_vertex r -> r
+                in
                 match Client.request c req with
-                | Ok (Protocol.Ok _) -> `Ok
-                | Ok (Protocol.Err _) -> `Err
-                | Error _ -> `Dead)
-              | `Batch reqs -> (
-                match Client.batch c reqs with
-                | Ok (Client.Items items)
-                  when List.for_all
-                         (function Ok (Protocol.Ok _) -> true | _ -> false)
-                         items ->
+                | Ok (Protocol.Ok kvs) ->
+                  (match List.assoc_opt "vertices" kvs with
+                  | Some v -> (
+                    match int_of_string_opt v with
+                    | Some n -> st.known_vertices <- n
+                    | None -> ())
+                  | None -> ());
+                  (match (m, List.assoc_opt "assigned" kvs) with
+                  | `Add_edge _, Some id -> (
+                    match int_of_string_opt id with
+                    | Some e -> st.tracked_edges <- e :: st.tracked_edges
+                    | None -> ())
+                  | _ -> ());
+                  incr out_mutations;
                   `Ok
-                | Ok _ -> `Err
+                | Ok (Protocol.Err _) ->
+                  (* Stale DELEDGE id or name collision under
+                     contention: a race, not a broken server. *)
+                  incr out_races;
+                  `Race
                 | Error _ -> `Dead)
+              | None -> (
+                match pick_request prng cfg.dataset with
+                | `One req -> (
+                  match Client.request c req with
+                  | Ok (Protocol.Ok _) -> `Ok
+                  | Ok (Protocol.Err _) -> `Err
+                  | Error _ -> `Dead)
+                | `Batch reqs -> (
+                  match Client.batch c reqs with
+                  | Ok (Client.Items items)
+                    when List.for_all
+                           (function Ok (Protocol.Ok _) -> true | _ -> false)
+                           items ->
+                    `Ok
+                  | Ok _ -> `Err
+                  | Error _ -> `Dead))
             in
             match outcome with
             | `Ok ->
               out_latencies :=
                 ((Unix.gettimeofday () -. t0) *. 1000.0) :: !out_latencies
+            | `Race -> ()
             | `Err -> incr out_failures
             | `Dead ->
               incr out_failures;
@@ -174,14 +257,16 @@ let run_phase (cfg : config) ~label ~connections ~stalled =
      before measurement starts, so they are in the way the whole time. *)
   if stalled > 0 then Thread.delay 0.1;
   let slots =
-    List.init connections (fun idx -> (idx, ref [], ref 0))
+    List.init connections (fun idx -> (idx, ref [], ref 0, ref 0, ref 0))
   in
   let t0 = Unix.gettimeofday () in
   let threads =
     List.map
-      (fun (idx, lats, fails) ->
+      (fun (idx, lats, fails, muts, races) ->
         Thread.create
-          (fun () -> run_client cfg ~idx ~out_latencies:lats ~out_failures:fails)
+          (fun () ->
+            run_client cfg ~tag:label ~idx ~out_latencies:lats
+              ~out_failures:fails ~out_mutations:muts ~out_races:races)
           ())
       slots
   in
@@ -189,14 +274,19 @@ let run_phase (cfg : config) ~label ~connections ~stalled =
   let elapsed = Unix.gettimeofday () -. t0 in
   Atomic.set stop true;
   List.iter Thread.join stalled_threads;
-  let latencies = List.concat_map (fun (_, l, _) -> !l) slots in
-  let failures = List.fold_left (fun acc (_, _, f) -> acc + !f) 0 slots in
+  let latencies = List.concat_map (fun (_, l, _, _, _) -> !l) slots in
+  let sum f = List.fold_left (fun acc slot -> acc + !(f slot)) 0 slots in
+  let failures = sum (fun (_, _, f, _, _) -> f) in
+  let mutations = sum (fun (_, _, _, m, _) -> m) in
+  let mutation_races = sum (fun (_, _, _, _, r) -> r) in
   let requests = List.length latencies in
   {
     label;
     connections;
     requests;
     failures;
+    mutations;
+    mutation_races;
     elapsed_s = elapsed;
     throughput_rps =
       (if elapsed > 0.0 then float_of_int requests /. elapsed else 0.0);
@@ -207,6 +297,10 @@ let run (cfg : config) =
   if cfg.connections < 1 then Error "loadgen: connections must be >= 1"
   else if cfg.requests_per_conn < 1 then
     Error "loadgen: requests-per-conn must be >= 1"
+  else if cfg.mutate < 0.0 || cfg.mutate > 1.0 then
+    Error "loadgen: mutate must be in [0, 1]"
+  else if cfg.mutate > 0.0 && cfg.dataset = None then
+    Error "loadgen: mutate needs a dataset to mutate"
   else begin
     (* Warm the result cache (and prove the server is reachable) so
        phase throughput measures the socket path, not first-compute. *)
@@ -257,10 +351,10 @@ let run (cfg : config) =
 
 let json_of_phase p =
   Printf.sprintf
-    {|{"label":"%s","connections":%d,"requests":%d,"failures":%d,"elapsed_s":%.3f,"throughput_rps":%.1f,"latency_ms":{"p50":%.3f,"p90":%.3f,"p99":%.3f,"max":%.3f,"mean":%.3f}}|}
-    p.label p.connections p.requests p.failures p.elapsed_s p.throughput_rps
-    p.latency.p50_ms p.latency.p90_ms p.latency.p99_ms p.latency.max_ms
-    p.latency.mean_ms
+    {|{"label":"%s","connections":%d,"requests":%d,"failures":%d,"mutations":%d,"mutation_races":%d,"elapsed_s":%.3f,"throughput_rps":%.1f,"latency_ms":{"p50":%.3f,"p90":%.3f,"p99":%.3f,"max":%.3f,"mean":%.3f}}|}
+    p.label p.connections p.requests p.failures p.mutations p.mutation_races
+    p.elapsed_s p.throughput_rps p.latency.p50_ms p.latency.p90_ms
+    p.latency.p99_ms p.latency.max_ms p.latency.mean_ms
 
 let to_json ~generated_at r =
   Printf.sprintf

@@ -26,10 +26,20 @@ type config = {
           socket for the whole loaded phase — head-of-line-blocking
           regression pressure, excluded from throughput. *)
   seed : int;               (** Workload-mix PRNG seed. *)
+  mutate : float;
+      (** Fraction of each client's requests that are
+          ADDVERTEX/ADDEDGE/DELEDGE against [dataset] — the WAL +
+          incremental k-core repair write path under the same
+          concurrency.  Clients delete only edges they added (ids
+          remembered from [assigned] replies); ids gone stale under
+          concurrent deleters draw an [ERR] that is accounted as a
+          [mutation_races], not a failure.  0 (the default) keeps the
+          mix read-only; requires [dataset] when positive. *)
 }
 
 val default_config : host:string -> port:int -> config
-(** 64 connections x 50 requests, no dataset, no stalled extras. *)
+(** 64 connections x 50 requests, no dataset, no stalled extras,
+    read-only mix. *)
 
 type percentiles = {
   p50_ms : float;
@@ -44,6 +54,11 @@ type phase = {
   connections : int;
   requests : int;           (** Completed with an [OK] reply. *)
   failures : int;           (** Transport errors + [ERR] replies. *)
+  mutations : int;          (** Mutation requests acknowledged [OK]. *)
+  mutation_races : int;
+      (** Mutations rejected with a protocol [ERR] — expected
+          write-write contention (stale DELEDGE ids), kept out of
+          [failures] so the zero-failure guard still holds. *)
   elapsed_s : float;
   throughput_rps : float;
   latency : percentiles;

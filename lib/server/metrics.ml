@@ -11,6 +11,9 @@ type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
+  vhists : (string, hist) Hashtbl.t;
+      (* unit-less value histograms: same power-of-two buckets, the
+         "us" fields hold raw values *)
 }
 
 let create () =
@@ -18,6 +21,7 @@ let create () =
     mutex = Mutex.create ();
     counters = Hashtbl.create 32;
     hists = Hashtbl.create 8;
+    vhists = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -40,17 +44,16 @@ let bucket_of_us us =
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
   min (n_buckets - 1) (log2 (max 1 us) 0)
 
-let observe t name seconds =
-  let us = max 0 (int_of_float (seconds *. 1e6)) in
+let observe_into t table name us =
   locked t (fun () ->
       let h =
-        match Hashtbl.find_opt t.hists name with
+        match Hashtbl.find_opt table name with
         | Some h -> h
         | None ->
           let h =
             { buckets = Array.make n_buckets 0; sum_us = 0.0; max_us = 0; count = 0 }
           in
-          Hashtbl.add t.hists name h;
+          Hashtbl.add table name h;
           h
       in
       let b = bucket_of_us us in
@@ -58,6 +61,12 @@ let observe t name seconds =
       h.sum_us <- h.sum_us +. float_of_int us;
       h.count <- h.count + 1;
       if us > h.max_us then h.max_us <- us)
+
+let observe t name seconds =
+  let us = max 0 (int_of_float (seconds *. 1e6)) in
+  observe_into t t.hists name us
+
+let observe_value t name v = observe_into t t.vhists name (max 0 v)
 
 let observe_latency t seconds = observe t "latency" seconds
 
@@ -92,35 +101,41 @@ type frozen_hist = {
 type frozen = {
   f_counters : (string * int) list;
   f_hists : (string * frozen_hist) list;
+  f_vhists : (string * frozen_hist) list;
 }
 
 let freeze t =
+  let freeze_table table =
+    Hashtbl.fold
+      (fun k h acc ->
+        ( k,
+          {
+            f_buckets = Array.copy h.buckets;
+            f_sum_us = h.sum_us;
+            f_max_us = h.max_us;
+            f_count = h.count;
+          } )
+        :: acc)
+      table []
+    |> List.sort compare
+  in
   locked t (fun () ->
       {
         f_counters =
           Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
           |> List.sort compare;
-        f_hists =
-          Hashtbl.fold
-            (fun k h acc ->
-              ( k,
-                {
-                  f_buckets = Array.copy h.buckets;
-                  f_sum_us = h.sum_us;
-                  f_max_us = h.max_us;
-                  f_count = h.count;
-                } )
-              :: acc)
-            t.hists []
-          |> List.sort compare;
+        f_hists = freeze_table t.hists;
+        f_vhists = freeze_table t.vhists;
       })
 
 let snapshot t =
-  let { f_counters; f_hists } = freeze t in
+  let { f_counters; f_hists; f_vhists } = freeze t in
   let counter_lines =
     List.map (fun (k, v) -> (k, string_of_int v)) f_counters
   in
-  let hist_lines (name, h) =
+  (* [unit] suffixes the statistic names: "_us" for latency histograms,
+     "" for unit-less value histograms. *)
+  let hist_lines unit (name, h) =
     if h.f_count = 0 then []
     else begin
       let pct p =
@@ -129,16 +144,18 @@ let snapshot t =
       in
       [
         (name ^ "_count", string_of_int h.f_count);
-        (name ^ "_mean_us",
+        (name ^ "_mean" ^ unit,
          Printf.sprintf "%.1f" (h.f_sum_us /. float_of_int h.f_count));
-        (name ^ "_p50_us", string_of_int (pct 50.0));
-        (name ^ "_p90_us", string_of_int (pct 90.0));
-        (name ^ "_p99_us", string_of_int (pct 99.0));
-        (name ^ "_max_us", string_of_int h.f_max_us);
+        (name ^ "_p50" ^ unit, string_of_int (pct 50.0));
+        (name ^ "_p90" ^ unit, string_of_int (pct 90.0));
+        (name ^ "_p99" ^ unit, string_of_int (pct 99.0));
+        (name ^ "_max" ^ unit, string_of_int h.f_max_us);
       ]
     end
   in
-  counter_lines @ List.concat_map hist_lines f_hists
+  counter_lines
+  @ List.concat_map (hist_lines "_us") f_hists
+  @ List.concat_map (hist_lines "") f_vhists
 
 (* ---------- Prometheus text exposition ---------- *)
 
@@ -196,22 +213,26 @@ let prometheus ?(namespace = "hgd") ?(labeled_gauges = []) ~gauges
       in
       line (Printf.sprintf "%s{%s} %s" n rendered (prom_float value)))
     labeled_gauges;
-  List.iter
-    (fun (name, h) ->
-      let n = prom_name namespace (name ^ "_seconds") in
-      line (Printf.sprintf "# TYPE %s histogram" n);
-      let cum = ref 0 in
-      Array.iteri
-        (fun i c ->
-          cum := !cum + c;
-          (* Bucket i holds [2^i, 2^{i+1}) us, so its cumulative upper
-             bound is 2^{i+1} us. *)
-          let le = Float.of_int (1 lsl (i + 1)) /. 1e6 in
-          line
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d" n (prom_float le) !cum))
-        h.f_buckets;
-      line (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n h.f_count);
-      line (Printf.sprintf "%s_sum %s" n (prom_float (h.f_sum_us /. 1e6)));
-      line (Printf.sprintf "%s_count %d" n h.f_count))
-    frozen.f_hists;
+  (* Latency histograms convert their microsecond buckets to seconds
+     (suffix [_seconds]); value histograms keep raw power-of-two
+     bounds and the bare name. *)
+  let emit_hist ~suffix ~scale (name, h) =
+    let n = prom_name namespace (name ^ suffix) in
+    line (Printf.sprintf "# TYPE %s histogram" n);
+    let cum = ref 0 in
+    Array.iteri
+      (fun i c ->
+        cum := !cum + c;
+        (* Bucket i holds [2^i, 2^{i+1}), so its cumulative upper
+           bound is 2^{i+1}. *)
+        let le = Float.of_int (1 lsl (i + 1)) /. scale in
+        line
+          (Printf.sprintf "%s_bucket{le=\"%s\"} %d" n (prom_float le) !cum))
+      h.f_buckets;
+    line (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d" n h.f_count);
+    line (Printf.sprintf "%s_sum %s" n (prom_float (h.f_sum_us /. scale)));
+    line (Printf.sprintf "%s_count %d" n h.f_count)
+  in
+  List.iter (emit_hist ~suffix:"_seconds" ~scale:1e6) frozen.f_hists;
+  List.iter (emit_hist ~suffix:"" ~scale:1.0) frozen.f_vhists;
   List.rev !buf

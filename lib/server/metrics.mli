@@ -30,6 +30,13 @@ val observe : t -> string -> float -> unit
 val observe_latency : t -> float -> unit
 (** [observe t "latency"] — the request service-time histogram. *)
 
+val observe_value : t -> string -> int -> unit
+(** [observe_value t name v] records one unit-less value (clamped at
+    0) into the value histogram [name] — same power-of-two buckets,
+    raw magnitudes instead of microseconds.  Used for distribution
+    metrics like the per-repair region size
+    ([kcore_repair_visited]). *)
+
 val percentile_of_buckets :
   buckets:int array -> total:int -> max_us:int -> float -> int
 (** [percentile_of_buckets ~buckets ~total ~max_us p] is the p-th
@@ -41,7 +48,8 @@ val percentile_of_buckets :
 val snapshot : t -> (string * string) list
 (** All counters in name order, then for each histogram in name order
     with at least one observation, [<name>_count], [<name>_mean_us],
-    [<name>_p50_us], [<name>_p90_us], [<name>_p99_us], [<name>_max_us]. *)
+    [<name>_p50_us], [<name>_p90_us], [<name>_p99_us], [<name>_max_us];
+    then value histograms likewise but without the [_us] suffix. *)
 
 (** {2 Prometheus exposition} *)
 
@@ -55,6 +63,9 @@ type frozen_hist = {
 type frozen = {
   f_counters : (string * int) list;  (** name order *)
   f_hists : (string * frozen_hist) list;  (** name order *)
+  f_vhists : (string * frozen_hist) list;
+      (** value histograms, name order; [f_sum_us]/[f_max_us] hold raw
+          values *)
 }
 
 val freeze : t -> frozen
@@ -68,9 +79,11 @@ val prometheus :
   frozen -> string list
 (** Prometheus text-exposition lines (version 0.0.4, no trailing
     newline per line): every frozen counter and [extra_counters] as
-    [counter] metrics, [gauges] as [gauge] metrics, every histogram as
-    a [histogram] with cumulative [le] buckets in seconds, [+Inf],
-    [_sum] and [_count].  [labeled_gauges] are
+    [counter] metrics, [gauges] as [gauge] metrics, every latency
+    histogram as a [histogram] named [<name>_seconds] with cumulative
+    [le] buckets in seconds, [+Inf], [_sum] and [_count], and every
+    value histogram likewise under its bare name with raw
+    power-of-two [le] bounds.  [labeled_gauges] are
     [(name, labels, value)] triples — e.g. per-dataset epochs as
     [("dataset_epoch", [("dataset", digest)], e)] — emitted with one
     TYPE line per distinct name and label values escaped.  Metric

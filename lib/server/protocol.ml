@@ -17,6 +17,7 @@ type request =
   | Del_edge of { dataset : string; edge : int }
   | Checkpoint of string
   | Datasets
+  | Info
   | Metrics of metrics_format
   | Trace of int option
   | Evict of string option
@@ -140,6 +141,8 @@ let parse_request line =
     | "CHECKPOINT", [ ds ] -> Result.Ok (Checkpoint ds)
     | "CHECKPOINT", _ -> Result.Error "CHECKPOINT takes exactly one dataset"
     | "DATASETS", [] -> Result.Ok Datasets
+    | "INFO", [] -> Result.Ok Info
+    | "INFO", _ -> Result.Error "INFO takes no arguments"
     | "METRICS", [] -> Result.Ok (Metrics Table)
     | "METRICS", [ fmt ] ->
       (match String.lowercase_ascii fmt with
@@ -191,6 +194,7 @@ let request_line = function
     String.concat " " [ "DELEDGE"; dataset; string_of_int edge ]
   | Checkpoint ds -> "CHECKPOINT " ^ ds
   | Datasets -> "DATASETS"
+  | Info -> "INFO"
   | Metrics Table -> "METRICS"
   | Metrics Prometheus -> "METRICS prom"
   | Trace None -> "TRACE"

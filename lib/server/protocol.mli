@@ -16,6 +16,7 @@
     DELEDGE <dataset> <edge-id>
     CHECKPOINT <dataset>
     DATASETS
+    INFO
     METRICS [table|prom]
     TRACE [n]
     EVICT [<dataset>]
@@ -86,6 +87,10 @@ type request =
   | Checkpoint of string
       (** Compact the dataset's WAL into a fresh sibling snapshot. *)
   | Datasets
+  | Info
+      (** Daemon configuration and repair accounting: the k-core
+          repair budget and strategy, cascade / component-repair /
+          re-peel / budget-fallback totals, worker and cache settings. *)
   | Metrics of metrics_format
   | Trace of int option
       (** Slowest recent requests with per-stage span timings;

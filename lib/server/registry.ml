@@ -47,6 +47,7 @@ type t = {
   max_file_bytes : int;  (* 0 = unlimited *)
   wal_sync : Wal.sync_policy;
   checkpoint_every : int;  (* 0 = manual checkpoints only *)
+  kcore_budget : int;  (* repair region budget for maintainers *)
 }
 
 type load_error =
@@ -54,17 +55,26 @@ type load_error =
   | Parse_failed of string
 
 let create ?(max_file_bytes = 0) ?(wal_sync = Wal.Batch) ?(checkpoint_every = 0)
-    () =
+    ?(kcore_budget = 4096) () =
   if max_file_bytes < 0 then invalid_arg "Registry.create: max_file_bytes < 0";
   if checkpoint_every < 0 then
     invalid_arg "Registry.create: checkpoint_every < 0";
+  if kcore_budget < 1 then invalid_arg "Registry.create: kcore_budget < 1";
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 16;
     max_file_bytes;
     wal_sync;
     checkpoint_every;
+    kcore_budget;
   }
+
+let kcore_budget t = t.kcore_budget
+
+let op_shape : Wal.op -> HM.op = function
+  | Wal.Add_vertex _ -> HM.Op_add_vertex
+  | Wal.Add_edge _ -> HM.Op_add_edge
+  | Wal.Del_edge { edge } -> HM.Op_del_edge edge
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -358,8 +368,18 @@ let load_with_wal t ~path ~wal_path (log : Wal.log) =
           (* The dataset was mutated before the restart, so rebuild
              the maintained decomposition now: the first KCORE after
              recovery is served warm, and subsequent mutations repair
-             instead of re-peeling. *)
-          let maint = HM.create hypergraph in
+             instead of re-peeling.  Peel the BASE, then absorb the
+             whole replayed log as one batched cascade — recovery pays
+             one repair for the burst instead of one peel of the final
+             state (or n repairs). *)
+          let maint = HM.create ~budget:t.kcore_budget base_h in
+          if n > 0 then begin
+            let ops =
+              Array.to_list
+                (Array.map (fun r -> op_shape r.Wal.op) log.Wal.records)
+            in
+            ignore (HM.apply_batch maint ~after:hypergraph ~ops)
+          end;
           publish t
             {
               digest = log.Wal.handle;
@@ -486,13 +506,13 @@ let ensure_live entry =
     entry.live <- Some l;
     l
 
-let ensure_maintained entry =
+let ensure_maintained t entry =
   match entry.maint with
   | Some m -> m
   | None ->
     (* First mutation of this dataset: pay one full peel, then every
        subsequent mutation repairs incrementally. *)
-    let m = HM.create entry.state.hypergraph in
+    let m = HM.create ~budget:t.kcore_budget entry.state.hypergraph in
     entry.maint <- Some m;
     m
 
@@ -589,7 +609,7 @@ let mutate t key op =
               (* Build the maintainer from the pre-mutation state, so
                  its first full peel and this op's repair both happen
                  under the registry lock of this mutation. *)
-              let maint = ensure_maintained entry in
+              let maint = ensure_maintained t entry in
               let assigned = Live.apply_exn live op in
               entry.wal_records <- entry.wal_records + 1;
               let hypergraph = Live.to_hypergraph live in
@@ -623,3 +643,116 @@ let mutate t key op =
                   checkpointed;
                   repair;
                 }))))
+
+(* ---------------------------------------------------------------- *)
+(* Batched mutation                                                 *)
+
+type batch_item = {
+  b_epoch : int;
+  b_assigned : int option;
+  b_n_vertices : int;
+  b_n_edges : int;
+}
+
+type batch_result = {
+  items : (batch_item, [ `Invalid of string | `Io of string ]) result array;
+      (* one per input op, in order *)
+  batch_repair : HM.outcome option;  (* [None] when nothing applied *)
+  batch_applied : int;
+  batch_checkpointed : bool;
+}
+
+(* Apply a burst of mutations under one lock acquisition with ONE
+   decomposition repair (HM.apply_batch) and one state rebuild at the
+   end, instead of per-op repairs.  Ops validate sequentially against
+   the evolving state; an invalid op is skipped with a per-item error
+   and the rest of the burst continues (matching what the per-op path
+   would have produced).  A WAL append failure aborts the remainder —
+   those ops were never acknowledged. *)
+let mutate_batch t key ops =
+  locked t (fun () ->
+      match resolve_locked t key with
+      | `Missing -> Error `Missing
+      | `Ambiguous -> Error `Ambiguous
+      | `Found entry -> (
+        let live = ensure_live entry in
+        match ensure_writer t entry with
+        | Error (`Io msg) -> Error (`Io msg)
+        | Ok w ->
+          (* Built from the pre-batch state: its first full peel (if
+             any) happens before the burst's ops are folded in. *)
+          let maint = ensure_maintained t entry in
+          let base_epoch = entry.state.epoch in
+          let applied = ref 0 in
+          let shapes = ref [] in
+          let aborted = ref None in
+          let items =
+            Array.of_list
+              (List.map
+                 (fun op ->
+                   match !aborted with
+                   | Some msg -> Error (`Io ("batch aborted: " ^ msg))
+                   | None -> (
+                     match Live.validate live op with
+                     | Error msg -> Error (`Invalid msg)
+                     | Ok () -> (
+                       let epoch = base_epoch + !applied + 1 in
+                       match Wal.append w { Wal.epoch; op } with
+                       | Error e ->
+                         let msg = Wal.error_to_string e in
+                         aborted := Some msg;
+                         Error (`Io msg)
+                       | Ok () ->
+                         let assigned = Live.apply_exn live op in
+                         incr applied;
+                         shapes := op_shape op :: !shapes;
+                         Ok
+                           {
+                             b_epoch = epoch;
+                             b_assigned = assigned;
+                             b_n_vertices = Live.n_vertices live;
+                             b_n_edges = Live.n_edges live;
+                           })))
+                 ops)
+          in
+          if !applied = 0 then
+            Ok
+              {
+                items;
+                batch_repair = None;
+                batch_applied = 0;
+                batch_checkpointed = false;
+              }
+          else begin
+            entry.wal_records <- entry.wal_records + !applied;
+            let hypergraph = Live.to_hypergraph live in
+            let repair =
+              HM.apply_batch maint ~after:hypergraph
+                ~ops:(List.rev !shapes)
+            in
+            entry.state <-
+              {
+                epoch = base_epoch + !applied;
+                hypergraph;
+                cores = Some (HM.decomposition maint);
+              };
+            let checkpointed =
+              t.checkpoint_every > 0
+              && entry.wal_records >= t.checkpoint_every
+              &&
+              match checkpoint_locked t entry with
+              | Ok _ -> true
+              | Error (`Io msg) ->
+                Log.warn ~comp:"registry"
+                  ~fields:[ ("dataset", entry.digest); ("error", msg) ]
+                  "auto-checkpoint failed; log keeps growing";
+                false
+            in
+            Ok
+              {
+                items;
+                batch_repair = Some repair;
+                batch_applied = !applied;
+                batch_checkpointed = checkpointed;
+              }
+          end))

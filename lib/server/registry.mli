@@ -111,6 +111,7 @@ val create :
   ?max_file_bytes:int ->
   ?wal_sync:Hp_wal.Wal.sync_policy ->
   ?checkpoint_every:int ->
+  ?kcore_budget:int ->
   unit ->
   t
 (** [max_file_bytes] (default 0 = unlimited) rejects dataset files
@@ -118,7 +119,12 @@ val create :
     them, so a runaway input cannot OOM the daemon.  [wal_sync]
     (default [Batch]) is the fsync policy for WAL appends.
     [checkpoint_every] (default 0 = manual only) auto-compacts a
-    dataset's log whenever it accumulates that many records. *)
+    dataset's log whenever it accumulates that many records.
+    [kcore_budget] (default 4096, must be >= 1) bounds the vertices +
+    hyperedges a maintained-decomposition repair may visit before
+    falling back to a full re-peel. *)
+
+val kcore_budget : t -> int
 
 type load_error =
   | Read_failed of string   (** I/O: missing file, permissions, ... *)
@@ -164,6 +170,43 @@ val mutate :
     the WAL, then apply it and publish the new [state].  [`Invalid]
     (client error) and [`Io] (append/WAL-create failure) leave the
     state untouched — an op is applied iff it is durable. *)
+
+type batch_item = {
+  b_epoch : int;           (** The epoch this op created. *)
+  b_assigned : int option; (** Dense id given to an added vertex/edge. *)
+  b_n_vertices : int;      (** Counts immediately after this op. *)
+  b_n_edges : int;
+}
+
+type batch_result = {
+  items :
+    (batch_item, [ `Invalid of string | `Io of string ]) result array;
+      (** One per input op, in order; [`Invalid] is the client-facing
+          rejection for that op, [`Io] a WAL append failure (or the
+          abort it forced on the rest of the burst). *)
+  batch_repair : Hp_hypergraph.Hypergraph_maintain.outcome option;
+      (** The single repair that absorbed every applied op; [None]
+          when nothing applied. *)
+  batch_applied : int;
+  batch_checkpointed : bool;
+}
+
+val mutate_batch :
+  t ->
+  string ->
+  Hp_wal.Wal.op list ->
+  (batch_result, [ `Missing | `Ambiguous | `Io of string ]) result
+(** Apply a burst of mutations under one lock acquisition with a
+    single decomposition repair
+    ({!Hp_hypergraph.Hypergraph_maintain.apply_batch}) and one state
+    publish at the end, amortizing the repair across the burst.  Ops
+    validate sequentially against the evolving state; an invalid op is
+    skipped with a per-item error and the burst continues — item
+    outcomes match what the same sequence through {!mutate} would have
+    produced.  A WAL append failure aborts the remaining ops (they
+    were never acknowledged); already-appended ops stay applied.
+    [`Io] is returned only when the WAL writer itself cannot be
+    created. *)
 
 type checkpoint_info = {
   snapshot_path : string;

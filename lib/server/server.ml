@@ -20,6 +20,7 @@ type config = {
   cache_file : string option;
   wal_sync : Hp_wal.Wal.sync_policy;
   wal_checkpoint_every : int;
+  kcore_budget : int;
   tcp : (string * int) option;
   http : (string * int) option;
 }
@@ -40,6 +41,7 @@ let default_config ~socket_path =
     cache_file = None;
     wal_sync = Hp_wal.Wal.Batch;
     wal_checkpoint_every = 0;
+    kcore_budget = 4096;
     tcp = None;
     http = None;
   }
@@ -394,18 +396,28 @@ let unknown_dataset_reply ds kind =
   | `Ambiguous ->
     P.err P.Unknown_dataset (Printf.sprintf "ambiguous digest prefix %S" ds)
 
+(* Repair accounting: cascades and component re-peels get distinct
+   counters, and the region size feeds the [kcore_repair_visited]
+   value histogram so the distribution (not just the total) is
+   observable. *)
+let count_repair t (repair : Hp_hypergraph.Hypergraph_maintain.outcome) =
+  match repair with
+  | Hp_hypergraph.Hypergraph_maintain.Cascade visited ->
+    Metrics.incr t.metrics "kcore_cascade_repairs";
+    Metrics.observe_value t.metrics "kcore_repair_visited" visited
+  | Hp_hypergraph.Hypergraph_maintain.Incremental visited ->
+    Metrics.incr t.metrics "kcore_incremental_repairs";
+    Metrics.observe_value t.metrics "kcore_repair_visited" visited
+  | Hp_hypergraph.Hypergraph_maintain.Repeel ->
+    Metrics.incr t.metrics "kcore_full_repeels"
+
 let mutate_reply t dataset (op : Hp_wal.Wal.op) : P.reply =
   match Registry.mutate t.registry dataset op with
   | Ok a ->
     Metrics.incr t.metrics "mutations_total";
     Metrics.incr t.metrics "wal_records_appended";
     if a.Registry.checkpointed then Metrics.incr t.metrics "wal_checkpoints";
-    (match a.Registry.repair with
-    | Hp_hypergraph.Hypergraph_maintain.Incremental visited ->
-      Metrics.incr t.metrics "kcore_incremental_repairs";
-      Metrics.incr t.metrics ~by:visited "kcore_repair_visited"
-    | Hp_hypergraph.Hypergraph_maintain.Repeel ->
-      Metrics.incr t.metrics "kcore_full_repeels");
+    count_repair t a.Registry.repair;
     P.Ok
       ([ ("epoch", string_of_int a.Registry.epoch) ]
       @ (match a.Registry.assigned with
@@ -513,6 +525,50 @@ let metrics_reply t (fmt : P.metrics_format) : P.reply =
        reassembles by printing values in order. *)
     P.Ok (List.mapi (fun i l -> (string_of_int i, l)) (prometheus_lines t))
 
+(* Daemon configuration and repair accounting.  The repair totals are
+   read from the maintainers themselves (not the Metrics store), so
+   they include repairs the request path never saw — WAL-replay
+   recovery batches, for instance. *)
+let info_reply t : P.reply =
+  let module HM = Hp_hypergraph.Hypergraph_maintain in
+  let maintained = ref 0 in
+  let casc = ref 0 and inc = ref 0 and full = ref 0 in
+  let fallbacks = ref 0 and visited = ref 0 in
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.Registry.maint with
+      | None -> ()
+      | Some m ->
+        incr maintained;
+        let s = HM.stats m in
+        casc := !casc + s.HM.cascade_repairs;
+        inc := !inc + s.HM.incremental_repairs;
+        full := !full + s.HM.full_repeels;
+        fallbacks := !fallbacks + s.HM.budget_fallbacks;
+        visited := !visited + s.HM.repair_visited)
+    (Registry.list t.registry);
+  P.Ok
+    [
+      ("kcore_budget", string_of_int t.config.kcore_budget);
+      ("kcore_strategy", HM.strategy_to_string HM.Subcore);
+      ("kcore_cascade_repairs", string_of_int !casc);
+      ("kcore_component_repairs", string_of_int !inc);
+      ("kcore_full_repeels", string_of_int !full);
+      ("kcore_budget_fallbacks", string_of_int !fallbacks);
+      ("kcore_repair_visited_total", string_of_int !visited);
+      ("datasets_maintained", string_of_int !maintained);
+      ("datasets_resident",
+       string_of_int (List.length (Registry.list t.registry)));
+      ("workers", string_of_int t.config.workers);
+      ("compute_domains", string_of_int t.config.compute_domains);
+      ("cache_capacity", string_of_int (Result_cache.capacity t.cache));
+      ("request_timeout_s", Printf.sprintf "%.1f" t.config.request_timeout);
+      ("wal_checkpoint_every", string_of_int t.config.wal_checkpoint_every);
+      ("max_batch_items", string_of_int P.max_batch_items);
+      ("uptime_s",
+       Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+    ]
+
 let trace_reply t n : P.reply =
   let n = Option.value n ~default:10 in
   let records = Trace.slowest t.trace n in
@@ -547,6 +603,7 @@ let verb_counter : P.request -> string = function
   | P.Del_edge _ -> "requests_deledge"
   | P.Checkpoint _ -> "requests_checkpoint"
   | P.Datasets -> "requests_datasets"
+  | P.Info -> "requests_info"
   | P.Metrics _ -> "requests_metrics"
   | P.Trace _ -> "requests_trace"
   | P.Evict _ -> "requests_evict"
@@ -572,6 +629,7 @@ let handle_request t ~t0 ~tr (req : P.request) : P.reply * [ `Continue | `Stop ]
   | P.Datasets ->
     let entries = Registry.list t.registry in
     (P.Ok (List.map (fun e -> (e.Registry.digest, entry_summary e)) entries), `Continue)
+  | P.Info -> (info_reply t, `Continue)
   | P.Metrics fmt -> (metrics_reply t fmt, `Continue)
   | P.Trace n -> (trace_reply t n, `Continue)
   | P.Evict None ->
@@ -757,6 +815,111 @@ let answer_parsed t ~tr ~t0 ~prefix ~write parsed : [ `Continue | `Stop | `Close
     raise e);
   (control :> [ `Continue | `Stop | `Close ])
 
+(* A batch item that is a mutation names its dataset and WAL op shape;
+   maximal consecutive runs of mutations on one dataset inside a TCP
+   BATCH are served by a single [Registry.mutate_batch] below. *)
+let mutation_of_request : P.request -> (string * Hp_wal.Wal.op) option = function
+  | P.Add_vertex { dataset; name } ->
+    Some (dataset, Hp_wal.Wal.Add_vertex { name })
+  | P.Add_edge { dataset; name; members } ->
+    Some (dataset, Hp_wal.Wal.Add_edge { name; members = Array.of_list members })
+  | P.Del_edge { dataset; edge } -> Some (dataset, Hp_wal.Wal.Del_edge { edge })
+  | _ -> None
+
+(* Serve a run of >= 2 consecutive mutations on one dataset (items
+   [first .. first + length run - 1] of a TCP batch) through one
+   [Registry.mutate_batch]: one lock acquisition, one WAL window, one
+   decomposition repair for the burst.  Per-item replies and counters
+   match what the same ops through the per-op path would produce; the
+   batch's single repair is counted once, and the auto-checkpoint (if
+   any) is attributed to the last applied item. *)
+let serve_mutation_run t ~write ~dataset ~first (run : (string * Hp_wal.Wal.op) array)
+    =
+  let t0 = Unix.gettimeofday () in
+  let trs =
+    Array.map
+      (fun (line, op) ->
+        Metrics.incr t.metrics "requests_total";
+        Metrics.incr t.metrics "batch_items";
+        Metrics.incr t.metrics
+          (match op with
+          | Hp_wal.Wal.Add_vertex _ -> "requests_addvertex"
+          | Hp_wal.Wal.Add_edge _ -> "requests_addedge"
+          | Hp_wal.Wal.Del_edge _ -> "requests_deledge");
+        Trace.start t.trace ~queue_us:0 ~request:line ())
+      run
+  in
+  let ops = Array.to_list (Array.map snd run) in
+  let replies =
+    match Registry.mutate_batch t.registry dataset ops with
+    | Ok r ->
+      if r.Registry.batch_applied > 0 then begin
+        Metrics.incr t.metrics ~by:r.Registry.batch_applied "mutations_total";
+        Metrics.incr t.metrics ~by:r.Registry.batch_applied
+          "wal_records_appended"
+      end;
+      if r.Registry.batch_checkpointed then
+        Metrics.incr t.metrics "wal_checkpoints";
+      Option.iter (count_repair t) r.Registry.batch_repair;
+      let last_ok = ref (-1) in
+      Array.iteri
+        (fun k item -> if Result.is_ok item then last_ok := k)
+        r.Registry.items;
+      Array.mapi
+        (fun k item ->
+          match item with
+          | Ok (b : Registry.batch_item) ->
+            let checkpointed = r.Registry.batch_checkpointed && k = !last_ok in
+            P.Ok
+              ([ ("epoch", string_of_int b.Registry.b_epoch) ]
+              @ (match b.Registry.b_assigned with
+                | Some id -> [ ("assigned", string_of_int id) ]
+                | None -> [])
+              @ [
+                  ("vertices", string_of_int b.Registry.b_n_vertices);
+                  ("hyperedges", string_of_int b.Registry.b_n_edges);
+                  ("checkpointed", string_of_bool checkpointed);
+                ])
+          | Error (`Invalid msg) ->
+            Metrics.incr t.metrics "mutation_rejects";
+            P.err P.Bad_request msg
+          | Error (`Io msg) ->
+            Metrics.incr t.metrics "io_errors";
+            P.err P.Io_error msg)
+        r.Registry.items
+    | Error ((`Missing | `Ambiguous) as kind) ->
+      Array.map (fun _ -> unknown_dataset_reply dataset kind) run
+    | Error (`Io msg) ->
+      Array.map
+        (fun _ ->
+          Metrics.incr t.metrics "io_errors";
+          P.err P.Io_error msg)
+        run
+  in
+  Array.iteri
+    (fun k reply ->
+      let status =
+        match reply with
+        | P.Err { code; _ } ->
+          Metrics.incr t.metrics "responses_err";
+          "err-" ^ P.error_code_to_string code
+        | P.Ok _ -> "ok"
+      in
+      let tr = trs.(k) in
+      let account status =
+        Metrics.observe_latency t.metrics (Unix.gettimeofday () -. t0);
+        ignore (Trace.finish t.trace tr ~status)
+      in
+      match
+        Trace.timed tr Trace.Write (fun () ->
+            write (P.item_line (first + k) ^ "\n" ^ P.encode_reply reply))
+      with
+      | () -> account status
+      | exception e ->
+        account "write-error";
+        raise e)
+    replies
+
 let serve_connection t (fd, accepted_at) =
   Metrics.incr t.metrics "connections";
   (* Accept-to-pickup wait.  It belongs to the connection, so it is
@@ -894,31 +1057,79 @@ let serve_parsed t (job : parsed_job) =
         Metrics.incr t.metrics (verb_counter (P.Batch 0));
         Metrics.incr t.metrics "batch_requests";
         let header_tr = Trace.start t.trace ~queue_us ~request:header () in
-        let rec go i = function
-          | [] -> `Continue
-          | line :: rest -> (
-            let t0 = Unix.gettimeofday () in
-            Metrics.incr t.metrics "requests_total";
-            Metrics.incr t.metrics "batch_items";
-            let tr = Trace.start t.trace ~queue_us:0 ~request:line () in
-            let parsed =
-              Trace.timed tr Trace.Parse (fun () ->
-                  match P.parse_request line with
-                  | Result.Ok P.Shutdown ->
-                    Result.Error "SHUTDOWN is not allowed inside BATCH"
-                  | Result.Ok (P.Batch _) ->
-                    Result.Error "nested BATCH is not allowed"
-                  | r -> r)
-            in
-            match
-              answer_parsed t ~tr ~t0
-                ~prefix:(P.item_line i ^ "\n")
-                ~write:send parsed
-            with
-            | `Continue -> go (i + 1) rest
-            | (`Stop | `Close) as c -> c)
+        (* Pre-parse every item so maximal consecutive runs of
+           mutations on one dataset can be grouped into a single
+           [Registry.mutate_batch] (one lock, one WAL window, one
+           decomposition repair); everything else — including
+           singleton mutations, which keep the per-op repair ladder —
+           goes through the ordinary per-item path. *)
+        let arr =
+          Array.of_list
+            (List.map
+               (fun line ->
+                 ( line,
+                   match P.parse_request line with
+                   | Result.Ok P.Shutdown ->
+                     Result.Error "SHUTDOWN is not allowed inside BATCH"
+                   | Result.Ok (P.Batch _) ->
+                     Result.Error "nested BATCH is not allowed"
+                   | r -> r ))
+               items)
         in
-        let control = go 0 items in
+        let n = Array.length arr in
+        let mut_of i =
+          match snd arr.(i) with
+          | Result.Ok req -> mutation_of_request req
+          | Result.Error _ -> None
+        in
+        let single i =
+          let line, parsed = arr.(i) in
+          let t0 = Unix.gettimeofday () in
+          Metrics.incr t.metrics "requests_total";
+          Metrics.incr t.metrics "batch_items";
+          let tr = Trace.start t.trace ~queue_us:0 ~request:line () in
+          answer_parsed t ~tr ~t0
+            ~prefix:(P.item_line i ^ "\n")
+            ~write:send parsed
+        in
+        let rec go i =
+          if i >= n then `Continue
+          else
+            match mut_of i with
+            | Some (ds, _) ->
+              let j = ref i in
+              while
+                !j + 1 < n
+                &&
+                match mut_of (!j + 1) with
+                | Some (ds', _) -> String.equal ds' ds
+                | None -> false
+              do
+                incr j
+              done;
+              if !j = i then (
+                match single i with
+                | `Continue -> go (i + 1)
+                | (`Stop | `Close) as c -> c)
+              else begin
+                let run =
+                  Array.init
+                    (!j - i + 1)
+                    (fun k ->
+                      let line, _ = arr.(i + k) in
+                      match mut_of (i + k) with
+                      | Some (_, op) -> (line, op)
+                      | None -> assert false)
+                in
+                serve_mutation_run t ~write:send ~dataset:ds ~first:i run;
+                go (!j + 1)
+              end
+            | None -> (
+              match single i with
+              | `Continue -> go (i + 1)
+              | (`Stop | `Close) as c -> c)
+        in
+        let control = go 0 in
         Metrics.observe_latency t.metrics (Unix.gettimeofday () -. header_t0);
         ignore
           (Trace.finish t.trace header_tr
@@ -1058,7 +1269,8 @@ let start config =
   let metrics = Metrics.create () in
   let registry =
     Registry.create ~max_file_bytes:config.max_file_bytes
-      ~wal_sync:config.wal_sync ~checkpoint_every:config.wal_checkpoint_every ()
+      ~wal_sync:config.wal_sync ~checkpoint_every:config.wal_checkpoint_every
+      ~kcore_budget:config.kcore_budget ()
   in
   let* () =
     List.fold_left

@@ -73,6 +73,12 @@ type config = {
   (** Auto-compact a dataset's WAL into a fresh sibling snapshot after
       this many records ([--wal-checkpoint-every]); 0 (the default)
       compacts only on explicit [CHECKPOINT]. *)
+  kcore_budget : int;
+  (** Per-repair visit budget for the maintained k-core decomposition
+      ([--kcore-budget], default 4096): a mutation repair that would
+      touch more than this many vertices + hyperedges falls back to a
+      full re-peel instead (counted under [kcore_budget_fallbacks] and
+      reported by [INFO]).  Must be >= 1. *)
   tcp : (string * int) option;
   (** Also serve the text protocol over TCP on this host/port
       ([--tcp HOST:PORT]), via the nonblocking event loop.  Port 0
@@ -89,7 +95,7 @@ val default_config : socket_path:string -> config
     entries, 30 s timeout, single-domain kernels, no preload, queue
     limit 128, shed watermark 64, 1 GiB file cap, no failpoints,
     exact path sweeps ([stats_samples = 0]), no cache file, [Batch]
-    WAL sync, manual checkpoints only. *)
+    WAL sync, manual checkpoints only, k-core repair budget 4096. *)
 
 type t
 

@@ -1,19 +1,33 @@
 (* Differential suite for incremental k-core maintenance
-   (Hypergraph_maintain): replay randomized mutation schedules through
-   a maintainer and assert, after EVERY mutation, that the maintained
-   decomposition is bit-identical to a full one-pass re-peel of the
-   current hypergraph.  Three schedule families:
+   (Hypergraph_maintain): replay randomized and adversarial mutation
+   schedules through a maintainer and assert, after EVERY mutation,
+   that the maintained decomposition is bit-identical to a full
+   one-pass re-peel of the current hypergraph.  Every schedule family
+   runs under both repair strategies — the subcore cascade (default)
+   and the whole-component re-peel oracle it falls back to.  Schedule
+   families:
 
-   - default budget: small graphs, so every repair should stay
-     incremental unless an empty hyperedge forces the global fallback;
-   - adversarial budget (1): every edge op must blow the repair
-     frontier and fall back to a full re-peel;
+   - default budget: small graphs, so every repair must stay below the
+     budget (no full re-peels);
+   - adversarial budget (1): under the Component strategy every edge
+     op must blow the repair frontier and fall back to a full re-peel;
+     under Subcore the analysis itself is budget-free, so the answers
+     must stay bit-identical while any region walk that starts blows
+     the budget and is counted in budget_fallbacks;
+   - clique-of-complexes: one giant dense overlap component, so the
+     component oracle always re-peels almost everything while the
+     cascade must stay correct (and mostly local) through targeted
+     mutation bursts;
    - empty-hyperedge schedules: empty edges are a whole-hypergraph
      property in Hypergraph_reduce, so their presence must force the
-     re-peel path until they are deleted again.
+     re-peel path until they are deleted again;
+   - batched application: the same schedules chopped into bursts
+     applied via apply_batch (one cascade per burst — the WAL-replay
+     and rewiring path), including the whole schedule as one batch.
 
    The generator is the WAL crash suite's: valid by construction, so
-   every prefix is a reachable server state. *)
+   every prefix is a reachable server state.  Final states are also
+   cross-checked against decompose at 1, 2 and 7 domains. *)
 
 module W = Hp_wal.Wal
 module L = Hp_wal.Live
@@ -62,12 +76,27 @@ let assert_maintained name maint after =
   Alcotest.(check (array int))
     (name ^ ": edge cores") want.HC.edge_core got.HC.edge_core
 
+(* The maintained answer must also agree with the parallel-built
+   decompositions — the 1/2/7-domain cross-check. *)
+let assert_domains name maint =
+  let got = HM.decomposition maint in
+  let h = HM.hypergraph maint in
+  List.iter
+    (fun d ->
+      let want = HC.decompose ~domains:d h in
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: vertex cores at %d domains" name d)
+        want.HC.vertex_core got.HC.vertex_core;
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: edge cores at %d domains" name d)
+        want.HC.edge_core got.HC.edge_core)
+    [ 1; 2; 7 ]
+
 (* Replay [ops] through one maintainer, checking bit-identity after
    every mutation; returns the maintainer for stats assertions. *)
-let replay ?budget name ops =
-  let base = HIO.of_string base_text in
+let replay ?budget ?strategy ?(base = HIO.of_string base_text) name ops =
   let live = L.of_hypergraph base in
-  let maint = HM.create ?budget base in
+  let maint = HM.create ?budget ?strategy base in
   assert_maintained (name ^ " op -1") maint base;
   List.iteri
     (fun i op ->
@@ -83,42 +112,154 @@ let replay ?budget name ops =
     ops;
   maint
 
+let op_shape = function
+  | W.Add_vertex _ -> HM.Op_add_vertex
+  | W.Add_edge _ -> HM.Op_add_edge
+  | W.Del_edge { edge } -> HM.Op_del_edge edge
+
+(* Replay [ops] in bursts of [chunk], applying each burst through
+   Live op-by-op but repairing once via apply_batch. *)
+let replay_batched ?budget ?(base = HIO.of_string base_text) name ~chunk ops =
+  let live = L.of_hypergraph base in
+  let maint = HM.create ?budget base in
+  let rec take k = function
+    | [] -> ([], [])
+    | rest when k = 0 -> ([], rest)
+    | op :: rest ->
+      let burst, tail = take (k - 1) rest in
+      (op :: burst, tail)
+  in
+  let rec go i ops =
+    match take chunk ops with
+    | [], _ -> ()
+    | burst, tail ->
+      List.iteri
+        (fun j op ->
+          match L.apply live op with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "%s burst %d op %d: %s" name i j m)
+        burst;
+      let after = L.to_hypergraph live in
+      ignore (HM.apply_batch maint ~after ~ops:(List.map op_shape burst));
+      assert_maintained (Printf.sprintf "%s burst %d" name i) maint after;
+      go (i + 1) tail
+  in
+  go 0 ops;
+  maint
+
 let test_randomized_schedules () =
-  let inc = ref 0 and repeels = ref 0 in
+  let casc = ref 0 and inc = ref 0 in
   for i = 0 to 99 do
     let rng = Prng.create (0x14C0 + i) in
     let n = 16 + Prng.int rng 17 in
     let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
-    let maint = replay (Printf.sprintf "schedule %d" i) ops in
-    let s = HM.stats maint in
-    inc := !inc + s.HM.incremental_repairs;
-    repeels := !repeels + s.HM.full_repeels
+    let m_sub = replay (Printf.sprintf "subcore %d" i) ops in
+    let rng = Prng.create (0x14C0 + i) in
+    let n = 16 + Prng.int rng 17 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
+    let m_cmp =
+      replay ~strategy:HM.Component (Printf.sprintf "component %d" i) ops
+    in
+    casc := !casc + (HM.stats m_sub).HM.cascade_repairs;
+    inc := !inc + (HM.stats m_cmp).HM.incremental_repairs;
+    (* The graphs are far smaller than the default budget: the only
+       legitimate fallbacks are empty-edge ones, and this family never
+       generates empty hyperedges. *)
+    check "subcore: no fallback below budget" 0
+      (HM.stats m_sub).HM.full_repeels;
+    check "component: no fallback below budget" 0
+      (HM.stats m_cmp).HM.full_repeels;
+    if i mod 10 = 0 then begin
+      assert_domains (Printf.sprintf "subcore %d" i) m_sub;
+      assert_domains (Printf.sprintf "component %d" i) m_cmp
+    end
   done;
-  Printf.printf "randomized schedules: %d incremental, %d re-peels\n%!" !inc
-    !repeels;
-  (* The graphs are far smaller than the default budget: the only
-     legitimate fallbacks are empty-edge ones, and this family never
-     generates empty hyperedges. *)
-  checkb "repairs happened" true (!inc > 0);
-  check "no fallback below budget" 0 !repeels
+  Printf.printf "randomized schedules: %d cascades, %d component repairs\n%!"
+    !casc !inc;
+  checkb "cascades happened" true (!casc > 0);
+  checkb "component repairs happened" true (!inc > 0)
 
 let test_adversarial_budget () =
-  (* Budget 1: the seed hyperedge alone exhausts the frontier, so
-     every ADDEDGE/DELEDGE must fall back to a full re-peel — and the
-     answers must not care. *)
-  let repeels = ref 0 and edge_ops = ref 0 in
+  (* Budget 1: the seed hyperedge alone exhausts the frontier.  Under
+     the Component strategy every ADDEDGE/DELEDGE must therefore fall
+     back to a full re-peel — and the answers must not care.  Under
+     Subcore the band analysis costs no budget, so only the repairs
+     that actually start a region walk fall back; identity is asserted
+     per-op by [replay] and the fallback counter must fire. *)
+  let repeels = ref 0 and edge_ops = ref 0 and fallbacks = ref 0 in
   for i = 0 to 19 do
     let rng = Prng.create (0xB1DE + i) in
     let n = 12 + Prng.int rng 9 in
     let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
-    let maint = replay ~budget:1 (Printf.sprintf "budget-1 %d" i) ops in
+    let m_cmp =
+      replay ~budget:1 ~strategy:HM.Component (Printf.sprintf "budget-1 %d" i)
+        ops
+    in
     edge_ops :=
       !edge_ops
       + List.length
           (List.filter (function W.Add_vertex _ -> false | _ -> true) ops);
-    repeels := !repeels + (HM.stats maint).HM.full_repeels
+    repeels := !repeels + (HM.stats m_cmp).HM.full_repeels;
+    let m_sub = replay ~budget:1 (Printf.sprintf "budget-1 sub %d" i) ops in
+    fallbacks := !fallbacks + (HM.stats m_sub).HM.budget_fallbacks
   done;
-  check "every edge op re-peeled" !edge_ops !repeels
+  check "component: every edge op re-peeled" !edge_ops !repeels;
+  checkb "subcore: budget fallbacks fired" true (!fallbacks > 0)
+
+(* One giant dense overlap component: [nc] complexes of size [k] laid
+   around a ring of [nv] proteins with heavy pairwise overlap (stride
+   smaller than k), so every hyperedge is overlap-connected to the
+   whole structure and component re-peel is maximally expensive. *)
+let clique_of_complexes ~nv ~nc ~k ~stride =
+  let lines = Buffer.create 1024 in
+  for v = 0 to nv - 1 do
+    Buffer.add_string lines (Printf.sprintf "vertex p%d\n" v)
+  done;
+  for c = 0 to nc - 1 do
+    Buffer.add_string lines (Printf.sprintf "cx%d:" c);
+    for j = 0 to k - 1 do
+      Buffer.add_string lines (Printf.sprintf " p%d" ((c * stride + j) mod nv))
+    done;
+    Buffer.add_char lines '\n'
+  done;
+  HIO.of_string (Buffer.contents lines)
+
+let gen_dense_ops rng ~nv ~ne0 n =
+  (* Mutation bursts aimed at the dense region: added complexes reuse
+     ring vertices, deletions strike anywhere (including the dense
+     originals). *)
+  let ne = ref ne0 in
+  List.init n (fun i ->
+      let pick = Prng.int rng 10 in
+      if pick < 6 || !ne = 0 then begin
+        let k = 3 + Prng.int rng 4 in
+        let start = Prng.int rng nv in
+        let members = Array.init k (fun j -> (start + j) mod nv) in
+        incr ne;
+        W.Add_edge { name = Printf.sprintf "mx%d" i; members }
+      end
+      else begin
+        decr ne;
+        W.Del_edge { edge = Prng.int rng (!ne + 1) }
+      end)
+
+let test_clique_of_complexes () =
+  let base = clique_of_complexes ~nv:40 ~nc:40 ~k:6 ~stride:1 in
+  let casc = ref 0 in
+  for i = 0 to 9 do
+    let rng = Prng.create (0xC11E + i) in
+    let ops = gen_dense_ops rng ~nv:40 ~ne0:40 (20 + Prng.int rng 11) in
+    let m_sub = replay ~base (Printf.sprintf "clique sub %d" i) ops in
+    let m_cmp =
+      replay ~base ~strategy:HM.Component (Printf.sprintf "clique cmp %d" i)
+        ops
+    in
+    casc := !casc + (HM.stats m_sub).HM.cascade_repairs;
+    check "clique subcore: no fallback" 0 (HM.stats m_sub).HM.full_repeels;
+    ignore m_cmp;
+    if i mod 5 = 0 then assert_domains (Printf.sprintf "clique %d" i) m_sub
+  done;
+  checkb "cascades fired on the giant component" true (!casc > 0)
 
 let test_empty_edge_schedules () =
   (* An empty hyperedge's survival is decided against the WHOLE
@@ -129,10 +270,50 @@ let test_empty_edge_schedules () =
     let rng = Prng.create (0xE4417 + i) in
     let n = 12 + Prng.int rng 9 in
     let ops = gen_ops rng ~nv0:5 ~ne0:3 ~empty_every:4 n in
-    let maint = replay (Printf.sprintf "empty-edge %d" i) ops in
+    let strategy = if i mod 2 = 0 then HM.Subcore else HM.Component in
+    let maint = replay ~strategy (Printf.sprintf "empty-edge %d" i) ops in
     repeels := !repeels + (HM.stats maint).HM.full_repeels
   done;
   checkb "empty edges forced re-peels" true (!repeels > 0)
+
+let test_batched_application () =
+  (* The same randomized schedules, applied in bursts through
+     apply_batch: bit-identity after every burst, across burst sizes
+     from single ops to the whole schedule as one batch (the
+     WAL-replay recovery shape). *)
+  let casc = ref 0 in
+  for i = 0 to 39 do
+    let rng = Prng.create (0xBA7C + i) in
+    let n = 16 + Prng.int rng 17 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 n in
+    let chunk = 1 + Prng.int rng 8 in
+    let m =
+      replay_batched (Printf.sprintf "batched %d (chunk %d)" i chunk) ~chunk
+        ops
+    in
+    casc := !casc + (HM.stats m).HM.cascade_repairs;
+    let m1 =
+      replay_batched (Printf.sprintf "one-batch %d" i) ~chunk:(List.length ops)
+        ops
+    in
+    if i mod 10 = 0 then assert_domains (Printf.sprintf "batched %d" i) m1
+  done;
+  (* Dense bursts over the giant component, including empty-edge
+     bursts that must force the batch onto the re-peel path. *)
+  let base = clique_of_complexes ~nv:40 ~nc:40 ~k:6 ~stride:1 in
+  for i = 0 to 4 do
+    let rng = Prng.create (0xBA7D + i) in
+    let ops = gen_dense_ops rng ~nv:40 ~ne0:40 (20 + Prng.int rng 11) in
+    ignore
+      (replay_batched ~base (Printf.sprintf "batched clique %d" i) ~chunk:5 ops)
+  done;
+  for i = 0 to 4 do
+    let rng = Prng.create (0xBA7E + i) in
+    let n = 12 + Prng.int rng 9 in
+    let ops = gen_ops rng ~nv0:5 ~ne0:3 ~empty_every:4 n in
+    ignore (replay_batched (Printf.sprintf "batched empty %d" i) ~chunk:4 ops)
+  done;
+  checkb "batched cascades happened" true (!casc > 0)
 
 let test_isolating_delete () =
   (* DELEDGE of the last hyperedge containing a vertex: the vertex
@@ -200,8 +381,12 @@ let () =
             test_randomized_schedules;
           Alcotest.test_case "adversarial budget forces re-peel" `Quick
             test_adversarial_budget;
+          Alcotest.test_case "clique of complexes" `Slow
+            test_clique_of_complexes;
           Alcotest.test_case "empty hyperedges force re-peel" `Quick
             test_empty_edge_schedules;
+          Alcotest.test_case "batched application" `Slow
+            test_batched_application;
           Alcotest.test_case "isolating delete" `Quick test_isolating_delete;
           Alcotest.test_case "grow from empty" `Quick test_grow_from_empty;
         ] );

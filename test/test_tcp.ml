@@ -433,6 +433,86 @@ let test_select_backend () =
               checks "healthz on select backend" "200"
                 (status_of (http_get fd "GET /healthz HTTP/1.1\r\n\r\n")))))
 
+(* ---------- batched mutations: one repair per burst ---------- *)
+
+(* A BATCH whose items include a run of mutations on one dataset is
+   applied through a single Registry.mutate_batch: per-item replies
+   must match what the per-op path would have produced (sequential
+   epochs, assigned ids, counts after each op), an invalid item is
+   rejected without poisoning the rest of the burst, and the dataset
+   keeps serving correct analyses afterwards. *)
+let test_batched_mutations () =
+  with_tcp_server (fun ~dir ~socket_path ~t:_ ~port ->
+      let digest = load_dataset ~via:(tcp_addr port) dir in
+      let items =
+        Client.with_connection_addr (tcp_addr port) (fun c ->
+            Client.batch c
+              [
+                P.Add_vertex { dataset = digest; name = "z1" };
+                P.Add_edge { dataset = digest; name = "zc"; members = [ 0; 1; 5 ] };
+                P.Del_edge { dataset = digest; edge = 99 };
+                P.Add_edge { dataset = digest; name = "zd"; members = [ 2; 3 ] };
+                P.Ping;
+                P.Add_vertex { dataset = digest; name = "z2" };
+              ])
+        |> Result.get_ok
+      in
+      let items =
+        match items with
+        | Client.Items l -> Array.of_list l
+        | _ -> Alcotest.fail "batch: wrong reply shape"
+      in
+      checki "six sub-replies" 6 (Array.length items);
+      let ok i =
+        match items.(i) with
+        | Ok (P.Ok kvs) -> kvs
+        | Ok (P.Err { message; _ }) -> Alcotest.failf "item %d: ERR %s" i message
+        | Error m -> Alcotest.failf "item %d: transport %s" i m
+      in
+      let kv i key = List.assoc key (ok i) in
+      (* The run's per-item replies carry sequential epochs and the
+         same assigned ids the per-op path would have handed out. *)
+      checks "item0 epoch" "1" (kv 0 "epoch");
+      checks "item0 assigned" "5" (kv 0 "assigned");
+      checks "item0 vertices" "6" (kv 0 "vertices");
+      checks "item1 epoch" "2" (kv 1 "epoch");
+      checks "item1 assigned" "3" (kv 1 "assigned");
+      checks "item1 hyperedges" "4" (kv 1 "hyperedges");
+      (* The doomed DELEDGE is rejected alone; the burst continues. *)
+      (match items.(2) with
+      | Ok (P.Err { code = P.Bad_request; _ }) -> ()
+      | _ -> Alcotest.fail "item2: expected ERR bad-request");
+      checks "item3 epoch" "3" (kv 3 "epoch");
+      checkb "item4 pong" true (List.mem_assoc "pong" (ok 4));
+      (* The singleton run after PING rides the per-op path and sees
+         the batch's state. *)
+      checks "item5 epoch" "4" (kv 5 "epoch");
+      checks "item5 assigned" "6" (kv 5 "assigned");
+      checks "item5 vertices" "7" (kv 5 "vertices");
+      (* The maintained decomposition absorbed the burst: analyses keep
+         working and INFO accounts the repairs. *)
+      let kcore =
+        expect_ok "kcore after batch"
+          (Client.with_connection ~socket_path (fun c ->
+               Client.request_line c ("KCORE " ^ digest)))
+      in
+      checkb "kcore answers" true (List.mem_assoc "k" kcore);
+      let info =
+        expect_ok "info"
+          (Client.with_connection ~socket_path (fun c -> Client.request c P.Info))
+      in
+      checks "budget reported" "4096" (List.assoc "kcore_budget" info);
+      checkb "no budget fallbacks" true
+        (List.assoc "kcore_budget_fallbacks" info = "0");
+      let repairs =
+        int_of_string (List.assoc "kcore_cascade_repairs" info)
+        + int_of_string (List.assoc "kcore_component_repairs" info)
+        + int_of_string (List.assoc "kcore_full_repeels" info)
+      in
+      (* 4 applied ops, but the 3-op run cost one repair: at most 2
+         repairs total (the run's plus the singleton's). *)
+      checkb "burst amortized into one repair" true (repairs <= 2 && repairs >= 1))
+
 (* ---------- SHUTDOWN over TCP stops the daemon cleanly ---------- *)
 
 let test_tcp_shutdown () =
@@ -478,6 +558,8 @@ let () =
             test_concurrent_64_clients;
           Alcotest.test_case "stalled client blocks nobody" `Quick
             test_stalled_client_no_blocking;
+          Alcotest.test_case "batched mutations, one repair per burst" `Quick
+            test_batched_mutations;
           Alcotest.test_case "shutdown verb over tcp" `Quick test_tcp_shutdown;
         ] );
       ( "http",
